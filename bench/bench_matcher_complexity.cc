@@ -1,0 +1,107 @@
+// Section 3 complexity analysis: the NoK matcher is O(m * n) in the
+// worst case, where grandchildren are revisited once per matching
+// frontier branch (the paper's /a[b/c1][b/c2]... example).  This
+// google-benchmark sweep scales the number of pattern branches and the
+// subject fan-out independently, so the m * n product shape is visible
+// in the reported times.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "encoding/document_store.h"
+#include "nok/query_engine.h"
+
+namespace nok {
+namespace {
+
+/// Subject: /a with `fanout` b children.  Every b carries grandchildren
+/// c0..c{width-2}; only the LAST b also carries c{width-1}, so one
+/// frontier branch stays unsatisfied until the final sibling and the
+/// matcher walks all fanout children, revisiting grandchildren per
+/// branch -- the paper's worst case.
+std::string MakeSubject(int fanout, int width) {
+  std::string xml = "<a>";
+  for (int i = 0; i < fanout; ++i) {
+    xml += "<b>";
+    const int have = (i + 1 == fanout) ? width : width - 1;
+    for (int j = 0; j < have; ++j) {
+      xml += "<c" + std::to_string(j) + "/>";
+    }
+    xml += "</b>";
+  }
+  xml += "</a>";
+  return xml;
+}
+
+/// Pattern: /a[b/c0][b/c1]...[b/c{branches-1}] -- every b child matches
+/// every frontier branch, so grandchildren are revisited per branch.
+std::string MakePattern(int branches) {
+  std::string q = "/a";
+  for (int i = 0; i < branches; ++i) {
+    q += "[b/c" + std::to_string(i) + "]";
+  }
+  return q;
+}
+
+void BM_NokBranchRevisits(benchmark::State& state) {
+  const int branches = static_cast<int>(state.range(0));
+  const int fanout = static_cast<int>(state.range(1));
+  auto store = DocumentStore::Build(MakeSubject(fanout, branches),
+                                    DocumentStore::Options());
+  if (!store.ok()) {
+    state.SkipWithError(store.status().ToString().c_str());
+    return;
+  }
+  QueryEngine engine(store->get());
+  const std::string query = MakePattern(branches);
+  QueryOptions options;
+  options.strategy = StartStrategy::kScan;  // Exercise raw Algorithm 1.
+  for (auto _ : state) {
+    auto r = engine.Evaluate(query, options);
+    if (!r.ok() || r->size() != 1) {
+      state.SkipWithError("unexpected result");
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  // m ~ branches (pattern nodes), n ~ fanout * branches (subject nodes).
+  state.SetComplexityN(branches * fanout * branches);
+}
+
+BENCHMARK(BM_NokBranchRevisits)
+    ->ArgsProduct({{1, 2, 4, 8}, {16, 64, 256}})
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Single-path match over a long sibling list: linear in n.
+void BM_NokLinearScan(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  std::string xml = "<a>";
+  for (int i = 0; i < fanout; ++i) xml += "<b><x/></b>";
+  xml += "</a>";
+  auto store = DocumentStore::Build(xml, DocumentStore::Options());
+  if (!store.ok()) {
+    state.SkipWithError(store.status().ToString().c_str());
+    return;
+  }
+  QueryEngine engine(store->get());
+  QueryOptions options;
+  options.strategy = StartStrategy::kScan;
+  for (auto _ : state) {
+    auto r = engine.Evaluate("/a/b/x", options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(fanout);
+}
+
+BENCHMARK(BM_NokLinearScan)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace nok
+
+BENCHMARK_MAIN();

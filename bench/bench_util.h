@@ -1,0 +1,67 @@
+// Shared helpers for the benchmark harnesses: flag parsing and table
+// printing.  The Table harnesses use hand-rolled timing (wall-clock per
+// query, averaged over runs, like the paper's methodology); the
+// micro-benchmarks use google-benchmark.
+
+#ifndef NOKXML_BENCH_BENCH_UTIL_H_
+#define NOKXML_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace nok {
+namespace bench {
+
+/// --name=value / --name value flag lookup.
+inline std::string FlagValue(int argc, char** argv, const char* name,
+                             const std::string& default_value) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+    if (std::string(argv[i]) == std::string("--") + name &&
+        i + 1 < argc) {
+      return argv[i + 1];
+    }
+  }
+  return default_value;
+}
+
+inline double FlagDouble(int argc, char** argv, const char* name,
+                         double default_value) {
+  const std::string v =
+      FlagValue(argc, argv, name, std::to_string(default_value));
+  return atof(v.c_str());
+}
+
+inline int FlagInt(int argc, char** argv, const char* name,
+                   int default_value) {
+  const std::string v =
+      FlagValue(argc, argv, name, std::to_string(default_value));
+  return atoi(v.c_str());
+}
+
+inline bool FlagBool(int argc, char** argv, const char* name) {
+  const std::string want = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (want == argv[i]) return true;
+  }
+  return false;
+}
+
+/// Prints "  1.23 MB" style sizes.
+inline std::string Mb(uint64_t bytes) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.2f MB",
+           static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace nok
+
+#endif  // NOKXML_BENCH_BENCH_UTIL_H_

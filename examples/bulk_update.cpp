@@ -1,0 +1,96 @@
+// Updates against a persistent store (Section 4.2): build a store on
+// disk, insert and delete subtrees, show that queries stay consistent and
+// that the store can be reopened.
+//
+//   $ ./bulk_update [directory]      (default: a temp directory)
+
+#include <cstdio>
+#include <filesystem>
+
+#include "encoding/document_store.h"
+#include "nok/query_engine.h"
+
+namespace {
+
+size_t Count(nok::QueryEngine* engine, const std::string& query) {
+  auto r = engine->Evaluate(query);
+  if (!r.ok()) {
+    fprintf(stderr, "query %s failed: %s\n", query.c_str(),
+            r.status().ToString().c_str());
+    exit(1);
+  }
+  return r->size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir =
+      argc > 1 ? argv[1]
+               : (std::filesystem::temp_directory_path() /
+                  "nokxml_bulk_update_example")
+                     .string();
+  std::filesystem::remove_all(dir);
+
+  std::string xml = "<inventory>";
+  for (int i = 0; i < 500; ++i) {
+    xml += "<item><sku>sku" + std::to_string(i) + "</sku><qty>" +
+           std::to_string(i % 50) + "</qty></item>";
+  }
+  xml += "</inventory>";
+
+  nok::DocumentStore::Options options;
+  options.dir = dir;
+  {
+    auto store = nok::DocumentStore::Build(xml, options);
+    if (!store.ok()) {
+      fprintf(stderr, "build failed: %s\n",
+              store.status().ToString().c_str());
+      return 1;
+    }
+    nok::QueryEngine engine(store->get());
+    printf("built store in %s: %zu items, %zu zero-qty\n", dir.c_str(),
+           Count(&engine, "/inventory/item"),
+           Count(&engine, "/inventory/item[qty=\"0\"]"));
+
+    // Insert a flash-sale item at the front and annotate item 3.
+    auto check = [&](nok::Status s, const char* what) {
+      if (!s.ok()) {
+        fprintf(stderr, "%s failed: %s\n", what, s.ToString().c_str());
+        exit(1);
+      }
+    };
+    check((*store)->InsertSubtree(
+              nok::DeweyId({0}), 0,
+              "<item><sku>flash-1</sku><qty>999</qty>"
+              "<tag>sale</tag></item>"),
+          "insert");
+    check((*store)->InsertSubtree(nok::DeweyId({0, 3}), 2,
+                                  "<tag>clearance</tag>"),
+          "annotate");
+    // Remove the last item entirely.
+    check((*store)->DeleteSubtree(nok::DeweyId({0, 500})), "delete");
+
+    printf("after updates: %zu items, %zu tagged\n",
+           Count(&engine, "/inventory/item"),
+           Count(&engine, "/inventory/item[tag]"));
+    check((*store)->Flush(), "flush");
+  }
+
+  // Reopen from disk: everything persisted.
+  {
+    auto store = nok::DocumentStore::OpenDir(options);
+    if (!store.ok()) {
+      fprintf(stderr, "reopen failed: %s\n",
+              store.status().ToString().c_str());
+      return 1;
+    }
+    nok::QueryEngine engine(store->get());
+    printf("reopened: %zu items, %zu tagged, flash item present: %s\n",
+           Count(&engine, "/inventory/item"),
+           Count(&engine, "/inventory/item[tag]"),
+           Count(&engine, "//item[sku=\"flash-1\"]") == 1 ? "yes" : "NO");
+  }
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: build a document store from XML text, run a path query,
+// read back values.
+//
+//   $ ./quickstart
+//
+// Shows the minimal public API surface: DocumentStore::Build,
+// QueryEngine::Evaluate, DocumentStore::ValueOf.
+
+#include <cstdio>
+
+#include "encoding/document_store.h"
+#include "nok/query_engine.h"
+
+int main() {
+  const std::string xml = R"(
+    <library>
+      <book genre="databases"><title>Readings in DB</title><year>1998</year></book>
+      <book genre="systems"><title>TAOCP</title><year>1997</year></book>
+      <book genre="databases"><title>Red Book</title><year>2005</year></book>
+    </library>)";
+
+  // 1. Build the physical store (in memory here; pass options.dir for a
+  //    persistent one).
+  auto store = nok::DocumentStore::Build(xml, {});
+  if (!store.ok()) {
+    fprintf(stderr, "build failed: %s\n",
+            store.status().ToString().c_str());
+    return 1;
+  }
+  printf("stored %llu nodes; tree string is %llu bytes for %zu bytes of "
+         "XML\n\n",
+         (unsigned long long)(*store)->stats().node_count,
+         (unsigned long long)(*store)->stats().tree_bytes, xml.size());
+
+  // 2. Run a path query.
+  nok::QueryEngine engine(store->get());
+  auto result = engine.Evaluate(
+      "/library/book[@genre=\"databases\"][year>2000]/title");
+  if (!result.ok()) {
+    fprintf(stderr, "query failed: %s\n",
+            result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Read the matched nodes' values.
+  printf("titles of database books after 2000:\n");
+  for (const nok::DeweyId& id : *result) {
+    auto value = (*store)->ValueOf(id);
+    if (value.ok() && value->has_value()) {
+      printf("  [%s] %s\n", id.ToString().c_str(), (*value)->c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Streaming XML monitoring (the paper's streaming adaptation, Sections 1
+// and 4.2): evaluate a NoK pattern over an event feed in a single pass
+// with bounded memory -- no document store is ever built.
+//
+// The feed here is a synthetic sensor log; the query flags readings from
+// sensor "s7" whose value exceeds a threshold.
+//
+//   $ ./streaming_monitor
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "streaming/stream_matcher.h"
+
+int main() {
+  // Synthesize a feed of 50,000 readings.
+  nok::Random rng(2024);
+  std::string feed = "<log>";
+  int planted = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const int sensor = static_cast<int>(rng.Uniform(40));
+    const int value = static_cast<int>(rng.Uniform(120));
+    feed += "<reading><sensor>s" + std::to_string(sensor) +
+            "</sensor><value>" + std::to_string(value) +
+            "</value><seq>" + std::to_string(i) + "</seq></reading>";
+    planted += sensor == 7 && value > 100;
+  }
+  feed += "</log>";
+
+  const std::string query =
+      "/log/reading[sensor=\"s7\"][value>100]/seq";
+  printf("monitoring %zu-byte feed for %s\n", feed.size(), query.c_str());
+
+  nok::StreamRunStats stats;
+  auto matches = nok::EvaluateStreaming(query, feed, &stats);
+  if (!matches.ok()) {
+    fprintf(stderr, "streaming failed: %s\n",
+            matches.status().ToString().c_str());
+    return 1;
+  }
+  printf("found %zu alerts (expected %d)\n", matches->size(), planted);
+  size_t shown = 0;
+  for (const nok::DeweyId& id : *matches) {
+    if (++shown > 5) {
+      printf("  ... %zu more\n", matches->size() - 5);
+      break;
+    }
+    printf("  alert at node %s\n", id.ToString().c_str());
+  }
+  printf("\nsingle pass over %llu events; peak buffer %zu nodes "
+         "(Proposition 1: one <reading> subtree at a time, never the "
+         "whole feed)\n",
+         (unsigned long long)stats.events, stats.peak_buffered_nodes);
+  return matches->size() == static_cast<size_t>(planted) ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+#include "baseline/interval_encoding.h"
+
+#include "common/logging.h"
+#include "xml/escape.h"
+#include "xml/sax_parser.h"
+
+namespace nok {
+
+Result<IntervalDocument> IntervalDocument::Build(const std::string& xml) {
+  IntervalDocument doc;
+  SaxParser parser(xml);
+  SaxEvent event;
+  uint32_t counter = 0;
+  struct Frame {
+    uint32_t node_index;
+    std::string value;
+  };
+  std::vector<Frame> stack;
+
+  auto open_node = [&](const std::string& name) -> Status {
+    NOK_ASSIGN_OR_RETURN(TagId tag, doc.tags_.Intern(name));
+    doc.tags_.AddOccurrence(tag);
+    IntervalNode node;
+    node.start = counter++;
+    node.level = static_cast<int32_t>(stack.size()) + 1;
+    node.tag = tag;
+    stack.push_back(Frame{static_cast<uint32_t>(doc.nodes_.size()), {}});
+    doc.nodes_.push_back(node);
+    return Status::OK();
+  };
+
+  auto close_node = [&]() -> Status {
+    Frame& frame = stack.back();
+    IntervalNode& node = doc.nodes_[frame.node_index];
+    node.end = counter++;
+    const std::string value = TrimWhitespace(frame.value);
+    if (!value.empty()) {
+      auto [it, inserted] = doc.value_ids_.try_emplace(
+          value, static_cast<int32_t>(doc.values_.size()));
+      if (inserted) doc.values_.push_back(value);
+      node.value_id = it->second;
+      doc.by_value_[value].push_back(frame.node_index);
+    }
+    stack.pop_back();
+    return Status::OK();
+  };
+
+  for (;;) {
+    NOK_RETURN_IF_ERROR(parser.Next(&event));
+    if (event.type == SaxEvent::Type::kEndDocument) break;
+    switch (event.type) {
+      case SaxEvent::Type::kStartElement: {
+        NOK_RETURN_IF_ERROR(open_node(event.name));
+        for (auto& [attr_name, attr_value] : event.attributes) {
+          NOK_RETURN_IF_ERROR(open_node("@" + attr_name));
+          stack.back().value = attr_value;
+          NOK_RETURN_IF_ERROR(close_node());
+        }
+        break;
+      }
+      case SaxEvent::Type::kEndElement:
+        NOK_RETURN_IF_ERROR(close_node());
+        break;
+      case SaxEvent::Type::kText: {
+        NOK_CHECK(!stack.empty());
+        AppendTextChunk(&stack.back().value, event.text);
+        break;
+      }
+      case SaxEvent::Type::kEndDocument:
+        break;
+    }
+  }
+  if (!stack.empty()) {
+    return Status::ParseError("document ended with open elements");
+  }
+
+  // Per-tag posting lists (document order by construction).
+  doc.by_tag_.resize(doc.tags_.size());
+  for (uint32_t i = 0; i < doc.nodes_.size(); ++i) {
+    doc.by_tag_[doc.nodes_[i].tag - 1].push_back(i);
+  }
+  return doc;
+}
+
+const std::vector<uint32_t>& IntervalDocument::NodesWithTag(
+    TagId tag) const {
+  static const std::vector<uint32_t> kEmpty;
+  if (tag == kInvalidTag || tag > by_tag_.size()) return kEmpty;
+  return by_tag_[tag - 1];
+}
+
+std::vector<uint32_t> IntervalDocument::NodesWithValue(
+    const std::string& value) const {
+  auto it = by_value_.find(value);
+  if (it == by_value_.end()) return {};
+  return it->second;
+}
+
+const std::string& IntervalDocument::ValueOfNode(uint32_t node_index) const {
+  static const std::string kEmpty;
+  const IntervalNode& node = nodes_[node_index];
+  if (node.value_id < 0) return kEmpty;
+  return values_[static_cast<size_t>(node.value_id)];
+}
+
+}  // namespace nok

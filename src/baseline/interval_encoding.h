@@ -1,0 +1,76 @@
+// Interval ("containment") encoding of an XML document — the substrate of
+// the DI and TwigStack baselines the paper compares against (Section 6).
+//
+// Every node gets (start, end, level): start/end from a pre/post-order
+// counter so that descendant(a, b) iff a.start < b.start && b.end < a.end,
+// the classic Zhang et al. / Al-Khalifa et al. scheme.  Nodes are kept in
+// one document-order table plus per-tag posting lists (the "streams" of
+// holistic twig joins) and a value -> nodes map standing in for the value
+// B+ tree the paper built for TwigStack.
+
+#ifndef NOKXML_BASELINE_INTERVAL_ENCODING_H_
+#define NOKXML_BASELINE_INTERVAL_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "encoding/tag_dictionary.h"
+
+namespace nok {
+
+/// One element (or attribute pseudo-element) in interval encoding.
+struct IntervalNode {
+  uint32_t start = 0;
+  uint32_t end = 0;
+  int32_t level = 0;     ///< Root = 1.
+  TagId tag = kInvalidTag;
+  int32_t value_id = -1; ///< Index into values(), or -1.
+};
+
+/// A parsed document in interval encoding.
+class IntervalDocument {
+ public:
+  /// Parses xml into interval-encoded form (single SAX pass).
+  static Result<IntervalDocument> Build(const std::string& xml);
+
+  /// All nodes in document order (sorted by start).
+  const std::vector<IntervalNode>& nodes() const { return nodes_; }
+
+  /// Distinct node values.
+  const std::vector<std::string>& values() const { return values_; }
+
+  const TagDictionary& tags() const { return tags_; }
+
+  /// Document-order indexes of the nodes with a given tag (a twig-join
+  /// input stream).  Empty for unknown tags.
+  const std::vector<uint32_t>& NodesWithTag(TagId tag) const;
+
+  /// Document-order indexes of nodes whose value equals `value` (the
+  /// value-index stand-in used by the TwigStack baseline).
+  std::vector<uint32_t> NodesWithValue(const std::string& value) const;
+
+  /// The value of node i ("" when it has none).
+  const std::string& ValueOfNode(uint32_t node_index) const;
+
+  /// True iff nodes()[ancestor] properly contains nodes()[descendant].
+  bool Contains(uint32_t ancestor, uint32_t descendant) const {
+    const IntervalNode& a = nodes_[ancestor];
+    const IntervalNode& d = nodes_[descendant];
+    return a.start < d.start && d.end < a.end;
+  }
+
+ private:
+  std::vector<IntervalNode> nodes_;
+  std::vector<std::string> values_;
+  TagDictionary tags_;
+  std::vector<std::vector<uint32_t>> by_tag_;  // by_tag_[tag - 1].
+  std::unordered_map<std::string, std::vector<uint32_t>> by_value_;
+  std::unordered_map<std::string, int32_t> value_ids_;
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_BASELINE_INTERVAL_ENCODING_H_

@@ -1,0 +1,421 @@
+#include "baseline/navigational_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace nok {
+
+NavigationalEngine::NavigationalEngine(const DomTree* tree) : tree_(tree) {
+  ForEachNode(tree->root(), [&](const DomNode* node) {
+    by_tag_[node->name].push_back(node);
+    if (!node->value.empty()) by_value_[node->value].push_back(node);
+    doc_order_.push_back(node);
+  });
+}
+
+template <typename Fn>
+bool NavigationalEngine::AnyDescendant(const DomNode* node, Fn&& fn) {
+  for (const auto& child : node->children) {
+    ++stats_.nodes_visited;
+    if (fn(child.get())) return true;
+    if (AnyDescendant(child.get(), fn)) return true;
+  }
+  return false;
+}
+
+bool NavigationalEngine::MatchDown(const PatternNode* pattern,
+                                   const DomNode* node,
+                                   const PatternNode* exclude) {
+  const auto key = std::make_pair(pattern->id, node);
+  if (exclude == nullptr) {
+    auto it = match_memo_.find(key);
+    if (it != match_memo_.end()) return it->second;
+  }
+  ++stats_.nodes_visited;
+  bool ok = true;
+  if (!pattern->wildcard && pattern->tag != node->name) ok = false;
+  if (ok && pattern->predicate.active()) {
+    ok = !node->value.empty() &&
+         EvalValuePredicate(pattern->predicate, node->value);
+  }
+  if (ok && !pattern->sibling_order.empty()) {
+    // Order constraints need coordinated sibling matching; fall back to a
+    // quadratic check over child pairs.
+    for (auto [a, b] : pattern->sibling_order) {
+      const PatternNode* pa = pattern->children[static_cast<size_t>(a)].get();
+      const PatternNode* pb = pattern->children[static_cast<size_t>(b)].get();
+      bool pair_ok = false;
+      for (size_t i = 0; i < node->children.size() && !pair_ok; ++i) {
+        if (!MatchDown(pa, node->children[i].get(), nullptr)) continue;
+        for (size_t j = i + 1; j < node->children.size(); ++j) {
+          if (MatchDown(pb, node->children[j].get(), nullptr)) {
+            pair_ok = true;
+            break;
+          }
+        }
+      }
+      if (!pair_ok) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  if (ok) {
+    for (const auto& child : pattern->children) {
+      if (child.get() == exclude) continue;
+      bool found = false;
+      switch (child->incoming) {
+        case Axis::kChild:
+        case Axis::kFollowingSibling: {  // Tree edge; order checked above.
+          for (const auto& sub : node->children) {
+            if (MatchDown(child.get(), sub.get(), nullptr)) {
+              found = true;
+              break;
+            }
+          }
+          break;
+        }
+        case Axis::kDescendant: {
+          found = AnyDescendant(node, [&](const DomNode* d) {
+            return MatchDown(child.get(), d, nullptr);
+          });
+          break;
+        }
+        case Axis::kFollowing: {
+          // Everything starting after this node's subtree.
+          auto it = std::upper_bound(
+              doc_order_.begin(), doc_order_.end(), node->end,
+              [](uint32_t end, const DomNode* n) { return n->start > end; });
+          for (; it != doc_order_.end(); ++it) {
+            if (MatchDown(child.get(), *it, nullptr)) {
+              found = true;
+              break;
+            }
+          }
+          break;
+        }
+        case Axis::kPreceding: {
+          // Everything whose subtree ends before this node starts.
+          for (const DomNode* d : doc_order_) {
+            if (d->start >= node->start) break;
+            if (d->end < node->start &&
+                MatchDown(child.get(), d, nullptr)) {
+              found = true;
+              break;
+            }
+          }
+          break;
+        }
+      }
+      if (!found) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  if (exclude == nullptr) match_memo_.emplace(key, ok);
+  return ok;
+}
+
+void NavigationalEngine::CollectDown(
+    const std::vector<const PatternNode*>& path, size_t step,
+    const DomNode* node, std::vector<const DomNode*>* out) {
+  const PatternNode* p = path[step];
+  const PatternNode* next = step + 1 < path.size() ? path[step + 1] : nullptr;
+  auto consider = [&](const DomNode* candidate) {
+    if (!MatchDown(p, candidate, /*exclude=*/nullptr)) return;
+    if (next == nullptr) {
+      out->push_back(candidate);
+    } else {
+      CollectDown(path, step + 1, candidate, out);
+    }
+  };
+  switch (p->incoming) {
+    case Axis::kChild:
+    case Axis::kFollowingSibling:
+      for (const auto& child : node->children) consider(child.get());
+      break;
+    case Axis::kDescendant:
+      AnyDescendant(node, [&](const DomNode* d) {
+        consider(d);
+        return false;  // Visit all.
+      });
+      break;
+    case Axis::kFollowing: {
+      auto it = std::upper_bound(
+          doc_order_.begin(), doc_order_.end(), node->end,
+          [](uint32_t end, const DomNode* n) { return n->start > end; });
+      for (; it != doc_order_.end(); ++it) consider(*it);
+      break;
+    }
+    case Axis::kPreceding: {
+      for (const DomNode* d : doc_order_) {
+        if (d->start >= node->start) break;
+        if (d->end < node->start) consider(d);
+      }
+      break;
+    }
+  }
+}
+
+Result<std::vector<const DomNode*>> NavigationalEngine::Evaluate(
+    const PatternTree& pattern) {
+  stats_ = Stats{};
+  match_memo_.clear();
+
+  // Sibling-order constraints at the document root (a first-step
+  // following-/preceding-sibling) are unsatisfiable: the root element has
+  // no siblings.
+  if (!pattern.root()->sibling_order.empty()) {
+    return std::vector<const DomNode*>{};
+  }
+
+  std::vector<const PatternNode*> all_nodes;
+  {
+    std::vector<const PatternNode*> todo{pattern.root()};
+    while (!todo.empty()) {
+      const PatternNode* n = todo.back();
+      todo.pop_back();
+      if (!n->is_doc_root) all_nodes.push_back(n);
+      for (const auto& c : n->children) todo.push_back(c.get());
+    }
+  }
+
+  // The anchor-path alignment below assumes ancestor edges; patterns
+  // using the following/preceding axes are evaluated by plain top-down
+  // navigation instead (CollectDown handles every axis).
+  for (const PatternNode* n : all_nodes) {
+    if (n->incoming == Axis::kFollowing ||
+        n->incoming == Axis::kPreceding) {
+      return EvaluateTopDown(pattern);
+    }
+  }
+
+  // ---- anchor selection: most selective value constraint, else rarest
+  // tag, anywhere in the pattern tree.
+  const PatternNode* anchor = nullptr;
+  const std::vector<const DomNode*>* candidates = nullptr;
+  size_t best = std::numeric_limits<size_t>::max();
+  static const std::vector<const DomNode*> kEmpty;
+  for (const PatternNode* n : all_nodes) {
+    if (n->predicate.op == ValueOp::kEq) {
+      ++stats_.index_lookups;
+      auto it = by_value_.find(n->predicate.operand);
+      const auto* list = it == by_value_.end() ? &kEmpty : &it->second;
+      if (list->size() < best) {
+        best = list->size();
+        anchor = n;
+        candidates = list;
+      }
+    }
+  }
+  if (anchor == nullptr) {
+    for (const PatternNode* n : all_nodes) {
+      if (n->wildcard) continue;
+      ++stats_.index_lookups;
+      auto it = by_tag_.find(n->tag);
+      const auto* list = it == by_tag_.end() ? &kEmpty : &it->second;
+      if (list->size() < best) {
+        best = list->size();
+        anchor = n;
+        candidates = list;
+      }
+    }
+  }
+  if (anchor == nullptr || candidates == nullptr) {
+    return Status::NotSupported(
+        "navigational baseline needs at least one named step");
+  }
+  stats_.candidates = candidates->size();
+
+  // ---- pattern paths: root -> anchor, root -> returning, and their LCA.
+  auto path_to = [](const PatternNode* n) {
+    std::vector<const PatternNode*> path;
+    for (; n != nullptr; n = n->parent) path.push_back(n);
+    std::reverse(path.begin(), path.end());
+    return path;
+  };
+  const auto anchor_path = path_to(anchor);
+  const auto returning_path = path_to(pattern.returning());
+  size_t lca = 0;
+  while (lca + 1 < anchor_path.size() && lca + 1 < returning_path.size() &&
+         anchor_path[lca + 1] == returning_path[lca + 1]) {
+    ++lca;
+  }
+
+  std::vector<const DomNode*> results;
+  for (const DomNode* candidate : *candidates) {
+    // Subject ancestor chain: [virtual, root, ..., candidate].
+    std::vector<const DomNode*> chain;
+    for (const DomNode* n = candidate; n != nullptr; n = n->parent) {
+      chain.push_back(n);
+    }
+    chain.push_back(nullptr);  // Virtual super-root.
+    std::reverse(chain.begin(), chain.end());
+
+    // Alignment DP: ok[i][j] = anchor_path[i..] maps onto chain[j..] with
+    // chain.back() assigned to the anchor.
+    const size_t pi = anchor_path.size();
+    const size_t sj = chain.size();
+    // node_ok[i][j]: pattern i acceptable at chain j (constraints checked
+    // excluding the path continuation).
+    auto node_ok = [&](size_t i, size_t j) {
+      const PatternNode* p = anchor_path[i];
+      const PatternNode* excl =
+          i + 1 < pi ? anchor_path[i + 1] : nullptr;
+      if (p->is_doc_root) return j == 0;
+      if (j == 0) return false;
+      return MatchDown(p, chain[j], excl);
+    };
+    std::vector<std::vector<char>> ok(pi + 1,
+                                      std::vector<char>(sj + 1, 0));
+    // ok[i][j]: suffix i of the pattern path starts at chain position j.
+    // Fill bottom-up: the last pattern node must sit on the candidate.
+    for (size_t i = pi; i-- > 0;) {
+      for (size_t j = 0; j < sj; ++j) {
+        if (!node_ok(i, j)) continue;
+        if (i == pi - 1) {
+          ok[i][j] = (j == sj - 1);
+          continue;
+        }
+        const Axis axis = anchor_path[i + 1]->incoming;
+        if (axis == Axis::kChild || axis == Axis::kFollowingSibling) {
+          ok[i][j] = j + 1 < sj && ok[i + 1][j + 1];
+        } else {  // kDescendant (kFollowing cannot be an ancestor edge).
+          for (size_t j2 = j + 1; j2 < sj; ++j2) {
+            if (ok[i + 1][j2]) {
+              ok[i][j] = 1;
+              break;
+            }
+          }
+        }
+      }
+    }
+    if (!ok[0][0]) continue;
+
+    // Valid assignments of the LCA node: chain positions j reachable from
+    // the top AND from which the suffix matches.
+    std::vector<std::vector<char>> top(pi, std::vector<char>(sj, 0));
+    top[0][0] = node_ok(0, 0) ? 1 : 0;
+    for (size_t i = 1; i < pi; ++i) {
+      const Axis axis = anchor_path[i]->incoming;
+      for (size_t j = 1; j < sj; ++j) {
+        if (!node_ok(i, j)) continue;
+        if (axis == Axis::kChild || axis == Axis::kFollowingSibling) {
+          top[i][j] = top[i - 1][j - 1];
+        } else {
+          for (size_t j2 = 0; j2 < j; ++j2) {
+            if (top[i - 1][j2]) {
+              top[i][j] = 1;
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    for (size_t j = 0; j < sj; ++j) {
+      if (!(top[lca][j] && ok[lca][j])) continue;
+      if (lca + 1 >= returning_path.size()) {
+        // The returning node is the LCA itself.
+        if (chain[j] != nullptr) results.push_back(chain[j]);
+        continue;
+      }
+      if (chain[j] == nullptr) {
+        // LCA is the virtual root: collect from the document root's
+        // parentless level by treating the virtual node as having the
+        // root as its only child.
+        std::vector<const PatternNode*> rest(
+            returning_path.begin() + static_cast<long>(lca) + 1,
+            returning_path.end());
+        const PatternNode* first = rest[0];
+        auto consider_root = [&](const DomNode* root_node) {
+          if (!MatchDown(first, root_node, nullptr)) return;
+          if (rest.size() == 1) {
+            results.push_back(root_node);
+          } else {
+            CollectDown(rest, 1, root_node, &results);
+          }
+        };
+        if (first->incoming == Axis::kChild) {
+          consider_root(tree_->root());
+        } else {
+          consider_root(tree_->root());
+          AnyDescendant(tree_->root(), [&](const DomNode* d) {
+            consider_root(d);
+            return false;
+          });
+        }
+        continue;
+      }
+      std::vector<const PatternNode*> rest(
+          returning_path.begin() + static_cast<long>(lca) + 1,
+          returning_path.end());
+      // CollectDown expects the path vector indexed from the step after
+      // the context node; reuse it by prepending a dummy.
+      std::vector<const PatternNode*> path_vec;
+      path_vec.push_back(returning_path[lca]);
+      path_vec.insert(path_vec.end(), rest.begin(), rest.end());
+      CollectDown(path_vec, 1, chain[j], &results);
+    }
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const DomNode* a, const DomNode* b) {
+              return a->start < b->start;
+            });
+  results.erase(std::unique(results.begin(), results.end()),
+                results.end());
+  return results;
+}
+
+Result<std::vector<const DomNode*>> NavigationalEngine::EvaluateTopDown(
+    const PatternTree& pattern) {
+  std::vector<const PatternNode*> path;
+  for (const PatternNode* n = pattern.returning(); n != nullptr;
+       n = n->parent) {
+    path.push_back(n);
+  }
+  std::reverse(path.begin(), path.end());
+  // path[0] is the virtual root; path[1] the first real step.
+  std::vector<const DomNode*> results;
+  if (path.size() < 2) return results;
+  const PatternNode* first = path[1];
+  std::vector<const PatternNode*> path_vec(path.begin() + 1, path.end());
+
+  auto consider = [&](const DomNode* candidate) {
+    if (!MatchDown(first, candidate, nullptr)) return;
+    if (path_vec.size() == 1) {
+      results.push_back(candidate);
+    } else {
+      CollectDown(path_vec, 1, candidate, &results);
+    }
+  };
+  switch (first->incoming) {
+    case Axis::kChild:
+    case Axis::kFollowingSibling:
+      consider(tree_->root());
+      break;
+    case Axis::kDescendant:
+      consider(tree_->root());
+      AnyDescendant(tree_->root(), [&](const DomNode* d) {
+        consider(d);
+        return false;
+      });
+      break;
+    case Axis::kFollowing:
+    case Axis::kPreceding:
+      break;  // Nothing follows or precedes the document root.
+  }
+  std::sort(results.begin(), results.end(),
+            [](const DomNode* a, const DomNode* b) {
+              return a->start < b->start;
+            });
+  results.erase(std::unique(results.begin(), results.end()),
+                results.end());
+  return results;
+}
+
+}  // namespace nok

@@ -1,0 +1,83 @@
+// Navigational baseline over an indexed native tree store — the stand-in
+// for X-Hive/DB (closed source) in the Table 3 comparison.
+//
+// Architecture of the class the paper compares against: a native tree
+// store (here an in-memory DOM), tag and value indexes, and navigational
+// evaluation.  The engine anchors the query at its most selective
+// constraint (value-equality first, then rarest tag — the same index
+// surface the paper gave X-Hive), verifies the ancestor path of each
+// anchor candidate with a small alignment DP, existentially checks
+// predicate branches by recursive descent, and collects the returning
+// node's matches by navigating the remaining path.
+
+#ifndef NOKXML_BASELINE_NAVIGATIONAL_ENGINE_H_
+#define NOKXML_BASELINE_NAVIGATIONAL_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "nok/pattern_tree.h"
+#include "xml/dom.h"
+
+namespace nok {
+
+/// Index-assisted navigational evaluator.
+class NavigationalEngine {
+ public:
+  /// Work counters for one evaluation.
+  struct Stats {
+    uint64_t nodes_visited = 0;   ///< DOM nodes touched by navigation.
+    uint64_t index_lookups = 0;
+    uint64_t candidates = 0;      ///< Anchor candidates verified.
+  };
+
+  /// Builds the tag and value indexes over the tree (kept by pointer; the
+  /// tree must outlive the engine).
+  explicit NavigationalEngine(const DomTree* tree);
+
+  /// Evaluates a pattern tree; returns returning-node matches in document
+  /// order.
+  Result<std::vector<const DomNode*>> Evaluate(const PatternTree& pattern);
+
+  const Stats& last_stats() const { return stats_; }
+
+ private:
+  /// Existential check: does `node` match the pattern subtree rooted at
+  /// `pattern` (tag, value, and all predicate branches), ignoring the
+  /// child `exclude` (handled by the caller)?
+  bool MatchDown(const PatternNode* pattern, const DomNode* node,
+                 const PatternNode* exclude);
+
+  /// All matches of the path pattern[step..] starting below `node`
+  /// (pattern[step] related to node by its incoming axis), appended to
+  /// *out.
+  void CollectDown(const std::vector<const PatternNode*>& path, size_t step,
+                   const DomNode* node, std::vector<const DomNode*>* out);
+
+  /// Pure top-down evaluation along the returning path (used when the
+  /// pattern contains following/preceding axes, which the anchor-path
+  /// alignment cannot model).
+  Result<std::vector<const DomNode*>> EvaluateTopDown(
+      const PatternTree& pattern);
+
+  /// Calls fn(descendant) for every proper descendant, short-circuiting
+  /// when fn returns true; returns whether fn ever did.
+  template <typename Fn>
+  bool AnyDescendant(const DomNode* node, Fn&& fn);
+
+  const DomTree* tree_;
+  std::unordered_map<std::string, std::vector<const DomNode*>> by_tag_;
+  std::unordered_map<std::string, std::vector<const DomNode*>> by_value_;
+  std::vector<const DomNode*> doc_order_;  ///< For the following axis.
+  Stats stats_;
+  /// Memo for MatchDown: (pattern id, node) -> verdict.
+  std::map<std::pair<int, const DomNode*>, bool> match_memo_;
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_BASELINE_NAVIGATIONAL_ENGINE_H_

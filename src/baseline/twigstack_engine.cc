@@ -1,0 +1,321 @@
+#include "baseline/twigstack_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace nok {
+
+namespace {
+
+constexpr uint32_t kInf = std::numeric_limits<uint32_t>::max();
+
+/// Flattened twig: pattern nodes in pre-order, minus the virtual root.
+struct TwigNode {
+  const PatternNode* pattern = nullptr;
+  int parent = -1;               ///< Twig index of the parent (-1: root).
+  std::vector<int> children;
+  std::vector<uint32_t> stream;  ///< Filtered doc-order posting list.
+  size_t cursor = 0;             ///< Stream head.
+};
+
+struct StackEntry {
+  uint32_t node;
+  int parent_pos;  ///< Index into the parent's stack at push time.
+};
+
+/// The whole evaluation state.
+struct TwigState {
+  const IntervalDocument* doc;
+  std::vector<TwigNode> twig;
+  std::vector<std::vector<StackEntry>> stacks;
+  TwigStackEngine::Stats* stats;
+
+  // Edge pair sets and per-node assignment sets for the merge phase.
+  // Key: (parent subject node << 32) | child subject node.
+  std::vector<std::unordered_set<uint64_t>> edge_pairs;  // By child index.
+  std::vector<std::unordered_set<uint32_t>> assigned;    // By twig index.
+
+  uint32_t HeadStart(int q) const {
+    const TwigNode& t = twig[static_cast<size_t>(q)];
+    return t.cursor < t.stream.size()
+               ? doc->nodes()[t.stream[t.cursor]].start
+               : kInf;
+  }
+  uint32_t HeadEnd(int q) const {
+    const TwigNode& t = twig[static_cast<size_t>(q)];
+    return t.cursor < t.stream.size()
+               ? doc->nodes()[t.stream[t.cursor]].end
+               : kInf;
+  }
+  bool Exhausted(int q) const {
+    const TwigNode& t = twig[static_cast<size_t>(q)];
+    return t.cursor >= t.stream.size();
+  }
+  void Advance(int q) {
+    ++twig[static_cast<size_t>(q)].cursor;
+    ++stats->stream_elements;
+  }
+};
+
+/// Classic getNext: returns a twig node whose stream head is guaranteed to
+/// either contribute to a solution or be safely skippable.
+int GetNext(TwigState* s, int q) {
+  TwigNode& t = s->twig[static_cast<size_t>(q)];
+  if (t.children.empty()) return q;
+  uint32_t min_start = kInf, max_start = 0;
+  int nmin = -1;
+  for (int child : t.children) {
+    const int ni = GetNext(s, child);
+    if (ni != child) return ni;
+    const uint32_t ls = s->HeadStart(child);
+    if (ls < min_start) {
+      min_start = ls;
+      nmin = child;
+    }
+    if (ls != kInf) max_start = std::max(max_start, ls);
+  }
+  if (nmin < 0) return q;  // All child streams exhausted.
+  while (s->HeadEnd(q) < max_start) s->Advance(q);
+  return s->HeadStart(q) < min_start ? q : nmin;
+}
+
+/// Pops stack entries that cannot be ancestors of anything at or after
+/// `next_start`.
+void CleanStack(TwigState* s, int q, uint32_t next_start) {
+  auto& stack = s->stacks[static_cast<size_t>(q)];
+  while (!stack.empty() &&
+         s->doc->nodes()[stack.back().node].end < next_start) {
+    stack.pop_back();
+  }
+}
+
+/// Emits all root-to-leaf path solutions ending at `entry` of leaf q.
+/// path accumulates (twig index, subject node) leaf-to-root; consecutive
+/// entries are exactly the twig edges of this root-to-leaf path.
+void EmitPaths(TwigState* s, int q, const StackEntry& entry,
+               std::vector<std::pair<int, uint32_t>>* path) {
+  path->emplace_back(q, entry.node);
+  const int parent = s->twig[static_cast<size_t>(q)].parent;
+  if (parent < 0) {
+    // One complete path: post-filter '/' edges, then record edge pairs.
+    ++s->stats->path_solutions;
+    const auto& nodes = s->doc->nodes();
+    bool valid = true;
+    for (size_t i = 0; i + 1 < path->size(); ++i) {
+      const auto [child_q, child_node] = (*path)[i];
+      const auto [parent_q, parent_node] = (*path)[i + 1];
+      (void)parent_q;
+      if (s->twig[static_cast<size_t>(child_q)].pattern->incoming ==
+              Axis::kChild &&
+          nodes[child_node].level != nodes[parent_node].level + 1) {
+        valid = false;  // Parent-child violated: drop the whole path.
+        break;
+      }
+    }
+    if (valid) {
+      for (size_t i = 0; i < path->size(); ++i) {
+        const auto [tq, tn] = (*path)[i];
+        s->assigned[static_cast<size_t>(tq)].insert(tn);
+        if (i + 1 < path->size()) {
+          const auto [pq, pn] = (*path)[i + 1];
+          (void)pq;
+          s->edge_pairs[static_cast<size_t>(tq)].insert(
+              (static_cast<uint64_t>(pn) << 32) | tn);
+        }
+      }
+    }
+    path->pop_back();
+    return;
+  }
+  const auto& parent_stack = s->stacks[static_cast<size_t>(parent)];
+  for (int pos = 0; pos <= entry.parent_pos; ++pos) {
+    EmitPaths(s, parent, parent_stack[static_cast<size_t>(pos)], path);
+  }
+  path->pop_back();
+}
+
+/// Builds the twig from the pattern tree (rejecting unsupported axes).
+Status Flatten(const PatternNode* pattern, int parent,
+               std::vector<TwigNode>* twig) {
+  if (!pattern->sibling_order.empty()) {
+    return Status::NotSupported(
+        "TwigStack baseline does not evaluate following-sibling "
+        "constraints");
+  }
+  if (parent >= 0 && (pattern->incoming == Axis::kFollowing ||
+                      pattern->incoming == Axis::kPreceding)) {
+    return Status::NotSupported(
+        "TwigStack baseline does not evaluate the following/preceding "
+        "axes");
+  }
+  const int index = static_cast<int>(twig->size());
+  twig->emplace_back();
+  (*twig)[static_cast<size_t>(index)].pattern = pattern;
+  (*twig)[static_cast<size_t>(index)].parent = parent;
+  if (parent >= 0) {
+    (*twig)[static_cast<size_t>(parent)].children.push_back(index);
+  }
+  for (const auto& child : pattern->children) {
+    NOK_RETURN_IF_ERROR(Flatten(child.get(), index, twig));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<uint32_t>> TwigStackEngine::Evaluate(
+    const PatternTree& pattern) {
+  stats_ = Stats{};
+  if (pattern.root()->children.size() != 1) {
+    return Status::NotSupported(
+        "TwigStack baseline expects a single step below the document "
+        "root");
+  }
+  const PatternNode* twig_root = pattern.root()->children[0].get();
+  if (twig_root->incoming == Axis::kFollowing ||
+      twig_root->incoming == Axis::kPreceding) {
+    return std::vector<uint32_t>{};  // Nothing follows/precedes the root.
+  }
+
+  TwigState state;
+  state.doc = doc_;
+  state.stats = &stats_;
+  NOK_RETURN_IF_ERROR(Flatten(twig_root, -1, &state.twig));
+  const size_t m = state.twig.size();
+  state.stacks.resize(m);
+  state.edge_pairs.resize(m);
+  state.assigned.resize(m);
+
+  // Build the filtered streams.
+  for (TwigNode& t : state.twig) {
+    const PatternNode* p = t.pattern;
+    std::vector<uint32_t> stream;
+    if (p->predicate.op == ValueOp::kEq) {
+      // Value-index assisted stream (the value B+ tree of Section 6.2).
+      stream = doc_->NodesWithValue(p->predicate.operand);
+      if (!p->wildcard) {
+        auto tag = doc_->tags().Lookup(p->tag);
+        if (!tag.has_value()) {
+          stream.clear();
+        } else {
+          std::erase_if(stream, [&](uint32_t n) {
+            return doc_->nodes()[n].tag != *tag;
+          });
+        }
+      }
+      std::sort(stream.begin(), stream.end());
+    } else if (p->wildcard) {
+      stream.resize(doc_->nodes().size());
+      for (uint32_t i = 0; i < stream.size(); ++i) stream[i] = i;
+    } else {
+      auto tag = doc_->tags().Lookup(p->tag);
+      if (tag.has_value()) stream = doc_->NodesWithTag(*tag);
+    }
+    if (p->predicate.active() && p->predicate.op != ValueOp::kEq) {
+      std::erase_if(stream, [&](uint32_t n) {
+        return doc_->nodes()[n].value_id < 0 ||
+               !EvalValuePredicate(p->predicate, doc_->ValueOfNode(n));
+      });
+    }
+    if (t.parent < 0 && p->incoming == Axis::kChild) {
+      // Child of the document root: level must be 1.
+      std::erase_if(stream, [&](uint32_t n) {
+        return doc_->nodes()[n].level != 1;
+      });
+    }
+    t.stream = std::move(stream);
+  }
+
+  // Main TwigStack loop.
+  auto all_leaf_streams_done = [&]() {
+    for (const TwigNode& t : state.twig) {
+      if (t.children.empty() && t.cursor < t.stream.size()) return false;
+    }
+    return true;
+  };
+
+  std::vector<std::pair<int, uint32_t>> path;
+  while (!all_leaf_streams_done()) {
+    const int q = GetNext(&state, 0);
+    if (state.Exhausted(q)) break;  // No further solutions possible.
+    const TwigNode& t = state.twig[static_cast<size_t>(q)];
+    if (t.parent >= 0) {
+      CleanStack(&state, t.parent, state.HeadStart(q));
+    }
+    if (t.parent < 0 ||
+        !state.stacks[static_cast<size_t>(t.parent)].empty()) {
+      CleanStack(&state, q, state.HeadStart(q));
+      const int parent_pos =
+          t.parent < 0
+              ? -1
+              : static_cast<int>(
+                    state.stacks[static_cast<size_t>(t.parent)].size()) -
+                    1;
+      state.stacks[static_cast<size_t>(q)].push_back(
+          StackEntry{t.stream[t.cursor], parent_pos});
+      ++stats_.stack_pushes;
+      state.Advance(q);
+      if (t.children.empty()) {
+        EmitPaths(&state, q,
+                  state.stacks[static_cast<size_t>(q)].back(), &path);
+        state.stacks[static_cast<size_t>(q)].pop_back();
+      }
+    } else {
+      state.Advance(q);
+    }
+  }
+
+  // Acyclic semi-join reduction over the twig edges.
+  // Bottom-up: drop parent assignments with no support in some child.
+  for (size_t q = m; q-- > 0;) {
+    for (int child : state.twig[q].children) {
+      std::unordered_set<uint32_t> supported;
+      for (uint64_t pair : state.edge_pairs[static_cast<size_t>(child)]) {
+        const uint32_t parent_node = static_cast<uint32_t>(pair >> 32);
+        const uint32_t child_node = static_cast<uint32_t>(pair);
+        if (state.assigned[static_cast<size_t>(child)].count(child_node)) {
+          supported.insert(parent_node);
+        }
+      }
+      std::erase_if(state.assigned[q], [&](uint32_t n) {
+        return supported.count(n) == 0;
+      });
+    }
+  }
+  // Top-down: keep child assignments reachable from surviving parents.
+  for (size_t q = 1; q < m; ++q) {
+    const int parent = state.twig[q].parent;
+    std::unordered_set<uint32_t> reachable;
+    for (uint64_t pair : state.edge_pairs[q]) {
+      const uint32_t parent_node = static_cast<uint32_t>(pair >> 32);
+      const uint32_t child_node = static_cast<uint32_t>(pair);
+      if (state.assigned[static_cast<size_t>(parent)].count(parent_node)) {
+        reachable.insert(child_node);
+      }
+    }
+    std::erase_if(state.assigned[q], [&](uint32_t n) {
+      return reachable.count(n) == 0;
+    });
+  }
+
+  // Project the returning node.
+  int returning_index = -1;
+  for (size_t q = 0; q < m; ++q) {
+    if (state.twig[q].pattern->is_returning) {
+      returning_index = static_cast<int>(q);
+      break;
+    }
+  }
+  NOK_CHECK(returning_index >= 0);
+  std::vector<uint32_t> out(
+      state.assigned[static_cast<size_t>(returning_index)].begin(),
+      state.assigned[static_cast<size_t>(returning_index)].end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace nok

@@ -1,0 +1,51 @@
+// TwigStack baseline: holistic twig joins (Bruno, Koudas, Srivastava,
+// SIGMOD 2002 — the paper's second comparison system).
+//
+// Implementation follows the paper's experimental setup (Section 6.2):
+// one document-order input stream per twig node (the per-tag posting
+// lists), a value filter standing in for the value B+ tree they built,
+// chained stacks with parent pointers, the recursive getNext head
+// selection, root-to-leaf path solutions, and a final merge.  The merge
+// is done as an acyclic semi-join reduction over the twig edges (the
+// query projects a single returning node, so path solutions decompose
+// exactly).  Parent-child edges are post-filtered on emission — the known
+// TwigStack suboptimality for '/' edges is therefore preserved.
+
+#ifndef NOKXML_BASELINE_TWIGSTACK_ENGINE_H_
+#define NOKXML_BASELINE_TWIGSTACK_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/interval_encoding.h"
+#include "common/result.h"
+#include "nok/pattern_tree.h"
+
+namespace nok {
+
+/// Holistic twig-join evaluator.
+class TwigStackEngine {
+ public:
+  /// Work counters for one evaluation.
+  struct Stats {
+    uint64_t stream_elements = 0;  ///< Stream entries consumed.
+    uint64_t path_solutions = 0;   ///< Root-to-leaf paths emitted.
+    uint64_t stack_pushes = 0;
+  };
+
+  explicit TwigStackEngine(const IntervalDocument* doc) : doc_(doc) {}
+
+  /// Evaluates a pattern tree; returns document-order node indexes
+  /// matching the returning node.
+  Result<std::vector<uint32_t>> Evaluate(const PatternTree& pattern);
+
+  const Stats& last_stats() const { return stats_; }
+
+ private:
+  const IntervalDocument* doc_;
+  Stats stats_;
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_BASELINE_TWIGSTACK_ENGINE_H_

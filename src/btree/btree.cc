@@ -1,0 +1,326 @@
+#include "btree/btree.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace nok {
+
+namespace {
+constexpr uint64_t kMagic = 0x4e4f4b42545245ull;  // "NOKBTRE"
+constexpr PageId kMetaPage = 0;
+}  // namespace
+
+BTree::BTree(std::unique_ptr<File> file, Options options)
+    : options_(options) {
+  pager_ = std::make_unique<Pager>(std::move(file), options.page_size);
+  pool_ = std::make_unique<BufferPool>(pager_.get(), options.pool_frames);
+}
+
+Result<std::unique_ptr<BTree>> BTree::Open(std::unique_ptr<File> file,
+                                           Options options) {
+  const bool fresh = file->Size() == 0;
+  std::unique_ptr<BTree> tree(new BTree(std::move(file), options));
+  if (fresh) {
+    NOK_RETURN_IF_ERROR(tree->InitNew());
+  } else {
+    NOK_RETURN_IF_ERROR(tree->LoadMeta());
+  }
+  return tree;
+}
+
+BTree::~BTree() {
+  Status s = Flush();
+  if (!s.ok()) {
+    NOK_LOG(Error) << "BTree flush on destruction failed: " << s.ToString();
+  }
+}
+
+Status BTree::InitNew() {
+  PageId meta_id = kInvalidPage, root_id = kInvalidPage;
+  NOK_RETURN_IF_ERROR(pager_->AllocatePage(&meta_id));
+  NOK_CHECK(meta_id == kMetaPage);
+  NOK_RETURN_IF_ERROR(pager_->AllocatePage(&root_id));
+  root_ = root_id;
+  {
+    NOK_ASSIGN_OR_RETURN(auto handle, pool_->Fetch(root_id));
+    NodeRef node(handle.mutable_data(), options_.page_size);
+    node.Init(NodeType::kLeaf);
+    handle.MarkDirty();
+  }
+  num_entries_ = 0;
+  meta_dirty_ = true;
+  return WriteMeta();
+}
+
+Status BTree::LoadMeta() {
+  NOK_ASSIGN_OR_RETURN(auto handle, pool_->Fetch(kMetaPage));
+  const char* p = handle.data();
+  if (DecodeFixed64(p) != kMagic) {
+    return Status::Corruption("bad btree magic");
+  }
+  root_ = DecodeFixed32(p + 8);
+  num_entries_ = DecodeFixed64(p + 12);
+  return Status::OK();
+}
+
+Status BTree::WriteMeta() {
+  NOK_ASSIGN_OR_RETURN(auto handle, pool_->Fetch(kMetaPage));
+  char* p = handle.mutable_data();
+  memset(p, 0, options_.page_size);
+  EncodeFixed64(p, kMagic);
+  EncodeFixed32(p + 8, root_);
+  EncodeFixed64(p + 12, num_entries_);
+  handle.MarkDirty();
+  meta_dirty_ = false;
+  return Status::OK();
+}
+
+Status BTree::Flush() {
+  if (meta_dirty_) {
+    NOK_RETURN_IF_ERROR(WriteMeta());
+  }
+  NOK_RETURN_IF_ERROR(pool_->FlushAll());
+  return pager_->Sync();
+}
+
+Status BTree::Insert(const Slice& key, const Slice& value) {
+  if (NodeRef::LeafCellSize(key, value) > options_.page_size / 4) {
+    return Status::InvalidArgument("entry too large for page size");
+  }
+  NOK_ASSIGN_OR_RETURN(auto promo, InsertRec(root_, key, value));
+  if (promo.has_value()) {
+    // Root split: grow the tree by one level.
+    PageId new_root = kInvalidPage;
+    NOK_RETURN_IF_ERROR(pager_->AllocatePage(&new_root));
+    NOK_ASSIGN_OR_RETURN(auto handle, pool_->Fetch(new_root));
+    NodeRef node(handle.mutable_data(), options_.page_size);
+    node.Init(NodeType::kInternal);
+    node.set_leftmost_child(root_);
+    node.InsertInternalCell(0, Slice(promo->key), promo->page);
+    handle.MarkDirty();
+    root_ = new_root;
+  }
+  ++num_entries_;
+  meta_dirty_ = true;
+  return Status::OK();
+}
+
+Result<std::optional<BTree::Promotion>> BTree::InsertRec(
+    PageId page, const Slice& key, const Slice& value) {
+  NOK_ASSIGN_OR_RETURN(auto handle, pool_->Fetch(page));
+  NodeRef node(handle.mutable_data(), options_.page_size);
+
+  if (node.is_leaf()) {
+    const uint16_t pos = node.UpperBound(key);
+    const uint32_t need = NodeRef::LeafCellSize(key, value);
+    if (node.FreeSpaceAfterCompact() >= need) {
+      node.InsertLeafCell(pos, key, value);
+      handle.MarkDirty();
+      return std::optional<Promotion>();
+    }
+    // Split the leaf: move the byte-wise upper half to a new right node.
+    PageId right_id = kInvalidPage;
+    NOK_RETURN_IF_ERROR(pager_->AllocatePage(&right_id));
+    NOK_ASSIGN_OR_RETURN(auto right_handle, pool_->Fetch(right_id));
+    NodeRef right(right_handle.mutable_data(), options_.page_size);
+    right.Init(NodeType::kLeaf);
+
+    const uint16_t n = node.nkeys();
+    // Choose the split index so the left half holds ~half of the bytes.
+    uint32_t total = node.UsedBytes();
+    uint32_t acc = 0;
+    uint16_t split = n;
+    for (uint16_t i = 0; i < n; ++i) {
+      acc += NodeRef::LeafCellSize(node.KeyAt(i), node.ValueAt(i));
+      if (acc >= total / 2) {
+        split = static_cast<uint16_t>(i + 1);
+        break;
+      }
+    }
+    if (split >= n) split = static_cast<uint16_t>(n - 1);
+    if (split == 0) split = 1;
+
+    for (uint16_t i = split; i < n; ++i) {
+      right.InsertLeafCell(static_cast<uint16_t>(i - split), node.KeyAt(i),
+                           node.ValueAt(i));
+    }
+    for (uint16_t i = n; i > split; --i) {
+      node.RemoveCell(static_cast<uint16_t>(i - 1));
+    }
+    right.set_right_sibling(node.right_sibling());
+    node.set_right_sibling(right_id);
+
+    std::string separator = right.KeyAt(0).ToString();
+    // Insert the pending entry on the side its position falls in; ties go
+    // left, consistent with the descent rule.
+    if (pos <= split) {
+      node.InsertLeafCell(pos, key, value);
+    } else {
+      right.InsertLeafCell(static_cast<uint16_t>(pos - split), key, value);
+    }
+    handle.MarkDirty();
+    right_handle.MarkDirty();
+    return std::optional<Promotion>(Promotion{std::move(separator),
+                                              right_id});
+  }
+
+  // Internal node: descend left on separator equality.
+  const uint16_t j = node.LowerBound(key);
+  const PageId child = (j == 0) ? node.leftmost_child()
+                                : node.ChildAt(static_cast<uint16_t>(j - 1));
+  NOK_ASSIGN_OR_RETURN(auto child_promo, InsertRec(child, key, value));
+  if (!child_promo.has_value()) return std::optional<Promotion>();
+
+  // The split child's new right sibling becomes child j (slot position j).
+  const Slice promo_key(child_promo->key);
+  const uint32_t need = NodeRef::InternalCellSize(promo_key);
+  if (node.FreeSpaceAfterCompact() >= need) {
+    node.InsertInternalCell(j, promo_key, child_promo->page);
+    handle.MarkDirty();
+    return std::optional<Promotion>();
+  }
+
+  // Split this internal node around the middle separator, which moves up.
+  PageId right_id = kInvalidPage;
+  NOK_RETURN_IF_ERROR(pager_->AllocatePage(&right_id));
+  NOK_ASSIGN_OR_RETURN(auto right_handle, pool_->Fetch(right_id));
+  NodeRef right(right_handle.mutable_data(), options_.page_size);
+  right.Init(NodeType::kInternal);
+
+  const uint16_t n = node.nkeys();
+  const uint16_t mid = static_cast<uint16_t>(n / 2);
+  std::string up_key = node.KeyAt(mid).ToString();
+  right.set_leftmost_child(node.ChildAt(mid));
+  for (uint16_t i = static_cast<uint16_t>(mid + 1); i < n; ++i) {
+    right.InsertInternalCell(static_cast<uint16_t>(i - mid - 1),
+                             node.KeyAt(i), node.ChildAt(i));
+  }
+  for (uint16_t i = n; i > mid; --i) {
+    node.RemoveCell(static_cast<uint16_t>(i - 1));
+  }
+
+  if (j <= mid) {
+    node.InsertInternalCell(j, promo_key, child_promo->page);
+  } else {
+    right.InsertInternalCell(static_cast<uint16_t>(j - mid - 1), promo_key,
+                             child_promo->page);
+  }
+  handle.MarkDirty();
+  right_handle.MarkDirty();
+  return std::optional<Promotion>(Promotion{std::move(up_key), right_id});
+}
+
+Result<PageHandle> BTree::DescendToLeaf(const Slice& key) {
+  PageId page = root_;
+  for (;;) {
+    NOK_ASSIGN_OR_RETURN(auto handle, pool_->Fetch(page));
+    NodeRef node(handle.mutable_data(), options_.page_size);
+    if (node.is_leaf()) return handle;
+    const uint16_t j = node.LowerBound(key);
+    page = (j == 0) ? node.leftmost_child()
+                    : node.ChildAt(static_cast<uint16_t>(j - 1));
+  }
+}
+
+Result<PageHandle> BTree::LeftmostLeaf() {
+  PageId page = root_;
+  for (;;) {
+    NOK_ASSIGN_OR_RETURN(auto handle, pool_->Fetch(page));
+    NodeRef node(handle.mutable_data(), options_.page_size);
+    if (node.is_leaf()) return handle;
+    page = node.leftmost_child();
+  }
+}
+
+Result<std::string> BTree::Get(const Slice& key) {
+  BTreeIterator it = NewIterator();
+  NOK_RETURN_IF_ERROR(it.Seek(key));
+  if (it.Valid() && it.key() == key) {
+    return it.value().ToString();
+  }
+  return Status::NotFound("key not found");
+}
+
+Result<bool> BTree::Delete(const Slice& key) {
+  BTreeIterator it = NewIterator();
+  NOK_RETURN_IF_ERROR(it.Seek(key));
+  if (!it.Valid() || it.key() != key) return false;
+  NodeRef node(it.leaf_.mutable_data(), options_.page_size);
+  node.RemoveCell(it.slot_);
+  it.leaf_.MarkDirty();
+  --num_entries_;
+  meta_dirty_ = true;
+  return true;
+}
+
+Result<bool> BTree::DeleteExact(const Slice& key, const Slice& value) {
+  BTreeIterator it = NewIterator();
+  NOK_RETURN_IF_ERROR(it.Seek(key));
+  while (it.Valid() && it.key() == key) {
+    if (it.value() == value) {
+      NodeRef node(it.leaf_.mutable_data(), options_.page_size);
+      node.RemoveCell(it.slot_);
+      it.leaf_.MarkDirty();
+      --num_entries_;
+      meta_dirty_ = true;
+      return true;
+    }
+    NOK_RETURN_IF_ERROR(it.Next());
+  }
+  return false;
+}
+
+BTreeIterator BTree::NewIterator() { return BTreeIterator(this); }
+
+Status BTreeIterator::SeekToFirst() {
+  NOK_ASSIGN_OR_RETURN(leaf_, tree_->LeftmostLeaf());
+  slot_ = 0;
+  leaf_nkeys_ = NodeRef(leaf_.mutable_data(), tree_->options_.page_size)
+                    .nkeys();
+  return SkipEmptyLeaves();
+}
+
+Status BTreeIterator::Seek(const Slice& target) {
+  NOK_ASSIGN_OR_RETURN(leaf_, tree_->DescendToLeaf(target));
+  NodeRef node(leaf_.mutable_data(), tree_->options_.page_size);
+  slot_ = node.LowerBound(target);
+  leaf_nkeys_ = node.nkeys();
+  return SkipEmptyLeaves();
+}
+
+Status BTreeIterator::Next() {
+  NOK_CHECK(Valid());
+  ++slot_;
+  return SkipEmptyLeaves();
+}
+
+Status BTreeIterator::SkipEmptyLeaves() {
+  while (leaf_.valid() && slot_ >= leaf_nkeys_) {
+    NodeRef node(leaf_.mutable_data(), tree_->options_.page_size);
+    const PageId next = node.right_sibling();
+    leaf_.Release();
+    if (next == kInvalidPage) return Status::OK();  // End: invalid.
+    NOK_ASSIGN_OR_RETURN(leaf_, tree_->pool_->Fetch(next));
+    NodeRef next_node(leaf_.mutable_data(), tree_->options_.page_size);
+    slot_ = 0;
+    leaf_nkeys_ = next_node.nkeys();
+  }
+  return Status::OK();
+}
+
+Slice BTreeIterator::key() const {
+  NOK_CHECK(Valid());
+  NodeRef node(const_cast<char*>(leaf_.data()), tree_->options_.page_size);
+  return node.KeyAt(slot_);
+}
+
+Slice BTreeIterator::value() const {
+  NOK_CHECK(Valid());
+  NodeRef node(const_cast<char*>(leaf_.data()), tree_->options_.page_size);
+  return node.ValueAt(slot_);
+}
+
+}  // namespace nok

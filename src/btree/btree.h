@@ -1,0 +1,154 @@
+// Disk-backed B+ tree with variable-length keys and values.
+//
+// This is the index substrate of the paper (Section 4.1, Figure 3): the
+// tag-name index B+t, the hashed-value index B+v and the Dewey-ID index
+// B+i are all instances of this tree with different key encodings.
+//
+// Properties:
+//   * duplicate keys are allowed (B+v maps one hash to many Dewey IDs);
+//     duplicates are stored contiguously in key order and enumerated with
+//     an iterator;
+//   * keys compare byte-wise, so callers use order-preserving encodings
+//     (big-endian integers, Dewey component vectors);
+//   * deletion removes entries without structural rebalancing — the
+//     workload this library targets builds indexes in bulk and rebuilds
+//     them after heavy updates (Section 4.1 of the paper makes the same
+//     call for the Dewey index);
+//   * all page access goes through a BufferPool, so index I/O shows up in
+//     the experiment counters.
+
+#ifndef NOKXML_BTREE_BTREE_H_
+#define NOKXML_BTREE_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "btree/node.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/file.h"
+#include "storage/pager.h"
+
+namespace nok {
+
+class BTreeIterator;
+
+/// Tuning knobs for a BTree.
+struct BTreeOptions {
+  uint32_t page_size = kDefaultPageSize;
+  size_t pool_frames = 64;
+};
+
+/// A single B+ tree persisted in one file.
+class BTree {
+ public:
+  using Options = BTreeOptions;
+
+  /// Opens the tree stored in file, or formats a new one if the file is
+  /// empty.  Takes ownership of the file.
+  static Result<std::unique_ptr<BTree>> Open(std::unique_ptr<File> file,
+                                             Options options = {});
+
+  ~BTree();
+
+  /// Inserts (key, value).  Duplicate keys are allowed; entries with equal
+  /// keys are adjacent in iteration order.  The combined entry must fit in
+  /// a quarter page.
+  Status Insert(const Slice& key, const Slice& value);
+
+  /// Returns the value of the first entry with exactly this key.
+  Result<std::string> Get(const Slice& key);
+
+  /// Removes the first entry with exactly this key; returns whether an
+  /// entry was removed.
+  Result<bool> Delete(const Slice& key);
+
+  /// Removes the first entry matching both key and value.
+  Result<bool> DeleteExact(const Slice& key, const Slice& value);
+
+  /// Number of live entries.
+  uint64_t num_entries() const { return num_entries_; }
+
+  /// On-disk footprint in bytes (what Table 1 reports as |B+x|).
+  uint64_t SizeBytes() const { return pager_->SizeBytes(); }
+
+  /// Writes back dirty pages and the meta page.
+  Status Flush();
+
+  /// New iterator over the tree.  The iterator pins one leaf at a time;
+  /// at most a handful may be live at once (bounded by pool frames).
+  BTreeIterator NewIterator();
+
+  BufferPool* buffer_pool() { return pool_.get(); }
+
+ private:
+  friend class BTreeIterator;
+
+  BTree(std::unique_ptr<File> file, Options options);
+
+  Status InitNew();
+  Status LoadMeta();
+  Status WriteMeta();
+
+  struct Promotion {
+    std::string key;
+    PageId page;
+  };
+
+  /// Recursive insert; returns a separator promotion if the node split.
+  Result<std::optional<Promotion>> InsertRec(PageId page, const Slice& key,
+                                             const Slice& value);
+
+  /// Descends to the leaf that contains the lower bound of key; returns a
+  /// pinned handle.  (Go left on separator equality: with duplicates the
+  /// first occurrence can only be in that child or further right via the
+  /// sibling chain.)
+  Result<PageHandle> DescendToLeaf(const Slice& key);
+  Result<PageHandle> LeftmostLeaf();
+
+  Options options_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  PageId root_ = kInvalidPage;
+  uint64_t num_entries_ = 0;
+  bool meta_dirty_ = false;
+};
+
+/// Forward iterator over (key, value) entries in key order.
+class BTreeIterator {
+ public:
+  /// Positions at the first entry; the iterator is invalid if the tree is
+  /// empty.
+  Status SeekToFirst();
+
+  /// Positions at the first entry with key >= target.
+  Status Seek(const Slice& target);
+
+  bool Valid() const { return leaf_.valid() && slot_ < leaf_nkeys_; }
+
+  /// Advances; invalid after the last entry.
+  Status Next();
+
+  /// Current key/value; views are valid until the next Seek/Next call.
+  Slice key() const;
+  Slice value() const;
+
+ private:
+  friend class BTree;
+  explicit BTreeIterator(BTree* tree) : tree_(tree) {}
+
+  /// Skips empty leaves (left behind by deletes) until a live entry.
+  Status SkipEmptyLeaves();
+
+  BTree* tree_;
+  PageHandle leaf_;
+  uint16_t slot_ = 0;
+  uint16_t leaf_nkeys_ = 0;
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_BTREE_BTREE_H_

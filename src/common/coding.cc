@@ -1,0 +1,193 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace nok {
+
+void EncodeFixed16(char* dst, uint16_t value) {
+  memcpy(dst, &value, sizeof(value));  // Little-endian host assumed (x86/ARM).
+}
+void EncodeFixed32(char* dst, uint32_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+void EncodeFixed64(char* dst, uint64_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+uint16_t DecodeFixed16(const char* src) {
+  uint16_t v;
+  memcpy(&v, src, sizeof(v));
+  return v;
+}
+uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  memcpy(&v, src, sizeof(v));
+  return v;
+}
+uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+void PutFixed16(std::string* dst, uint16_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed16(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed32(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed64(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+void EncodeBigEndian16(char* dst, uint16_t value) {
+  dst[0] = static_cast<char>(value >> 8);
+  dst[1] = static_cast<char>(value);
+}
+void EncodeBigEndian32(char* dst, uint32_t value) {
+  dst[0] = static_cast<char>(value >> 24);
+  dst[1] = static_cast<char>(value >> 16);
+  dst[2] = static_cast<char>(value >> 8);
+  dst[3] = static_cast<char>(value);
+}
+void EncodeBigEndian64(char* dst, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    dst[i] = static_cast<char>(value >> (56 - 8 * i));
+  }
+}
+uint16_t DecodeBigEndian16(const char* src) {
+  const auto* p = reinterpret_cast<const unsigned char*>(src);
+  return static_cast<uint16_t>((p[0] << 8) | p[1]);
+}
+uint32_t DecodeBigEndian32(const char* src) {
+  const auto* p = reinterpret_cast<const unsigned char*>(src);
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+uint64_t DecodeBigEndian64(const char* src) {
+  const auto* p = reinterpret_cast<const unsigned char*>(src);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+void PutBigEndian16(std::string* dst, uint16_t value) {
+  char buf[2];
+  EncodeBigEndian16(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+void PutBigEndian32(std::string* dst, uint32_t value) {
+  char buf[4];
+  EncodeBigEndian32(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+void PutBigEndian64(std::string* dst, uint64_t value) {
+  char buf[8];
+  EncodeBigEndian64(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  char buf[5];
+  char* p = buf;
+  while (value >= 0x80) {
+    *p++ = static_cast<char>(value | 0x80);
+    value >>= 7;
+  }
+  *p++ = static_cast<char>(value);
+  dst->append(buf, static_cast<size_t>(p - buf));
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  char buf[10];
+  char* p = buf;
+  while (value >= 0x80) {
+    *p++ = static_cast<char>(value | 0x80);
+    value >>= 7;
+  }
+  *p++ = static_cast<char>(value);
+  dst->append(buf, static_cast<size_t>(p - buf));
+}
+
+const char* GetVarint32Ptr(const char* p, const char* limit,
+                           uint32_t* value) {
+  uint32_t result = 0;
+  for (uint32_t shift = 0; shift <= 28 && p < limit; shift += 7) {
+    uint32_t byte = static_cast<unsigned char>(*p++);
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+const char* GetVarint64Ptr(const char* p, const char* limit,
+                           uint64_t* value) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(*p++);
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  const char* q = GetVarint32Ptr(p, limit, value);
+  if (q == nullptr) return false;
+  *input = Slice(q, static_cast<size_t>(limit - q));
+  return true;
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  const char* q = GetVarint64Ptr(p, limit, value);
+  if (q == nullptr) return false;
+  *input = Slice(q, static_cast<size_t>(limit - q));
+  return true;
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+bool GetLengthPrefixedSlice(Slice* input, Slice* result) {
+  uint32_t len = 0;
+  Slice copy = *input;
+  if (!GetVarint32(&copy, &len)) return false;
+  if (copy.size() < len) return false;
+  *result = Slice(copy.data(), len);
+  copy.RemovePrefix(len);
+  *input = copy;
+  return true;
+}
+
+}  // namespace nok

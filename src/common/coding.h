@@ -1,0 +1,76 @@
+// Binary coding primitives: fixed-width little-endian integers, LEB128
+// varints, big-endian order-preserving integers, and length-prefixed
+// slices.  These are the building blocks of every on-disk format in the
+// library (B+ tree pages, the value data file, Dewey keys).
+
+#ifndef NOKXML_COMMON_CODING_H_
+#define NOKXML_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace nok {
+
+// ---------------------------------------------------------------------------
+// Fixed-width little-endian (native storage integers).
+
+void EncodeFixed16(char* dst, uint16_t value);
+void EncodeFixed32(char* dst, uint32_t value);
+void EncodeFixed64(char* dst, uint64_t value);
+uint16_t DecodeFixed16(const char* src);
+uint32_t DecodeFixed32(const char* src);
+uint64_t DecodeFixed64(const char* src);
+
+void PutFixed16(std::string* dst, uint16_t value);
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+// ---------------------------------------------------------------------------
+// Big-endian (order-preserving: byte-wise comparison of the encodings is
+// numeric comparison of the values).  Used for B+ tree keys.
+
+void EncodeBigEndian16(char* dst, uint16_t value);
+void EncodeBigEndian32(char* dst, uint32_t value);
+void EncodeBigEndian64(char* dst, uint64_t value);
+uint16_t DecodeBigEndian16(const char* src);
+uint32_t DecodeBigEndian32(const char* src);
+uint64_t DecodeBigEndian64(const char* src);
+
+void PutBigEndian16(std::string* dst, uint16_t value);
+void PutBigEndian32(std::string* dst, uint32_t value);
+void PutBigEndian64(std::string* dst, uint64_t value);
+
+// ---------------------------------------------------------------------------
+// LEB128 varints.
+
+/// Appends value as a varint (1..5 bytes).
+void PutVarint32(std::string* dst, uint32_t value);
+/// Appends value as a varint (1..10 bytes).
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Parses a varint from [p, limit); returns the byte after the varint, or
+/// nullptr on malformed/truncated input.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+/// Consumes a varint from the front of *input.  Returns false on malformed
+/// input (in which case *input is unchanged).
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Number of bytes PutVarint64 would append for value.
+int VarintLength(uint64_t value);
+
+// ---------------------------------------------------------------------------
+// Length-prefixed slices (varint32 length + bytes).
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+/// Consumes a length-prefixed slice from the front of *input; *result views
+/// into the original buffer.  Returns false on malformed input.
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+}  // namespace nok
+
+#endif  // NOKXML_COMMON_CODING_H_

@@ -1,0 +1,25 @@
+#include "common/hash.h"
+
+namespace nok {
+
+uint64_t Hash64(const Slice& data) {
+  // FNV-1a 64-bit.
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < data.size(); ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint32_t Hash32(const Slice& data) {
+  // FNV-1a 32-bit.
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < data.size(); ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace nok

@@ -1,0 +1,26 @@
+// String hashing for the value index (B+v of the paper, Fig. 3).
+//
+// The paper keys the value B+ tree by a *hash* of the element content so
+// that variable-length strings compare as fixed integers; collisions are
+// resolved by consulting the data file (Section 4.1).  Hash64 is the hash
+// used for that index.
+
+#ifndef NOKXML_COMMON_HASH_H_
+#define NOKXML_COMMON_HASH_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace nok {
+
+/// 64-bit FNV-1a over the bytes of data.  Stable across platforms and
+/// process runs (it is persisted in index files).
+uint64_t Hash64(const Slice& data);
+
+/// 32-bit variant (used for in-memory hash tables only).
+uint32_t Hash32(const Slice& data);
+
+}  // namespace nok
+
+#endif  // NOKXML_COMMON_HASH_H_

@@ -1,0 +1,69 @@
+// Minimal leveled logging and check macros.
+//
+// NOK_CHECK is for programming-error invariants (aborts); recoverable
+// conditions must use Status instead.
+
+#ifndef NOKXML_COMMON_LOGGING_H_
+#define NOKXML_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace nok {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.  Default kWarn so
+/// library code is silent in normal operation.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style message collector that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Aborts the process after printing the accumulated message.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace nok
+
+#define NOK_LOG(level)                                               \
+  ::nok::internal::LogMessage(::nok::LogLevel::k##level, __FILE__, \
+                              __LINE__)
+
+#define NOK_CHECK(condition)                                        \
+  if (!(condition))                                                 \
+  ::nok::internal::FatalMessage(__FILE__, __LINE__, #condition)
+
+#define NOK_DCHECK(condition) NOK_CHECK(condition)
+
+#endif  // NOKXML_COMMON_LOGGING_H_

@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation for data generators and
+// property tests.  A fixed algorithm (xorshift128+) rather than std::mt19937
+// so that generated datasets are bit-identical across standard libraries.
+
+#ifndef NOKXML_COMMON_RANDOM_H_
+#define NOKXML_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nok {
+
+/// xorshift128+ generator; fast, deterministic, seedable.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 to expand the seed into two non-zero state words.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 0x9e3779b97f4a7c15ull;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform value in [0, n); n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform value in [lo, hi] inclusive; requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0) return false;
+    if (p >= 1) return true;
+    return static_cast<double>(Next() >> 11) *
+               (1.0 / 9007199254740992.0) < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Random lowercase ASCII string of the given length.
+  std::string NextString(size_t length) {
+    std::string s(length, 'a');
+    for (size_t i = 0; i < length; ++i) {
+      s[i] = static_cast<char>('a' + Uniform(26));
+    }
+    return s;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_COMMON_RANDOM_H_

@@ -1,0 +1,73 @@
+// Result<T>: a Status or a value of type T, never both.
+//
+// The value-or-error return type used throughout the library (the Arrow
+// arrow::Result idiom).  A default-constructed Result is an Internal error;
+// construct from either a T or a non-OK Status.
+
+#ifndef NOKXML_COMMON_RESULT_H_
+#define NOKXML_COMMON_RESULT_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace nok {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent.
+template <typename T>
+class Result {
+ public:
+  /// Error result; aborts (via assert) if the status is OK, because an OK
+  /// Result must carry a value.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok());
+  }
+
+  /// Value result.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : rep_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error status, or OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// The held value; undefined behaviour unless ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  /// Alias for ValueOrDie, mirroring std::expected/absl::StatusOr.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_COMMON_RESULT_H_

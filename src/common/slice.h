@@ -1,0 +1,83 @@
+// Slice: a non-owning view over a byte range, with byte-wise comparison.
+//
+// The RocksDB-style counterpart of std::string_view used for keys and
+// values in the storage layer; kept as its own type so storage code reads
+// idiomatically and so we can add debug checks in one place.
+
+#ifndef NOKXML_COMMON_SLICE_H_
+#define NOKXML_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace nok {
+
+/// Non-owning pointer+length view over bytes.  The referenced storage must
+/// outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* d, size_t n) : data_(d), size_(n) {}
+  Slice(const std::string& s)  // NOLINT(google-explicit-constructor)
+      : data_(s.data()), size_(s.size()) {}
+  Slice(std::string_view s)  // NOLINT(google-explicit-constructor)
+      : data_(s.data()), size_(s.size()) {}
+  Slice(const char* s)  // NOLINT(google-explicit-constructor)
+      : data_(s), size_(strlen(s)) {}
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t n) const {
+    assert(n < size_);
+    return data_[n];
+  }
+
+  /// Drops the first n bytes from the view.
+  void RemovePrefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToStringView() const {
+    return std::string_view(data_, size_);
+  }
+
+  /// Three-way byte-wise comparison: <0, 0, >0 as memcmp.
+  int compare(const Slice& b) const {
+    const size_t min_len = size_ < b.size_ ? size_ : b.size_;
+    int r = memcmp(data_, b.data_, min_len);
+    if (r == 0) {
+      if (size_ < b.size_) r = -1;
+      else if (size_ > b.size_) r = +1;
+    }
+    return r;
+  }
+
+  bool starts_with(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() && memcmp(a.data(), b.data(), a.size()) == 0;
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.compare(b) < 0;
+}
+
+}  // namespace nok
+
+#endif  // NOKXML_COMMON_SLICE_H_

@@ -1,0 +1,137 @@
+// Status: the error-handling currency of the library.
+//
+// Following the Arrow/RocksDB idiom, no exceptions cross public API
+// boundaries; every fallible operation returns a Status (or a Result<T>,
+// see result.h).  A Status is cheap to copy in the OK case (a single
+// pointer-sized word) and carries a code plus a human-readable message
+// otherwise.
+
+#ifndef NOKXML_COMMON_STATUS_H_
+#define NOKXML_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace nok {
+
+/// Error category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kCorruption = 3,
+  kIOError = 4,
+  kNotSupported = 5,
+  kOutOfRange = 6,
+  kAlreadyExists = 7,
+  kParseError = 8,
+  kInternal = 9,
+};
+
+/// Human-readable name of a StatusCode ("OK", "IOError", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  Status(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(const Status&) = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per StatusCode.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsAlreadyExists() const {
+    return code() == StatusCode::kAlreadyExists;
+  }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// Message attached at construction time (empty for OK).
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->msg : kEmpty;
+  }
+
+  /// "<CodeName>: <message>", or "OK".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+  // Null iff OK; shared so that copies are cheap and Status is value-like.
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace nok
+
+/// Propagates a non-OK Status to the caller.
+#define NOK_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::nok::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates a Result<T> expression, assigning the value or propagating the
+/// error.  Usage: NOK_ASSIGN_OR_RETURN(auto v, SomeResultReturningCall());
+#define NOK_ASSIGN_OR_RETURN(decl, expr)          \
+  auto NOK_CONCAT_(_res_, __LINE__) = (expr);     \
+  if (!NOK_CONCAT_(_res_, __LINE__).ok())         \
+    return NOK_CONCAT_(_res_, __LINE__).status(); \
+  decl = std::move(NOK_CONCAT_(_res_, __LINE__)).ValueOrDie()
+
+#define NOK_CONCAT_IMPL_(a, b) a##b
+#define NOK_CONCAT_(a, b) NOK_CONCAT_IMPL_(a, b)
+
+#endif  // NOKXML_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+// Wall-clock timing helpers for the benchmark harnesses.
+
+#ifndef NOKXML_COMMON_TIMER_H_
+#define NOKXML_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace nok {
+
+/// Monotonic stopwatch.  Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_COMMON_TIMER_H_

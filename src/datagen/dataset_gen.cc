@@ -1,0 +1,529 @@
+#include "datagen/dataset_gen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "xml/escape.h"
+
+namespace nok {
+
+std::vector<Dataset> AllDatasets() {
+  return {Dataset::kAuthor, Dataset::kAddress, Dataset::kCatalog,
+          Dataset::kTreebank, Dataset::kDblp};
+}
+
+std::string_view DatasetName(Dataset dataset) {
+  switch (dataset) {
+    case Dataset::kAuthor:
+      return "author";
+    case Dataset::kAddress:
+      return "address";
+    case Dataset::kCatalog:
+      return "catalog";
+    case Dataset::kTreebank:
+      return "treebank";
+    case Dataset::kDblp:
+      return "dblp";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Minimal streaming XML writer.
+class XmlWriter {
+ public:
+  void Open(std::string_view tag) {
+    out_ += '<';
+    out_ += tag;
+    out_ += '>';
+  }
+  void OpenWithAttr(std::string_view tag, std::string_view attr,
+                    const std::string& value) {
+    out_ += '<';
+    out_ += tag;
+    out_ += ' ';
+    out_ += attr;
+    out_ += "=\"";
+    out_ += EscapeAttribute(value);
+    out_ += "\">";
+  }
+  void Close(std::string_view tag) {
+    out_ += "</";
+    out_ += tag;
+    out_ += '>';
+  }
+  void Leaf(std::string_view tag, const std::string& text) {
+    out_ += "\n    ";
+    Open(tag);
+    out_ += EscapeText(text);
+    Close(tag);
+  }
+  void Text(const std::string& text) { out_ += EscapeText(text); }
+  void Newline() { out_ += '\n'; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Exact-count random class assignment: across `total` entries, class 3
+/// occurs hi times, class 2 mod times, class 1 low times, class 0
+/// otherwise, in pseudorandom positions.
+class ClassAssigner {
+ public:
+  ClassAssigner(size_t total, size_t hi, size_t mod, size_t low,
+                Random* rng)
+      : remaining_(total), hi_(hi), mod_(mod), low_(low), rng_(rng) {}
+
+  int Next() {
+    NOK_CHECK(remaining_ > 0);
+    const uint64_t r = rng_->Uniform(remaining_);
+    --remaining_;
+    if (r < hi_) {
+      --hi_;
+      return 3;
+    }
+    if (r < hi_ + mod_) {
+      --mod_;
+      return 2;
+    }
+    if (r < hi_ + mod_ + low_) {
+      --low_;
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  size_t remaining_, hi_, mod_, low_;
+  Random* rng_;
+};
+
+/// Planted counts, capped for tiny scales.
+struct Counts {
+  size_t hi, mod, low;
+};
+Counts NeedleCounts(size_t entries) {
+  Counts c;
+  c.hi = std::min<size_t>(4, entries);
+  c.mod = std::min<size_t>(40, entries / 4 + 1);
+  c.low = std::min<size_t>(400, entries / 2 + 1);
+  if (c.mod <= c.hi) c.mod = std::min(entries, c.hi + 1);
+  if (c.low <= c.mod) c.low = std::min(entries, c.mod + 1);
+  return c;
+}
+
+/// Common per-entry planted content: needle leaves + marker chain.
+struct Planted {
+  ClassAssigner values;
+  ClassAssigner markers;
+  const GeneratedDataset* ds;
+
+  void EmitNeedles(XmlWriter* w, Random* rng) {
+    const int vclass = values.Next();
+    std::string va, vb;
+    switch (vclass) {
+      case 3:
+        va = ds->needle_hi_a;
+        vb = ds->needle_hi_b;
+        break;
+      case 2:
+        va = ds->needle_mod_a;
+        vb = ds->needle_mod_b;
+        break;
+      case 1:
+        va = ds->needle_low_a;
+        vb = ds->needle_low_b;
+        break;
+      default:
+        // Filler values with realistic text weight (the planted needles
+        // stay short and exact).
+        va = rng->NextString(7) + "." + rng->NextString(8) + "@" +
+             rng->NextString(10) + ".example.edu";
+        vb = "Department of " + rng->NextString(9) + ", University of " +
+             rng->NextString(8);
+    }
+    w->Leaf(ds->needle_tag_a, va);
+    w->Leaf(ds->needle_tag_b, vb);
+  }
+
+  void EmitMarkers(XmlWriter* w) {
+    const int mclass = markers.Next();
+    if (mclass == 0) return;
+    w->Open(ds->marker_extra);
+    if (mclass >= 2) {
+      w->Open(ds->marker_rare);
+      if (mclass >= 3) {
+        w->Leaf(ds->marker_gem, "x");
+      }
+      w->Close(ds->marker_rare);
+    }
+    w->Close(ds->marker_extra);
+  }
+};
+
+/// Fills the shared GeneratedDataset fields and returns the initialized
+/// planted-content emitter.
+Planted InitPlanted(GeneratedDataset* ds, size_t entries, Random* rng) {
+  const Counts c = NeedleCounts(entries);
+  ds->entries = entries;
+  ds->count_hi = c.hi;
+  ds->count_mod = c.mod;
+  ds->count_low = c.low;
+  ds->needle_hi_a = "needle-hi-a";
+  ds->needle_hi_b = "needle-hi-b";
+  ds->needle_mod_a = "needle-mod-a";
+  ds->needle_mod_b = "needle-mod-b";
+  ds->needle_low_a = "needle-low-a";
+  ds->needle_low_b = "needle-low-b";
+  return Planted{
+      ClassAssigner(entries, c.hi, c.mod - c.hi, c.low - c.mod, rng),
+      ClassAssigner(entries, c.hi, c.mod - c.hi, c.low - c.mod, rng),
+      ds};
+}
+
+const char* const kFirstNames[] = {"Wei", "Anna", "John", "Mary", "Tamer",
+                                   "Ning", "Varun", "Lisa", "Omar", "Yuki"};
+const char* const kLastNames[] = {"Stevens", "Zhang", "Smith",  "Chen",
+                                  "Ozsu",    "Kumar", "Garcia", "Okafor",
+                                  "Dubois",  "Novak"};
+const char* const kCities[] = {"Waterloo", "Toronto", "Bombay", "Paris",
+                               "Berlin",   "Osaka",   "Lagos",  "Quito"};
+
+std::string Pick(Random* rng, const char* const* pool, size_t n) {
+  return pool[rng->Uniform(n)];
+}
+
+// ---------------------------------------------------------------------------
+// author: bushy, depth 3, ~8 tags, ~15k nodes at scale 1 (Table 1 row 1).
+
+GeneratedDataset GenAuthor(const GenOptions& options) {
+  GeneratedDataset ds;
+  ds.dataset = Dataset::kAuthor;
+  ds.name = "author";
+  ds.entry_path = "/authors/author";
+  ds.detail_a = "first";
+  ds.detail_b = "last";
+  ds.needle_tag_a = "email";
+  ds.needle_tag_b = "affiliation";
+  ds.marker_extra = "award";
+  ds.marker_rare = "prize";
+  ds.marker_gem = "medal";
+
+  Random rng(options.seed);
+  const size_t entries = std::max<size_t>(
+      8, static_cast<size_t>(2000 * options.scale));
+  Planted planted = InitPlanted(&ds, entries, &rng);
+
+  XmlWriter w;
+  w.Open("authors");
+  w.Newline();
+  for (size_t i = 0; i < entries; ++i) {
+    w.Open("author");
+    w.Leaf("first", Pick(&rng, kFirstNames, 10));
+    w.Leaf("last", Pick(&rng, kLastNames, 10));
+    planted.EmitNeedles(&w, &rng);
+    planted.EmitMarkers(&w);
+    w.Close("author");
+    w.Newline();
+  }
+  w.Close("authors");
+  ds.xml = w.Take();
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// address: bushy, depth 3, ~7 tags, ~400k nodes at scale 1 (row 2).
+
+GeneratedDataset GenAddress(const GenOptions& options) {
+  GeneratedDataset ds;
+  ds.dataset = Dataset::kAddress;
+  ds.name = "address";
+  ds.entry_path = "/addresses/address";
+  ds.detail_a = "street";
+  ds.detail_b = "city";
+  ds.needle_tag_a = "zip";
+  ds.needle_tag_b = "country";
+  ds.marker_extra = "note";
+  ds.marker_rare = "code";
+  ds.marker_gem = "flag";
+
+  Random rng(options.seed + 1);
+  const size_t entries = std::max<size_t>(
+      8, static_cast<size_t>(50000 * options.scale));
+  Planted planted = InitPlanted(&ds, entries, &rng);
+
+  XmlWriter w;
+  w.Open("addresses");
+  w.Newline();
+  for (size_t i = 0; i < entries; ++i) {
+    w.Open("address");
+    w.Leaf("street", std::to_string(rng.Range(1, 9999)) + " " +
+                         Pick(&rng, kLastNames, 10) +
+                         " Street, Suite " +
+                         std::to_string(rng.Range(1, 900)));
+    w.Leaf("city", std::string(Pick(&rng, kCities, 8)) + " " +
+                       rng.NextString(6));
+    planted.EmitNeedles(&w, &rng);
+    planted.EmitMarkers(&w);
+    w.Close("address");
+    w.Newline();
+  }
+  w.Close("addresses");
+  ds.xml = w.Take();
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// catalog: deeper (avg 5, max 8), ~51 tags, ~620k nodes at scale 1 (row 3).
+
+GeneratedDataset GenCatalog(const GenOptions& options) {
+  GeneratedDataset ds;
+  ds.dataset = Dataset::kCatalog;
+  ds.name = "catalog";
+  ds.entry_path = "/catalog/category/item";
+  ds.detail_a = "title";
+  ds.detail_b = "sku";
+  ds.needle_tag_a = "brand";
+  ds.needle_tag_b = "origin";
+  ds.marker_extra = "promo";
+  ds.marker_rare = "deal";
+  ds.marker_gem = "coupon";
+
+  Random rng(options.seed + 2);
+  const size_t items = std::max<size_t>(
+      8, static_cast<size_t>(28000 * options.scale));
+  Planted planted = InitPlanted(&ds, items, &rng);
+
+  // 30 filler description tags bring the alphabet to ~51.
+  std::vector<std::string> fillers;
+  for (int i = 0; i < 36; ++i) {
+    fillers.push_back("feature" + std::to_string(i));
+  }
+
+  XmlWriter w;
+  w.Open("catalog");
+  w.Newline();
+  const size_t per_category = 50;
+  size_t emitted = 0;
+  while (emitted < items) {
+    w.Open("category");
+    w.Leaf("cname", "cat" + std::to_string(emitted / per_category));
+    for (size_t k = 0; k < per_category && emitted < items; ++k, ++emitted) {
+      w.Open("item");
+      w.Leaf("title", "The illustrated product guide to item number " +
+                          std::to_string(emitted) + " " +
+                          rng.NextString(10));
+      w.Leaf("sku", "sku" + std::to_string(rng.Uniform(1u << 30)));
+      planted.EmitNeedles(&w, &rng);
+      planted.EmitMarkers(&w);
+      w.Open("description");
+      const size_t paras = rng.Range(1, 3);
+      for (size_t p = 0; p < paras; ++p) {
+        w.Open("para");
+        w.Leaf(fillers[rng.Uniform(fillers.size())],
+               rng.NextString(8) + " " + rng.NextString(12) + " " +
+                   rng.NextString(9));
+        if (rng.Bernoulli(0.3)) {
+          w.Open("emph");
+          w.Leaf(fillers[rng.Uniform(fillers.size())],
+                 rng.NextString(4));
+          w.Close("emph");
+        }
+        w.Close("para");
+      }
+      w.Close("description");
+      w.Open("attributes");
+      w.Leaf("weight", std::to_string(rng.Range(1, 900)));
+      w.Leaf("size", std::to_string(rng.Range(1, 60)));
+      w.Close("attributes");
+      w.Close("item");
+      w.Newline();
+    }
+    w.Close("category");
+    w.Newline();
+  }
+  w.Close("catalog");
+  ds.xml = w.Take();
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// treebank: deep (avg 8, max 36), ~250 tags, ~2.4M nodes at scale 1;
+// random recursive grammar with random high-selectivity values (row 4).
+
+GeneratedDataset GenTreebank(const GenOptions& options) {
+  GeneratedDataset ds;
+  ds.dataset = Dataset::kTreebank;
+  ds.name = "treebank";
+  ds.entry_path = "/treebank/s";
+  ds.detail_a = "np";
+  ds.detail_b = "vp";
+  ds.needle_tag_a = "word";
+  ds.needle_tag_b = "lemma";
+  ds.marker_extra = "trace";
+  ds.marker_rare = "gap";
+  ds.marker_gem = "null";
+
+  Random rng(options.seed + 3);
+  const size_t sentences = std::max<size_t>(
+      8, static_cast<size_t>(52000 * options.scale));
+  Planted planted = InitPlanted(&ds, sentences, &rng);
+
+  // 240 grammar tags + the fixed ones = ~250 distinct names.
+  std::vector<std::string> grammar;
+  for (int i = 0; i < 240; ++i) {
+    grammar.push_back("t" + std::to_string(i));
+  }
+
+  XmlWriter w;
+  w.Open("treebank");
+  w.Newline();
+
+  // Recursive random constituent; depth measured from the sentence node.
+  // Sentences average ~45 nodes, occasionally nesting very deep.
+  struct Gen {
+    Random* rng;
+    const std::vector<std::string>* grammar;
+    XmlWriter* w;
+    size_t budget = 0;
+
+    void Constituent(int depth, int max_depth) {
+      if (budget == 0) return;
+      --budget;
+      const std::string& tag = (*grammar)[rng->Uniform(grammar->size())];
+      w->Open(tag);
+      if (depth < max_depth && budget > 0 && rng->Bernoulli(0.65)) {
+        const size_t kids = rng->Range(1, 3);
+        for (size_t k = 0; k < kids && budget > 0; ++k) {
+          Constituent(depth + 1, max_depth);
+        }
+      } else {
+        // Leaf constituent with a randomly generated (high-selectivity)
+        // token, matching the paper's remark about Treebank values.
+        w->Text(rng->NextString(4) + " " + rng->NextString(7) + " " +
+                rng->NextString(5));
+      }
+      w->Close(tag);
+    }
+  };
+
+  for (size_t i = 0; i < sentences; ++i) {
+    w.Open("s");
+    // Always-present constituents for the bushy structural queries.
+    w.Open("np");
+    w.Leaf("word", "v" + std::to_string(rng.Uniform(1u << 30)));
+    w.Close("np");
+    w.Open("vp");
+    planted.EmitNeedles(&w, &rng);
+    w.Close("vp");
+    planted.EmitMarkers(&w);
+    // Random deep grammar material; ~1% of sentences carry a guaranteed
+    // deep chain so the document reaches Treebank's max depth (~36).
+    if (rng.Bernoulli(0.01)) {
+      std::vector<std::string> chain;
+      for (int d = 0; d < 32; ++d) {
+        chain.push_back(grammar[rng.Uniform(grammar.size())]);
+        w.Open(chain.back());
+      }
+      w.Text(rng.NextString(4));
+      for (size_t d = chain.size(); d-- > 0;) {
+        w.Close(chain[d]);
+      }
+    } else {
+      const int max_depth = static_cast<int>(rng.Range(2, 10));
+      Gen gen{&rng, &grammar, &w, /*budget=*/rng.Range(20, 60)};
+      gen.Constituent(1, max_depth);
+    }
+    w.Close("s");
+    w.Newline();
+  }
+  w.Close("treebank");
+  ds.xml = w.Take();
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// dblp: bushy, depth 3-6, ~35 tags, ~3.3M nodes at scale 1 (row 5).
+
+GeneratedDataset GenDblp(const GenOptions& options) {
+  GeneratedDataset ds;
+  ds.dataset = Dataset::kDblp;
+  ds.name = "dblp";
+  ds.entry_path = "/dblp/article";
+  ds.detail_a = "title";
+  ds.detail_b = "year";
+  ds.needle_tag_a = "journal";
+  ds.needle_tag_b = "volume";
+  ds.marker_extra = "cite";
+  ds.marker_rare = "label";
+  ds.marker_gem = "ref";
+
+  Random rng(options.seed + 4);
+  const size_t entries = std::max<size_t>(
+      8, static_cast<size_t>(400000 * options.scale));
+  Planted planted = InitPlanted(&ds, entries, &rng);
+
+  const char* const extra_tags[] = {"ee",     "url",    "pages",
+                                    "number", "month",  "cdrom",
+                                    "note",   "crossref"};
+  const char* const rare_tags[] = {"isbn",     "series",    "school",
+                                   "editor",   "publisher", "booktitle",
+                                   "chapter",  "address2",  "orcid",
+                                   "keywords", "abstract2", "doi",
+                                   "venue",    "tier"};
+
+  XmlWriter w;
+  w.Open("dblp");
+  w.Newline();
+  for (size_t i = 0; i < entries; ++i) {
+    w.OpenWithAttr("article", "key", "a" + std::to_string(i));
+    const size_t authors = rng.Range(1, 4);
+    for (size_t a = 0; a < authors; ++a) {
+      w.Open("author");
+      w.Leaf("name", Pick(&rng, kFirstNames, 10) + " " +
+                         Pick(&rng, kLastNames, 10));
+      w.Close("author");
+    }
+    w.Leaf("title",
+           "On the " + rng.NextString(9) + " of " + rng.NextString(11) +
+               " " + rng.NextString(7) + " systems (part " +
+               std::to_string(i) + ")");
+    w.Leaf("year", std::to_string(1970 + rng.Uniform(40)));
+    planted.EmitNeedles(&w, &rng);
+    planted.EmitMarkers(&w);
+    w.Leaf(extra_tags[rng.Uniform(8)], rng.NextString(5));
+    if (rng.Bernoulli(0.2)) {
+      w.Leaf(rare_tags[rng.Uniform(14)], rng.NextString(12));
+    }
+    w.Close("article");
+    w.Newline();
+  }
+  w.Close("dblp");
+  ds.xml = w.Take();
+  return ds;
+}
+
+}  // namespace
+
+GeneratedDataset GenerateDataset(Dataset dataset,
+                                 const GenOptions& options) {
+  switch (dataset) {
+    case Dataset::kAuthor:
+      return GenAuthor(options);
+    case Dataset::kAddress:
+      return GenAddress(options);
+    case Dataset::kCatalog:
+      return GenCatalog(options);
+    case Dataset::kTreebank:
+      return GenTreebank(options);
+    case Dataset::kDblp:
+      return GenDblp(options);
+  }
+  NOK_CHECK(false) << "unknown dataset";
+  return GeneratedDataset{};
+}
+
+}  // namespace nok

@@ -1,0 +1,80 @@
+// Synthetic dataset generators reproducing the shape statistics of the
+// paper's five test documents (Table 1).
+//
+// Substitution note (see DESIGN.md): the XBench generator and the UW XML
+// repository files are not available offline.  These generators match the
+// published node counts, depth profiles, tag-alphabet sizes and the
+// bushy/deep classification, scaled by GenOptions::scale.
+//
+// To make the twelve Table 2 query categories constructible with *known*
+// selectivities, every dataset plants:
+//   * two value-needle tags whose values take planted needles in exactly
+//     hi/mod/low many entries ("high", "moderate", "low" selectivity with
+//     value constraints), jointly (so bushy value queries hit the same
+//     entries), and
+//   * a marker chain extra/rare/gem of optional elements present in
+//     low/mod/hi many entries (structural selectivity without values).
+//
+// GeneratedDataset names those tags so query_gen can instantiate the
+// category templates per dataset.
+
+#ifndef NOKXML_DATAGEN_DATASET_GEN_H_
+#define NOKXML_DATAGEN_DATASET_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace nok {
+
+/// The five datasets of Table 1.
+enum class Dataset { kAuthor, kAddress, kCatalog, kTreebank, kDblp };
+
+/// All dataset identifiers, in Table 1 order.
+std::vector<Dataset> AllDatasets();
+
+/// Display name ("author", "address", ...).
+std::string_view DatasetName(Dataset dataset);
+
+/// Generation knobs.
+struct GenOptions {
+  /// Entry-count multiplier relative to the paper's document sizes
+  /// (scale 1.0 reproduces Table 1's node counts within a few percent).
+  double scale = 1.0;
+  uint64_t seed = 42;
+};
+
+/// A generated document plus the schema facts query_gen needs.
+struct GeneratedDataset {
+  Dataset dataset;
+  std::string name;
+  std::string xml;
+
+  // Schema handles for query construction.
+  std::string entry_path;   ///< e.g. "/authors/author".
+  std::string detail_a;     ///< Always-present child tag of an entry.
+  std::string detail_b;     ///< Second always-present child tag.
+  std::string needle_tag_a; ///< Value-needle tag a.
+  std::string needle_tag_b; ///< Value-needle tag b.
+  std::string marker_extra; ///< Present in ~`low` entries.
+  std::string marker_rare;  ///< Nested under extra, ~`mod` entries.
+  std::string marker_gem;   ///< Nested under rare, ~`hi` entries.
+
+  // Planted needle values ("<class>-a" / "<class>-b").
+  std::string needle_hi_a, needle_hi_b;
+  std::string needle_mod_a, needle_mod_b;
+  std::string needle_low_a, needle_low_b;
+
+  // Exact planted counts.
+  size_t count_hi = 0, count_mod = 0, count_low = 0;
+  size_t entries = 0;
+};
+
+/// Generates one dataset.
+GeneratedDataset GenerateDataset(Dataset dataset, const GenOptions& options);
+
+}  // namespace nok
+
+#endif  // NOKXML_DATAGEN_DATASET_GEN_H_

@@ -1,0 +1,83 @@
+#include "datagen/query_gen.h"
+
+#include "common/random.h"
+
+namespace nok {
+
+std::vector<CategoryQuery> QueriesForDataset(const GeneratedDataset& ds) {
+  const std::string& e = ds.entry_path;
+  auto eq = [](const std::string& tag, const std::string& value) {
+    return "[" + tag + "=\"" + value + "\"]";
+  };
+  std::vector<CategoryQuery> out;
+  // High selectivity.
+  out.push_back({"Q1", "hpy", e + eq(ds.needle_tag_a, ds.needle_hi_a)});
+  out.push_back({"Q2", "hpn", e + "/" + ds.marker_extra + "/" +
+                                  ds.marker_rare + "/" + ds.marker_gem});
+  out.push_back({"Q3", "hby", e + eq(ds.needle_tag_a, ds.needle_hi_a) +
+                                  eq(ds.needle_tag_b, ds.needle_hi_b) +
+                                  "/" + ds.detail_a});
+  out.push_back({"Q4", "hbn", e + "[" + ds.detail_a + "][" + ds.detail_b +
+                                  "][" + ds.marker_extra + "/" +
+                                  ds.marker_rare + "/" + ds.marker_gem +
+                                  "]"});
+  // Moderate selectivity.
+  out.push_back({"Q5", "mpy", e + eq(ds.needle_tag_a, ds.needle_mod_a) +
+                                  "/" + ds.detail_a});
+  out.push_back(
+      {"Q6", "mpn", e + "/" + ds.marker_extra + "/" + ds.marker_rare});
+  out.push_back({"Q7", "mby", e + eq(ds.needle_tag_a, ds.needle_mod_a) +
+                                  eq(ds.needle_tag_b, ds.needle_mod_b)});
+  out.push_back({"Q8", "mbn", e + "[" + ds.detail_a + "][" + ds.detail_b +
+                                  "][" + ds.marker_extra + "/" +
+                                  ds.marker_rare + "]"});
+  // Low selectivity.
+  out.push_back({"Q9", "lpy", e + eq(ds.needle_tag_a, ds.needle_low_a) +
+                                  "/" + ds.detail_a});
+  out.push_back({"Q10", "lpn", e + "/" + ds.marker_extra});
+  out.push_back({"Q11", "lby", e + eq(ds.needle_tag_a, ds.needle_low_a) +
+                                   eq(ds.needle_tag_b, ds.needle_low_b)});
+  out.push_back(
+      {"Q12", "lbn", e + "[" + ds.detail_a + "][" + ds.marker_extra + "]"});
+  return out;
+}
+
+std::vector<CategoryQuery> DescendantVariants(
+    const std::vector<CategoryQuery>& queries, uint64_t seed) {
+  Random rng(seed);
+  std::vector<CategoryQuery> out;
+  out.reserve(queries.size());
+  for (const CategoryQuery& q : queries) {
+    // Collect the positions of single '/' steps (not already '//', not
+    // inside a literal).
+    std::vector<size_t> slashes;
+    bool in_literal = false;
+    char quote = 0;
+    for (size_t i = 0; i < q.xpath.size(); ++i) {
+      const char c = q.xpath[i];
+      if (in_literal) {
+        if (c == quote) in_literal = false;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        in_literal = true;
+        quote = c;
+        continue;
+      }
+      if (c == '/' && (i == 0 || q.xpath[i - 1] != '/') &&
+          (i + 1 >= q.xpath.size() || q.xpath[i + 1] != '/')) {
+        slashes.push_back(i);
+      }
+    }
+    CategoryQuery variant = q;
+    variant.id += "d";
+    if (!slashes.empty()) {
+      const size_t pos = slashes[rng.Uniform(slashes.size())];
+      variant.xpath.insert(pos, "/");
+    }
+    out.push_back(std::move(variant));
+  }
+  return out;
+}
+
+}  // namespace nok

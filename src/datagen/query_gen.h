@@ -1,0 +1,36 @@
+// Query-workload generator: instantiates the twelve Table 2 categories
+// against a generated dataset's schema and planted selectivity classes.
+//
+// Category naming follows the paper: three letters for
+//   selectivity  h(igh, a few results) / m(oderate, 10..100) / l(ow, >100)
+//   topology     p(ath) / b(ushy)
+//   value        y(es) / n(o value constraint)
+
+#ifndef NOKXML_DATAGEN_QUERY_GEN_H_
+#define NOKXML_DATAGEN_QUERY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/dataset_gen.h"
+
+namespace nok {
+
+/// One benchmark query.
+struct CategoryQuery {
+  std::string id;        ///< "Q1".."Q12".
+  std::string category;  ///< "hpy", "hpn", ...
+  std::string xpath;
+};
+
+/// The twelve category queries for a dataset (Table 2 instantiated).
+std::vector<CategoryQuery> QueriesForDataset(const GeneratedDataset& ds);
+
+/// The same queries with one '/' step turned into '//' (the paper's
+/// descendant-axis variation), chosen deterministically from the seed.
+std::vector<CategoryQuery> DescendantVariants(
+    const std::vector<CategoryQuery>& queries, uint64_t seed);
+
+}  // namespace nok
+
+#endif  // NOKXML_DATAGEN_QUERY_GEN_H_

@@ -1,0 +1,62 @@
+#include "datagen/usecases_corpus.h"
+
+namespace nok {
+
+const std::vector<std::string>& UseCasesPathCorpus() {
+  static const std::vector<std::string>* corpus =
+      new std::vector<std::string>{
+          // --- XMP (experiences and exemplars) -------------------------
+          "/bib/book[publisher=\"Addison-Wesley\"][@year>1991]/title",
+          "/bib/book/title",
+          "/bib/book/author/last",
+          "/bib/book[author/last=\"Stevens\"][price<65]",
+          "/bib/book/@year",
+          "//book[author]/title",
+          "//book[editor/affiliation]/title",
+          "/bib/book[title=\"TCP/IP Illustrated\"]/price",
+          "/bib/book/author[last=\"Stevens\"][first=\"W.\"]",
+          "//book[price<100]//last",
+          // --- TREE (queries that preserve hierarchy) ------------------
+          "/book/section/title",
+          "/book//section/title",
+          "/book/section/section/title",
+          "//section[title=\"Introduction\"]",
+          "//figure/title",
+          "/book//figure",
+          "/book/section[figure]/title",
+          // --- SEQ (queries based on sequence) --------------------------
+          "/report/section/procedure",
+          "//incision[@nr=\"2\"]",
+          "//incision/following::instrument",
+          "/report//instrument",
+          "//action/following-sibling::observation",
+          // --- R (access to relational data) ----------------------------
+          "/users/user_tuple/name",
+          "/items/item_tuple[reserve_price>30]/description",
+          "/bids/bid_tuple[itemno=\"1001\"]",
+          "/items/item_tuple[started_at][ends_at]/description",
+          "/users/user_tuple[rating=\"A\"]/userid",
+          "/items/item_tuple/offered_by",
+          // --- SGML --------------------------------------------------------
+          "/report/section[topic=\"security\"]",
+          "//intro/para",
+          "/report//section/intro",
+          "//xmp[@role=\"example\"]",
+          "/report/section/section//para",
+          // --- STRING (full-text-ish navigation skeletons) -------------
+          "/news/news_item/title",
+          "//news_item[date=\"1999-01-08\"]/title",
+          "/news/news_item/content/par",
+          "//company[name=\"Foobar\"]",
+          "/news/news_item[content//par]",
+          // --- PARTS (recursive part lists) ------------------------------
+          "/partlist/part[@partid=\"0\"]",
+          "//part[@name=\"engine\"]",
+          "/partlist/part/part",
+          "//part/part/part",
+          "/partlist//part/@name",
+      };
+  return *corpus;
+}
+
+}  // namespace nok

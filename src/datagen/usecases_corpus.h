@@ -1,0 +1,24 @@
+// A corpus of path expressions distilled from the W3C "XML Query Use
+// Cases" document — the source of the paper's Section 1 statistic that
+// roughly 2/3 of structural steps are '/' and 1/3 are '//', which is the
+// empirical argument for NoK pattern matching reducing join counts.
+//
+// The expressions are the path-navigation skeletons of the queries in the
+// XMP, TREE, SEQ, R, SGML, STRING and PARTS use cases, rewritten into the
+// XPath subset this library parses (FLWOR context and functions removed;
+// the axis structure is what matters for the statistic).
+
+#ifndef NOKXML_DATAGEN_USECASES_CORPUS_H_
+#define NOKXML_DATAGEN_USECASES_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+namespace nok {
+
+/// The embedded corpus.
+const std::vector<std::string>& UseCasesPathCorpus();
+
+}  // namespace nok
+
+#endif  // NOKXML_DATAGEN_USECASES_CORPUS_H_

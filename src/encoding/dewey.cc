@@ -1,0 +1,56 @@
+#include "encoding/dewey.h"
+
+#include "common/coding.h"
+
+namespace nok {
+
+bool DeweyId::IsAncestorOf(const DeweyId& other) const {
+  if (components_.size() >= other.components_.size()) return false;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] != other.components_[i]) return false;
+  }
+  return true;
+}
+
+int DeweyId::Compare(const DeweyId& other) const {
+  const size_t n = std::min(components_.size(), other.components_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (components_[i] != other.components_[i]) {
+      return components_[i] < other.components_[i] ? -1 : 1;
+    }
+  }
+  if (components_.size() == other.components_.size()) return 0;
+  return components_.size() < other.components_.size() ? -1 : 1;
+}
+
+std::string DeweyId::Encode() const {
+  std::string out;
+  out.reserve(components_.size() * 4);
+  for (uint32_t c : components_) {
+    PutBigEndian32(&out, c);
+  }
+  return out;
+}
+
+Result<DeweyId> DeweyId::Decode(const Slice& data) {
+  if (data.empty() || data.size() % 4 != 0) {
+    return Status::Corruption("bad Dewey encoding length " +
+                              std::to_string(data.size()));
+  }
+  std::vector<uint32_t> components(data.size() / 4);
+  for (size_t i = 0; i < components.size(); ++i) {
+    components[i] = DecodeBigEndian32(data.data() + 4 * i);
+  }
+  return DeweyId(std::move(components));
+}
+
+std::string DeweyId::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+}  // namespace nok

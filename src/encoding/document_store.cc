@@ -1,0 +1,509 @@
+#include "encoding/document_store.h"
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "xml/escape.h"
+#include "xml/sax_parser.h"
+
+namespace nok {
+
+namespace index_keys {
+
+std::string TagKey(TagId tag) {
+  std::string key;
+  PutBigEndian16(&key, tag);
+  return key;
+}
+
+std::string ValueKey(const Slice& value) {
+  std::string key;
+  PutBigEndian64(&key, Hash64(value));
+  return key;
+}
+
+std::string PathKey(const std::vector<TagId>& path) {
+  std::string key;
+  key.reserve(path.size() * 2);
+  for (TagId tag : path) PutBigEndian16(&key, tag);
+  return key;
+}
+
+std::string NodeRefPayload(uint64_t pos, const DeweyId& dewey) {
+  std::string payload;
+  PutVarint64(&payload, pos);
+  payload += dewey.Encode();
+  return payload;
+}
+
+Status ParseNodeRefPayload(const Slice& payload, uint64_t* pos,
+                           DeweyId* dewey) {
+  Slice input = payload;
+  if (!GetVarint64(&input, pos)) {
+    return Status::Corruption("bad node-ref payload");
+  }
+  NOK_ASSIGN_OR_RETURN(*dewey, DeweyId::Decode(input));
+  return Status::OK();
+}
+
+std::string IdPayload(uint64_t pos, bool has_value, uint64_t value_offset) {
+  std::string payload;
+  PutVarint64(&payload, pos);
+  PutVarint64(&payload, has_value ? value_offset + 1 : 0);
+  return payload;
+}
+
+Status ParseIdPayload(const Slice& payload, uint64_t* pos, bool* has_value,
+                      uint64_t* value_offset) {
+  Slice input = payload;
+  uint64_t v = 0;
+  if (!GetVarint64(&input, pos) || !GetVarint64(&input, &v)) {
+    return Status::Corruption("bad B+i payload");
+  }
+  *has_value = v != 0;
+  *value_offset = v == 0 ? 0 : v - 1;
+  return Status::OK();
+}
+
+}  // namespace index_keys
+
+namespace {
+
+constexpr const char* kTreeFile = "tree.nok";
+constexpr const char* kValuesFile = "values.dat";
+constexpr const char* kDictFile = "tags.dict";
+constexpr const char* kTagIdxFile = "tag.idx";
+constexpr const char* kValIdxFile = "val.idx";
+constexpr const char* kIdIdxFile = "id.idx";
+constexpr const char* kPathIdxFile = "path.idx";
+constexpr const char* kStaleFile = "positions.stale";
+
+Result<std::unique_ptr<File>> OpenComponentFile(const std::string& dir,
+                                                const char* name,
+                                                bool create) {
+  if (dir.empty()) {
+    return NewMemFile();
+  }
+  return OpenPosixFile(dir + "/" + name, create);
+}
+
+}  // namespace
+
+Status DocumentStore::InitFiles(const Options& options) {
+  options_ = options;
+  if (!options.dir.empty()) {
+    NOK_RETURN_IF_ERROR(CreateDirs(options.dir));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DocumentStore>> DocumentStore::Build(
+    const std::string& xml, Options options) {
+  std::unique_ptr<DocumentStore> store(new DocumentStore());
+  NOK_RETURN_IF_ERROR(store->InitFiles(options));
+
+  // Component files.
+  NOK_ASSIGN_OR_RETURN(auto tree_file,
+                       OpenComponentFile(options.dir, kTreeFile, true));
+  if (tree_file->Size() != 0) {
+    return Status::AlreadyExists("tree file is not empty; use OpenDir");
+  }
+  NOK_ASSIGN_OR_RETURN(auto values_file,
+                       OpenComponentFile(options.dir, kValuesFile, true));
+  NOK_ASSIGN_OR_RETURN(auto tag_idx_file,
+                       OpenComponentFile(options.dir, kTagIdxFile, true));
+  NOK_ASSIGN_OR_RETURN(auto val_idx_file,
+                       OpenComponentFile(options.dir, kValIdxFile, true));
+  NOK_ASSIGN_OR_RETURN(auto id_idx_file,
+                       OpenComponentFile(options.dir, kIdIdxFile, true));
+  NOK_ASSIGN_OR_RETURN(auto path_idx_file,
+                       OpenComponentFile(options.dir, kPathIdxFile, true));
+
+  StringStore::Options tree_options;
+  tree_options.page_size = options.page_size;
+  tree_options.reserve_ratio = options.reserve_ratio;
+  tree_options.pool_frames = options.pool_frames;
+  tree_options.use_header_skip = options.use_header_skip;
+  StringStore::Builder builder(std::move(tree_file), tree_options);
+
+  NOK_ASSIGN_OR_RETURN(store->values_,
+                       ValueStore::Open(std::move(values_file)));
+  BTree::Options idx_options;
+  idx_options.page_size = options.index_page_size;
+  idx_options.pool_frames = options.index_pool_frames;
+  NOK_ASSIGN_OR_RETURN(store->tag_index_,
+                       BTree::Open(std::move(tag_idx_file), idx_options));
+  NOK_ASSIGN_OR_RETURN(store->value_index_,
+                       BTree::Open(std::move(val_idx_file), idx_options));
+  NOK_ASSIGN_OR_RETURN(store->id_index_,
+                       BTree::Open(std::move(id_idx_file), idx_options));
+  NOK_ASSIGN_OR_RETURN(store->path_index_,
+                       BTree::Open(std::move(path_idx_file), idx_options));
+
+  // Single SAX pass: emit symbols, values, and index entries.
+  struct Frame {
+    std::string value;
+    uint64_t pos = 0;
+    bool has_element_children = false;
+    uint32_t next_child = 0;
+  };
+  std::vector<Frame> frames;
+  std::vector<uint32_t> dewey_path;
+  std::vector<TagId> tag_path;
+  uint64_t leaf_count = 0;
+  uint64_t leaf_depth_sum = 0;
+
+  // Closes the top frame: files value/index entries, emits ')'.
+  auto close_top = [&]() -> Status {
+    Frame& frame = frames.back();
+    const DeweyId dewey{std::vector<uint32_t>(dewey_path)};
+    const std::string key = dewey.Encode();
+    std::string value = TrimWhitespace(frame.value);
+    if (!value.empty()) {
+      uint64_t offset = 0;
+      NOK_RETURN_IF_ERROR(store->values_->Append(Slice(value), &offset));
+      NOK_RETURN_IF_ERROR(store->value_index_->Insert(
+          index_keys::ValueKey(Slice(value)),
+          index_keys::NodeRefPayload(frame.pos, dewey)));
+      NOK_RETURN_IF_ERROR(store->id_index_->Insert(
+          Slice(key), index_keys::IdPayload(frame.pos, true, offset)));
+    } else {
+      NOK_RETURN_IF_ERROR(store->id_index_->Insert(
+          Slice(key), index_keys::IdPayload(frame.pos, false, 0)));
+    }
+    if (!frame.has_element_children) {
+      ++leaf_count;
+      leaf_depth_sum += dewey_path.size();
+    }
+    NOK_RETURN_IF_ERROR(builder.Close());
+    frames.pop_back();
+    dewey_path.pop_back();
+    tag_path.pop_back();
+    return Status::OK();
+  };
+
+  // Opens a node (element or attribute pseudo-node).
+  auto open_node = [&](const std::string& name) -> Status {
+    NOK_ASSIGN_OR_RETURN(TagId tag, store->tags_.Intern(name));
+    store->tags_.AddOccurrence(tag);
+    if (frames.empty()) {
+      dewey_path.push_back(0);
+    } else {
+      frames.back().has_element_children = true;
+      dewey_path.push_back(frames.back().next_child++);
+    }
+    uint64_t pos = 0;
+    NOK_RETURN_IF_ERROR(builder.Open(tag, &pos));
+    tag_path.push_back(tag);
+    const DeweyId dewey{std::vector<uint32_t>(dewey_path)};
+    NOK_RETURN_IF_ERROR(store->tag_index_->Insert(
+        index_keys::TagKey(tag), index_keys::NodeRefPayload(pos, dewey)));
+    NOK_RETURN_IF_ERROR(store->path_index_->Insert(
+        index_keys::PathKey(tag_path),
+        index_keys::NodeRefPayload(pos, dewey)));
+    Frame frame;
+    frame.pos = pos;
+    frames.push_back(std::move(frame));
+    return Status::OK();
+  };
+
+  SaxParser parser(xml);
+  SaxEvent event;
+  for (;;) {
+    NOK_RETURN_IF_ERROR(parser.Next(&event));
+    if (event.type == SaxEvent::Type::kEndDocument) break;
+    switch (event.type) {
+      case SaxEvent::Type::kStartElement: {
+        NOK_RETURN_IF_ERROR(open_node(event.name));
+        // Attribute pseudo-children come first (Figure 2 of the paper);
+        // attributes never have element children, so each closes
+        // immediately.
+        for (auto& [attr_name, attr_value] : event.attributes) {
+          NOK_RETURN_IF_ERROR(open_node("@" + attr_name));
+          frames.back().value = attr_value;
+          // An attribute node is a leaf but its parent has children.
+          NOK_RETURN_IF_ERROR(close_top());
+        }
+        break;
+      }
+      case SaxEvent::Type::kEndElement: {
+        NOK_RETURN_IF_ERROR(close_top());
+        break;
+      }
+      case SaxEvent::Type::kText: {
+        NOK_CHECK(!frames.empty());
+        AppendTextChunk(&frames.back().value, event.text);
+        break;
+      }
+      case SaxEvent::Type::kEndDocument:
+        break;
+    }
+  }
+  if (!frames.empty()) {
+    return Status::ParseError("document ended with open elements");
+  }
+
+  NOK_ASSIGN_OR_RETURN(store->tree_, builder.Finish());
+
+  store->stats_.xml_bytes = xml.size();
+  store->stats_.node_count = store->tree_->node_count();
+  store->stats_.max_depth = store->tree_->max_level();
+  store->stats_.avg_depth =
+      leaf_count == 0 ? 0
+                      : static_cast<double>(leaf_depth_sum) /
+                            static_cast<double>(leaf_count);
+  store->stats_.distinct_tags = store->tags_.size();
+  store->RefreshSizeStats();
+
+  NOK_RETURN_IF_ERROR(store->SaveDictionary());
+  NOK_RETURN_IF_ERROR(store->Flush());
+  return store;
+}
+
+Result<std::unique_ptr<DocumentStore>> DocumentStore::OpenDir(
+    Options options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("OpenDir requires a directory");
+  }
+  std::unique_ptr<DocumentStore> store(new DocumentStore());
+  NOK_RETURN_IF_ERROR(store->InitFiles(options));
+
+  NOK_ASSIGN_OR_RETURN(auto tree_file,
+                       OpenComponentFile(options.dir, kTreeFile, false));
+  StringStore::Options tree_options;
+  tree_options.page_size = options.page_size;
+  tree_options.reserve_ratio = options.reserve_ratio;
+  tree_options.pool_frames = options.pool_frames;
+  tree_options.use_header_skip = options.use_header_skip;
+  NOK_ASSIGN_OR_RETURN(store->tree_, StringStore::Open(std::move(tree_file),
+                                                       tree_options));
+
+  NOK_ASSIGN_OR_RETURN(auto values_file,
+                       OpenComponentFile(options.dir, kValuesFile, false));
+  NOK_ASSIGN_OR_RETURN(store->values_,
+                       ValueStore::Open(std::move(values_file)));
+
+  BTree::Options idx_options;
+  idx_options.page_size = options.index_page_size;
+  idx_options.pool_frames = options.index_pool_frames;
+  NOK_ASSIGN_OR_RETURN(auto tag_idx_file,
+                       OpenComponentFile(options.dir, kTagIdxFile, false));
+  NOK_ASSIGN_OR_RETURN(store->tag_index_,
+                       BTree::Open(std::move(tag_idx_file), idx_options));
+  NOK_ASSIGN_OR_RETURN(auto val_idx_file,
+                       OpenComponentFile(options.dir, kValIdxFile, false));
+  NOK_ASSIGN_OR_RETURN(store->value_index_,
+                       BTree::Open(std::move(val_idx_file), idx_options));
+  NOK_ASSIGN_OR_RETURN(auto id_idx_file,
+                       OpenComponentFile(options.dir, kIdIdxFile, false));
+  NOK_ASSIGN_OR_RETURN(store->id_index_,
+                       BTree::Open(std::move(id_idx_file), idx_options));
+  NOK_ASSIGN_OR_RETURN(auto path_idx_file,
+                       OpenComponentFile(options.dir, kPathIdxFile, false));
+  NOK_ASSIGN_OR_RETURN(store->path_index_,
+                       BTree::Open(std::move(path_idx_file), idx_options));
+
+  std::string dict_data;
+  NOK_RETURN_IF_ERROR(
+      ReadFileToString(options.dir + "/" + kDictFile, &dict_data));
+  NOK_ASSIGN_OR_RETURN(store->tags_,
+                       TagDictionary::Deserialize(Slice(dict_data)));
+
+  store->stats_.node_count = store->tree_->node_count();
+  store->stats_.max_depth = store->tree_->max_level();
+  store->stats_.distinct_tags = store->tags_.size();
+  store->positions_fresh_ = !FileExists(options.dir + "/" + kStaleFile);
+  store->RefreshSizeStats();
+  return store;
+}
+
+Status DocumentStore::SaveDictionary() {
+  if (options_.dir.empty()) return Status::OK();
+  return WriteStringToFile(options_.dir + "/" + kDictFile,
+                           Slice(tags_.Serialize()));
+}
+
+void DocumentStore::RefreshSizeStats() {
+  stats_.tree_bytes = tree_->SizeBytes();
+  stats_.tag_index_bytes = tag_index_->SizeBytes();
+  stats_.value_index_bytes = value_index_->SizeBytes();
+  stats_.id_index_bytes = id_index_->SizeBytes();
+  stats_.path_index_bytes = path_index_->SizeBytes();
+  stats_.data_bytes = values_->SizeBytes();
+}
+
+Status DocumentStore::Flush() {
+  NOK_RETURN_IF_ERROR(tree_->buffer_pool()->FlushAll());
+  NOK_RETURN_IF_ERROR(values_->Sync());
+  NOK_RETURN_IF_ERROR(tag_index_->Flush());
+  NOK_RETURN_IF_ERROR(value_index_->Flush());
+  NOK_RETURN_IF_ERROR(id_index_->Flush());
+  NOK_RETURN_IF_ERROR(path_index_->Flush());
+  return Status::OK();
+}
+
+Status DocumentStore::DropCaches() {
+  NOK_RETURN_IF_ERROR(tree_->buffer_pool()->DropAll());
+  tree_->buffer_pool()->ResetStats();
+  tree_->ResetNavStats();
+  NOK_RETURN_IF_ERROR(tag_index_->buffer_pool()->DropAll());
+  tag_index_->buffer_pool()->ResetStats();
+  NOK_RETURN_IF_ERROR(value_index_->buffer_pool()->DropAll());
+  value_index_->buffer_pool()->ResetStats();
+  NOK_RETURN_IF_ERROR(id_index_->buffer_pool()->DropAll());
+  id_index_->buffer_pool()->ResetStats();
+  NOK_RETURN_IF_ERROR(path_index_->buffer_pool()->DropAll());
+  path_index_->buffer_pool()->ResetStats();
+  return Status::OK();
+}
+
+Result<StorePos> DocumentStore::Locate(const DeweyId& id) {
+  const auto& components = id.components();
+  if (components.empty() || components[0] != 0) {
+    return Status::InvalidArgument("bad Dewey ID " + id.ToString());
+  }
+  if (positions_fresh_) {
+    auto payload = id_index_->Get(Slice(id.Encode()));
+    if (!payload.ok()) {
+      if (payload.status().IsNotFound()) {
+        return Status::NotFound("no node with Dewey ID " + id.ToString());
+      }
+      return payload.status();
+    }
+    uint64_t global = 0, offset = 0;
+    bool has_value = false;
+    NOK_RETURN_IF_ERROR(index_keys::ParseIdPayload(
+        Slice(payload.ValueOrDie()), &global, &has_value, &offset));
+    return tree_->PosForGlobal(global);
+  }
+  StorePos pos = tree_->RootPos();
+  for (size_t depth = 1; depth < components.size(); ++depth) {
+    NOK_ASSIGN_OR_RETURN(auto child, tree_->FirstChild(pos));
+    if (!child.has_value()) {
+      return Status::NotFound("no node with Dewey ID " + id.ToString());
+    }
+    pos = *child;
+    for (uint32_t i = 0; i < components[depth]; ++i) {
+      NOK_ASSIGN_OR_RETURN(auto sibling, tree_->FollowingSibling(pos));
+      if (!sibling.has_value()) {
+        return Status::NotFound("no node with Dewey ID " + id.ToString());
+      }
+      pos = *sibling;
+    }
+  }
+  return pos;
+}
+
+Result<std::optional<std::string>> DocumentStore::ValueOf(
+    const DeweyId& id) {
+  auto payload = id_index_->Get(Slice(id.Encode()));
+  if (!payload.ok()) {
+    if (payload.status().IsNotFound()) {
+      return std::optional<std::string>();
+    }
+    return payload.status();
+  }
+  bool has_value = false;
+  uint64_t global = 0, offset = 0;
+  NOK_RETURN_IF_ERROR(index_keys::ParseIdPayload(Slice(payload.ValueOrDie()),
+                                                 &global, &has_value,
+                                                 &offset));
+  if (!has_value) return std::optional<std::string>();
+  NOK_ASSIGN_OR_RETURN(auto value, values_->Read(offset));
+  return std::optional<std::string>(std::move(value));
+}
+
+Result<std::vector<DocumentStore::IndexedNode>> DocumentStore::NodesWithTag(
+    TagId tag, size_t limit) {
+  std::vector<IndexedNode> out;
+  const std::string key = index_keys::TagKey(tag);
+  BTreeIterator it = tag_index_->NewIterator();
+  NOK_RETURN_IF_ERROR(it.Seek(Slice(key)));
+  while (it.Valid() && it.key() == Slice(key)) {
+    IndexedNode node;
+    NOK_RETURN_IF_ERROR(index_keys::ParseNodeRefPayload(it.value(),
+                                                        &node.pos,
+                                                        &node.dewey));
+    out.push_back(std::move(node));
+    if (limit != 0 && out.size() >= limit) break;
+    NOK_RETURN_IF_ERROR(it.Next());
+  }
+  return out;
+}
+
+Result<std::vector<DocumentStore::IndexedNode>>
+DocumentStore::NodesWithValue(const Slice& value) {
+  std::vector<IndexedNode> out;
+  const std::string key = index_keys::ValueKey(value);
+  BTreeIterator it = value_index_->NewIterator();
+  NOK_RETURN_IF_ERROR(it.Seek(Slice(key)));
+  while (it.Valid() && it.key() == Slice(key)) {
+    IndexedNode node;
+    NOK_RETURN_IF_ERROR(index_keys::ParseNodeRefPayload(it.value(),
+                                                        &node.pos,
+                                                        &node.dewey));
+    // Verify against the data file to rule out hash collisions.
+    NOK_ASSIGN_OR_RETURN(auto actual, ValueOf(node.dewey));
+    if (actual.has_value() && Slice(*actual) == value) {
+      out.push_back(std::move(node));
+    }
+    NOK_RETURN_IF_ERROR(it.Next());
+  }
+  return out;
+}
+
+Result<std::vector<DocumentStore::IndexedNode>> DocumentStore::NodesWithPath(
+    const std::vector<TagId>& path, size_t limit) {
+  std::vector<IndexedNode> out;
+  const std::string key = index_keys::PathKey(path);
+  BTreeIterator it = path_index_->NewIterator();
+  NOK_RETURN_IF_ERROR(it.Seek(Slice(key)));
+  while (it.Valid() && it.key() == Slice(key)) {
+    IndexedNode node;
+    NOK_RETURN_IF_ERROR(index_keys::ParseNodeRefPayload(it.value(),
+                                                        &node.pos,
+                                                        &node.dewey));
+    out.push_back(std::move(node));
+    if (limit != 0 && out.size() >= limit) break;
+    NOK_RETURN_IF_ERROR(it.Next());
+  }
+  return out;
+}
+
+Result<size_t> DocumentStore::EstimatePathCount(
+    const std::vector<TagId>& path, size_t cap) {
+  size_t count = 0;
+  const std::string key = index_keys::PathKey(path);
+  BTreeIterator it = path_index_->NewIterator();
+  NOK_RETURN_IF_ERROR(it.Seek(Slice(key)));
+  while (it.Valid() && it.key() == Slice(key)) {
+    ++count;
+    if (cap != 0 && count >= cap) break;
+    NOK_RETURN_IF_ERROR(it.Next());
+  }
+  return count;
+}
+
+Status DocumentStore::MarkPositionsStale() {
+  positions_fresh_ = false;
+  if (!options_.dir.empty()) {
+    return WriteStringToFile(options_.dir + "/" + kStaleFile, Slice("1"));
+  }
+  return Status::OK();
+}
+
+Result<size_t> DocumentStore::EstimateValueCount(const Slice& value,
+                                                 size_t cap) {
+  size_t count = 0;
+  const std::string key = index_keys::ValueKey(value);
+  BTreeIterator it = value_index_->NewIterator();
+  NOK_RETURN_IF_ERROR(it.Seek(Slice(key)));
+  while (it.Valid() && it.key() == Slice(key)) {
+    ++count;
+    if (cap != 0 && count >= cap) break;
+    NOK_RETURN_IF_ERROR(it.Next());
+  }
+  return count;
+}
+
+}  // namespace nok

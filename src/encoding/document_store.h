@@ -1,0 +1,226 @@
+// DocumentStore: the complete physical representation of one XML document
+// (Figure 3 of the paper).
+//
+// It bundles:
+//   * the succinct tree string (StringStore)          -- |tree| in Table 1
+//   * the tag dictionary (name <-> Sigma symbol)
+//   * the value data file (ValueStore)
+//   * B+t: tag  -> Dewey IDs of nodes with that tag   -- |B+t|
+//   * B+v: hash(value) -> Dewey IDs of nodes with it  -- |B+v|
+//   * B+i: Dewey ID -> value-record offset            -- |B+i|
+//
+// Indexes reference nodes by Dewey ID (never by physical position):
+// positions are derived during navigation, which is what keeps the scheme
+// adaptive to updates (Section 4).  A Dewey ID is converted to a physical
+// position by walking FIRST-CHILD/FOLLOWING-SIBLING along its components.
+
+#ifndef NOKXML_ENCODING_DOCUMENT_STORE_H_
+#define NOKXML_ENCODING_DOCUMENT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "encoding/dewey.h"
+#include "encoding/string_store.h"
+#include "encoding/tag_dictionary.h"
+#include "encoding/value_store.h"
+
+namespace nok {
+
+/// Build/open knobs.
+struct DocumentStoreOptions {
+  /// Page size of the tree string store.
+  uint32_t page_size = kDefaultPageSize;
+  /// Page size of the B+ tree indexes (kept independent: experiments often
+  /// shrink tree pages, but index entries -- Dewey keys -- need room).
+  uint32_t index_page_size = kDefaultPageSize;
+  /// Page fraction reserved for updates (paper Section 4.2).
+  double reserve_ratio = 0.2;
+  /// Buffer-pool frames for the tree string.
+  size_t pool_frames = 256;
+  /// Buffer-pool frames for each B+ tree.
+  size_t index_pool_frames = 64;
+  /// Toggle for the (st,lo,hi) page-skip optimization (Section 5).
+  bool use_header_skip = true;
+  /// Directory for the store files; empty = fully in-memory.
+  std::string dir;
+};
+
+/// Document-level statistics (the columns of Table 1).
+struct DocumentStoreStats {
+  uint64_t xml_bytes = 0;        ///< Size of the source document.
+  uint64_t node_count = 0;       ///< Subject-tree nodes (incl. attributes).
+  double avg_depth = 0;          ///< Average leaf depth.
+  int max_depth = 0;
+  uint64_t distinct_tags = 0;
+  uint64_t tree_bytes = 0;       ///< |tree|: the succinct string.
+  uint64_t tag_index_bytes = 0;  ///< |B+t|.
+  uint64_t value_index_bytes = 0;///< |B+v|.
+  uint64_t id_index_bytes = 0;   ///< |B+i|.
+  uint64_t path_index_bytes = 0; ///< |B+p| (Section 8 extension).
+  uint64_t data_bytes = 0;       ///< Value data file.
+};
+
+/// One stored document plus its indexes.
+class DocumentStore {
+ public:
+  using Options = DocumentStoreOptions;
+
+  /// Parses xml and builds all stores/indexes in a single SAX pass.
+  static Result<std::unique_ptr<DocumentStore>> Build(const std::string& xml,
+                                                      Options options = {});
+
+  /// Reopens a store previously built with a non-empty dir.
+  static Result<std::unique_ptr<DocumentStore>> OpenDir(Options options);
+
+  // -- components -------------------------------------------------------
+  StringStore* tree() { return tree_.get(); }
+  TagDictionary* tags() { return &tags_; }
+  ValueStore* values() { return values_.get(); }
+  BTree* tag_index() { return tag_index_.get(); }
+  BTree* value_index() { return value_index_.get(); }
+  BTree* id_index() { return id_index_.get(); }
+  BTree* path_index() { return path_index_.get(); }
+
+  // -- navigation helpers ----------------------------------------------
+  /// Physical position of the node with the given Dewey ID: a B+i lookup
+  /// while positions are fresh, otherwise a FIRST-CHILD /
+  /// FOLLOWING-SIBLING walk along the components.
+  Result<StorePos> Locate(const DeweyId& id);
+
+  /// The node's value (nullopt if it has none).
+  Result<std::optional<std::string>> ValueOf(const DeweyId& id);
+
+  /// Whether the positions stored in index payloads are still valid (no
+  /// structural update since the last build).
+  bool positions_fresh() const { return positions_fresh_; }
+
+  /// A node as returned by the tag/value indexes.
+  struct IndexedNode {
+    DeweyId dewey = DeweyId::Root();
+    uint64_t pos = 0;  ///< Global position; meaningful iff fresh.
+  };
+
+  // -- index access ------------------------------------------------------
+  /// All nodes with the given tag, in index order.  limit = 0 means
+  /// unbounded.
+  Result<std::vector<IndexedNode>> NodesWithTag(TagId tag,
+                                                size_t limit = 0);
+
+  /// Nodes whose value equals `value` exactly (hash collisions are
+  /// resolved against the data file).
+  Result<std::vector<IndexedNode>> NodesWithValue(const Slice& value);
+
+  /// Nodes whose rooted tag path equals `path` (root tag first) — the
+  /// path index the paper's Section 8 proposes for queries where single
+  /// tags are unselective but the full path is rare.  limit = 0 means
+  /// unbounded.
+  Result<std::vector<IndexedNode>> NodesWithPath(
+      const std::vector<TagId>& path, size_t limit = 0);
+
+  /// Number of nodes with this rooted tag path, counted up to cap.
+  Result<size_t> EstimatePathCount(const std::vector<TagId>& path,
+                                   size_t cap);
+
+  /// Occurrence count of a tag (exact, from the dictionary).
+  uint64_t CountTag(TagId tag) const { return tags_.OccurrenceCount(tag); }
+
+  /// Number of nodes with this value, counted up to cap (cheap
+  /// selectivity estimate for the Section 6.2 heuristic).
+  Result<size_t> EstimateValueCount(const Slice& value, size_t cap);
+
+  // -- updates (Section 4.2; implemented in updater.cc) ------------------
+  /// Parses xml_fragment (one element) and inserts it as child number
+  /// child_index of the node `parent`.  Structure pages are updated
+  /// locally; index entries of the new nodes are added and the Dewey IDs
+  /// of shifted following siblings are rewritten.
+  Status InsertSubtree(const DeweyId& parent, uint32_t child_index,
+                       const std::string& xml_fragment);
+
+  /// Deletes the subtree rooted at `node` (must not be the root).
+  Status DeleteSubtree(const DeweyId& node);
+
+  /// Recomputes the physical positions cached in every index payload by
+  /// one pass over the tree string (the paper's "reconstruct the ID B+
+  /// tree" maintenance step) and clears the staleness flag.  Queries run
+  /// correctly without this — position lookups fall back to navigation —
+  /// but index-anchored evaluation is fastest when positions are fresh.
+  Status RefreshPositions();
+
+  // -- bookkeeping --------------------------------------------------------
+  const DocumentStoreStats& stats() const { return stats_; }
+  /// Recomputes component sizes (after updates).
+  void RefreshSizeStats();
+
+  /// Flushes every component.
+  Status Flush();
+
+  /// Clears all buffer pools and I/O counters (cold-start for benchmarks).
+  Status DropCaches();
+
+ private:
+  DocumentStore() = default;
+
+  Status InitFiles(const Options& options);
+  Status SaveDictionary();
+
+  /// Moves a node's B+i/B+t/B+v entries from old_dewey to new_dewey
+  /// (sibling-shift maintenance during updates; updater.cc).
+  Status RewriteIndexEntries(const DeweyId& old_dewey,
+                             const DeweyId& new_dewey, TagId tag);
+  /// Drops a node's B+i/B+t/B+v entries (subtree deletion; updater.cc).
+  Status RemoveIndexEntries(const DeweyId& dewey, TagId tag);
+
+  friend class TreeUpdater;
+
+  /// Marks stored positions stale (persisted); called by the updaters.
+  Status MarkPositionsStale();
+
+  Options options_;
+  std::unique_ptr<StringStore> tree_;
+  TagDictionary tags_;
+  std::unique_ptr<ValueStore> values_;
+  std::unique_ptr<BTree> tag_index_;
+  std::unique_ptr<BTree> value_index_;
+  std::unique_ptr<BTree> id_index_;
+  std::unique_ptr<BTree> path_index_;
+  DocumentStoreStats stats_;
+  bool positions_fresh_ = true;
+};
+
+/// Encoding helpers shared by the builder, the query engine and tests.
+///
+/// Index payloads carry the node's global position alongside its Dewey ID
+/// as a navigation shortcut.  Positions shift when the structure is
+/// edited, so DocumentStore tracks freshness: after an update the stored
+/// positions are stale and lookups fall back to Dewey navigation (the
+/// paper's "the node ID B+ tree may need to be reconstructed" trade-off).
+namespace index_keys {
+
+/// B+t key for a tag.
+std::string TagKey(TagId tag);
+/// B+v key for a value.
+std::string ValueKey(const Slice& value);
+/// B+p key for a rooted tag path (root tag first).  Big-endian per
+/// component, so byte prefixes are path prefixes.
+std::string PathKey(const std::vector<TagId>& path);
+/// B+t / B+v value payload: global position + Dewey ID.
+std::string NodeRefPayload(uint64_t pos, const DeweyId& dewey);
+Status ParseNodeRefPayload(const Slice& payload, uint64_t* pos,
+                           DeweyId* dewey);
+/// B+i value payload: global position + optional value-record offset.
+std::string IdPayload(uint64_t pos, bool has_value, uint64_t value_offset);
+Status ParseIdPayload(const Slice& payload, uint64_t* pos, bool* has_value,
+                      uint64_t* value_offset);
+
+}  // namespace index_keys
+
+}  // namespace nok
+
+#endif  // NOKXML_ENCODING_DOCUMENT_STORE_H_

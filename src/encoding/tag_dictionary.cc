@@ -1,0 +1,80 @@
+#include "encoding/tag_dictionary.h"
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace nok {
+
+Result<TagId> TagDictionary::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  if (names_.size() >= kMaxTagId) {
+    return Status::OutOfRange("tag alphabet exhausted (32767 names)");
+  }
+  names_.emplace_back(name);
+  counts_.push_back(0);
+  TagId id = static_cast<TagId>(names_.size());
+  ids_.emplace(std::string(name), id);
+  return id;
+}
+
+std::optional<TagId> TagDictionary::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& TagDictionary::Name(TagId id) const {
+  NOK_CHECK(id != kInvalidTag && id <= names_.size());
+  return names_[id - 1];
+}
+
+void TagDictionary::AddOccurrence(TagId id, uint64_t n) {
+  NOK_CHECK(id != kInvalidTag && id <= counts_.size());
+  counts_[id - 1] += n;
+  total_ += n;
+}
+
+void TagDictionary::SubOccurrence(TagId id, uint64_t n) {
+  NOK_CHECK(id != kInvalidTag && id <= counts_.size());
+  NOK_CHECK(counts_[id - 1] >= n && total_ >= n);
+  counts_[id - 1] -= n;
+  total_ -= n;
+}
+
+uint64_t TagDictionary::OccurrenceCount(TagId id) const {
+  if (id == kInvalidTag || id > counts_.size()) return 0;
+  return counts_[id - 1];
+}
+
+std::string TagDictionary::Serialize() const {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(names_.size()));
+  for (size_t i = 0; i < names_.size(); ++i) {
+    PutLengthPrefixedSlice(&out, Slice(names_[i]));
+    PutVarint64(&out, counts_[i]);
+  }
+  return out;
+}
+
+Result<TagDictionary> TagDictionary::Deserialize(const Slice& data) {
+  TagDictionary dict;
+  Slice input = data;
+  uint32_t n = 0;
+  if (!GetVarint32(&input, &n)) {
+    return Status::Corruption("tag dictionary: bad count");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    Slice name;
+    uint64_t count = 0;
+    if (!GetLengthPrefixedSlice(&input, &name) ||
+        !GetVarint64(&input, &count)) {
+      return Status::Corruption("tag dictionary: truncated entry");
+    }
+    NOK_ASSIGN_OR_RETURN(TagId id, dict.Intern(name.ToStringView()));
+    dict.AddOccurrence(id, count);
+  }
+  return dict;
+}
+
+}  // namespace nok

@@ -1,0 +1,62 @@
+#include "encoding/value_store.h"
+
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace nok {
+
+Result<std::unique_ptr<ValueStore>> ValueStore::Open(
+    std::unique_ptr<File> file) {
+  return std::unique_ptr<ValueStore>(new ValueStore(std::move(file)));
+}
+
+Status ValueStore::Append(const Slice& value, uint64_t* offset) {
+  const uint64_t h = Hash64(value);
+  auto it = dedup_.find(h);
+  if (it != dedup_.end()) {
+    for (uint64_t candidate : it->second) {
+      NOK_ASSIGN_OR_RETURN(auto existing, Read(candidate));
+      if (Slice(existing) == value) {
+        *offset = candidate;
+        return Status::OK();
+      }
+    }
+  }
+  std::string record;
+  PutVarint32(&record, static_cast<uint32_t>(value.size()));
+  record.append(value.data(), value.size());
+  NOK_RETURN_IF_ERROR(file_->Append(Slice(record), offset));
+  dedup_[h].push_back(*offset);
+  return Status::OK();
+}
+
+Result<std::string> ValueStore::Read(uint64_t offset) const {
+  const uint64_t size = file_->Size();
+  if (offset >= size) {
+    return Status::OutOfRange("value offset past end of data file");
+  }
+  char header[5];
+  const size_t header_len =
+      static_cast<size_t>(std::min<uint64_t>(5, size - offset));
+  Slice header_slice;
+  NOK_RETURN_IF_ERROR(
+      file_->ReadAt(offset, header_len, header, &header_slice));
+  uint32_t len = 0;
+  const char* p =
+      GetVarint32Ptr(header, header + header_len, &len);
+  if (p == nullptr) {
+    return Status::Corruption("bad value record header");
+  }
+  const uint64_t value_off = offset + static_cast<uint64_t>(p - header);
+  if (value_off + len > size) {
+    return Status::Corruption("value record overruns data file");
+  }
+  std::string out(len, '\0');
+  Slice unused;
+  if (len > 0) {
+    NOK_RETURN_IF_ERROR(file_->ReadAt(value_off, len, out.data(), &unused));
+  }
+  return out;
+}
+
+}  // namespace nok

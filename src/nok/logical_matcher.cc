@@ -1,0 +1,35 @@
+#include "nok/logical_matcher.h"
+
+namespace nok {
+
+std::vector<bool> ComputeDesignated(const NokPartition& partition,
+                                    int tree_index) {
+  const NokTree& tree = partition.trees[static_cast<size_t>(tree_index)];
+  std::vector<bool> designated(tree.nodes.size(), false);
+  designated[0] = true;  // Joins relate trees through their roots.
+  if (tree.returning_node >= 0) {
+    designated[static_cast<size_t>(tree.returning_node)] = true;
+  }
+  for (const GlobalArc& arc : partition.arcs) {
+    if (arc.from_tree == tree_index) {
+      designated[static_cast<size_t>(arc.from_node)] = true;
+    }
+  }
+  return designated;
+}
+
+std::vector<bool> ComputeRetained(const NokTree& tree,
+                                  const std::vector<bool>& designated) {
+  // retained[i] = subtree of i contains a designated node.  Children have
+  // larger indexes than parents (pre-order), so one reverse sweep works.
+  std::vector<bool> retained(tree.nodes.size(), false);
+  for (size_t i = tree.nodes.size(); i-- > 0;) {
+    retained[i] = designated[i];
+    for (int child : tree.nodes[i].children) {
+      if (retained[static_cast<size_t>(child)]) retained[i] = true;
+    }
+  }
+  return retained;
+}
+
+}  // namespace nok

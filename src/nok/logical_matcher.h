@@ -1,0 +1,180 @@
+// Logical-level NoK pattern matching: Algorithm 1 of the paper.
+//
+// The matcher walks a subject tree through a Cursor and matches one NoK
+// pattern tree against the subtree rooted at a starting node.  The Cursor
+// abstracts the subject tree:
+//
+//   struct Cursor {
+//     using NodeT = ...;                       // copyable node handle
+//     Result<std::optional<NodeT>> FirstChild(const NodeT&);
+//     Result<std::optional<NodeT>> FollowingSibling(const NodeT&);
+//     Result<bool> Matches(const NodeT&, const PatternNode&);  // tag+value
+//   };
+//
+// Cursors exist for the physical string store (physical_matcher.h), for
+// an in-memory DOM (the test oracle and the navigational baseline) and
+// for buffered SAX windows (streaming).  Because the only subject-tree
+// operations are FIRST-CHILD and FOLLOWING-SIBLING, the matcher visits
+// nodes in document order — the property Proposition 1's single-pass I/O
+// bound rests on.
+//
+// Differences from the paper's pseudocode, both sanctioned by its text:
+//  * matched frontier nodes are *retained* when their pattern subtree
+//    contains a node whose matches must be collected (the returning node
+//    or a global-arc source), so all matches are found — the paper keeps
+//    the returning node in the frontier for the same reason;
+//  * when a match fails midway the partial result list is rolled back to
+//    a checkpoint instead of clearing R wholesale (equivalent behaviour,
+//    but correct when several starting points share one result list).
+
+#ifndef NOKXML_NOK_LOGICAL_MATCHER_H_
+#define NOKXML_NOK_LOGICAL_MATCHER_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "nok/nok_partition.h"
+
+namespace nok {
+
+/// Marks the local nodes whose matches must be reported: the returning
+/// node, every global-arc source in this tree, and the root (joins need
+/// it).
+std::vector<bool> ComputeDesignated(const NokPartition& partition,
+                                    int tree_index);
+
+/// For each local node: does its pattern subtree contain a designated
+/// node?  (Such frontier entries are retained after a match.)
+std::vector<bool> ComputeRetained(const NokTree& tree,
+                                  const std::vector<bool>& designated);
+
+/// Matches one NoK tree against subject subtrees via a Cursor.
+template <typename Cursor>
+class NokMatcher {
+ public:
+  using NodeT = typename Cursor::NodeT;
+  /// matches[i] = subject nodes matched by local pattern node i (filled
+  /// only for designated nodes).
+  using MatchLists = std::vector<std::vector<NodeT>>;
+
+  NokMatcher(const NokTree* tree, Cursor* cursor,
+             std::vector<bool> designated)
+      : tree_(tree),
+        cursor_(cursor),
+        designated_(std::move(designated)),
+        retained_(ComputeRetained(*tree, designated_)) {}
+
+  /// Matches the NoK tree against the subject subtree rooted at start.
+  /// Returns whether the whole pattern matched; on success *out holds the
+  /// collected matches (out must arrive sized tree->nodes.size()).
+  /// The starting node's own constraints are checked here.
+  Result<bool> Match(const NodeT& start, MatchLists* out) {
+    NOK_ASSIGN_OR_RETURN(bool root_ok,
+                         cursor_->Matches(start, *tree_->nodes[0].pattern));
+    if (!root_ok) return false;
+    NOK_ASSIGN_OR_RETURN(bool ok, Npm(0, start, out));
+    if (!ok) {
+      for (auto& list : *out) list.clear();
+    }
+    return ok;
+  }
+
+ private:
+  /// Algorithm 1 (NPM): matches pattern node pnode (already verified
+  /// against snode) and recursively its frontier children against snode's
+  /// children, left to right.
+  Result<bool> Npm(int pnode, const NodeT& snode, MatchLists* R) {
+    if (designated_[static_cast<size_t>(pnode)]) {
+      (*R)[static_cast<size_t>(pnode)].push_back(snode);
+    }
+    const NokNode& pn = tree_->nodes[static_cast<size_t>(pnode)];
+    const size_t n = pn.children.size();
+    if (n == 0) return true;
+
+    // Frontier state: a child is active when all its sibling-order
+    // predecessors have matched; it leaves the frontier after its first
+    // match unless retained.
+    std::vector<int> indegree(n, 0);
+    for (auto [a, b] : pn.sibling_order) {
+      ++indegree[static_cast<size_t>(b)];
+    }
+    std::vector<char> active(n, 0), satisfied(n, 0);
+    size_t active_retained = 0;
+    auto is_retained = [&](size_t i) {
+      return retained_[static_cast<size_t>(pn.children[i])];
+    };
+    for (size_t i = 0; i < n; ++i) {
+      active[i] = indegree[i] == 0;
+      if (active[i] && is_retained(i)) ++active_retained;
+    }
+    size_t remaining = n;
+
+    NOK_ASSIGN_OR_RETURN(auto u, cursor_->FirstChild(snode));
+    // Keep scanning while unmatched children remain, or while a retained
+    // child (one whose subtree collects matches) is still active — all of
+    // its matches among the siblings must be found, not just the first.
+    while (u.has_value() && (remaining > 0 || active_retained > 0)) {
+      // Children activated during this u are eligible only from the next
+      // sibling on (following-sibling is strict).
+      std::vector<size_t> newly_active;
+      for (size_t i = 0; i < n; ++i) {
+        if (!active[i]) continue;
+        const int child = pn.children[i];
+        const bool retain = retained_[static_cast<size_t>(child)];
+        if (satisfied[i] && !retain) continue;
+        NOK_ASSIGN_OR_RETURN(
+            bool node_ok,
+            cursor_->Matches(*u, *tree_->nodes[static_cast<size_t>(child)]
+                                      .pattern));
+        if (!node_ok) continue;
+        const std::vector<size_t> checkpoint = Sizes(*R);
+        NOK_ASSIGN_OR_RETURN(bool sub_ok, Npm(child, *u, R));
+        if (!sub_ok) {
+          Rollback(R, checkpoint);
+          continue;
+        }
+        if (!satisfied[i]) {
+          satisfied[i] = 1;
+          --remaining;
+          for (auto [a, b] : pn.sibling_order) {
+            if (static_cast<size_t>(a) == i) {
+              if (--indegree[static_cast<size_t>(b)] == 0) {
+                newly_active.push_back(static_cast<size_t>(b));
+              }
+            }
+          }
+        }
+        if (!retain) active[i] = 0;
+      }
+      for (size_t b : newly_active) {
+        active[b] = 1;
+        if (is_retained(b)) ++active_retained;
+      }
+      NOK_ASSIGN_OR_RETURN(auto next, cursor_->FollowingSibling(*u));
+      u = next;
+    }
+    return remaining == 0;
+  }
+
+  static std::vector<size_t> Sizes(const MatchLists& R) {
+    std::vector<size_t> sizes(R.size());
+    for (size_t i = 0; i < R.size(); ++i) sizes[i] = R[i].size();
+    return sizes;
+  }
+
+  static void Rollback(MatchLists* R, const std::vector<size_t>& sizes) {
+    for (size_t i = 0; i < R->size(); ++i) {
+      (*R)[i].resize(sizes[i]);
+    }
+  }
+
+  const NokTree* tree_;
+  Cursor* cursor_;
+  std::vector<bool> designated_;
+  std::vector<bool> retained_;
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_NOK_LOGICAL_MATCHER_H_

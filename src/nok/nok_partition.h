@@ -1,0 +1,85 @@
+// Partition of a pattern tree into NoK pattern trees (Section 2).
+//
+// A NoK pattern tree contains only local relationships: child edges and
+// following-sibling order constraints.  Global edges (descendant '//',
+// following) connect NoK trees.  Any pattern tree partitions uniquely:
+// walk from the root; a global edge starts a new NoK tree rooted at its
+// target.
+
+#ifndef NOKXML_NOK_NOK_PARTITION_H_
+#define NOKXML_NOK_NOK_PARTITION_H_
+
+#include <string>
+#include <vector>
+
+#include "nok/pattern_tree.h"
+
+namespace nok {
+
+/// One node of a NoK tree: a view onto a pattern node plus local-children
+/// wiring.
+struct NokNode {
+  const PatternNode* pattern = nullptr;
+  /// Indexes (into NokTree::nodes) of the local (child-axis) children.
+  std::vector<int> children;
+  /// Partial order among `children` positions: (i, j) = child i's match
+  /// must precede child j's match among siblings.
+  std::vector<std::pair<int, int>> sibling_order;
+};
+
+/// A maximal subtree of the pattern tree connected by local axes.
+struct NokTree {
+  int id = 0;
+  /// nodes[0] is the NoK tree root.
+  std::vector<NokNode> nodes;
+  /// Local index of the query's returning node, or -1.
+  int returning_node = -1;
+  /// True when the root is the virtual document root (only possible for
+  /// tree 0).
+  bool root_is_doc_root = false;
+
+  /// Depth (1-based) of a node below the NoK root: the root is 1, its
+  /// children 2, ... (well-defined because all edges are child edges).
+  int DepthOf(int node_index) const;
+};
+
+/// A global edge between two NoK trees.
+struct GlobalArc {
+  int from_tree = 0;
+  int from_node = 0;  ///< Local node index in from_tree.
+  int to_tree = 0;    ///< The target NoK tree (matched at its root).
+  Axis axis = Axis::kDescendant;  ///< kDescendant or kFollowing.
+};
+
+/// The partition: a tree of NoK trees.  trees[0] contains the pattern
+/// root; arcs parent each tree (except tree 0) exactly once.
+struct NokPartition {
+  std::vector<NokTree> trees;
+  std::vector<GlobalArc> arcs;
+  /// Index of the tree containing the returning node.
+  int returning_tree = 0;
+
+  /// Arcs leaving a given tree.
+  std::vector<const GlobalArc*> ArcsFrom(int tree) const;
+  /// The arc entering a given tree (nullptr for tree 0).
+  const GlobalArc* ArcInto(int tree) const;
+
+  std::string ToString() const;
+};
+
+/// Computes the partition of a pattern tree.  The pattern tree must
+/// outlive the partition (NokNode holds pointers into it).
+NokPartition PartitionPattern(const PatternTree& pattern);
+
+/// parent[i] = local index of node i's parent (-1 for the root).
+std::vector<int> NokParents(const NokTree& tree);
+
+/// Copies the NoK subtree rooted at `local` into a standalone tree
+/// (pre-order).  *mapping (optional) receives old-local-index per new
+/// index; the returning node is carried over when it lies inside.
+NokTree ExtractNokSubtree(const NokTree& tree, int local,
+                          std::vector<int>* mapping = nullptr);
+
+}  // namespace nok
+
+#endif  // NOKXML_NOK_NOK_PARTITION_H_

@@ -1,0 +1,159 @@
+#include "nok/pattern_tree.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace nok {
+
+namespace {
+
+/// Attempts to parse s as a finite double; returns success.
+bool ParseNumber(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool EvalValuePredicate(const ValuePredicate& pred,
+                        const std::string& value) {
+  switch (pred.op) {
+    case ValueOp::kNone:
+      return true;
+    case ValueOp::kEq:
+      return value == pred.operand;
+    case ValueOp::kNe:
+      return value != pred.operand;
+    default:
+      break;
+  }
+  double lhs = 0, rhs = 0;
+  int cmp;
+  if (ParseNumber(value, &lhs) && ParseNumber(pred.operand, &rhs)) {
+    cmp = lhs < rhs ? -1 : (lhs > rhs ? 1 : 0);
+  } else {
+    cmp = value.compare(pred.operand);
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  switch (pred.op) {
+    case ValueOp::kLt:
+      return cmp < 0;
+    case ValueOp::kLe:
+      return cmp <= 0;
+    case ValueOp::kGt:
+      return cmp > 0;
+    case ValueOp::kGe:
+      return cmp >= 0;
+    default:
+      return false;  // Unreachable.
+  }
+}
+
+PatternTree::PatternTree() {
+  root_ = std::make_unique<PatternNode>();
+  root_->is_doc_root = true;
+  root_->tag = "/";
+}
+
+void PatternTree::set_returning(PatternNode* node) {
+  NOK_CHECK(node != nullptr && !node->is_doc_root);
+  if (returning_ != nullptr) returning_->is_returning = false;
+  returning_ = node;
+  node->is_returning = true;
+}
+
+void PatternTree::Renumber() {
+  int counter = 0;
+  struct Item {
+    PatternNode* node;
+    size_t next_child;
+  };
+  std::vector<Item> stack;
+  root_->id = counter++;
+  root_->parent = nullptr;
+  stack.push_back({root_.get(), 0});
+  while (!stack.empty()) {
+    Item& top = stack.back();
+    if (top.next_child < top.node->children.size()) {
+      PatternNode* child = top.node->children[top.next_child].get();
+      ++top.next_child;
+      child->parent = top.node;
+      child->id = counter++;
+      stack.push_back({child, 0});
+    } else {
+      stack.pop_back();
+    }
+  }
+  size_ = counter;
+}
+
+std::string_view AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "/";
+    case Axis::kDescendant:
+      return "//";
+    case Axis::kFollowing:
+      return "following";
+    case Axis::kPreceding:
+      return "preceding";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+  }
+  return "?";
+}
+
+namespace {
+
+void ToStringRec(const PatternNode* node, std::string* out, int depth) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  if (node->is_doc_root) {
+    out->append("(root)");
+  } else {
+    out->append(std::string(AxisName(node->incoming)));
+    out->push_back(' ');
+    out->append(node->wildcard ? "*" : node->tag);
+    if (node->predicate.active()) {
+      out->push_back('[');
+      switch (node->predicate.op) {
+        case ValueOp::kEq: out->append("="); break;
+        case ValueOp::kNe: out->append("!="); break;
+        case ValueOp::kLt: out->append("<"); break;
+        case ValueOp::kLe: out->append("<="); break;
+        case ValueOp::kGt: out->append(">"); break;
+        case ValueOp::kGe: out->append(">="); break;
+        case ValueOp::kNone: break;
+      }
+      out->append(node->predicate.operand);
+      out->push_back(']');
+    }
+    if (node->is_returning) out->append(" <-- returning");
+  }
+  out->push_back('\n');
+  for (const auto& child : node->children) {
+    ToStringRec(child.get(), out, depth + 1);
+  }
+  if (!node->sibling_order.empty()) {
+    out->append(static_cast<size_t>(depth) * 2, ' ');
+    out->append("order:");
+    for (auto [a, b] : node->sibling_order) {
+      out->append(" " + std::to_string(a) + "<" + std::to_string(b));
+    }
+    out->push_back('\n');
+  }
+}
+
+}  // namespace
+
+std::string PatternTree::ToString() const {
+  std::string out;
+  ToStringRec(root_.get(), &out, 0);
+  return out;
+}
+
+}  // namespace nok

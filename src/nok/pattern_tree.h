@@ -1,0 +1,108 @@
+// Pattern trees (Section 2 of the paper).
+//
+// A pattern tree is the graphical form of a path expression: nodes carry
+// tag-name and value constraints, edges carry structural relationship
+// constraints (axes).  One node is the returning node.  Children of a node
+// may additionally be partially ordered by following-sibling constraints,
+// making each sibling group a DAG.
+//
+// The root of every pattern tree is a virtual node standing for the
+// document root (the "root" node of Figure 1(b)); the subject tree's root
+// element matches the virtual node's child via the leading '/' step.
+
+#ifndef NOKXML_NOK_PATTERN_TREE_H_
+#define NOKXML_NOK_PATTERN_TREE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace nok {
+
+/// Structural axes after normalization (Section 2: every XPath axis can be
+/// rewritten over {self, child, descendant, following}; following-sibling
+/// is kept explicitly because it is a *local* relationship that stays
+/// inside a NoK tree).
+enum class Axis {
+  kChild,             // '/'
+  kDescendant,        // '//'
+  kFollowing,         // following::  (global, starts a new NoK tree)
+  kPreceding,         // preceding::  (global, mirror of following)
+  kFollowingSibling,  // following-sibling:: (local; encoded as an order
+                      // constraint between siblings, see PatternNode)
+};
+
+/// Comparison operator of a value constraint.
+enum class ValueOp { kNone, kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Value constraint attached to a pattern node (e.g. ="Stevens", <100).
+struct ValuePredicate {
+  ValueOp op = ValueOp::kNone;
+  std::string operand;
+
+  bool active() const { return op != ValueOp::kNone; }
+};
+
+/// Evaluates a predicate against a node value.  Ordering comparisons are
+/// numeric when both sides parse as numbers, lexicographic otherwise;
+/// equality is exact string equality (XPath untyped-data convention used
+/// by the paper's queries).
+bool EvalValuePredicate(const ValuePredicate& pred, const std::string& value);
+
+/// One node of a pattern tree.
+struct PatternNode {
+  int id = 0;              ///< Dense id within the tree (pre-order).
+  std::string tag;         ///< Element name; "@name" for attributes.
+  bool wildcard = false;   ///< '*' name test.
+  bool is_doc_root = false;///< The virtual document-root node.
+  ValuePredicate predicate;
+  bool is_returning = false;
+
+  PatternNode* parent = nullptr;
+  Axis incoming = Axis::kChild;  ///< Axis on the edge from parent.
+  std::vector<std::unique_ptr<PatternNode>> children;
+
+  /// Partial order on children: (i, j) means child i must match a sibling
+  /// that precedes child j's match (a following-sibling arc i -> j).
+  std::vector<std::pair<int, int>> sibling_order;
+};
+
+/// Owning pattern tree plus bookkeeping.
+class PatternTree {
+ public:
+  PatternTree();
+  PatternTree(PatternTree&&) = default;
+  PatternTree& operator=(PatternTree&&) = default;
+
+  PatternNode* root() { return root_.get(); }
+  const PatternNode* root() const { return root_.get(); }
+
+  /// The unique returning node (never the virtual root).
+  const PatternNode* returning() const { return returning_; }
+  void set_returning(PatternNode* node);
+
+  /// Number of nodes including the virtual root.
+  int size() const { return size_; }
+
+  /// Assigns dense pre-order ids; called by the parser after construction.
+  void Renumber();
+
+  /// Display form for diagnostics ("root -/-> a -//-> b[...]").
+  std::string ToString() const;
+
+ private:
+  std::unique_ptr<PatternNode> root_;
+  PatternNode* returning_ = nullptr;
+  int size_ = 0;
+};
+
+/// Name of an axis for diagnostics.
+std::string_view AxisName(Axis axis);
+
+}  // namespace nok
+
+#endif  // NOKXML_NOK_PATTERN_TREE_H_

@@ -1,0 +1,7 @@
+// StoreCursor is header-only (hot path, inlined into the matcher
+// template); this translation unit exists to anchor the header's
+// compilation and any future out-of-line helpers.
+
+#include "nok/physical_matcher.h"
+
+namespace nok {}  // namespace nok

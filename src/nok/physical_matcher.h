@@ -1,0 +1,116 @@
+// Physical-level NoK pattern matching (Section 5 of the paper).
+//
+// StoreCursor drives the logical matcher (Algorithm 1) directly over the
+// succinct string representation using the FIRST-CHILD and
+// FOLLOWING-SIBLING primitives of Algorithm 2 — the subject tree is never
+// reconstructed.  Dewey IDs are derived for free during the traversal
+// (root 0; FirstChild appends .0; FollowingSibling increments the last
+// component), which is how value constraints reach the B+i/data-file pair
+// without any ids being stored in the tree string.
+
+#ifndef NOKXML_NOK_PHYSICAL_MATCHER_H_
+#define NOKXML_NOK_PHYSICAL_MATCHER_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "encoding/document_store.h"
+#include "nok/logical_matcher.h"
+#include "nok/pattern_tree.h"
+#include "nok/tree_cursor.h"
+
+namespace nok {
+
+/// Cursor over a DocumentStore's string representation.
+class StoreCursor {
+ public:
+  /// A subject-tree position: physical symbol position + derived Dewey ID.
+  struct NodeT {
+    StorePos pos;
+    DeweyId dewey = DeweyId::Root();
+    bool virtual_root = false;
+  };
+
+  explicit StoreCursor(DocumentStore* store) : store_(store) {}
+
+  /// The virtual super-root (parent of the document root).
+  NodeT VirtualRoot() const {
+    NodeT node;
+    node.virtual_root = true;
+    return node;
+  }
+
+  /// Node handle for an arbitrary Dewey ID (navigates from the root).
+  Result<NodeT> NodeAt(const DeweyId& dewey) {
+    NOK_ASSIGN_OR_RETURN(StorePos pos, store_->Locate(dewey));
+    return NodeT{pos, dewey, false};
+  }
+
+  Result<std::optional<NodeT>> FirstChild(const NodeT& node) {
+    if (node.virtual_root) {
+      return std::optional<NodeT>(
+          NodeT{store_->tree()->RootPos(), DeweyId::Root(), false});
+    }
+    NOK_ASSIGN_OR_RETURN(auto child, store_->tree()->FirstChild(node.pos));
+    if (!child.has_value()) return std::optional<NodeT>();
+    return std::optional<NodeT>(NodeT{*child, node.dewey.Child(0), false});
+  }
+
+  Result<std::optional<NodeT>> FollowingSibling(const NodeT& node) {
+    if (node.virtual_root || node.dewey.depth() == 1) {
+      return std::optional<NodeT>();  // The root has no siblings.
+    }
+    NOK_ASSIGN_OR_RETURN(auto sibling,
+                         store_->tree()->FollowingSibling(node.pos));
+    if (!sibling.has_value()) return std::optional<NodeT>();
+    std::vector<uint32_t> components = node.dewey.components();
+    ++components.back();
+    return std::optional<NodeT>(
+        NodeT{*sibling, DeweyId(std::move(components)), false});
+  }
+
+  Result<bool> Matches(const NodeT& node, const PatternNode& pattern) {
+    if (pattern.is_doc_root) return node.virtual_root;
+    if (node.virtual_root) return false;
+    if (!pattern.wildcard) {
+      const TagId want = ResolveTag(pattern.tag);
+      if (want == kInvalidTag) return false;
+      NOK_ASSIGN_OR_RETURN(TagId got, store_->tree()->TagAt(node.pos));
+      if (got != want) return false;
+    }
+    if (pattern.predicate.active()) {
+      NOK_ASSIGN_OR_RETURN(auto value, store_->ValueOf(node.dewey));
+      if (!value.has_value()) return false;
+      return EvalValuePredicate(pattern.predicate, *value);
+    }
+    return true;
+  }
+
+  DocumentStore* store() { return store_; }
+
+ private:
+  /// Pattern tag name -> TagId with memoization (kInvalidTag: the name
+  /// does not occur in the document at all).
+  TagId ResolveTag(const std::string& name) {
+    auto it = tag_cache_.find(name);
+    if (it != tag_cache_.end()) return it->second;
+    auto id = store_->tags()->Lookup(name);
+    const TagId resolved = id.has_value() ? *id : kInvalidTag;
+    tag_cache_.emplace(name, resolved);
+    return resolved;
+  }
+
+  DocumentStore* store_;
+  std::unordered_map<std::string, TagId> tag_cache_;
+};
+
+/// Convenience alias: the physical matcher is the logical matcher over a
+/// StoreCursor (the point of Section 5: same algorithm, physical
+/// primitives).
+using PhysicalNokMatcher = NokMatcher<StoreCursor>;
+
+}  // namespace nok
+
+#endif  // NOKXML_NOK_PHYSICAL_MATCHER_H_

@@ -1,0 +1,171 @@
+#include "nok/structural_join.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace nok {
+
+bool DocOrderLess(const NodeMatch& a, const NodeMatch& b) {
+  if (a.virtual_root != b.virtual_root) return a.virtual_root;
+  if (a.virtual_root) return false;
+  return a.dewey.Compare(b.dewey) < 0;
+}
+
+void SortUnique(std::vector<NodeMatch>* matches) {
+  std::sort(matches->begin(), matches->end(), DocOrderLess);
+  matches->erase(std::unique(matches->begin(), matches->end(),
+                             [](const NodeMatch& a, const NodeMatch& b) {
+                               return a.virtual_root == b.virtual_root &&
+                                      (a.virtual_root ||
+                                       a.dewey == b.dewey);
+                             }),
+                 matches->end());
+}
+
+bool IsRelated(const NodeMatch& outer, const NodeMatch& inner, Axis axis,
+               JoinMode mode) {
+  NOK_CHECK(!inner.virtual_root);
+  switch (axis) {
+    case Axis::kDescendant:
+      if (outer.virtual_root) return true;
+      if (mode == JoinMode::kInterval) {
+        return outer.start < inner.start && inner.end < outer.end;
+      }
+      return outer.dewey.IsAncestorOf(inner.dewey);
+    case Axis::kFollowing:
+      if (outer.virtual_root) return false;  // Nothing follows the root.
+      if (mode == JoinMode::kInterval) {
+        return inner.start > outer.end;
+      }
+      return outer.dewey.Compare(inner.dewey) < 0 &&
+             !outer.dewey.IsAncestorOf(inner.dewey);
+    case Axis::kPreceding:
+      // inner precedes outer: strictly before in document order and not
+      // an ancestor.
+      if (outer.virtual_root) return false;  // Nothing precedes the root.
+      if (mode == JoinMode::kInterval) {
+        return inner.end < outer.start;
+      }
+      return inner.dewey.Compare(outer.dewey) < 0 &&
+             !inner.dewey.IsAncestorOf(outer.dewey);
+    default:
+      NOK_CHECK(false) << "structural joins handle global axes only";
+      return false;
+  }
+}
+
+std::vector<NodeMatch> SelectRelatedInners(
+    const std::vector<NodeMatch>& outers,
+    const std::vector<NodeMatch>& inners, Axis axis, JoinMode mode) {
+  std::vector<NodeMatch> out;
+  if (outers.empty() || inners.empty()) return out;
+
+  if (axis == Axis::kDescendant) {
+    // Ancestor-stack merge (the stack-based structural join of
+    // Al-Khalifa et al., which the paper builds on).
+    if (outers[0].virtual_root) return inners;
+    std::vector<const NodeMatch*> stack;
+    size_t i = 0;
+    for (const NodeMatch& inner : inners) {
+      // Push outers preceding this inner, keeping only the nesting chain.
+      while (i < outers.size() && DocOrderLess(outers[i], inner)) {
+        while (!stack.empty() &&
+               !IsRelated(*stack.back(), outers[i], Axis::kDescendant,
+                          mode)) {
+          stack.pop_back();
+        }
+        stack.push_back(&outers[i]);
+        ++i;
+      }
+      while (!stack.empty() &&
+             !IsRelated(*stack.back(), inner, Axis::kDescendant, mode)) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) out.push_back(inner);
+    }
+    return out;
+  }
+
+  if (axis == Axis::kFollowing) {
+    // An inner qualifies iff some outer's subtree ends before it.  Outers
+    // that fail for a given inner are its ancestors (or later nodes), so
+    // scanning outers in document order stops fast.
+    for (const NodeMatch& inner : inners) {
+      for (const NodeMatch& outer : outers) {
+        if (!DocOrderLess(outer, inner)) break;
+        if (IsRelated(outer, inner, Axis::kFollowing, mode)) {
+          out.push_back(inner);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  // Preceding: an inner qualifies iff some outer starts after the inner's
+  // subtree.  The failing outers for a given inner are those at or before
+  // it plus its descendants; scan outers from the document-order end.
+  NOK_CHECK(axis == Axis::kPreceding);
+  for (const NodeMatch& inner : inners) {
+    for (size_t o = outers.size(); o-- > 0;) {
+      const NodeMatch& outer = outers[o];
+      if (!DocOrderLess(inner, outer)) break;
+      if (IsRelated(outer, inner, Axis::kPreceding, mode)) {
+        out.push_back(inner);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<char> FlagOutersWithRelatedInner(
+    const std::vector<NodeMatch>& outers,
+    const std::vector<NodeMatch>& inners, Axis axis, JoinMode mode) {
+  std::vector<char> flags(outers.size(), 0);
+  if (inners.empty()) return flags;
+
+  if (axis == Axis::kDescendant) {
+    for (size_t i = 0; i < outers.size(); ++i) {
+      if (outers[i].virtual_root) {
+        flags[i] = 1;
+        continue;
+      }
+      // Descendants of an outer form a contiguous doc-order block right
+      // after it; the first inner past the outer decides.
+      auto it = std::upper_bound(inners.begin(), inners.end(), outers[i],
+                                 DocOrderLess);
+      if (it != inners.end() &&
+          IsRelated(outers[i], *it, Axis::kDescendant, mode)) {
+        flags[i] = 1;
+      }
+    }
+    return flags;
+  }
+
+  if (axis == Axis::kFollowing) {
+    // The document-order-last inner is the easiest witness.
+    const NodeMatch& last = inners.back();
+    for (size_t i = 0; i < outers.size(); ++i) {
+      flags[i] = IsRelated(outers[i], last, Axis::kFollowing, mode) ? 1 : 0;
+    }
+    return flags;
+  }
+
+  // Preceding: scan inners from the front past the outer's ancestors (at
+  // most depth-many) to find a witness that closed before the outer.
+  NOK_CHECK(axis == Axis::kPreceding);
+  for (size_t i = 0; i < outers.size(); ++i) {
+    for (const NodeMatch& inner : inners) {
+      if (!DocOrderLess(inner, outers[i])) break;
+      if (IsRelated(outers[i], inner, Axis::kPreceding, mode)) {
+        flags[i] = 1;
+        break;
+      }
+    }
+  }
+  return flags;
+}
+
+}  // namespace nok

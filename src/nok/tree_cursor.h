@@ -1,0 +1,83 @@
+// Subject-tree cursors for the NoK matcher.
+//
+// DomCursor walks an in-memory DomTree; it backs the test oracle and the
+// navigational baseline.  The physical StoreCursor lives in
+// physical_matcher.h.  Every cursor exposes a *virtual super-root* whose
+// single child is the document root, so the pattern tree's virtual
+// document-root node matches uniformly.
+
+#ifndef NOKXML_NOK_TREE_CURSOR_H_
+#define NOKXML_NOK_TREE_CURSOR_H_
+
+#include <optional>
+
+#include "common/result.h"
+#include "nok/pattern_tree.h"
+#include "xml/dom.h"
+
+namespace nok {
+
+/// Tag + value constraint test shared by all cursors.
+/// value_getter() is only invoked when the pattern has a value predicate.
+template <typename ValueGetter>
+Result<bool> MatchesConstraints(const PatternNode& pattern,
+                                bool is_virtual_root,
+                                const std::string& tag,
+                                ValueGetter&& value_getter) {
+  if (pattern.is_doc_root) return is_virtual_root;
+  if (is_virtual_root) return false;
+  if (!pattern.wildcard && pattern.tag != tag) return false;
+  if (pattern.predicate.active()) {
+    NOK_ASSIGN_OR_RETURN(std::optional<std::string> value, value_getter());
+    if (!value.has_value()) return false;
+    return EvalValuePredicate(pattern.predicate, *value);
+  }
+  return true;
+}
+
+/// Cursor over a DomTree.  NodeT nullptr is the virtual super-root.
+class DomCursor {
+ public:
+  using NodeT = const DomNode*;
+
+  explicit DomCursor(const DomTree* tree) : tree_(tree) {}
+
+  /// The virtual super-root handle.
+  NodeT VirtualRoot() const { return nullptr; }
+
+  Result<std::optional<NodeT>> FirstChild(const NodeT& node) {
+    if (node == nullptr) {
+      return std::optional<NodeT>(tree_->root());
+    }
+    if (node->children.empty()) return std::optional<NodeT>();
+    return std::optional<NodeT>(node->children[0].get());
+  }
+
+  Result<std::optional<NodeT>> FollowingSibling(const NodeT& node) {
+    if (node == nullptr || node->parent == nullptr) {
+      return std::optional<NodeT>();
+    }
+    const size_t next = node->child_index + 1;
+    if (next >= node->parent->children.size()) {
+      return std::optional<NodeT>();
+    }
+    return std::optional<NodeT>(node->parent->children[next].get());
+  }
+
+  Result<bool> Matches(const NodeT& node, const PatternNode& pattern) {
+    static const std::string kNoTag;
+    return MatchesConstraints(
+        pattern, node == nullptr, node == nullptr ? kNoTag : node->name,
+        [&]() -> Result<std::optional<std::string>> {
+          if (node->value.empty()) return std::optional<std::string>();
+          return std::optional<std::string>(node->value);
+        });
+  }
+
+ private:
+  const DomTree* tree_;
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_NOK_TREE_CURSOR_H_

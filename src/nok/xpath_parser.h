@@ -1,0 +1,56 @@
+// Parser for the XPath subset of the paper into a PatternTree.
+//
+// Grammar (whitespace insignificant outside literals):
+//
+//   Path       := ('/' | '//') Step ( ('/' | '//') Step )*
+//   Step       := AxisSpec? NameTest Predicate*
+//   AxisSpec   := 'child::' | 'descendant::' | 'self::'
+//               | 'following::' | 'following-sibling::'
+//   NameTest   := Name | '*' | '@' Name
+//   Predicate  := '[' RelPath (CmpOp Literal)? ']'
+//               | '[' '.' CmpOp Literal ']'
+//   RelPath    := Step ( ('/' | '//') Step )*
+//   CmpOp      := '=' | '!=' | '<' | '<=' | '>' | '>='
+//   Literal    := '"' chars '"' | '\'' chars '\'' | Number
+//
+// The last step of the outer Path is the returning node.  A
+// following-sibling step is attached to the *parent* of the context node
+// with a sibling-order constraint, matching the layered-DAG formalism of
+// the paper.  A value predicate in a RelPath lands on the last step of
+// that RelPath.
+
+#ifndef NOKXML_NOK_XPATH_PARSER_H_
+#define NOKXML_NOK_XPATH_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "nok/pattern_tree.h"
+
+namespace nok {
+
+/// Parses a path expression into a pattern tree.  Fails with ParseError on
+/// malformed or unsupported input.
+Result<PatternTree> ParseXPath(const std::string& expression);
+
+/// Statistics over the steps of a path expression (used by the
+/// bench_axis_stats reproduction of the Section 1 '/'-vs-'//' survey).
+struct AxisStats {
+  int child_steps = 0;
+  int descendant_steps = 0;
+  int following_steps = 0;
+  int following_sibling_steps = 0;
+  int value_predicates = 0;
+
+  int total_structural() const {
+    return child_steps + descendant_steps + following_steps +
+           following_sibling_steps;
+  }
+};
+
+/// Counts the axes of a parsed expression.
+Result<AxisStats> CollectAxisStats(const std::string& expression);
+
+}  // namespace nok
+
+#endif  // NOKXML_NOK_XPATH_PARSER_H_

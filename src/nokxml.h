@@ -1,0 +1,32 @@
+// Umbrella header: the public API of the nokxml library.
+//
+//   #include "nokxml.h"
+//
+//   auto store  = nok::DocumentStore::Build(xml, {});        // store + indexes
+//   nok::QueryEngine engine(store->get());
+//   auto result = engine.Evaluate("//book[price<100]/title"); // Dewey IDs
+//   auto value  = (*store)->ValueOf((*result)[0]);            // node value
+//
+// Components (see README.md for the architecture):
+//   * DocumentStore / QueryEngine  — the primary storage + query API
+//   * EvaluateStreaming            — single-pass evaluation over raw XML
+//   * DomTree / SaxParser          — standalone XML parsing utilities
+//   * ParseXPath / PatternTree     — query model, for tooling
+//   * BTree / StringStore / ...    — lower-level building blocks
+
+#ifndef NOKXML_NOKXML_H_
+#define NOKXML_NOKXML_H_
+
+#include "common/result.h"
+#include "common/status.h"
+#include "encoding/dewey.h"
+#include "encoding/document_store.h"
+#include "nok/nok_partition.h"
+#include "nok/pattern_tree.h"
+#include "nok/query_engine.h"
+#include "nok/xpath_parser.h"
+#include "streaming/stream_matcher.h"
+#include "xml/dom.h"
+#include "xml/sax_parser.h"
+
+#endif  // NOKXML_NOKXML_H_

@@ -1,0 +1,98 @@
+#include "storage/buffer_pool.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace nok {
+
+BufferPool::BufferPool(Pager* pager, size_t capacity)
+    : pager_(pager), capacity_(capacity) {
+  NOK_CHECK(capacity_ >= 1);
+}
+
+BufferPool::~BufferPool() {
+  Status s = FlushAll();
+  if (!s.ok()) {
+    NOK_LOG(Error) << "BufferPool flush on destruction failed: "
+                   << s.ToString();
+  }
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  ++stats_.fetches;
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    Frame* frame = it->second.get();
+    if (frame->in_lru) {
+      lru_.erase(frame->lru_pos);
+      frame->in_lru = false;
+    }
+    ++frame->pin_count;
+    return PageHandle(this, frame);
+  }
+
+  if (frames_.size() >= capacity_) {
+    NOK_RETURN_IF_ERROR(EvictOne());
+  }
+
+  auto frame = std::make_unique<Frame>();
+  frame->id = id;
+  frame->data = std::make_unique<char[]>(pager_->page_size());
+  NOK_RETURN_IF_ERROR(pager_->ReadPage(id, frame->data.get()));
+  ++stats_.disk_reads;
+  frame->pin_count = 1;
+  Frame* raw = frame.get();
+  frames_.emplace(id, std::move(frame));
+  return PageHandle(this, raw);
+}
+
+void BufferPool::Unpin(Frame* frame) {
+  NOK_CHECK(frame->pin_count > 0);
+  if (--frame->pin_count == 0) {
+    lru_.push_front(frame);
+    frame->lru_pos = lru_.begin();
+    frame->in_lru = true;
+  }
+}
+
+Status BufferPool::EvictOne() {
+  if (lru_.empty()) {
+    return Status::Internal(
+        "buffer pool capacity exhausted: all " +
+        std::to_string(capacity_) + " frames are pinned");
+  }
+  Frame* victim = lru_.back();
+  lru_.pop_back();
+  if (victim->dirty) {
+    NOK_RETURN_IF_ERROR(pager_->WritePage(victim->id, victim->data.get()));
+    ++stats_.disk_writes;
+  }
+  ++stats_.evictions;
+  frames_.erase(victim->id);
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    if (frame->dirty) {
+      NOK_RETURN_IF_ERROR(pager_->WritePage(id, frame->data.get()));
+      ++stats_.disk_writes;
+      frame->dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::DropAll() {
+  NOK_RETURN_IF_ERROR(FlushAll());
+  while (!lru_.empty()) {
+    Frame* victim = lru_.back();
+    lru_.pop_back();
+    frames_.erase(victim->id);
+  }
+  return Status::OK();
+}
+
+}  // namespace nok

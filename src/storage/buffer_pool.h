@@ -1,0 +1,142 @@
+// Buffer pool: an LRU cache of pages with pin/unpin semantics.
+//
+// All page access in the query path goes through a pool so that the
+// experiments can count real page fetches (disk reads) — the quantity
+// Proposition 1 of the paper bounds, and the quantity the (st,lo,hi)
+// header-skip optimization of Section 5 reduces.
+//
+// Frames can carry a "decoration": an arbitrary object derived from the
+// page contents (the string store caches decoded symbol/level arrays this
+// way).  A decoration lives exactly as long as the frame holds that page.
+
+#ifndef NOKXML_STORAGE_BUFFER_POOL_H_
+#define NOKXML_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/pager.h"
+
+namespace nok {
+
+class PageHandle;
+
+/// LRU page cache over one Pager.  Not thread-safe.
+class BufferPool {
+ public:
+  /// I/O counters since construction or the last ResetStats().
+  struct Stats {
+    uint64_t fetches = 0;     ///< Fetch() calls.
+    uint64_t hits = 0;        ///< Fetches served from memory.
+    uint64_t disk_reads = 0;  ///< Pages read from the pager.
+    uint64_t disk_writes = 0; ///< Dirty pages written back.
+    uint64_t evictions = 0;   ///< Frames recycled.
+  };
+
+  /// pager must outlive the pool; capacity is the frame count (>= 1).
+  BufferPool(Pager* pager, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a pinned handle to page id, reading it from disk on a miss.
+  /// Fails if every frame is pinned (capacity exhausted by live handles).
+  Result<PageHandle> Fetch(PageId id);
+
+  /// Writes back all dirty frames (pinned or not).
+  Status FlushAll();
+
+  /// Drops every unpinned frame (after writing back dirty ones).  Used by
+  /// benchmarks to start measurements cold.
+  Status DropAll();
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+  size_t capacity() const { return capacity_; }
+  Pager* pager() const { return pager_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId id = kInvalidPage;
+    std::unique_ptr<char[]> data;
+    int pin_count = 0;
+    bool dirty = false;
+    std::shared_ptr<void> decoration;
+    // Position in lru_ when pin_count == 0.
+    std::list<Frame*>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(Frame* frame);
+  Status EvictOne();
+
+  Pager* pager_;
+  size_t capacity_;
+  Stats stats_;
+  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+  // Front = most recently used unpinned frame; back = eviction victim.
+  std::list<Frame*> lru_;
+};
+
+/// RAII pin on a buffer-pool frame.  Movable, not copyable.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+    other.frame_ = nullptr;
+    return *this;
+  }
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle() { Release(); }
+
+  bool valid() const { return frame_ != nullptr; }
+  PageId id() const { return frame_->id; }
+  const char* data() const { return frame_->data.get(); }
+
+  /// Mutable access; the caller must also MarkDirty() for persistence.
+  char* mutable_data() { return frame_->data.get(); }
+  void MarkDirty() { frame_->dirty = true; }
+
+  /// Page-derived cache object; reset whenever the frame is recycled.
+  const std::shared_ptr<void>& decoration() const {
+    return frame_->decoration;
+  }
+  void set_decoration(std::shared_ptr<void> d) {
+    frame_->decoration = std::move(d);
+  }
+
+  /// Drops the pin early (also done by the destructor).
+  void Release() {
+    if (frame_ != nullptr) {
+      pool_->Unpin(frame_);
+      frame_ = nullptr;
+      pool_ = nullptr;
+    }
+  }
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, BufferPool::Frame* frame)
+      : pool_(pool), frame_(frame) {}
+
+  BufferPool* pool_ = nullptr;
+  BufferPool::Frame* frame_ = nullptr;
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_STORAGE_BUFFER_POOL_H_

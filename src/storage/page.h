@@ -1,0 +1,22 @@
+// Page constants and identifiers for the paged-I/O model of the paper
+// (Section 4.2: the tree string is materialized into fixed-size pages).
+
+#ifndef NOKXML_STORAGE_PAGE_H_
+#define NOKXML_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace nok {
+
+/// Page number within one paged file.  Pages are dense, 0-based.
+using PageId = uint32_t;
+
+/// Sentinel for "no page" (e.g. the next-page pointer of the last page).
+inline constexpr PageId kInvalidPage = 0xffffffffu;
+
+/// Default page size, matching the paper's 4 KB assumption (Section 4.2).
+inline constexpr uint32_t kDefaultPageSize = 4096;
+
+}  // namespace nok
+
+#endif  // NOKXML_STORAGE_PAGE_H_

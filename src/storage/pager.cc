@@ -1,0 +1,48 @@
+#include "storage/pager.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace nok {
+
+Pager::Pager(std::unique_ptr<File> file, uint32_t page_size)
+    : file_(std::move(file)), page_size_(page_size) {
+  NOK_CHECK(page_size_ > 0);
+  NOK_CHECK(file_->Size() % page_size_ == 0)
+      << "file size " << file_->Size() << " is not a multiple of page size "
+      << page_size_;
+  page_count_ = static_cast<PageId>(file_->Size() / page_size_);
+}
+
+Status Pager::AllocatePage(PageId* id) {
+  std::string zeros(page_size_, '\0');
+  uint64_t offset = 0;
+  NOK_RETURN_IF_ERROR(file_->Append(Slice(zeros), &offset));
+  *id = page_count_++;
+  NOK_CHECK(offset == static_cast<uint64_t>(*id) * page_size_);
+  return Status::OK();
+}
+
+Status Pager::ReadPage(PageId id, char* buf) const {
+  if (id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(id) + " >= count " +
+                              std::to_string(page_count_));
+  }
+  Slice unused;
+  return file_->ReadAt(static_cast<uint64_t>(id) * page_size_, page_size_,
+                       buf, &unused);
+}
+
+Status Pager::WritePage(PageId id, const char* buf) {
+  if (id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(id) + " >= count " +
+                              std::to_string(page_count_));
+  }
+  return file_->WriteAt(static_cast<uint64_t>(id) * page_size_,
+                        Slice(buf, page_size_));
+}
+
+}  // namespace nok

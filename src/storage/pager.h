@@ -1,0 +1,60 @@
+// Pager: fixed-size-page view over a File.
+//
+// The pager is deliberately dumb: it allocates pages densely at the end of
+// the file and reads/writes whole pages.  Free-space management is the
+// business of the structures above it (the B+ tree keeps a free list in its
+// meta page; the string store chains pages with next-page pointers).
+
+#ifndef NOKXML_STORAGE_PAGER_H_
+#define NOKXML_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "storage/file.h"
+#include "storage/page.h"
+
+namespace nok {
+
+/// Fixed-size-page adapter over a File.  Owns the file.
+class Pager {
+ public:
+  /// Takes ownership of file; page_size must be > 0 and the file size must
+  /// be a multiple of it (0 for a fresh file).
+  Pager(std::unique_ptr<File> file, uint32_t page_size = kDefaultPageSize);
+
+  uint32_t page_size() const { return page_size_; }
+  PageId page_count() const { return page_count_; }
+
+  /// Appends a zeroed page; *id receives its page number.
+  Status AllocatePage(PageId* id);
+
+  /// Reads page id into buf (page_size() bytes).
+  Status ReadPage(PageId id, char* buf) const;
+
+  /// Writes page id from buf (page_size() bytes).
+  Status WritePage(PageId id, const char* buf);
+
+  /// Flushes the underlying file.
+  Status Sync() { return file_->Sync(); }
+
+  /// Bytes currently occupied by pages.
+  uint64_t SizeBytes() const {
+    return static_cast<uint64_t>(page_count_) * page_size_;
+  }
+
+  /// Releases ownership of the underlying file; the pager must not be
+  /// used afterwards.  (Used by builders that hand a finished file to a
+  /// reader.)
+  std::unique_ptr<File> ReleaseFile() { return std::move(file_); }
+
+ private:
+  std::unique_ptr<File> file_;
+  uint32_t page_size_;
+  PageId page_count_;
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_STORAGE_PAGER_H_

@@ -1,0 +1,62 @@
+#include "streaming/sax_source.h"
+
+namespace nok {
+
+Status SaxSource::Next(StreamEvent* event) {
+  // Drain pending attribute pseudo-nodes first: each expands to
+  // open ("@name"), text (value, when non-empty), close.
+  if (pending_index_ < pending_attrs_.size()) {
+    const auto& [name, value] = pending_attrs_[pending_index_];
+    if (pending_phase_ == 0) {
+      event->kind = StreamEvent::Kind::kOpen;
+      event->name = "@" + name;
+      event->text.clear();
+      pending_phase_ = value.empty() ? 2 : 1;
+      return Status::OK();
+    }
+    if (pending_phase_ == 1) {
+      event->kind = StreamEvent::Kind::kText;
+      event->name.clear();
+      event->text = value;
+      pending_phase_ = 2;
+      return Status::OK();
+    }
+    event->kind = StreamEvent::Kind::kClose;
+    event->name.clear();
+    event->text.clear();
+    pending_phase_ = 0;
+    ++pending_index_;
+    return Status::OK();
+  }
+
+  SaxEvent sax;
+  NOK_RETURN_IF_ERROR(parser_.Next(&sax));
+  switch (sax.type) {
+    case SaxEvent::Type::kStartElement:
+      event->kind = StreamEvent::Kind::kOpen;
+      event->name = std::move(sax.name);
+      event->text.clear();
+      pending_attrs_ = std::move(sax.attributes);
+      pending_index_ = 0;
+      pending_phase_ = 0;
+      return Status::OK();
+    case SaxEvent::Type::kEndElement:
+      event->kind = StreamEvent::Kind::kClose;
+      event->name.clear();
+      event->text.clear();
+      return Status::OK();
+    case SaxEvent::Type::kText:
+      event->kind = StreamEvent::Kind::kText;
+      event->name.clear();
+      event->text = std::move(sax.text);
+      return Status::OK();
+    case SaxEvent::Type::kEndDocument:
+      event->kind = StreamEvent::Kind::kEnd;
+      event->name.clear();
+      event->text.clear();
+      return Status::OK();
+  }
+  return Status::Internal("unreachable SAX event type");
+}
+
+}  // namespace nok

@@ -1,0 +1,50 @@
+// SAX event source for streaming evaluation.
+//
+// The paper observes (Section 4.2) that the physical string
+// representation IS the SAX stream: open tag -> a Sigma symbol, close tag
+// -> ')'.  SaxSource produces that stream from raw XML text; the
+// streaming matcher consumes it one event at a time without page headers,
+// exactly as the paper describes the streaming adaptation.
+
+#ifndef NOKXML_STREAMING_SAX_SOURCE_H_
+#define NOKXML_STREAMING_SAX_SOURCE_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "xml/sax_parser.h"
+
+namespace nok {
+
+/// A normalized stream item: element open (with pending attribute
+/// pseudo-nodes already expanded), element close, or text.
+struct StreamEvent {
+  enum class Kind { kOpen, kClose, kText, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string name;  ///< Tag ("@attr" for attribute nodes) for kOpen.
+  std::string text;  ///< Content for kText.
+};
+
+/// Converts a document into the normalized event stream (attributes
+/// expanded into open/text/close triples, matching the subject-tree
+/// model).
+class SaxSource {
+ public:
+  explicit SaxSource(std::string xml) : parser_(std::move(xml)) {}
+
+  /// Produces the next stream event.
+  Status Next(StreamEvent* event);
+
+ private:
+  SaxParser parser_;
+  /// Attribute queue pending emission for the last start element, as
+  /// (name, value) pairs; each expands to open+text+close.
+  std::vector<std::pair<std::string, std::string>> pending_attrs_;
+  size_t pending_index_ = 0;
+  int pending_phase_ = 0;  ///< 0 = open, 1 = text, 2 = close.
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_STREAMING_SAX_SOURCE_H_

@@ -1,0 +1,55 @@
+// Single-pass NoK pattern matching over streaming XML (Sections 1, 4.2
+// and 5 / Proposition 1 of the paper).
+//
+// The stream is consumed once.  Two modes, depending on the query:
+//
+//   * Rooted mode — the whole pattern is one NoK tree anchored at the
+//     document root (e.g. /a/b[c="x"]/d).  The matcher runs Algorithm 1
+//     incrementally at the top level: only ONE child-of-root subtree is
+//     buffered at a time and is discarded as soon as it has been matched
+//     against the frontier.  This realizes Proposition 1's bound: memory
+//     is the largest second-level subtree, never the document.
+//
+//   * Locate mode — the pattern is //T[...] (one NoK tree below a '//'
+//     arc from the root).  Matching the paper's "naive approach" for
+//     streams, every T-tagged element starts a candidate; the outermost
+//     candidate subtree is buffered, all nested candidates inside it are
+//     matched from the buffer, and the buffer is dropped.
+//
+// More general queries (multiple global arcs) are reported NotSupported;
+// the paper's streaming claim covers NoK pattern trees.
+
+#ifndef NOKXML_STREAMING_STREAM_MATCHER_H_
+#define NOKXML_STREAMING_STREAM_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "encoding/dewey.h"
+#include "streaming/sax_source.h"
+
+namespace nok {
+
+/// Result and work counters of a streaming evaluation.
+struct StreamRunStats {
+  uint64_t events = 0;              ///< Stream events consumed.
+  size_t peak_buffered_nodes = 0;   ///< Max nodes held at once.
+  uint64_t candidates = 0;          ///< Candidate subtrees matched.
+};
+
+/// Evaluates a path expression over an XML stream in one pass.  Returns
+/// the returning node's matches as absolute Dewey IDs (identical to what
+/// QueryEngine::Evaluate returns on the stored document).
+Result<std::vector<DeweyId>> EvaluateStreaming(const std::string& xpath,
+                                               SaxSource* source,
+                                               StreamRunStats* stats);
+
+/// Convenience overload parsing the document text directly.
+Result<std::vector<DeweyId>> EvaluateStreaming(const std::string& xpath,
+                                               const std::string& xml,
+                                               StreamRunStats* stats);
+
+}  // namespace nok
+
+#endif  // NOKXML_STREAMING_STREAM_MATCHER_H_

@@ -1,0 +1,122 @@
+#include "xml/dom.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "xml/escape.h"
+#include "xml/sax_parser.h"
+
+namespace nok {
+
+Result<DomTree> DomTree::Parse(const std::string& xml) {
+  SaxParser parser(xml);
+  DomTree tree;
+  DomNode* current = nullptr;
+  SaxEvent event;
+  for (;;) {
+    NOK_RETURN_IF_ERROR(parser.Next(&event));
+    switch (event.type) {
+      case SaxEvent::Type::kStartElement: {
+        auto node = std::make_unique<DomNode>();
+        node->name = std::move(event.name);
+        node->parent = current;
+        DomNode* raw = node.get();
+        if (current == nullptr) {
+          if (tree.root_ != nullptr) {
+            return Status::ParseError("multiple root elements");
+          }
+          tree.root_ = std::move(node);
+        } else {
+          current->children.push_back(std::move(node));
+        }
+        // Attribute nodes come first among the children, in document
+        // order, mirroring Figure 2 of the paper.
+        for (auto& [attr_name, attr_value] : event.attributes) {
+          auto attr = std::make_unique<DomNode>();
+          attr->name = "@" + attr_name;
+          attr->value = std::move(attr_value);
+          attr->parent = raw;
+          raw->children.push_back(std::move(attr));
+        }
+        current = raw;
+        break;
+      }
+      case SaxEvent::Type::kEndElement: {
+        if (current == nullptr) {
+          return Status::ParseError("unbalanced end element");
+        }
+        current = current->parent;
+        break;
+      }
+      case SaxEvent::Type::kText: {
+        if (current == nullptr) {
+          return Status::ParseError("text outside the root");
+        }
+        AppendTextChunk(&current->value, event.text);
+        break;
+      }
+      case SaxEvent::Type::kEndDocument: {
+        if (tree.root_ == nullptr) {
+          return Status::ParseError("empty document");
+        }
+        tree.Renumber();
+        return tree;
+      }
+    }
+  }
+}
+
+void DomTree::Renumber() {
+  NOK_CHECK(root_ != nullptr);
+  uint32_t counter = 0;
+  node_count_ = 0;
+  max_depth_ = 0;
+  size_t leaf_count = 0;
+  uint64_t leaf_depth_sum = 0;
+  std::unordered_set<std::string> tags;
+
+  // Iterative pre/post numbering to survive very deep trees.
+  struct Item {
+    DomNode* node;
+    size_t next_child;
+  };
+  std::vector<Item> stack;
+  root_->parent = nullptr;
+  root_->level = 1;
+  root_->child_index = 0;
+  stack.push_back({root_.get(), 0});
+  root_->start = counter++;
+  ++node_count_;
+  tags.insert(root_->name);
+  max_depth_ = 1;
+
+  while (!stack.empty()) {
+    Item& top = stack.back();
+    if (top.next_child < top.node->children.size()) {
+      DomNode* child = top.node->children[top.next_child].get();
+      child->parent = top.node;
+      child->level = top.node->level + 1;
+      child->child_index = static_cast<uint32_t>(top.next_child);
+      ++top.next_child;
+      child->start = counter++;
+      ++node_count_;
+      tags.insert(child->name);
+      if (child->level > max_depth_) max_depth_ = child->level;
+      stack.push_back({child, 0});
+    } else {
+      top.node->end = counter++;
+      if (top.node->children.empty()) {
+        ++leaf_count;
+        leaf_depth_sum += static_cast<uint64_t>(top.node->level);
+      }
+      stack.pop_back();
+    }
+  }
+  avg_depth_ = leaf_count == 0
+                   ? 0
+                   : static_cast<double>(leaf_depth_sum) /
+                         static_cast<double>(leaf_count);
+  distinct_tags_ = tags.size();
+}
+
+}  // namespace nok

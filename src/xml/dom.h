@@ -1,0 +1,90 @@
+// In-memory document tree ("subject tree" of the paper, Figure 2).
+//
+// Used by the oracle evaluator in tests, by the navigational baseline
+// engine (the X-Hive stand-in), and by the data generators.  Attributes
+// are modeled as child nodes named "@attr" carrying the attribute value,
+// exactly as the paper maps @year to a child symbol z in Figure 2.
+
+#ifndef NOKXML_XML_DOM_H_
+#define NOKXML_XML_DOM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace nok {
+
+/// One node of the subject tree.
+struct DomNode {
+  /// Element name, or "@name" for an attribute node.
+  std::string name;
+  /// Concatenated direct text content (the node's "value" in the paper's
+  /// data model), or the attribute value for attribute nodes.
+  std::string value;
+
+  DomNode* parent = nullptr;
+  std::vector<std::unique_ptr<DomNode>> children;
+
+  /// Pre/post-order interval: start < d.start && end > d.end iff d is a
+  /// descendant of this node.  Assigned by the builder.
+  uint32_t start = 0;
+  uint32_t end = 0;
+  /// Depth; the root is level 1 (paper convention, Figure 4).
+  int level = 0;
+  /// Index of this node among its parent's children.
+  uint32_t child_index = 0;
+
+  bool is_attribute() const { return !name.empty() && name[0] == '@'; }
+};
+
+/// Owning handle for a parsed document.
+class DomTree {
+ public:
+  DomTree() = default;
+  DomTree(DomTree&&) = default;
+  DomTree& operator=(DomTree&&) = default;
+
+  /// Parses an XML document into a tree.  The root DomNode is the document
+  /// root element itself.
+  static Result<DomTree> Parse(const std::string& xml);
+
+  const DomNode* root() const { return root_.get(); }
+  DomNode* mutable_root() { return root_.get(); }
+
+  /// Total node count (elements + attribute nodes).
+  size_t node_count() const { return node_count_; }
+  /// Maximum level (root = 1).
+  int max_depth() const { return max_depth_; }
+  /// Sum of leaf depths / number of leaves (the paper's "avg depth").
+  double avg_depth() const { return avg_depth_; }
+  /// Number of distinct tag names (including attribute pseudo-tags).
+  size_t distinct_tags() const { return distinct_tags_; }
+
+  /// Recomputes (start, end, level, child_index) after mutations and
+  /// refreshes the statistics.
+  void Renumber();
+
+ private:
+  std::unique_ptr<DomNode> root_;
+  size_t node_count_ = 0;
+  int max_depth_ = 0;
+  double avg_depth_ = 0;
+  size_t distinct_tags_ = 0;
+};
+
+/// Calls fn(node) for every node in document order (pre-order).
+template <typename Fn>
+void ForEachNode(const DomNode* node, Fn&& fn) {
+  fn(node);
+  for (const auto& child : node->children) {
+    ForEachNode(child.get(), fn);
+  }
+}
+
+}  // namespace nok
+
+#endif  // NOKXML_XML_DOM_H_

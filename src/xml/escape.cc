@@ -1,0 +1,151 @@
+#include "xml/escape.h"
+
+#include <cctype>
+#include <cstdint>
+
+namespace nok {
+
+std::string TrimWhitespace(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+void AppendTextChunk(std::string* value, const std::string& chunk) {
+  const std::string trimmed = TrimWhitespace(chunk);
+  if (!value->empty()) *value += ' ';
+  *value += trimmed;
+}
+
+std::string EscapeText(const Slice& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    switch (text[i]) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += text[i];
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(const Slice& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    switch (text[i]) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += text[i];
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Appends the UTF-8 encoding of code point cp.
+void AppendUtf8(std::string* out, uint32_t cp) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else {
+    out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  }
+}
+
+}  // namespace
+
+Result<std::string> DecodeEntities(const Slice& text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '&') {
+      out += text[i++];
+      continue;
+    }
+    size_t semi = i + 1;
+    while (semi < text.size() && text[semi] != ';' &&
+           semi - i <= 10) {
+      ++semi;
+    }
+    if (semi >= text.size() || text[semi] != ';') {
+      return Status::ParseError("unterminated entity reference");
+    }
+    std::string_view ent(text.data() + i + 1, semi - i - 1);
+    if (ent == "amp") {
+      out += '&';
+    } else if (ent == "lt") {
+      out += '<';
+    } else if (ent == "gt") {
+      out += '>';
+    } else if (ent == "quot") {
+      out += '"';
+    } else if (ent == "apos") {
+      out += '\'';
+    } else if (!ent.empty() && ent[0] == '#') {
+      uint32_t cp = 0;
+      bool ok = ent.size() > 1;
+      if (ent.size() > 2 && (ent[1] == 'x' || ent[1] == 'X')) {
+        for (size_t k = 2; k < ent.size(); ++k) {
+          char c = ent[k];
+          uint32_t d;
+          if (c >= '0' && c <= '9') d = static_cast<uint32_t>(c - '0');
+          else if (c >= 'a' && c <= 'f') d = static_cast<uint32_t>(c - 'a' + 10);
+          else if (c >= 'A' && c <= 'F') d = static_cast<uint32_t>(c - 'A' + 10);
+          else { ok = false; break; }
+          cp = cp * 16 + d;
+        }
+      } else {
+        for (size_t k = 1; k < ent.size(); ++k) {
+          char c = ent[k];
+          if (c < '0' || c > '9') { ok = false; break; }
+          cp = cp * 10 + static_cast<uint32_t>(c - '0');
+        }
+      }
+      if (!ok || cp > 0x10ffff) {
+        return Status::ParseError("bad numeric character reference: &" +
+                                  std::string(ent) + ";");
+      }
+      AppendUtf8(&out, cp);
+    } else {
+      return Status::ParseError("unknown entity: &" + std::string(ent) +
+                                ";");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+}  // namespace nok

@@ -1,0 +1,34 @@
+// XML entity escaping and decoding.
+
+#ifndef NOKXML_XML_ESCAPE_H_
+#define NOKXML_XML_ESCAPE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace nok {
+
+/// Escapes &, <, > for element content.
+std::string EscapeText(const Slice& text);
+
+/// Escapes &, <, >, " for double-quoted attribute values.
+std::string EscapeAttribute(const Slice& text);
+
+/// Decodes the predefined entities (&amp; &lt; &gt; &quot; &apos;) and
+/// numeric character references (&#NN; &#xHH;, ASCII and UTF-8 output).
+/// Unknown entities are a ParseError.
+Result<std::string> DecodeEntities(const Slice& text);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string TrimWhitespace(const std::string& s);
+
+/// Accumulates a text chunk into an element value: chunks are trimmed and
+/// joined with single spaces (the subject-tree value model used by every
+/// store in this library).
+void AppendTextChunk(std::string* value, const std::string& chunk);
+
+}  // namespace nok
+
+#endif  // NOKXML_XML_ESCAPE_H_

@@ -1,0 +1,269 @@
+#include "xml/sax_parser.h"
+
+#include <cctype>
+
+#include "xml/escape.h"
+
+namespace nok {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+bool IsAllWhitespace(const std::string& s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SaxParser::SaxParser(std::string input, Options options)
+    : input_(std::move(input)), options_(options) {}
+
+Status SaxParser::ErrorAt(const std::string& message) const {
+  return Status::ParseError(message + " (at byte " + std::to_string(pos_) +
+                            ")");
+}
+
+void SaxParser::SkipWhitespace() {
+  while (pos_ < input_.size() &&
+         std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+    ++pos_;
+  }
+}
+
+Status SaxParser::ParseName(std::string* name) {
+  if (pos_ >= input_.size() || !IsNameStartChar(input_[pos_])) {
+    return ErrorAt("expected a name");
+  }
+  size_t start = pos_;
+  while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+  name->assign(input_, start, pos_ - start);
+  return Status::OK();
+}
+
+Status SaxParser::Next(SaxEvent* event) {
+  if (pending_self_close_) {
+    pending_self_close_ = false;
+    event->type = SaxEvent::Type::kEndElement;
+    event->name = std::move(pending_name_);
+    event->attributes.clear();
+    event->text.clear();
+    if (open_elements_.empty()) root_closed_ = true;
+    return Status::OK();
+  }
+
+  for (;;) {
+    if (open_elements_.empty()) {
+      // Outside the root element only whitespace and misc markup may occur.
+      SkipWhitespace();
+    }
+    if (pos_ >= input_.size()) {
+      if (!open_elements_.empty()) {
+        return ErrorAt("unexpected end of input; <" + open_elements_.back() +
+                       "> is still open");
+      }
+      event->type = SaxEvent::Type::kEndDocument;
+      event->name.clear();
+      event->attributes.clear();
+      event->text.clear();
+      return Status::OK();
+    }
+    if (input_[pos_] == '<') {
+      // Distinguish markup kinds; comments/PIs/doctype are skipped and we
+      // loop for the next real event.
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '!') {
+        if (input_.compare(pos_, 4, "<!--") == 0) {
+          NOK_RETURN_IF_ERROR(SkipComment());
+          continue;
+        }
+        if (input_.compare(pos_, 9, "<![CDATA[") == 0) {
+          NOK_RETURN_IF_ERROR(ParseCdata(event));
+          if (event->text.empty()) continue;  // Empty CDATA: no event.
+          return Status::OK();
+        }
+        if (input_.compare(pos_, 9, "<!DOCTYPE") == 0) {
+          NOK_RETURN_IF_ERROR(SkipDoctype());
+          continue;
+        }
+        return ErrorAt("unrecognized markup declaration");
+      }
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '?') {
+        NOK_RETURN_IF_ERROR(SkipProcessingInstruction());
+        continue;
+      }
+      return ParseMarkup(event);
+    }
+    // Character data.
+    if (open_elements_.empty()) {
+      return ErrorAt("character data outside the root element");
+    }
+    NOK_RETURN_IF_ERROR(ParseText(event));
+    if (event->text.empty() ||
+        (options_.skip_whitespace_text && IsAllWhitespace(event->text))) {
+      continue;
+    }
+    return Status::OK();
+  }
+}
+
+Status SaxParser::ParseMarkup(SaxEvent* event) {
+  if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '/') {
+    return ParseEndTag(event);
+  }
+  return ParseStartTag(event);
+}
+
+Status SaxParser::ParseStartTag(SaxEvent* event) {
+  if (root_closed_) {
+    return ErrorAt("content after the root element");
+  }
+  ++pos_;  // '<'
+  event->type = SaxEvent::Type::kStartElement;
+  event->attributes.clear();
+  event->text.clear();
+  NOK_RETURN_IF_ERROR(ParseName(&event->name));
+
+  for (;;) {
+    SkipWhitespace();
+    if (pos_ >= input_.size()) return ErrorAt("unterminated start tag");
+    if (input_[pos_] == '>') {
+      ++pos_;
+      open_elements_.push_back(event->name);
+      seen_root_ = true;
+      return Status::OK();
+    }
+    if (input_[pos_] == '/') {
+      if (pos_ + 1 >= input_.size() || input_[pos_ + 1] != '>') {
+        return ErrorAt("malformed self-closing tag");
+      }
+      pos_ += 2;
+      // Synthesize the matching end-element for the next Next() call.
+      pending_self_close_ = true;
+      pending_name_ = event->name;
+      seen_root_ = true;
+      if (open_elements_.empty()) {
+        // Root is a self-closing element; root closes when the synthetic
+        // end event is delivered.
+      }
+      return Status::OK();
+    }
+    // Attribute.
+    std::string attr_name;
+    NOK_RETURN_IF_ERROR(ParseName(&attr_name));
+    SkipWhitespace();
+    if (pos_ >= input_.size() || input_[pos_] != '=') {
+      return ErrorAt("expected '=' after attribute name");
+    }
+    ++pos_;
+    SkipWhitespace();
+    if (pos_ >= input_.size() ||
+        (input_[pos_] != '"' && input_[pos_] != '\'')) {
+      return ErrorAt("expected quoted attribute value");
+    }
+    const char quote = input_[pos_++];
+    size_t start = pos_;
+    while (pos_ < input_.size() && input_[pos_] != quote) ++pos_;
+    if (pos_ >= input_.size()) {
+      return ErrorAt("unterminated attribute value");
+    }
+    NOK_ASSIGN_OR_RETURN(
+        auto decoded,
+        DecodeEntities(Slice(input_.data() + start, pos_ - start)));
+    ++pos_;  // Closing quote.
+    event->attributes.emplace_back(std::move(attr_name),
+                                   std::move(decoded));
+  }
+}
+
+Status SaxParser::ParseEndTag(SaxEvent* event) {
+  pos_ += 2;  // "</"
+  event->type = SaxEvent::Type::kEndElement;
+  event->attributes.clear();
+  event->text.clear();
+  NOK_RETURN_IF_ERROR(ParseName(&event->name));
+  SkipWhitespace();
+  if (pos_ >= input_.size() || input_[pos_] != '>') {
+    return ErrorAt("malformed end tag");
+  }
+  ++pos_;
+  if (open_elements_.empty()) {
+    return ErrorAt("end tag </" + event->name + "> with no open element");
+  }
+  if (open_elements_.back() != event->name) {
+    return ErrorAt("mismatched end tag: expected </" +
+                   open_elements_.back() + ">, found </" + event->name +
+                   ">");
+  }
+  open_elements_.pop_back();
+  if (open_elements_.empty()) root_closed_ = true;
+  return Status::OK();
+}
+
+Status SaxParser::SkipComment() {
+  size_t end = input_.find("-->", pos_ + 4);
+  if (end == std::string::npos) return ErrorAt("unterminated comment");
+  pos_ = end + 3;
+  return Status::OK();
+}
+
+Status SaxParser::SkipProcessingInstruction() {
+  size_t end = input_.find("?>", pos_ + 2);
+  if (end == std::string::npos) {
+    return ErrorAt("unterminated processing instruction");
+  }
+  pos_ = end + 2;
+  return Status::OK();
+}
+
+Status SaxParser::SkipDoctype() {
+  // Skip to the closing '>', honouring one level of [...] internal subset.
+  pos_ += 9;
+  int bracket_depth = 0;
+  while (pos_ < input_.size()) {
+    char c = input_[pos_++];
+    if (c == '[') ++bracket_depth;
+    else if (c == ']') --bracket_depth;
+    else if (c == '>' && bracket_depth == 0) return Status::OK();
+  }
+  return ErrorAt("unterminated DOCTYPE");
+}
+
+Status SaxParser::ParseCdata(SaxEvent* event) {
+  if (open_elements_.empty()) {
+    return ErrorAt("CDATA outside the root element");
+  }
+  size_t start = pos_ + 9;
+  size_t end = input_.find("]]>", start);
+  if (end == std::string::npos) return ErrorAt("unterminated CDATA");
+  event->type = SaxEvent::Type::kText;
+  event->name.clear();
+  event->attributes.clear();
+  event->text.assign(input_, start, end - start);
+  pos_ = end + 3;
+  return Status::OK();
+}
+
+Status SaxParser::ParseText(SaxEvent* event) {
+  size_t start = pos_;
+  while (pos_ < input_.size() && input_[pos_] != '<') ++pos_;
+  event->type = SaxEvent::Type::kText;
+  event->name.clear();
+  event->attributes.clear();
+  NOK_ASSIGN_OR_RETURN(
+      auto decoded,
+      DecodeEntities(Slice(input_.data() + start, pos_ - start)));
+  event->text = std::move(decoded);
+  return Status::OK();
+}
+
+}  // namespace nok

@@ -1,0 +1,91 @@
+// Pull-style SAX parser for the XML subset the experiments need.
+//
+// The parser produces a stream of events (start-element with attributes,
+// end-element, text).  It handles the XML declaration, comments,
+// processing instructions, internal DOCTYPE subsets, CDATA sections, the
+// predefined and numeric entities, and both quoting styles for
+// attributes.  It does not implement namespaces or external entities.
+//
+// The event stream is deliberately the shape of the paper's physical
+// string representation (Section 4.2): start-element = a symbol of the
+// alphabet, end-element = ')'.
+
+#ifndef NOKXML_XML_SAX_PARSER_H_
+#define NOKXML_XML_SAX_PARSER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nok {
+
+/// One SAX event.
+struct SaxEvent {
+  enum class Type {
+    kStartElement,
+    kEndElement,
+    kText,
+    kEndDocument,
+  };
+
+  Type type = Type::kEndDocument;
+  /// Element name (start/end element events).
+  std::string name;
+  /// Attributes in document order (start-element events).
+  std::vector<std::pair<std::string, std::string>> attributes;
+  /// Character data (text events), entity-decoded.
+  std::string text;
+};
+
+/// Parser behaviour knobs.
+struct SaxOptions {
+  /// Drop text events that are entirely whitespace (inter-element
+  /// formatting); default true, matching the data model of the paper.
+  bool skip_whitespace_text = true;
+};
+
+/// Pull parser over an in-memory document.
+class SaxParser {
+ public:
+  using Options = SaxOptions;
+
+  explicit SaxParser(std::string input, Options options = {});
+
+  /// Produces the next event into *event.  After the root element closes
+  /// (or for an empty document) the event is kEndDocument.  Fails with
+  /// ParseError on malformed input.
+  Status Next(SaxEvent* event);
+
+  /// Byte offset of the parse cursor (for error reporting and progress).
+  size_t offset() const { return pos_; }
+
+ private:
+  Status ParseMarkup(SaxEvent* event);
+  Status ParseStartTag(SaxEvent* event);
+  Status ParseEndTag(SaxEvent* event);
+  Status SkipComment();
+  Status SkipProcessingInstruction();
+  Status SkipDoctype();
+  Status ParseCdata(SaxEvent* event);
+  Status ParseText(SaxEvent* event);
+  Status ParseName(std::string* name);
+  void SkipWhitespace();
+  Status ErrorAt(const std::string& message) const;
+
+  std::string input_;
+  size_t pos_ = 0;
+  Options options_;
+  std::vector<std::string> open_elements_;
+  /// Set once the root element has closed; trailing content must be misc.
+  bool root_closed_ = false;
+  bool seen_root_ = false;
+  /// Pending synthetic end-element from a self-closing tag.
+  bool pending_self_close_ = false;
+  std::string pending_name_;
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_XML_SAX_PARSER_H_

@@ -1,0 +1,61 @@
+#include "xml/serializer.h"
+
+#include "xml/escape.h"
+
+namespace nok {
+
+namespace {
+
+void SerializeRec(const DomNode* node, std::string* out) {
+  out->push_back('<');
+  out->append(node->name);
+  // Attribute children first (they are stored first by construction, but
+  // be permissive about interleaving).
+  for (const auto& child : node->children) {
+    if (child->is_attribute()) {
+      out->push_back(' ');
+      out->append(child->name.substr(1));
+      out->append("=\"");
+      out->append(EscapeAttribute(child->value));
+      out->push_back('"');
+    }
+  }
+  bool has_content = !node->value.empty();
+  bool has_element_children = false;
+  for (const auto& child : node->children) {
+    if (!child->is_attribute()) {
+      has_element_children = true;
+      break;
+    }
+  }
+  if (!has_content && !has_element_children) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  if (has_content) {
+    out->append(EscapeText(node->value));
+  }
+  for (const auto& child : node->children) {
+    if (!child->is_attribute()) {
+      SerializeRec(child.get(), out);
+    }
+  }
+  out->append("</");
+  out->append(node->name);
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string SerializeNode(const DomNode* node) {
+  std::string out;
+  SerializeRec(node, &out);
+  return out;
+}
+
+std::string SerializeTree(const DomTree& tree) {
+  return SerializeNode(tree.root());
+}
+
+}  // namespace nok

@@ -1,0 +1,23 @@
+// DOM-to-text serialization (used by the data generators and round-trip
+// tests).
+
+#ifndef NOKXML_XML_SERIALIZER_H_
+#define NOKXML_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/dom.h"
+
+namespace nok {
+
+/// Serializes the subtree rooted at node to XML text.  Attribute pseudo-
+/// children ("@name") become attributes; element values become text
+/// content (emitted before the element children).
+std::string SerializeNode(const DomNode* node);
+
+/// Serializes a whole document (root element, no XML declaration).
+std::string SerializeTree(const DomTree& tree);
+
+}  // namespace nok
+
+#endif  // NOKXML_XML_SERIALIZER_H_

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/di_engine.h"
+#include "baseline/interval_encoding.h"
+#include "baseline/navigational_engine.h"
+#include "baseline/twigstack_engine.h"
+#include "common/random.h"
+#include "nok/xpath_parser.h"
+#include "tests/oracle.h"
+#include "tests/test_util.h"
+#include "xml/dom.h"
+
+namespace nok {
+namespace {
+
+constexpr const char* kBibXml =
+    "<bib>"
+    "<book year=\"1994\"><title>TCP/IP</title><author><last>Stevens"
+    "</last><first>W.</first></author><price>65.95</price></book>"
+    "<book year=\"1992\"><title>Unix</title><author><last>Stevens"
+    "</last><first>W.</first></author><price>65.95</price></book>"
+    "<book year=\"2000\"><title>Web</title><author><last>Abiteboul"
+    "</last><first>Serge</first></author><price>39.95</price></book>"
+    "</bib>";
+
+// ---------------------------------------------------------------------------
+// Interval encoding substrate.
+
+TEST(IntervalDocumentTest, BuildsNodesWithIntervals) {
+  auto doc = IntervalDocument::Build("<a><b>x</b><c/></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_EQ(doc->nodes().size(), 3u);
+  const auto& nodes = doc->nodes();
+  EXPECT_EQ(nodes[0].level, 1);
+  EXPECT_EQ(nodes[1].level, 2);
+  EXPECT_TRUE(doc->Contains(0, 1));
+  EXPECT_TRUE(doc->Contains(0, 2));
+  EXPECT_FALSE(doc->Contains(1, 2));
+  EXPECT_EQ(doc->ValueOfNode(1), "x");
+  EXPECT_EQ(doc->ValueOfNode(0), "");
+}
+
+TEST(IntervalDocumentTest, TagStreamsAndValueLookup) {
+  auto doc = IntervalDocument::Build(kBibXml);
+  ASSERT_TRUE(doc.ok());
+  auto book = doc->tags().Lookup("book");
+  ASSERT_TRUE(book.has_value());
+  EXPECT_EQ(doc->NodesWithTag(*book).size(), 3u);
+  EXPECT_EQ(doc->NodesWithValue("Stevens").size(), 2u);
+  EXPECT_TRUE(doc->NodesWithValue("absent").empty());
+  // Streams are in document order.
+  const auto& stream = doc->NodesWithTag(*book);
+  for (size_t i = 1; i < stream.size(); ++i) {
+    EXPECT_LT(doc->nodes()[stream[i - 1]].start,
+              doc->nodes()[stream[i]].start);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential harness shared by the three baselines.
+
+std::vector<std::string> Canon(const std::vector<const DomNode*>& nodes) {
+  std::vector<std::string> out;
+  for (const DomNode* n : nodes) out.push_back(DomDewey(n).ToString());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Maps interval-document node indexes to Dewey strings via the DOM (both
+/// enumerate nodes in document order).
+std::vector<std::string> CanonIndexes(const DomTree& dom,
+                                      const std::vector<uint32_t>& indexes) {
+  std::vector<const DomNode*> doc_order;
+  ForEachNode(dom.root(), [&](const DomNode* n) { doc_order.push_back(n); });
+  std::vector<std::string> out;
+  for (uint32_t i : indexes) {
+    out.push_back(DomDewey(doc_order[i]).ToString());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct Baselines {
+  DomTree dom;
+  IntervalDocument interval;
+  std::unique_ptr<DiEngine> di;
+  std::unique_ptr<TwigStackEngine> twig;
+  std::unique_ptr<NavigationalEngine> nav;
+};
+
+std::unique_ptr<Baselines> MakeBaselines(const std::string& xml) {
+  auto out = std::make_unique<Baselines>();
+  auto dom = DomTree::Parse(xml);
+  EXPECT_TRUE(dom.ok());
+  out->dom = std::move(dom).ValueOrDie();
+  auto interval = IntervalDocument::Build(xml);
+  EXPECT_TRUE(interval.ok());
+  out->interval = std::move(interval).ValueOrDie();
+  out->di = std::make_unique<DiEngine>(&out->interval);
+  out->twig = std::make_unique<TwigStackEngine>(&out->interval);
+  out->nav = std::make_unique<NavigationalEngine>(&out->dom);
+  return out;
+}
+
+void ExpectAllEnginesMatchOracle(Baselines* b, const std::string& query) {
+  auto pattern = ParseXPath(query);
+  ASSERT_TRUE(pattern.ok()) << query;
+  const auto want = Canon(OracleEvaluate(*pattern, b->dom));
+
+  auto di = b->di->Evaluate(*pattern);
+  if (di.ok()) {
+    EXPECT_EQ(CanonIndexes(b->dom, *di), want) << "DI: " << query;
+  } else {
+    EXPECT_TRUE(di.status().IsNotSupported()) << "DI: " << query;
+  }
+  auto twig = b->twig->Evaluate(*pattern);
+  if (twig.ok()) {
+    EXPECT_EQ(CanonIndexes(b->dom, *twig), want) << "TwigStack: " << query;
+  } else {
+    EXPECT_TRUE(twig.status().IsNotSupported()) << "TwigStack: " << query;
+  }
+  auto nav = b->nav->Evaluate(*pattern);
+  if (nav.ok()) {
+    EXPECT_EQ(Canon(*nav), want) << "Navigational: " << query;
+  } else {
+    EXPECT_TRUE(nav.status().IsNotSupported()) << "Navigational: " << query;
+  }
+}
+
+class BaselineBibQueries : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BaselineBibQueries, MatchOracle) {
+  auto b = MakeBaselines(kBibXml);
+  ExpectAllEnginesMatchOracle(b.get(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paperish, BaselineBibQueries,
+    ::testing::Values("/bib/book", "//book", "//last",
+                      "/bib/book/author/last",
+                      "/bib/book[author/last=\"Stevens\"]",
+                      "//book[author/last=\"Stevens\"][price<100]",
+                      "//book[price<50]/title", "//book[@year=\"2000\"]",
+                      "/bib/book[author][price]/title", "//book//first",
+                      "/bib//last", "//author[first=\"W.\"]/last",
+                      "/bib/book[title=\"Web\"]"));
+
+TEST(DiEngineTest, ReportsWorkCounters) {
+  auto b = MakeBaselines(kBibXml);
+  auto pattern = ParseXPath("/bib/book[author][price]/title");
+  ASSERT_TRUE(pattern.ok());
+  ASSERT_TRUE(b->di->Evaluate(*pattern).ok());
+  const auto& stats = b->di->last_stats();
+  // A bushy query scans the table once per pattern node and joins per
+  // step + per predicate.
+  EXPECT_GE(stats.nodes_scanned, 4 * b->interval.nodes().size());
+  EXPECT_GE(stats.joins, 4u);
+  EXPECT_GT(stats.tuples_materialized, 0u);
+}
+
+TEST(DiEngineTest, SelectivityInsensitiveScanCost) {
+  // The paper: DI does the same work regardless of result size.
+  auto b = MakeBaselines(kBibXml);
+  auto narrow = ParseXPath("/bib/book[title=\"Web\"]");
+  auto wide = ParseXPath("/bib/book");
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  ASSERT_TRUE(b->di->Evaluate(*narrow).ok());
+  const uint64_t narrow_scanned = b->di->last_stats().nodes_scanned;
+  ASSERT_TRUE(b->di->Evaluate(*wide).ok());
+  const uint64_t wide_scanned = b->di->last_stats().nodes_scanned;
+  EXPECT_GE(narrow_scanned, wide_scanned);
+}
+
+TEST(TwigStackEngineTest, CountsPathSolutions) {
+  auto b = MakeBaselines(kBibXml);
+  auto pattern = ParseXPath("//book[author/last]/title");
+  ASSERT_TRUE(pattern.ok());
+  auto r = b->twig->Evaluate(*pattern);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_GT(b->twig->last_stats().path_solutions, 0u);
+  EXPECT_GT(b->twig->last_stats().stack_pushes, 0u);
+}
+
+TEST(NavigationalEngineTest, UsesValueIndexForAnchors) {
+  auto b = MakeBaselines(kBibXml);
+  auto pattern = ParseXPath("//book[author/last=\"Stevens\"]");
+  ASSERT_TRUE(pattern.ok());
+  auto r = b->nav->Evaluate(*pattern);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_EQ(b->nav->last_stats().candidates, 2u);  // Two "Stevens" nodes.
+}
+
+// Differential fuzz across all three baselines.
+class BaselinesVsOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BaselinesVsOracle, RandomQueriesOnRandomDocuments) {
+  Random rng(GetParam());
+  for (int round = 0; round < 12; ++round) {
+    const std::string xml = testutil::RandomXml(&rng);
+    auto b = MakeBaselines(xml);
+    for (int q = 0; q < 10; ++q) {
+      const std::string query = testutil::RandomQuery(&rng);
+      if (!ParseXPath(query).ok()) continue;
+      ExpectAllEnginesMatchOracle(b.get(), query);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselinesVsOracle,
+                         ::testing::Values(51, 52, 53));
+
+}  // namespace
+}  // namespace nok

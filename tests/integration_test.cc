@@ -1,0 +1,194 @@
+// End-to-end integration: generated datasets, category queries, and all
+// four engines (NoK + three baselines) agreeing with each other.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/di_engine.h"
+#include "baseline/interval_encoding.h"
+#include "baseline/navigational_engine.h"
+#include "baseline/twigstack_engine.h"
+#include "datagen/dataset_gen.h"
+#include "datagen/query_gen.h"
+#include "datagen/usecases_corpus.h"
+#include "encoding/document_store.h"
+#include "nok/query_engine.h"
+#include "nok/xpath_parser.h"
+#include "tests/oracle.h"
+#include "xml/dom.h"
+
+namespace nok {
+namespace {
+
+GenOptions SmallScale() {
+  GenOptions options;
+  options.scale = 0.02;
+  options.seed = 7;
+  return options;
+}
+
+TEST(DatasetGenTest, ShapesMatchTable1Character) {
+  // At scale 1 the generators approximate Table 1; here check the shape
+  // *character* cheaply at small scale.
+  GenOptions options = SmallScale();
+  auto author = GenerateDataset(Dataset::kAuthor, options);
+  auto tree = DomTree::Parse(author.xml);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  // Mostly depth 3 (authors/author/leaf); the planted marker chain
+  // authors/author/award/prize/medal caps it at 5.
+  EXPECT_LE(tree->max_depth(), 5);
+  EXPECT_LE(tree->distinct_tags(), 10u);
+
+  auto treebank = GenerateDataset(Dataset::kTreebank, options);
+  auto tb = DomTree::Parse(treebank.xml);
+  ASSERT_TRUE(tb.ok()) << tb.status().ToString();
+  EXPECT_GT(tb->max_depth(), 10);        // Deep.
+  EXPECT_GT(tb->distinct_tags(), 60u);   // Large alphabet.
+
+  auto catalog = GenerateDataset(Dataset::kCatalog, options);
+  auto cat = DomTree::Parse(catalog.xml);
+  ASSERT_TRUE(cat.ok());
+  EXPECT_GE(cat->max_depth(), 5);
+  EXPECT_LE(cat->max_depth(), 8);
+}
+
+TEST(DatasetGenTest, PlantedNeedleCountsAreExact) {
+  GenOptions options = SmallScale();
+  for (Dataset dataset : AllDatasets()) {
+    auto ds = GenerateDataset(dataset, options);
+    auto tree = DomTree::Parse(ds.xml);
+    ASSERT_TRUE(tree.ok()) << ds.name;
+    size_t hi = 0, mod = 0, low = 0;
+    ForEachNode(tree->root(), [&](const DomNode* n) {
+      if (n->value == ds.needle_hi_a) ++hi;
+      if (n->value == ds.needle_mod_a) ++mod;
+      if (n->value == ds.needle_low_a) ++low;
+    });
+    EXPECT_EQ(hi, ds.count_hi) << ds.name;
+    EXPECT_EQ(mod, ds.count_mod - ds.count_hi) << ds.name;
+    EXPECT_EQ(low, ds.count_low - ds.count_mod) << ds.name;
+  }
+}
+
+TEST(QueryGenTest, TwelveCategoriesParse) {
+  auto ds = GenerateDataset(Dataset::kAuthor, SmallScale());
+  auto queries = QueriesForDataset(ds);
+  ASSERT_EQ(queries.size(), 12u);
+  for (const auto& q : queries) {
+    EXPECT_TRUE(ParseXPath(q.xpath).ok()) << q.id << ": " << q.xpath;
+  }
+  auto variants = DescendantVariants(queries, 1);
+  ASSERT_EQ(variants.size(), 12u);
+  for (const auto& q : variants) {
+    EXPECT_TRUE(ParseXPath(q.xpath).ok()) << q.id << ": " << q.xpath;
+    EXPECT_NE(q.xpath.find("//"), std::string::npos) << q.xpath;
+  }
+}
+
+TEST(QueryGenTest, SelectivityClassesHold) {
+  auto ds = GenerateDataset(Dataset::kAuthor, GenOptions{.scale = 0.5,
+                                                         .seed = 3});
+  auto store = DocumentStore::Build(ds.xml, DocumentStore::Options());
+  ASSERT_TRUE(store.ok());
+  QueryEngine engine(store->get());
+  for (const auto& q : QueriesForDataset(ds)) {
+    auto r = engine.Evaluate(q.xpath);
+    ASSERT_TRUE(r.ok()) << q.xpath;
+    const size_t n = r->size();
+    switch (q.category[0]) {
+      case 'h':
+        EXPECT_LE(n, 9u) << q.id << " " << q.xpath;
+        EXPECT_GE(n, 1u) << q.id << " " << q.xpath;
+        break;
+      case 'm':
+        EXPECT_GT(n, 9u) << q.id << " " << q.xpath;
+        EXPECT_LT(n, 100u) << q.id << " " << q.xpath;
+        break;
+      case 'l':
+        EXPECT_GE(n, 100u) << q.id << " " << q.xpath;
+        break;
+      default:
+        FAIL() << q.category;
+    }
+  }
+}
+
+class DatasetEngines : public ::testing::TestWithParam<Dataset> {};
+
+TEST_P(DatasetEngines, AllFourEnginesAgreeOnCategories) {
+  auto ds = GenerateDataset(GetParam(), SmallScale());
+  auto store = DocumentStore::Build(ds.xml, DocumentStore::Options());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  QueryEngine engine(store->get());
+  auto dom = DomTree::Parse(ds.xml);
+  ASSERT_TRUE(dom.ok());
+  auto interval = IntervalDocument::Build(ds.xml);
+  ASSERT_TRUE(interval.ok());
+  DiEngine di(&*interval);
+  TwigStackEngine twig(&*interval);
+  NavigationalEngine nav(&*dom);
+
+  std::vector<const DomNode*> doc_order;
+  ForEachNode(dom->root(),
+              [&](const DomNode* n) { doc_order.push_back(n); });
+
+  auto queries = QueriesForDataset(ds);
+  auto variants = DescendantVariants(queries, 5);
+  queries.insert(queries.end(), variants.begin(), variants.end());
+  for (const auto& q : queries) {
+    auto pattern = ParseXPath(q.xpath);
+    ASSERT_TRUE(pattern.ok()) << q.xpath;
+
+    auto nok_r = engine.Evaluate(q.xpath);
+    ASSERT_TRUE(nok_r.ok()) << q.xpath;
+    std::vector<std::string> nok_s;
+    for (const auto& d : *nok_r) nok_s.push_back(d.ToString());
+
+    auto di_r = di.Evaluate(*pattern);
+    ASSERT_TRUE(di_r.ok()) << q.xpath;
+    std::vector<std::string> di_s;
+    for (uint32_t i : *di_r) di_s.push_back(DomDewey(doc_order[i]).ToString());
+    EXPECT_EQ(nok_s, di_s) << "DI " << q.id << " " << q.xpath;
+
+    auto twig_r = twig.Evaluate(*pattern);
+    ASSERT_TRUE(twig_r.ok()) << q.xpath;
+    std::vector<std::string> twig_s;
+    for (uint32_t i : *twig_r) {
+      twig_s.push_back(DomDewey(doc_order[i]).ToString());
+    }
+    EXPECT_EQ(nok_s, twig_s) << "TwigStack " << q.id << " " << q.xpath;
+
+    auto nav_r = nav.Evaluate(*pattern);
+    ASSERT_TRUE(nav_r.ok()) << q.xpath;
+    std::vector<std::string> nav_s;
+    for (const DomNode* n : *nav_r) nav_s.push_back(DomDewey(n).ToString());
+    EXPECT_EQ(nok_s, nav_s) << "Nav " << q.id << " " << q.xpath;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetEngines,
+                         ::testing::ValuesIn(AllDatasets()),
+                         [](const auto& info) {
+                           return std::string(DatasetName(info.param));
+                         });
+
+TEST(UseCasesCorpusTest, ParsesAndReproducesAxisRatio) {
+  const auto& corpus = UseCasesPathCorpus();
+  EXPECT_GE(corpus.size(), 35u);
+  int child = 0, global = 0;
+  for (const std::string& expr : corpus) {
+    auto stats = CollectAxisStats(expr);
+    ASSERT_TRUE(stats.ok()) << expr;
+    child += stats->child_steps + stats->following_sibling_steps;
+    global += stats->descendant_steps + stats->following_steps;
+  }
+  // The paper's Section 1 claim: roughly 2/3 local vs 1/3 global.
+  const double local_fraction =
+      static_cast<double>(child) / static_cast<double>(child + global);
+  EXPECT_GT(local_fraction, 0.55);
+  EXPECT_LT(local_fraction, 0.85);
+}
+
+}  // namespace
+}  // namespace nok

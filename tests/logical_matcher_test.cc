@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "nok/logical_matcher.h"
+#include "nok/nok_partition.h"
+#include "nok/tree_cursor.h"
+#include "nok/xpath_parser.h"
+#include "tests/oracle.h"
+#include "tests/test_util.h"
+
+namespace nok {
+namespace {
+
+/// Runs the single-NoK-tree matcher (DOM cursor) on a rooted query and
+/// returns the returning node's matches as Dewey strings.
+std::vector<std::string> MatchRooted(const std::string& xpath,
+                                     const std::string& xml) {
+  auto pattern = ParseXPath(xpath);
+  EXPECT_TRUE(pattern.ok()) << pattern.status().ToString();
+  const NokPartition partition = PartitionPattern(*pattern);
+  EXPECT_EQ(partition.trees.size(), 1u)
+      << "MatchRooted needs a pure-local query: " << xpath;
+  auto tree = DomTree::Parse(xml);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+
+  DomCursor cursor(&*tree);
+  NokMatcher<DomCursor> matcher(&partition.trees[0], &cursor,
+                                ComputeDesignated(partition, 0));
+  NokMatcher<DomCursor>::MatchLists lists(partition.trees[0].nodes.size());
+  auto ok = matcher.Match(cursor.VirtualRoot(), &lists);
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+  std::vector<std::string> out;
+  if (*ok) {
+    const int rn = partition.trees[0].returning_node;
+    for (const DomNode* node : lists[static_cast<size_t>(rn)]) {
+      out.push_back(DomDewey(node).ToString());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(LogicalMatcherTest, MatchesSimpleChildren) {
+  const std::string xml = "<a><b/><b/><c/></a>";
+  EXPECT_EQ(MatchRooted("/a/b", xml),
+            (std::vector<std::string>{"0.0", "0.1"}));
+  EXPECT_EQ(MatchRooted("/a/c", xml), (std::vector<std::string>{"0.2"}));
+  EXPECT_TRUE(MatchRooted("/a/d", xml).empty());
+  EXPECT_TRUE(MatchRooted("/x/b", xml).empty());
+}
+
+TEST(LogicalMatcherTest, ValueConstraints) {
+  const std::string xml =
+      "<a><b><c>hi</c></b><b><c>lo</c></b><b><c>hi</c></b></a>";
+  EXPECT_EQ(MatchRooted("/a/b[c=\"hi\"]", xml),
+            (std::vector<std::string>{"0.0", "0.2"}));
+  EXPECT_EQ(MatchRooted("/a/b/c[.=\"lo\"]", xml),
+            (std::vector<std::string>{"0.1.0"}));
+}
+
+TEST(LogicalMatcherTest, SharedWitnessForPredicates) {
+  // XPath existential semantics: one child may witness two predicates.
+  const std::string xml = "<a><b><c/><d/></b></a>";
+  EXPECT_EQ(MatchRooted("/a/b[c][d]", xml),
+            (std::vector<std::string>{"0.0"}));
+  EXPECT_EQ(MatchRooted("/a[b/c][b/d]", xml),
+            (std::vector<std::string>{"0"}));
+}
+
+TEST(LogicalMatcherTest, PaperExampleTwoBranches) {
+  // The paper's /a[b/c][b/d] discussion (Section 3): both branches must
+  // match, possibly via different b children.
+  const std::string xml = "<a><b><c/></b><b><d/></b></a>";
+  EXPECT_EQ(MatchRooted("/a[b/c][b/d]", xml),
+            (std::vector<std::string>{"0"}));
+  const std::string xml_missing = "<a><b><c/></b><b><c/></b></a>";
+  EXPECT_TRUE(MatchRooted("/a[b/c][b/d]", xml_missing).empty());
+}
+
+TEST(LogicalMatcherTest, ReturningNodeCollectsAllMatches) {
+  const std::string xml =
+      "<a><b><e/></b><b><e/><e/></b><c><e/></c></a>";
+  EXPECT_EQ(MatchRooted("/a/b/e", xml),
+            (std::vector<std::string>{"0.0.0", "0.1.0", "0.1.1"}));
+}
+
+TEST(LogicalMatcherTest, SiblingOrderConstraints) {
+  const std::string in_order = "<a><b/><c/></a>";
+  const std::string out_of_order = "<a><c/><b/></a>";
+  const std::string same_only = "<a><b/></a>";
+  EXPECT_EQ(MatchRooted("/a/b/following-sibling::c", in_order),
+            (std::vector<std::string>{"0.1"}));
+  EXPECT_TRUE(
+      MatchRooted("/a/b/following-sibling::c", out_of_order).empty());
+  EXPECT_TRUE(MatchRooted("/a/b/following-sibling::c", same_only).empty());
+  // Strictness: the same node cannot witness both sides.
+  EXPECT_TRUE(MatchRooted("/a/b/following-sibling::b", same_only).empty());
+  EXPECT_EQ(MatchRooted("/a/b/following-sibling::b", "<a><b/><b/></a>"),
+            (std::vector<std::string>{"0.1"}));
+}
+
+TEST(LogicalMatcherTest, WildcardSteps) {
+  const std::string xml = "<a><b><x/></b><c><x/></c></a>";
+  EXPECT_EQ(MatchRooted("/a/*/x", xml),
+            (std::vector<std::string>{"0.0.0", "0.1.0"}));
+}
+
+TEST(LogicalMatcherTest, AttributeNodes) {
+  const std::string xml = "<a><b k=\"1\"/><b k=\"2\"/></a>";
+  EXPECT_EQ(MatchRooted("/a/b[@k=\"2\"]", xml),
+            (std::vector<std::string>{"0.1"}));
+  EXPECT_EQ(MatchRooted("/a/b/@k", xml),
+            (std::vector<std::string>{"0.0.0", "0.1.0"}));
+}
+
+// Differential property test against the brute-force oracle, restricted
+// to rooted (single-NoK-tree) queries.
+class MatcherVsOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatcherVsOracle, RandomRootedQueries) {
+  Random rng(GetParam());
+  int checked = 0;
+  for (int round = 0; round < 60; ++round) {
+    const std::string xml = testutil::RandomXml(&rng);
+    auto tree = DomTree::Parse(xml);
+    ASSERT_TRUE(tree.ok());
+    // Build a rooted random query: child steps only at the top level so
+    // the partition stays a single tree.
+    std::string query = "/" + tree->root()->name;
+    Random qrng(rng.Next());
+    for (int s = 0; s < 2; ++s) {
+      query += "/" + std::string(1, static_cast<char>('a' + qrng.Uniform(5)));
+    }
+    if (qrng.Bernoulli(0.5)) {
+      query.insert(query.find('/', 1), std::string("[") +
+                                           static_cast<char>(
+                                               'a' + qrng.Uniform(5)) +
+                                           "]");
+    }
+    auto pattern = ParseXPath(query);
+    ASSERT_TRUE(pattern.ok()) << query;
+    if (PartitionPattern(*pattern).trees.size() != 1) continue;
+
+    auto got = MatchRooted(query, xml);
+    std::vector<std::string> want;
+    for (const DomNode* node : OracleEvaluate(*pattern, *tree)) {
+      want.push_back(DomDewey(node).ToString());
+    }
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << query << "\n" << xml;
+    ++checked;
+  }
+  EXPECT_GT(checked, 30);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherVsOracle,
+                         ::testing::Values(100, 200, 300));
+
+}  // namespace
+}  // namespace nok

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "nok/nok_partition.h"
+#include "nok/xpath_parser.h"
+
+namespace nok {
+namespace {
+
+NokPartition Partition(const std::string& xpath, PatternTree* keep) {
+  auto tree = ParseXPath(xpath);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  *keep = std::move(tree).ValueOrDie();
+  return PartitionPattern(*keep);
+}
+
+TEST(NokPartitionTest, PureLocalQueryIsOneTree) {
+  PatternTree pattern;
+  auto p = Partition("/a/b[c][d=\"x\"]/e", &pattern);
+  ASSERT_EQ(p.trees.size(), 1u);
+  EXPECT_TRUE(p.arcs.empty());
+  EXPECT_EQ(p.returning_tree, 0);
+  EXPECT_TRUE(p.trees[0].root_is_doc_root);
+  // root + a + b + c + d + e = 6 nodes.
+  EXPECT_EQ(p.trees[0].nodes.size(), 6u);
+  EXPECT_GE(p.trees[0].returning_node, 0);
+  EXPECT_EQ(p.trees[0]
+                .nodes[static_cast<size_t>(p.trees[0].returning_node)]
+                .pattern->tag,
+            "e");
+}
+
+TEST(NokPartitionTest, DescendantStepsSplit) {
+  PatternTree pattern;
+  auto p = Partition("/a//b/c", &pattern);
+  ASSERT_EQ(p.trees.size(), 2u);
+  ASSERT_EQ(p.arcs.size(), 1u);
+  EXPECT_EQ(p.arcs[0].from_tree, 0);
+  EXPECT_EQ(p.arcs[0].to_tree, 1);
+  EXPECT_EQ(p.arcs[0].axis, Axis::kDescendant);
+  // Tree 0: root + a; tree 1: b + c.
+  EXPECT_EQ(p.trees[0].nodes.size(), 2u);
+  EXPECT_EQ(p.trees[1].nodes.size(), 2u);
+  EXPECT_EQ(p.returning_tree, 1);
+  // The arc leaves the 'a' node (local index 1 in tree 0).
+  EXPECT_EQ(p.arcs[0].from_node, 1);
+}
+
+TEST(NokPartitionTest, LeadingDescendant) {
+  PatternTree pattern;
+  auto p = Partition("//book[price]", &pattern);
+  ASSERT_EQ(p.trees.size(), 2u);
+  EXPECT_EQ(p.trees[0].nodes.size(), 1u);  // Just the virtual root.
+  EXPECT_TRUE(p.trees[0].root_is_doc_root);
+  EXPECT_EQ(p.trees[1].nodes[0].pattern->tag, "book");
+  EXPECT_EQ(p.trees[1].returning_node, 0);
+}
+
+TEST(NokPartitionTest, MultipleArcsFormTree) {
+  PatternTree pattern;
+  auto p = Partition("/a[b//c]//d[e]//f", &pattern);
+  // Trees: {root,a,b}, {c}, {d,e}, {f}.
+  ASSERT_EQ(p.trees.size(), 4u);
+  ASSERT_EQ(p.arcs.size(), 3u);
+  // Every non-zero tree has exactly one incoming arc.
+  for (size_t t = 1; t < p.trees.size(); ++t) {
+    EXPECT_NE(p.ArcInto(static_cast<int>(t)), nullptr) << t;
+  }
+  EXPECT_EQ(p.ArcInto(0), nullptr);
+  // The returning tree holds 'f'.
+  const NokTree& rt = p.trees[static_cast<size_t>(p.returning_tree)];
+  EXPECT_EQ(rt.nodes[static_cast<size_t>(rt.returning_node)].pattern->tag,
+            "f");
+}
+
+TEST(NokPartitionTest, FollowingAxisIsGlobal) {
+  PatternTree pattern;
+  auto p = Partition("/a/b/following::c", &pattern);
+  ASSERT_EQ(p.trees.size(), 2u);
+  ASSERT_EQ(p.arcs.size(), 1u);
+  EXPECT_EQ(p.arcs[0].axis, Axis::kFollowing);
+}
+
+TEST(NokPartitionTest, SiblingOrderStaysLocal) {
+  PatternTree pattern;
+  auto p = Partition("/a/b/following-sibling::c", &pattern);
+  ASSERT_EQ(p.trees.size(), 1u);
+  const NokTree& tree = p.trees[0];
+  // Find the 'a' node and check its order constraint.
+  bool found = false;
+  for (const NokNode& node : tree.nodes) {
+    if (!node.sibling_order.empty()) {
+      EXPECT_EQ(node.pattern->tag, "a");
+      EXPECT_EQ(node.sibling_order[0], std::make_pair(0, 1));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NokPartitionTest, DepthOfComputesLevels) {
+  PatternTree pattern;
+  auto p = Partition("/a/b[c/d]", &pattern);
+  const NokTree& tree = p.trees[0];
+  // Pre-order: root(0) a(1) b(2) c(3) d(4).
+  EXPECT_EQ(tree.DepthOf(0), 1);
+  EXPECT_EQ(tree.DepthOf(1), 2);
+  EXPECT_EQ(tree.DepthOf(2), 3);
+  EXPECT_EQ(tree.DepthOf(3), 4);
+  EXPECT_EQ(tree.DepthOf(4), 5);
+}
+
+TEST(NokPartitionTest, ArcsFromEnumeratesBranches) {
+  PatternTree pattern;
+  auto p = Partition("/a[.//b][.//c]", &pattern);
+  ASSERT_EQ(p.trees.size(), 3u);
+  EXPECT_EQ(p.ArcsFrom(0).size(), 2u);
+  EXPECT_EQ(p.returning_tree, 0);  // 'a' itself returns.
+}
+
+}  // namespace
+}  // namespace nok

@@ -1,0 +1,167 @@
+#include "tests/oracle.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "nok/xpath_parser.h"
+
+namespace nok {
+
+namespace {
+
+/// One satisfiability check: is the pattern satisfiable over the document
+/// with the returning node bound to `target`?
+class SatChecker {
+ public:
+  SatChecker(const DomTree& tree, const DomNode* target)
+      : tree_(tree), target_(target) {
+    ForEachNode(tree.root(), [&](const DomNode* n) {
+      doc_order_.push_back(n);
+    });
+  }
+
+  bool Check() {
+    // The virtual root: its single "child relation" target is the root.
+    return CheckNode(nullptr, VirtualPattern(), true);
+  }
+
+  /// Entry: does `node` (nullptr = virtual root) satisfy `pattern`'s
+  /// subtree, honouring the returning-node binding?
+  bool CheckNode(const DomNode* node, const PatternNode* pattern,
+                 bool is_virtual) {
+    if (pattern->is_returning && node != target_) return false;
+    if (pattern->is_doc_root) {
+      if (!is_virtual) return false;
+    } else {
+      if (is_virtual) return false;
+      if (!pattern->wildcard && pattern->tag != node->name) return false;
+      if (pattern->predicate.active() &&
+          (node->value.empty() ||
+           !EvalValuePredicate(pattern->predicate, node->value))) {
+        return false;
+      }
+    }
+    // Backtracking assignment of witnesses to children.
+    return AssignChildren(node, pattern, is_virtual, 0,
+                          std::vector<const DomNode*>(
+                              pattern->children.size(), nullptr));
+  }
+
+ private:
+  const PatternNode* VirtualPattern() { return pattern_root_; }
+
+ public:
+  void set_pattern_root(const PatternNode* root) { pattern_root_ = root; }
+
+ private:
+  /// Candidate witnesses for child `c` of `node` under the child's axis.
+  std::vector<const DomNode*> Candidates(const DomNode* node,
+                                         bool is_virtual,
+                                         const PatternNode* child) {
+    std::vector<const DomNode*> out;
+    switch (child->incoming) {
+      case Axis::kChild:
+      case Axis::kFollowingSibling:  // Tree edge; ordering checked later.
+        if (is_virtual) {
+          out.push_back(tree_.root());
+        } else {
+          for (const auto& c : node->children) out.push_back(c.get());
+        }
+        break;
+      case Axis::kDescendant:
+        if (is_virtual) {
+          out = doc_order_;
+        } else {
+          for (const DomNode* d : doc_order_) {
+            if (node->start < d->start && d->end < node->end) {
+              out.push_back(d);
+            }
+          }
+        }
+        break;
+      case Axis::kFollowing:
+        if (!is_virtual) {
+          for (const DomNode* d : doc_order_) {
+            if (d->start > node->end) out.push_back(d);
+          }
+        }
+        break;
+      case Axis::kPreceding:
+        if (!is_virtual) {
+          for (const DomNode* d : doc_order_) {
+            if (d->end < node->start) out.push_back(d);
+          }
+        }
+        break;
+    }
+    return out;
+  }
+
+  bool AssignChildren(const DomNode* node, const PatternNode* pattern,
+                      bool is_virtual, size_t index,
+                      std::vector<const DomNode*> chosen) {
+    if (index == pattern->children.size()) {
+      // All chosen; verify sibling-order constraints.
+      for (auto [a, b] : pattern->sibling_order) {
+        const DomNode* wa = chosen[static_cast<size_t>(a)];
+        const DomNode* wb = chosen[static_cast<size_t>(b)];
+        if (wa->parent != wb->parent || wa->start >= wb->start) {
+          return false;
+        }
+      }
+      return true;
+    }
+    const PatternNode* child = pattern->children[index].get();
+    for (const DomNode* witness : Candidates(node, is_virtual, child)) {
+      if (!CheckNode(witness, child, false)) continue;
+      chosen[index] = witness;
+      if (AssignChildren(node, pattern, is_virtual, index + 1, chosen)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const DomTree& tree_;
+  const DomNode* target_;
+  std::vector<const DomNode*> doc_order_;
+  const PatternNode* pattern_root_ = nullptr;
+};
+
+}  // namespace
+
+std::vector<const DomNode*> OracleEvaluate(const PatternTree& pattern,
+                                           const DomTree& tree) {
+  std::vector<const DomNode*> out;
+  ForEachNode(tree.root(), [&](const DomNode* candidate) {
+    SatChecker checker(tree, candidate);
+    checker.set_pattern_root(pattern.root());
+    if (checker.Check()) out.push_back(candidate);
+  });
+  std::sort(out.begin(), out.end(),
+            [](const DomNode* a, const DomNode* b) {
+              return a->start < b->start;
+            });
+  return out;
+}
+
+DeweyId DomDewey(const DomNode* node) {
+  std::vector<uint32_t> components;
+  for (const DomNode* n = node; n != nullptr; n = n->parent) {
+    components.push_back(n->parent == nullptr ? 0 : n->child_index);
+  }
+  std::reverse(components.begin(), components.end());
+  return DeweyId(std::move(components));
+}
+
+Result<std::vector<DeweyId>> OracleEvaluateDewey(const std::string& xpath,
+                                                 const DomTree& tree) {
+  NOK_ASSIGN_OR_RETURN(auto pattern, ParseXPath(xpath));
+  std::vector<DeweyId> out;
+  for (const DomNode* node : OracleEvaluate(pattern, tree)) {
+    out.push_back(DomDewey(node));
+  }
+  return out;
+}
+
+}  // namespace nok

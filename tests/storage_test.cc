@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "storage/buffer_pool.h"
+#include "storage/file.h"
+#include "storage/pager.h"
+
+namespace nok {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("nokxml_storage_test_" + name + "_" +
+           std::to_string(::getpid())))
+      .string();
+}
+
+// ---------------------------------------------------------------------------
+// File.
+
+class FileKinds : public ::testing::TestWithParam<bool> {
+ protected:
+  std::unique_ptr<File> Make() {
+    if (GetParam()) {
+      path_ = TempPath("file");
+      RemoveFile(path_).ok();
+      auto r = OpenPosixFile(path_, /*create=*/true);
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      return std::move(r).ValueOrDie();
+    }
+    return NewMemFile();
+  }
+  void TearDown() override {
+    if (!path_.empty()) RemoveFile(path_).ok();
+  }
+  std::string path_;
+};
+
+TEST_P(FileKinds, AppendReadWrite) {
+  auto file = Make();
+  EXPECT_EQ(file->Size(), 0u);
+  uint64_t off = 0;
+  ASSERT_TRUE(file->Append(Slice("hello "), &off).ok());
+  EXPECT_EQ(off, 0u);
+  ASSERT_TRUE(file->Append(Slice("world"), &off).ok());
+  EXPECT_EQ(off, 6u);
+  EXPECT_EQ(file->Size(), 11u);
+
+  char buf[16];
+  Slice out;
+  ASSERT_TRUE(file->ReadAt(0, 11, buf, &out).ok());
+  EXPECT_EQ(out.ToString(), "hello world");
+  ASSERT_TRUE(file->WriteAt(6, Slice("earth")).ok());
+  ASSERT_TRUE(file->ReadAt(6, 5, buf, &out).ok());
+  EXPECT_EQ(out.ToString(), "earth");
+}
+
+TEST_P(FileKinds, ReadPastEndFails) {
+  auto file = Make();
+  uint64_t off;
+  ASSERT_TRUE(file->Append(Slice("abc"), &off).ok());
+  char buf[8];
+  Slice out;
+  EXPECT_FALSE(file->ReadAt(1, 5, buf, &out).ok());
+}
+
+TEST_P(FileKinds, WriteBeyondEndExtends) {
+  auto file = Make();
+  ASSERT_TRUE(file->WriteAt(10, Slice("xy")).ok());
+  EXPECT_EQ(file->Size(), 12u);
+}
+
+TEST_P(FileKinds, TruncateShrinks) {
+  auto file = Make();
+  uint64_t off;
+  ASSERT_TRUE(file->Append(Slice("0123456789"), &off).ok());
+  ASSERT_TRUE(file->Truncate(4).ok());
+  EXPECT_EQ(file->Size(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(MemAndPosix, FileKinds,
+                         ::testing::Values(false, true));
+
+TEST(FileTest, ReadWriteStringHelpers) {
+  const std::string path = TempPath("helpers");
+  ASSERT_TRUE(WriteStringToFile(path, Slice("payload")).ok());
+  EXPECT_TRUE(FileExists(path));
+  std::string got;
+  ASSERT_TRUE(ReadFileToString(path, &got).ok());
+  EXPECT_EQ(got, "payload");
+  ASSERT_TRUE(RemoveFile(path).ok());
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_TRUE(RemoveFile(path).ok());  // Idempotent.
+}
+
+// ---------------------------------------------------------------------------
+// Pager.
+
+TEST(PagerTest, AllocateReadWrite) {
+  Pager pager(NewMemFile(), 256);
+  EXPECT_EQ(pager.page_count(), 0u);
+  PageId a, b;
+  ASSERT_TRUE(pager.AllocatePage(&a).ok());
+  ASSERT_TRUE(pager.AllocatePage(&b).ok());
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(pager.SizeBytes(), 512u);
+
+  std::string page(256, 'x');
+  ASSERT_TRUE(pager.WritePage(b, page.data()).ok());
+  std::string readback(256, '\0');
+  ASSERT_TRUE(pager.ReadPage(b, readback.data()).ok());
+  EXPECT_EQ(readback, page);
+  // Fresh pages are zeroed.
+  ASSERT_TRUE(pager.ReadPage(a, readback.data()).ok());
+  EXPECT_EQ(readback, std::string(256, '\0'));
+}
+
+TEST(PagerTest, OutOfRangeRejected) {
+  Pager pager(NewMemFile(), 256);
+  std::string buf(256, '\0');
+  EXPECT_TRUE(pager.ReadPage(0, buf.data()).IsOutOfRange());
+  EXPECT_TRUE(pager.WritePage(3, buf.data()).IsOutOfRange());
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool.
+
+TEST(BufferPoolTest, HitAndMissCounting) {
+  Pager pager(NewMemFile(), 128);
+  PageId p0, p1;
+  ASSERT_TRUE(pager.AllocatePage(&p0).ok());
+  ASSERT_TRUE(pager.AllocatePage(&p1).ok());
+  BufferPool pool(&pager, 4);
+
+  {
+    auto h = pool.Fetch(p0);
+    ASSERT_TRUE(h.ok());
+  }
+  {
+    auto h = pool.Fetch(p0);
+    ASSERT_TRUE(h.ok());
+  }
+  EXPECT_EQ(pool.stats().fetches, 2u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().disk_reads, 1u);
+}
+
+TEST(BufferPoolTest, DirtyPagesWrittenBackOnEviction) {
+  Pager pager(NewMemFile(), 128);
+  std::vector<PageId> pages(4);
+  for (auto& p : pages) ASSERT_TRUE(pager.AllocatePage(&p).ok());
+  BufferPool pool(&pager, 2);
+
+  {
+    auto h = pool.Fetch(pages[0]);
+    ASSERT_TRUE(h.ok());
+    h->mutable_data()[0] = 'Z';
+    h->MarkDirty();
+  }
+  // Force eviction of pages[0] by touching two more pages.
+  { auto h = pool.Fetch(pages[1]); ASSERT_TRUE(h.ok()); }
+  { auto h = pool.Fetch(pages[2]); ASSERT_TRUE(h.ok()); }
+  EXPECT_GE(pool.stats().evictions, 1u);
+  EXPECT_GE(pool.stats().disk_writes, 1u);
+
+  std::string buf(128, '\0');
+  ASSERT_TRUE(pager.ReadPage(pages[0], buf.data()).ok());
+  EXPECT_EQ(buf[0], 'Z');
+}
+
+TEST(BufferPoolTest, AllPinnedExhaustsCapacity) {
+  Pager pager(NewMemFile(), 128);
+  std::vector<PageId> pages(3);
+  for (auto& p : pages) ASSERT_TRUE(pager.AllocatePage(&p).ok());
+  BufferPool pool(&pager, 2);
+
+  auto h0 = pool.Fetch(pages[0]);
+  auto h1 = pool.Fetch(pages[1]);
+  ASSERT_TRUE(h0.ok());
+  ASSERT_TRUE(h1.ok());
+  auto h2 = pool.Fetch(pages[2]);
+  EXPECT_FALSE(h2.ok());
+  h0->Release();
+  auto h3 = pool.Fetch(pages[2]);
+  EXPECT_TRUE(h3.ok());
+}
+
+TEST(BufferPoolTest, DecorationSurvivesWhileCachedAndDropsOnEvict) {
+  Pager pager(NewMemFile(), 128);
+  std::vector<PageId> pages(3);
+  for (auto& p : pages) ASSERT_TRUE(pager.AllocatePage(&p).ok());
+  BufferPool pool(&pager, 2);
+
+  {
+    auto h = pool.Fetch(pages[0]);
+    ASSERT_TRUE(h.ok());
+    h->set_decoration(std::make_shared<int>(99));
+  }
+  {
+    auto h = pool.Fetch(pages[0]);
+    ASSERT_TRUE(h.ok());
+    auto deco = std::static_pointer_cast<int>(h->decoration());
+    ASSERT_NE(deco, nullptr);
+    EXPECT_EQ(*deco, 99);
+  }
+  // Evict pages[0].
+  { auto h = pool.Fetch(pages[1]); ASSERT_TRUE(h.ok()); }
+  { auto h = pool.Fetch(pages[2]); ASSERT_TRUE(h.ok()); }
+  {
+    auto h = pool.Fetch(pages[0]);
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h->decoration(), nullptr);
+  }
+}
+
+TEST(BufferPoolTest, DropAllFlushesAndClears) {
+  Pager pager(NewMemFile(), 128);
+  PageId p0;
+  ASSERT_TRUE(pager.AllocatePage(&p0).ok());
+  BufferPool pool(&pager, 4);
+  {
+    auto h = pool.Fetch(p0);
+    ASSERT_TRUE(h.ok());
+    h->mutable_data()[5] = 'Q';
+    h->MarkDirty();
+  }
+  ASSERT_TRUE(pool.DropAll().ok());
+  pool.ResetStats();
+  {
+    auto h = pool.Fetch(p0);
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h->data()[5], 'Q');
+  }
+  EXPECT_EQ(pool.stats().disk_reads, 1u);  // Really came from disk again.
+}
+
+TEST(BufferPoolTest, MoveHandleTransfersPin) {
+  Pager pager(NewMemFile(), 128);
+  PageId p0;
+  ASSERT_TRUE(pager.AllocatePage(&p0).ok());
+  BufferPool pool(&pager, 1);
+  auto h = pool.Fetch(p0);
+  ASSERT_TRUE(h.ok());
+  PageHandle moved = std::move(h).ValueOrDie();
+  EXPECT_TRUE(moved.valid());
+  moved.Release();
+  EXPECT_FALSE(moved.valid());
+  // After release the frame is evictable again.
+  auto h2 = pool.Fetch(p0);
+  EXPECT_TRUE(h2.ok());
+}
+
+}  // namespace
+}  // namespace nok

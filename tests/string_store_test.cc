@@ -1,0 +1,410 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/random.h"
+#include "encoding/string_store.h"
+#include "encoding/tag_dictionary.h"
+#include "storage/file.h"
+#include "tests/test_util.h"
+#include "xml/dom.h"
+
+namespace nok {
+namespace {
+
+/// A string store built from a DOM tree, plus the tag mapping.
+struct BuiltStore {
+  std::unique_ptr<StringStore> store;
+  TagDictionary tags;
+
+  TagId Tag(const std::string& name) {
+    auto id = tags.Lookup(name);
+    return id.has_value() ? *id : kInvalidTag;
+  }
+};
+
+Status BuildFromDom(const DomTree& tree, StringStore::Options options,
+                    BuiltStore* out) {
+  StringStore::Builder builder(NewMemFile(), options);
+  std::function<Status(const DomNode*)> emit =
+      [&](const DomNode* node) -> Status {
+    NOK_ASSIGN_OR_RETURN(TagId tag, out->tags.Intern(node->name));
+    NOK_RETURN_IF_ERROR(builder.Open(tag));
+    for (const auto& child : node->children) {
+      NOK_RETURN_IF_ERROR(emit(child.get()));
+    }
+    return builder.Close();
+  };
+  NOK_RETURN_IF_ERROR(emit(tree.root()));
+  NOK_ASSIGN_OR_RETURN(out->store, builder.Finish());
+  return Status::OK();
+}
+
+Status Build(const std::string& xml, uint32_t page_size, bool header_skip,
+             BuiltStore* out) {
+  NOK_ASSIGN_OR_RETURN(auto tree, DomTree::Parse(xml));
+  StringStore::Options options;
+  options.page_size = page_size;
+  options.reserve_ratio = 0.2;
+  options.use_header_skip = header_skip;
+  return BuildFromDom(tree, options, out);
+}
+
+// The paper's running example (Figure 1(a) / Figure 2 subject tree).
+constexpr const char* kBibXml =
+    "<bib>"
+    "<book year=\"1994\"><title>t1</title><author><first>W.</first>"
+    "<last>Stevens</last></author><publisher>AW</publisher>"
+    "<price>65.95</price></book>"
+    "<book year=\"1992\"><title>t2</title><author><first>W.</first>"
+    "<last>Stevens</last></author><publisher>AW</publisher>"
+    "<price>65.95</price></book>"
+    "<book year=\"2000\"><title>t3</title><author><first>S.</first>"
+    "<last>Abiteboul</last></author><publisher>MK</publisher>"
+    "<price>39.95</price></book>"
+    "<book year=\"1999\"><title>t4</title><editor><last>Gerbarg</last>"
+    "<first>Darcy</first><affiliation>CITI</affiliation></editor>"
+    "<publisher>Kluwer</publisher><price>129.95</price></book>"
+    "</bib>";
+
+// ---------------------------------------------------------------------------
+// Builder basics.
+
+TEST(StringStoreBuilderTest, RejectsUnbalanced) {
+  StringStore::Builder builder(NewMemFile());
+  TagDictionary tags;
+  ASSERT_TRUE(builder.Open(*tags.Intern("a")).ok());
+  EXPECT_TRUE(builder.Finish().status().IsInvalidArgument());
+}
+
+TEST(StringStoreBuilderTest, RejectsCloseWithoutOpen) {
+  StringStore::Builder builder(NewMemFile());
+  EXPECT_TRUE(builder.Close().IsInvalidArgument());
+}
+
+TEST(StringStoreBuilderTest, RejectsMultipleRoots) {
+  StringStore::Builder builder(NewMemFile());
+  TagDictionary tags;
+  TagId a = *tags.Intern("a");
+  ASSERT_TRUE(builder.Open(a).ok());
+  ASSERT_TRUE(builder.Close().ok());
+  EXPECT_TRUE(builder.Open(a).IsInvalidArgument());
+}
+
+TEST(StringStoreBuilderTest, RejectsBadTagIds) {
+  StringStore::Builder builder(NewMemFile());
+  EXPECT_TRUE(builder.Open(kInvalidTag).IsInvalidArgument());
+  EXPECT_TRUE(builder.Open(0x8000).IsInvalidArgument());
+}
+
+TEST(StringStoreBuilderTest, EmptyDocumentRejected) {
+  StringStore::Builder builder(NewMemFile());
+  EXPECT_TRUE(builder.Finish().status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Page layout and headers (Figure 4 / Figure 5).
+
+TEST(StringStoreTest, SmallPagesProduceChainedLayout) {
+  BuiltStore built;
+  ASSERT_TRUE(Build(kBibXml, /*page_size=*/64, true, &built).ok());
+  StringStore* store = built.store.get();
+  EXPECT_GE(store->chain_length(), 3u);  // Forced multi-page.
+  EXPECT_EQ(store->node_count(), 34u);
+  EXPECT_EQ(store->max_level(), 4);
+
+  // Headers: st of the first page is 0; each page's st equals the level
+  // after the previous page's last symbol; lo <= hi within bounds.
+  int level = 0;
+  PageId page = kInvalidPage;
+  for (size_t i = 0; i < store->chain_length(); ++i) {
+    page = (i == 0) ? PageId(1) : store->header(page).next;
+    // Recompute: walk the page with the public symbol API instead of
+    // trusting internals -- use header fields for the invariant only.
+    const StorePageHeader& h = store->header(page);
+    EXPECT_EQ(h.st, level);
+    EXPECT_LE(h.lo, h.hi);
+    EXPECT_GE(h.lo, 0);
+    EXPECT_LE(h.hi, store->max_level());
+    // Levels inside the page evolve from st; derive the end level through
+    // LevelAt of the last symbol plus its kind. Simplest: track via
+    // SubtreeEnd on the full document handled elsewhere; here use
+    // DecodeStorePageHeader-provided used bytes to step levels.
+    level = h.st;
+    // Walk symbols of this page via LevelAt.
+    for (uint16_t idx = 0;; ++idx) {
+      auto lv = store->LevelAt(StorePos{page, idx});
+      if (!lv.ok()) break;
+      level = *lv;
+    }
+  }
+  EXPECT_EQ(level, 0);  // Balanced document.
+}
+
+TEST(StringStoreTest, LevelSequenceMatchesPaperConvention) {
+  // <a><b><z/></b><e/></a> has symbol levels 1 2 3 2 1 2 1 0
+  // (paper Section 5: open -> +1, close -> -1, value after the step).
+  BuiltStore built;
+  ASSERT_TRUE(Build("<a><b><z/></b><e/></a>", 4096, true, &built).ok());
+  StringStore* store = built.store.get();
+  const int expected[] = {1, 2, 3, 2, 1, 2, 1, 0};
+  for (uint16_t i = 0; i < 8; ++i) {
+    auto lv = store->LevelAt(StorePos{1, i});
+    ASSERT_TRUE(lv.ok());
+    EXPECT_EQ(*lv, expected[i]) << "symbol " << i;
+  }
+  EXPECT_FALSE(store->LevelAt(StorePos{1, 8}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Primitive operations vs a DOM oracle (Algorithm 2 correctness).
+
+class PrimitiveOps : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrimitiveOps, FirstChildAndFollowingSiblingMatchDom) {
+  Random rng(GetParam());
+  const std::string xml = testutil::RandomXml(&rng);
+  auto tree_r = DomTree::Parse(xml);
+  ASSERT_TRUE(tree_r.ok());
+  const DomTree& tree = *tree_r;
+
+  BuiltStore built;
+  StringStore::Options options;
+  options.page_size = 64;  // Tiny pages stress the cross-page paths.
+  ASSERT_TRUE(BuildFromDom(tree, options, &built).ok());
+  StringStore* store = built.store.get();
+
+  // Walk DOM and store in lockstep.
+  std::function<void(const DomNode*, StorePos)> verify =
+      [&](const DomNode* dom, StorePos pos) {
+        auto tag = store->TagAt(pos);
+        ASSERT_TRUE(tag.ok());
+        EXPECT_EQ(built.tags.Name(*tag), dom->name);
+        auto level = store->LevelAt(pos);
+        ASSERT_TRUE(level.ok());
+        EXPECT_EQ(*level, dom->level);
+
+        auto child = store->FirstChild(pos);
+        ASSERT_TRUE(child.ok());
+        EXPECT_EQ(child->has_value(), !dom->children.empty());
+        if (child->has_value()) {
+          verify(dom->children[0].get(), **child);
+        }
+        // Walk the sibling chain.
+        StorePos current = pos;
+        const DomNode* dom_current = dom;
+        for (;;) {
+          auto sib = store->FollowingSibling(current);
+          ASSERT_TRUE(sib.ok());
+          const DomNode* dom_sib = nullptr;
+          if (dom_current->parent != nullptr &&
+              dom_current->child_index + 1 <
+                  dom_current->parent->children.size()) {
+            dom_sib = dom_current
+                          ->parent
+                          ->children[dom_current->child_index + 1]
+                          .get();
+          }
+          EXPECT_EQ(sib->has_value(), dom_sib != nullptr);
+          if (!sib->has_value()) break;
+          current = **sib;
+          dom_current = dom_sib;
+          // Only verify the subtree once (from the parent's recursion);
+          // here we only check tags along the chain.
+          auto sib_tag = store->TagAt(current);
+          ASSERT_TRUE(sib_tag.ok());
+          EXPECT_EQ(built.tags.Name(*sib_tag), dom_current->name);
+        }
+      };
+  verify(tree.root(), store->RootPos());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrimitiveOps,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(StringStoreTest, SubtreeEndGivesProperIntervals) {
+  BuiltStore built;
+  ASSERT_TRUE(Build(kBibXml, 64, true, &built).ok());
+  StringStore* store = built.store.get();
+
+  const StorePos root = store->RootPos();
+  auto root_end = store->SubtreeEndGlobal(root);
+  ASSERT_TRUE(root_end.ok());
+
+  auto first_book = store->FirstChild(root);
+  ASSERT_TRUE(first_book.ok() && first_book->has_value());
+  auto book_end = store->SubtreeEndGlobal(**first_book);
+  ASSERT_TRUE(book_end.ok());
+
+  // Containment: root.start < book.start && book.end < root.end.
+  EXPECT_LT(store->GlobalPos(root), store->GlobalPos(**first_book));
+  EXPECT_LT(*book_end, *root_end);
+
+  auto second_book = store->FollowingSibling(**first_book);
+  ASSERT_TRUE(second_book.ok() && second_book->has_value());
+  EXPECT_LT(*book_end, store->GlobalPos(**second_book));
+}
+
+TEST(StringStoreTest, GlobalPosRoundTrips) {
+  BuiltStore built;
+  ASSERT_TRUE(Build(kBibXml, 64, true, &built).ok());
+  StringStore* store = built.store.get();
+  std::optional<StorePos> pos = store->RootPos();
+  while (pos.has_value()) {
+    const uint64_t global = store->GlobalPos(*pos);
+    auto back = store->PosForGlobal(global);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, *pos);
+    auto next = store->NextOpen(*pos);
+    ASSERT_TRUE(next.ok());
+    pos = *next;
+  }
+}
+
+TEST(StringStoreTest, NextOpenVisitsAllNodesInDocumentOrder) {
+  BuiltStore built;
+  ASSERT_TRUE(Build(kBibXml, 64, true, &built).ok());
+  StringStore* store = built.store.get();
+  size_t count = 0;
+  uint64_t last_global = 0;
+  std::optional<StorePos> pos = store->RootPos();
+  while (pos.has_value()) {
+    ++count;
+    const uint64_t global = store->GlobalPos(*pos);
+    if (count > 1) {
+      EXPECT_GT(global, last_global);
+    }
+    last_global = global;
+    auto next = store->NextOpen(*pos);
+    ASSERT_TRUE(next.ok());
+    pos = *next;
+  }
+  EXPECT_EQ(count, store->node_count());
+}
+
+// ---------------------------------------------------------------------------
+// The (st,lo,hi) header-skip optimization (Section 5, Example 5).
+
+TEST(StringStoreTest, HeaderSkipAndFullScanAgree) {
+  Random rng(99);
+  for (int round = 0; round < 6; ++round) {
+    const std::string xml = testutil::RandomXml(&rng);
+    auto tree = DomTree::Parse(xml);
+    ASSERT_TRUE(tree.ok());
+
+    BuiltStore with, without;
+    StringStore::Options o1;
+    o1.page_size = 64;
+    o1.use_header_skip = true;
+    StringStore::Options o2 = o1;
+    o2.use_header_skip = false;
+    ASSERT_TRUE(BuildFromDom(*tree, o1, &with).ok());
+    ASSERT_TRUE(BuildFromDom(*tree, o2, &without).ok());
+
+    // Compare the sibling chains of the root's children.
+    auto walk = [](StringStore* s) {
+      std::vector<uint64_t> positions;
+      auto child = s->FirstChild(s->RootPos());
+      EXPECT_TRUE(child.ok());
+      std::optional<StorePos> pos = *child;
+      while (pos.has_value()) {
+        positions.push_back(s->GlobalPos(*pos));
+        auto sib = s->FollowingSibling(*pos);
+        EXPECT_TRUE(sib.ok());
+        pos = *sib;
+      }
+      return positions;
+    };
+    EXPECT_EQ(walk(with.store.get()), walk(without.store.get()));
+  }
+}
+
+TEST(StringStoreTest, HeaderSkipAvoidsDeepSubtreePages) {
+  // Root with a deep first child and a second child: finding the sibling
+  // of the first child must skip the deep subtree's pages (Example 5:
+  // only 2 page reads for the root sibling walk).
+  std::string deep = "<a><b>";
+  for (int i = 0; i < 200; ++i) deep += "<d>";
+  for (int i = 0; i < 200; ++i) deep += "</d>";
+  deep += "</b><c/></a>";
+
+  BuiltStore built;
+  ASSERT_TRUE(Build(deep, 64, true, &built).ok());
+  StringStore* store = built.store.get();
+
+  auto b = store->FirstChild(store->RootPos());
+  ASSERT_TRUE(b.ok() && b->has_value());
+  store->ResetNavStats();
+  auto c = store->FollowingSibling(**b);
+  ASSERT_TRUE(c.ok() && c->has_value());
+  EXPECT_EQ(*store->TagAt(**c), built.Tag("c"));
+  EXPECT_GT(store->nav_stats().pages_skipped, 5u);
+  // A handful of view fetches (b's page for LevelAt, the close-scan
+  // start and end pages, the sibling's page), never the deep subtree's
+  // interior pages.
+  EXPECT_LE(store->nav_stats().pages_scanned, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Proposition 1: single pass.
+
+TEST(StringStoreTest, FullTraversalReadsEachPageOnceWithEnoughFrames) {
+  BuiltStore built;
+  StringStore::Options options;
+  options.page_size = 64;
+  options.pool_frames = 512;
+  auto tree = DomTree::Parse(kBibXml);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(BuildFromDom(*tree, options, &built).ok());
+  StringStore* store = built.store.get();
+
+  ASSERT_TRUE(store->buffer_pool()->DropAll().ok());
+  store->buffer_pool()->ResetStats();
+
+  // Depth-first traversal through the primitives (what NoK matching does).
+  std::function<void(StorePos)> dfs = [&](StorePos pos) {
+    auto child = store->FirstChild(pos);
+    ASSERT_TRUE(child.ok());
+    std::optional<StorePos> current = *child;
+    while (current.has_value()) {
+      dfs(*current);
+      auto sib = store->FollowingSibling(*current);
+      ASSERT_TRUE(sib.ok());
+      current = *sib;
+    }
+  };
+  dfs(store->RootPos());
+
+  EXPECT_LE(store->buffer_pool()->stats().disk_reads,
+            store->chain_length());
+}
+
+TEST(StringStoreTest, ReopenFromDisk) {
+  // Build into a mem file via the builder, then reopen the same bytes.
+  auto tree = DomTree::Parse(kBibXml);
+  ASSERT_TRUE(tree.ok());
+
+  StringStore::Options options;
+  options.page_size = 128;
+  StringStore::Builder builder(NewMemFile(), options);
+  TagDictionary tags;
+  std::function<Status(const DomNode*)> emit =
+      [&](const DomNode* node) -> Status {
+    NOK_ASSIGN_OR_RETURN(TagId tag, tags.Intern(node->name));
+    NOK_RETURN_IF_ERROR(builder.Open(tag));
+    for (const auto& child : node->children) {
+      NOK_RETURN_IF_ERROR(emit(child.get()));
+    }
+    return builder.Close();
+  };
+  ASSERT_TRUE(emit(tree->root()).ok());
+  auto store = builder.Finish();
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->node_count(), tree->node_count());
+  auto root_tag = (*store)->TagAt((*store)->RootPos());
+  ASSERT_TRUE(root_tag.ok());
+  EXPECT_EQ(tags.Name(*root_tag), "bib");
+}
+
+}  // namespace
+}  // namespace nok

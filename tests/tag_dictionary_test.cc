@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "encoding/tag_dictionary.h"
+
+namespace nok {
+namespace {
+
+TEST(TagDictionaryTest, InternIsIdempotent) {
+  TagDictionary dict;
+  auto a1 = dict.Intern("book");
+  auto a2 = dict.Intern("book");
+  auto b = dict.Intern("author");
+  ASSERT_TRUE(a1.ok() && a2.ok() && b.ok());
+  EXPECT_EQ(*a1, *a2);
+  EXPECT_NE(*a1, *b);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Name(*a1), "book");
+  EXPECT_EQ(dict.Name(*b), "author");
+}
+
+TEST(TagDictionaryTest, LookupWithoutIntern) {
+  TagDictionary dict;
+  ASSERT_TRUE(dict.Intern("x").ok());
+  EXPECT_TRUE(dict.Lookup("x").has_value());
+  EXPECT_FALSE(dict.Lookup("y").has_value());
+}
+
+TEST(TagDictionaryTest, AttributePseudoTags) {
+  TagDictionary dict;
+  auto el = dict.Intern("year");
+  auto attr = dict.Intern("@year");
+  ASSERT_TRUE(el.ok() && attr.ok());
+  EXPECT_NE(*el, *attr);
+}
+
+TEST(TagDictionaryTest, OccurrenceCounting) {
+  TagDictionary dict;
+  TagId a = *dict.Intern("a");
+  TagId b = *dict.Intern("b");
+  dict.AddOccurrence(a, 3);
+  dict.AddOccurrence(b);
+  EXPECT_EQ(dict.OccurrenceCount(a), 3u);
+  EXPECT_EQ(dict.OccurrenceCount(b), 1u);
+  EXPECT_EQ(dict.total_occurrences(), 4u);
+  dict.SubOccurrence(a, 2);
+  EXPECT_EQ(dict.OccurrenceCount(a), 1u);
+  EXPECT_EQ(dict.total_occurrences(), 2u);
+  EXPECT_EQ(dict.OccurrenceCount(kInvalidTag), 0u);
+}
+
+TEST(TagDictionaryTest, SerializeRoundTrip) {
+  TagDictionary dict;
+  for (int i = 0; i < 200; ++i) {
+    TagId id = *dict.Intern("tag" + std::to_string(i));
+    dict.AddOccurrence(id, static_cast<uint64_t>(i));
+  }
+  const std::string blob = dict.Serialize();
+  auto restored = TagDictionary::Deserialize(Slice(blob));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    auto id = restored->Lookup("tag" + std::to_string(i));
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(restored->Name(*id), "tag" + std::to_string(i));
+    EXPECT_EQ(restored->OccurrenceCount(*id), static_cast<uint64_t>(i));
+  }
+}
+
+TEST(TagDictionaryTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(TagDictionary::Deserialize(Slice("\xff\xff\xff")).ok());
+}
+
+TEST(TagDictionaryTest, IdsAreDense) {
+  TagDictionary dict;
+  EXPECT_EQ(*dict.Intern("first"), 1);
+  EXPECT_EQ(*dict.Intern("second"), 2);
+  EXPECT_EQ(*dict.Intern("third"), 3);
+}
+
+}  // namespace
+}  // namespace nok

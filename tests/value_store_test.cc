@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "encoding/value_store.h"
+#include "storage/file.h"
+
+namespace nok {
+namespace {
+
+std::unique_ptr<ValueStore> Make() {
+  auto r = ValueStore::Open(NewMemFile());
+  EXPECT_TRUE(r.ok());
+  return std::move(r).ValueOrDie();
+}
+
+TEST(ValueStoreTest, AppendAndRead) {
+  auto store = Make();
+  uint64_t a, b;
+  ASSERT_TRUE(store->Append(Slice("1994"), &a).ok());
+  ASSERT_TRUE(store->Append(Slice("TCP/IP Illustrated"), &b).ok());
+  EXPECT_NE(a, b);
+  EXPECT_EQ(*store->Read(a), "1994");
+  EXPECT_EQ(*store->Read(b), "TCP/IP Illustrated");
+}
+
+TEST(ValueStoreTest, DeduplicatesEqualValues) {
+  // The paper (Example 3): nodes with the same value share one record.
+  auto store = Make();
+  uint64_t a, b, c;
+  ASSERT_TRUE(store->Append(Slice("Stevens"), &a).ok());
+  ASSERT_TRUE(store->Append(Slice("other"), &b).ok());
+  ASSERT_TRUE(store->Append(Slice("Stevens"), &c).ok());
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+}
+
+TEST(ValueStoreTest, EmptyValue) {
+  auto store = Make();
+  uint64_t off;
+  ASSERT_TRUE(store->Append(Slice(""), &off).ok());
+  EXPECT_EQ(*store->Read(off), "");
+}
+
+TEST(ValueStoreTest, ReadBadOffsetFails) {
+  auto store = Make();
+  uint64_t off;
+  ASSERT_TRUE(store->Append(Slice("x"), &off).ok());
+  EXPECT_FALSE(store->Read(12345).ok());
+}
+
+TEST(ValueStoreTest, LargeValuesAndMany) {
+  auto store = Make();
+  Random rng(17);
+  std::vector<std::pair<uint64_t, std::string>> entries;
+  for (int i = 0; i < 500; ++i) {
+    std::string value = rng.NextString(rng.Range(0, 300));
+    uint64_t off;
+    ASSERT_TRUE(store->Append(Slice(value), &off).ok());
+    entries.emplace_back(off, std::move(value));
+  }
+  for (const auto& [off, value] : entries) {
+    EXPECT_EQ(*store->Read(off), value);
+  }
+  EXPECT_GT(store->SizeBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace nok

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+#include "xml/dom.h"
+#include "xml/escape.h"
+#include "xml/sax_parser.h"
+#include "xml/serializer.h"
+
+namespace nok {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Escaping / entities.
+
+TEST(EscapeTest, TextAndAttribute) {
+  EXPECT_EQ(EscapeText(Slice("a<b>&c")), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(EscapeAttribute(Slice("say \"hi\" & <go>")),
+            "say &quot;hi&quot; &amp; &lt;go&gt;");
+}
+
+TEST(EscapeTest, DecodePredefinedEntities) {
+  auto r = DecodeEntities(Slice("&lt;a&gt; &amp; &quot;x&quot; &apos;y&apos;"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "<a> & \"x\" 'y'");
+}
+
+TEST(EscapeTest, DecodeNumericReferences) {
+  auto r = DecodeEntities(Slice("&#65;&#x42;&#xe9;"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "AB\xc3\xa9");  // é in UTF-8.
+}
+
+TEST(EscapeTest, UnknownEntityFails) {
+  EXPECT_TRUE(DecodeEntities(Slice("&bogus;")).status().IsParseError());
+  EXPECT_TRUE(DecodeEntities(Slice("&unterminated")).status()
+                  .IsParseError());
+}
+
+TEST(EscapeTest, RoundTripThroughEscapeAndDecode) {
+  const std::string original = "tricky <&> \"mix'\" 100%";
+  auto r = DecodeEntities(Slice(EscapeText(original)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, original);
+}
+
+TEST(EscapeTest, TrimAndAppendChunk) {
+  EXPECT_EQ(TrimWhitespace("  a b \n"), "a b");
+  EXPECT_EQ(TrimWhitespace("\t\n "), "");
+  std::string value;
+  AppendTextChunk(&value, " one ");
+  AppendTextChunk(&value, " two ");
+  EXPECT_EQ(value, "one two");
+}
+
+// ---------------------------------------------------------------------------
+// SAX parser.
+
+std::vector<SaxEvent> ParseAll(const std::string& xml, Status* status) {
+  SaxParser parser(xml);
+  std::vector<SaxEvent> events;
+  SaxEvent e;
+  for (;;) {
+    *status = parser.Next(&e);
+    if (!status->ok()) return events;
+    if (e.type == SaxEvent::Type::kEndDocument) return events;
+    events.push_back(e);
+  }
+}
+
+TEST(SaxTest, SimpleDocument) {
+  Status s;
+  auto events = ParseAll("<a><b>hi</b><c/></a>", &s);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(events.size(), 7u);
+  EXPECT_EQ(events[0].type, SaxEvent::Type::kStartElement);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[1].name, "b");
+  EXPECT_EQ(events[2].type, SaxEvent::Type::kText);
+  EXPECT_EQ(events[2].text, "hi");
+  EXPECT_EQ(events[3].type, SaxEvent::Type::kEndElement);
+  EXPECT_EQ(events[4].name, "c");
+  EXPECT_EQ(events[5].type, SaxEvent::Type::kEndElement);
+  EXPECT_EQ(events[5].name, "c");
+  EXPECT_EQ(events[6].name, "a");
+}
+
+TEST(SaxTest, AttributesBothQuoteStyles) {
+  Status s;
+  auto events = ParseAll("<a x=\"1\" y='two &amp; three'/>", &s);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(events.size(), 2u);
+  ASSERT_EQ(events[0].attributes.size(), 2u);
+  EXPECT_EQ(events[0].attributes[0].first, "x");
+  EXPECT_EQ(events[0].attributes[0].second, "1");
+  EXPECT_EQ(events[0].attributes[1].second, "two & three");
+}
+
+TEST(SaxTest, CommentsPisDoctypeCdata) {
+  const char* xml =
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE a [ <!ELEMENT a ANY> ]>\n"
+      "<!-- top comment -->\n"
+      "<a><!-- inner --><![CDATA[<raw> & stuff]]><?pi data?></a>";
+  Status s;
+  auto events = ParseAll(xml, &s);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].type, SaxEvent::Type::kText);
+  EXPECT_EQ(events[1].text, "<raw> & stuff");
+}
+
+TEST(SaxTest, WhitespaceTextSkippedByDefault) {
+  Status s;
+  auto events = ParseAll("<a>\n  <b/>\n</a>", &s);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(events.size(), 4u);  // No text events.
+}
+
+TEST(SaxTest, WhitespaceKeptWhenRequested) {
+  SaxParser::Options options;
+  options.skip_whitespace_text = false;
+  SaxParser parser("<a> <b/> </a>", options);
+  SaxEvent e;
+  int text_events = 0;
+  for (;;) {
+    ASSERT_TRUE(parser.Next(&e).ok());
+    if (e.type == SaxEvent::Type::kEndDocument) break;
+    if (e.type == SaxEvent::Type::kText) ++text_events;
+  }
+  EXPECT_EQ(text_events, 2);
+}
+
+class SaxErrorCases : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SaxErrorCases, MalformedInputRejected) {
+  Status s;
+  ParseAll(GetParam(), &s);
+  EXPECT_TRUE(s.IsParseError()) << GetParam() << " -> " << s.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, SaxErrorCases,
+    ::testing::Values("<a>", "<a></b>", "<a><b></a></b>", "</a>",
+                      "<a attr></a>", "<a attr=></a>", "<a attr=x></a>",
+                      "<a 'x'></a>", "<a><b></a>", "text only",
+                      "<a></a><b></b>", "<a>&bad;</a>",
+                      "<a><!-- unterminated</a>", "<a><![CDATA[x</a>"));
+
+// ---------------------------------------------------------------------------
+// DOM.
+
+TEST(DomTest, BuildsTreeWithAttributesAsChildren) {
+  auto tree_r = DomTree::Parse(
+      "<bib><book year=\"1994\"><title>T</title></book></bib>");
+  ASSERT_TRUE(tree_r.ok());
+  const DomTree& tree = *tree_r;
+  const DomNode* root = tree.root();
+  EXPECT_EQ(root->name, "bib");
+  ASSERT_EQ(root->children.size(), 1u);
+  const DomNode* book = root->children[0].get();
+  ASSERT_EQ(book->children.size(), 2u);
+  EXPECT_EQ(book->children[0]->name, "@year");
+  EXPECT_EQ(book->children[0]->value, "1994");
+  EXPECT_TRUE(book->children[0]->is_attribute());
+  EXPECT_EQ(book->children[1]->name, "title");
+  EXPECT_EQ(book->children[1]->value, "T");
+  EXPECT_EQ(tree.node_count(), 4u);
+  EXPECT_EQ(tree.max_depth(), 3);
+  EXPECT_EQ(tree.distinct_tags(), 4u);
+}
+
+TEST(DomTest, IntervalsNestProperly) {
+  auto tree_r = DomTree::Parse("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(tree_r.ok());
+  const DomNode* a = tree_r->root();
+  const DomNode* b = a->children[0].get();
+  const DomNode* c = b->children[0].get();
+  const DomNode* d = a->children[1].get();
+  EXPECT_LT(a->start, b->start);
+  EXPECT_LT(b->start, c->start);
+  EXPECT_LT(c->end, b->end);
+  EXPECT_LT(b->end, d->start);
+  EXPECT_LT(d->end, a->end);
+  EXPECT_EQ(a->level, 1);
+  EXPECT_EQ(c->level, 3);
+  EXPECT_EQ(d->child_index, 1u);
+}
+
+TEST(DomTest, MixedContentValueConcatenation) {
+  auto tree_r = DomTree::Parse("<a> one <b/> two </a>");
+  ASSERT_TRUE(tree_r.ok());
+  EXPECT_EQ(tree_r->root()->value, "one two");
+}
+
+TEST(DomTest, AvgDepthIsLeafAverage) {
+  auto tree_r = DomTree::Parse("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(tree_r.ok());
+  // Leaves: c at depth 3, d at depth 2 -> 2.5.
+  EXPECT_DOUBLE_EQ(tree_r->avg_depth(), 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// Serializer round trip.
+
+TEST(SerializerTest, BasicRoundTrip) {
+  const std::string xml =
+      "<bib><book year=\"1994\"><title>A &amp; B</title><price>65.95"
+      "</price></book><empty/></bib>";
+  auto t1 = DomTree::Parse(xml);
+  ASSERT_TRUE(t1.ok());
+  const std::string serialized = SerializeTree(*t1);
+  auto t2 = DomTree::Parse(serialized);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(SerializeTree(*t2), serialized);  // Fixed point.
+  EXPECT_EQ(t1->node_count(), t2->node_count());
+}
+
+TEST(SerializerTest, RandomDocumentsRoundTrip) {
+  Random rng(11);
+  for (int i = 0; i < 30; ++i) {
+    const std::string xml = testutil::RandomXml(&rng);
+    auto t1 = DomTree::Parse(xml);
+    ASSERT_TRUE(t1.ok()) << xml;
+    const std::string s1 = SerializeTree(*t1);
+    auto t2 = DomTree::Parse(s1);
+    ASSERT_TRUE(t2.ok()) << s1;
+    EXPECT_EQ(SerializeTree(*t2), s1);
+    EXPECT_EQ(t1->node_count(), t2->node_count());
+    EXPECT_EQ(t1->max_depth(), t2->max_depth());
+  }
+}
+
+}  // namespace
+}  // namespace nok
+
+// ---------------------------------------------------------------------------
+// Robustness fuzz: arbitrary bytes must never crash the parser; they
+// either parse or fail with ParseError.
+
+namespace nok {
+namespace {
+
+TEST(SaxFuzzTest, RandomBytesNeverCrash) {
+  Random rng(271828);
+  for (int round = 0; round < 300; ++round) {
+    std::string input;
+    const size_t len = rng.Range(0, 120);
+    for (size_t i = 0; i < len; ++i) {
+      // Bias toward XML-ish characters so the parser gets past byte one.
+      static const char pool[] = "<>/=\"'ab& ;!?-[]";
+      input += rng.Bernoulli(0.7)
+                   ? pool[rng.Uniform(sizeof(pool) - 1)]
+                   : static_cast<char>(rng.Uniform(256));
+    }
+    SaxParser parser(input);
+    SaxEvent event;
+    for (int steps = 0; steps < 1000; ++steps) {
+      Status s = parser.Next(&event);
+      if (!s.ok()) {
+        EXPECT_TRUE(s.IsParseError()) << s.ToString();
+        break;
+      }
+      if (event.type == SaxEvent::Type::kEndDocument) break;
+    }
+  }
+}
+
+TEST(SaxFuzzTest, MutatedValidDocumentsNeverCrash) {
+  Random rng(31415);
+  for (int round = 0; round < 200; ++round) {
+    std::string xml = testutil::RandomXml(&rng);
+    // Flip a few bytes.
+    for (int flips = 0; flips < 3; ++flips) {
+      xml[rng.Uniform(xml.size())] = static_cast<char>(rng.Uniform(256));
+    }
+    SaxParser parser(xml);
+    SaxEvent event;
+    for (int steps = 0; steps < 5000; ++steps) {
+      Status s = parser.Next(&event);
+      if (!s.ok() || event.type == SaxEvent::Type::kEndDocument) break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nok

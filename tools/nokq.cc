@@ -1,0 +1,250 @@
+// nokq: command-line front end for the nokxml library.
+//
+//   nokq build  <file.xml> <store-dir>          build a persistent store
+//   nokq query  <store-dir> <xpath> [--values] [--strategy auto|scan|tag|
+//               value|path] [--explain]
+//   nokq stream <file.xml> <xpath>              single-pass evaluation
+//   nokq stats  <store-dir>                     Table-1 style statistics
+//   nokq insert <store-dir> <parent-dewey> <index> <fragment.xml>
+//   nokq delete <store-dir> <dewey>
+//   nokq refresh <store-dir>                    rebuild cached positions
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/timer.h"
+#include "nokxml.h"
+#include "storage/file.h"
+
+namespace {
+
+int Usage() {
+  fprintf(stderr,
+          "usage:\n"
+          "  nokq build  <file.xml> <store-dir>\n"
+          "  nokq query  <store-dir> <xpath> [--values] [--explain]\n"
+          "              [--strategy auto|scan|tag|value|path]\n"
+          "  nokq stream <file.xml> <xpath>\n"
+          "  nokq stats  <store-dir>\n"
+          "  nokq insert <store-dir> <parent-dewey> <index> <frag.xml>\n"
+          "  nokq delete <store-dir> <dewey>\n"
+          "  nokq refresh <store-dir>\n");
+  return 2;
+}
+
+int Fail(const nok::Status& status) {
+  fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+nok::Result<nok::DeweyId> ParseDewey(const std::string& text) {
+  std::vector<uint32_t> components;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t dot = text.find('.', start);
+    if (dot == std::string::npos) dot = text.size();
+    if (dot == start) {
+      return nok::Status::InvalidArgument("bad Dewey ID: " + text);
+    }
+    components.push_back(
+        static_cast<uint32_t>(strtoul(text.substr(start, dot - start)
+                                          .c_str(),
+                                      nullptr, 10)));
+    start = dot + 1;
+  }
+  if (components.empty() || components[0] != 0) {
+    return nok::Status::InvalidArgument("a Dewey ID starts with 0");
+  }
+  return nok::DeweyId(std::move(components));
+}
+
+nok::Result<std::unique_ptr<nok::DocumentStore>> OpenStore(
+    const std::string& dir) {
+  nok::DocumentStore::Options options;
+  options.dir = dir;
+  return nok::DocumentStore::OpenDir(options);
+}
+
+const char* StrategyName(nok::StartStrategy s) {
+  switch (s) {
+    case nok::StartStrategy::kScan: return "scan";
+    case nok::StartStrategy::kTagIndex: return "tag-index";
+    case nok::StartStrategy::kValueIndex: return "value-index";
+    case nok::StartStrategy::kPathIndex: return "path-index";
+    case nok::StartStrategy::kAuto: return "auto";
+  }
+  return "?";
+}
+
+int CmdBuild(const std::string& xml_path, const std::string& dir) {
+  std::string xml;
+  nok::Status s = nok::ReadFileToString(xml_path, &xml);
+  if (!s.ok()) return Fail(s);
+  nok::DocumentStore::Options options;
+  options.dir = dir;
+  nok::Timer timer;
+  auto store = nok::DocumentStore::Build(xml, options);
+  if (!store.ok()) return Fail(store.status());
+  printf("built %s: %llu nodes in %.2fs (tree %llu bytes)\n", dir.c_str(),
+         (unsigned long long)(*store)->stats().node_count,
+         timer.ElapsedSeconds(),
+         (unsigned long long)(*store)->stats().tree_bytes);
+  return (*store)->Flush().ok() ? 0 : 1;
+}
+
+int CmdQuery(int argc, char** argv) {
+  const std::string dir = argv[2];
+  const std::string xpath = argv[3];
+  bool values = false, explain = false;
+  nok::QueryOptions options;
+  for (int i = 4; i < argc; ++i) {
+    if (strcmp(argv[i], "--values") == 0) {
+      values = true;
+    } else if (strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else if (strcmp(argv[i], "--strategy") == 0 && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "auto") options.strategy = nok::StartStrategy::kAuto;
+      else if (name == "scan") options.strategy = nok::StartStrategy::kScan;
+      else if (name == "tag")
+        options.strategy = nok::StartStrategy::kTagIndex;
+      else if (name == "value")
+        options.strategy = nok::StartStrategy::kValueIndex;
+      else if (name == "path")
+        options.strategy = nok::StartStrategy::kPathIndex;
+      else
+        return Usage();
+    } else {
+      return Usage();
+    }
+  }
+
+  auto store = OpenStore(dir);
+  if (!store.ok()) return Fail(store.status());
+  nok::QueryEngine engine(store->get());
+  nok::Timer timer;
+  auto result = engine.Evaluate(xpath, options);
+  if (!result.ok()) return Fail(result.status());
+  const double seconds = timer.ElapsedSeconds();
+
+  for (const nok::DeweyId& id : *result) {
+    if (values) {
+      auto value = (*store)->ValueOf(id);
+      printf("%s\t%s\n", id.ToString().c_str(),
+             value.ok() && value->has_value() ? (*value)->c_str() : "");
+    } else {
+      printf("%s\n", id.ToString().c_str());
+    }
+  }
+  if (explain) {
+    auto pattern = nok::ParseXPath(xpath);
+    if (pattern.ok()) {
+      fprintf(stderr, "pattern tree:\n%s", pattern->ToString().c_str());
+      fprintf(stderr, "partition:\n%s",
+              nok::PartitionPattern(*pattern).ToString().c_str());
+    }
+    fprintf(stderr, "%zu results in %.4fs\n", result->size(), seconds);
+    for (size_t t = 0; t < engine.last_stats().trees.size(); ++t) {
+      const auto& ts = engine.last_stats().trees[t];
+      fprintf(stderr, "  tree %zu: %s, %zu candidates, %zu bindings\n", t,
+              StrategyName(ts.strategy), ts.candidates, ts.bindings);
+    }
+  }
+  return 0;
+}
+
+int CmdStream(const std::string& xml_path, const std::string& xpath) {
+  std::string xml;
+  nok::Status s = nok::ReadFileToString(xml_path, &xml);
+  if (!s.ok()) return Fail(s);
+  nok::StreamRunStats stats;
+  auto result = nok::EvaluateStreaming(xpath, xml, &stats);
+  if (!result.ok()) return Fail(result.status());
+  for (const nok::DeweyId& id : *result) {
+    printf("%s\n", id.ToString().c_str());
+  }
+  fprintf(stderr, "%zu results; %llu events, peak buffer %zu nodes\n",
+          result->size(), (unsigned long long)stats.events,
+          stats.peak_buffered_nodes);
+  return 0;
+}
+
+int CmdStats(const std::string& dir) {
+  auto store = OpenStore(dir);
+  if (!store.ok()) return Fail(store.status());
+  const nok::DocumentStoreStats& s = (*store)->stats();
+  printf("nodes:        %llu\n", (unsigned long long)s.node_count);
+  printf("max depth:    %d\n", s.max_depth);
+  printf("tags:         %llu\n", (unsigned long long)s.distinct_tags);
+  printf("|tree|:       %llu bytes\n", (unsigned long long)s.tree_bytes);
+  printf("|B+t|:        %llu bytes\n",
+         (unsigned long long)s.tag_index_bytes);
+  printf("|B+v|:        %llu bytes\n",
+         (unsigned long long)s.value_index_bytes);
+  printf("|B+i|:        %llu bytes\n",
+         (unsigned long long)s.id_index_bytes);
+  printf("|B+p|:        %llu bytes\n",
+         (unsigned long long)s.path_index_bytes);
+  printf("data file:    %llu bytes\n", (unsigned long long)s.data_bytes);
+  printf("positions:    %s\n",
+         (*store)->positions_fresh() ? "fresh" : "stale (run refresh)");
+  return 0;
+}
+
+int CmdInsert(const std::string& dir, const std::string& dewey_text,
+              const std::string& index_text,
+              const std::string& fragment_path) {
+  auto store = OpenStore(dir);
+  if (!store.ok()) return Fail(store.status());
+  auto dewey = ParseDewey(dewey_text);
+  if (!dewey.ok()) return Fail(dewey.status());
+  std::string fragment;
+  nok::Status s = nok::ReadFileToString(fragment_path, &fragment);
+  if (!s.ok()) return Fail(s);
+  s = (*store)->InsertSubtree(
+      *dewey, static_cast<uint32_t>(atoi(index_text.c_str())), fragment);
+  if (!s.ok()) return Fail(s);
+  printf("inserted under %s; positions are now stale (nokq refresh)\n",
+         dewey->ToString().c_str());
+  return (*store)->Flush().ok() ? 0 : 1;
+}
+
+int CmdDelete(const std::string& dir, const std::string& dewey_text) {
+  auto store = OpenStore(dir);
+  if (!store.ok()) return Fail(store.status());
+  auto dewey = ParseDewey(dewey_text);
+  if (!dewey.ok()) return Fail(dewey.status());
+  nok::Status s = (*store)->DeleteSubtree(*dewey);
+  if (!s.ok()) return Fail(s);
+  printf("deleted %s; positions are now stale (nokq refresh)\n",
+         dewey->ToString().c_str());
+  return (*store)->Flush().ok() ? 0 : 1;
+}
+
+int CmdRefresh(const std::string& dir) {
+  auto store = OpenStore(dir);
+  if (!store.ok()) return Fail(store.status());
+  nok::Timer timer;
+  nok::Status s = (*store)->RefreshPositions();
+  if (!s.ok()) return Fail(s);
+  printf("positions refreshed in %.2fs\n", timer.ElapsedSeconds());
+  return (*store)->Flush().ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "build" && argc == 4) return CmdBuild(argv[2], argv[3]);
+  if (command == "query" && argc >= 4) return CmdQuery(argc, argv);
+  if (command == "stream" && argc == 4) return CmdStream(argv[2], argv[3]);
+  if (command == "stats" && argc == 3) return CmdStats(argv[2]);
+  if (command == "insert" && argc == 6) {
+    return CmdInsert(argv[2], argv[3], argv[4], argv[5]);
+  }
+  if (command == "delete" && argc == 4) return CmdDelete(argv[2], argv[3]);
+  if (command == "refresh" && argc == 3) return CmdRefresh(argv[2]);
+  return Usage();
+}
