@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_axis_stats.dir/bench_axis_stats.cc.o"
+  "CMakeFiles/bench_axis_stats.dir/bench_axis_stats.cc.o.d"
+  "bench_axis_stats"
+  "bench_axis_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_axis_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

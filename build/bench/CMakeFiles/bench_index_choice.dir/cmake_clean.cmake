@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_choice.dir/bench_index_choice.cc.o"
+  "CMakeFiles/bench_index_choice.dir/bench_index_choice.cc.o.d"
+  "bench_index_choice"
+  "bench_index_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_update.dir/bulk_update.cpp.o"
+  "CMakeFiles/bulk_update.dir/bulk_update.cpp.o.d"
+  "bulk_update"
+  "bulk_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

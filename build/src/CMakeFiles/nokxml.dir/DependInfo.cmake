@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/di_engine.cc" "src/CMakeFiles/nokxml.dir/baseline/di_engine.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/baseline/di_engine.cc.o.d"
+  "/root/repo/src/baseline/interval_encoding.cc" "src/CMakeFiles/nokxml.dir/baseline/interval_encoding.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/baseline/interval_encoding.cc.o.d"
+  "/root/repo/src/baseline/navigational_engine.cc" "src/CMakeFiles/nokxml.dir/baseline/navigational_engine.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/baseline/navigational_engine.cc.o.d"
+  "/root/repo/src/baseline/twigstack_engine.cc" "src/CMakeFiles/nokxml.dir/baseline/twigstack_engine.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/baseline/twigstack_engine.cc.o.d"
+  "/root/repo/src/btree/btree.cc" "src/CMakeFiles/nokxml.dir/btree/btree.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/btree/btree.cc.o.d"
+  "/root/repo/src/btree/node.cc" "src/CMakeFiles/nokxml.dir/btree/node.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/btree/node.cc.o.d"
+  "/root/repo/src/common/coding.cc" "src/CMakeFiles/nokxml.dir/common/coding.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/common/coding.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/nokxml.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/nokxml.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/nokxml.dir/common/status.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/common/status.cc.o.d"
+  "/root/repo/src/datagen/dataset_gen.cc" "src/CMakeFiles/nokxml.dir/datagen/dataset_gen.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/datagen/dataset_gen.cc.o.d"
+  "/root/repo/src/datagen/query_gen.cc" "src/CMakeFiles/nokxml.dir/datagen/query_gen.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/datagen/query_gen.cc.o.d"
+  "/root/repo/src/datagen/usecases_corpus.cc" "src/CMakeFiles/nokxml.dir/datagen/usecases_corpus.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/datagen/usecases_corpus.cc.o.d"
+  "/root/repo/src/encoding/dewey.cc" "src/CMakeFiles/nokxml.dir/encoding/dewey.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/encoding/dewey.cc.o.d"
+  "/root/repo/src/encoding/document_store.cc" "src/CMakeFiles/nokxml.dir/encoding/document_store.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/encoding/document_store.cc.o.d"
+  "/root/repo/src/encoding/string_store.cc" "src/CMakeFiles/nokxml.dir/encoding/string_store.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/encoding/string_store.cc.o.d"
+  "/root/repo/src/encoding/tag_dictionary.cc" "src/CMakeFiles/nokxml.dir/encoding/tag_dictionary.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/encoding/tag_dictionary.cc.o.d"
+  "/root/repo/src/encoding/updater.cc" "src/CMakeFiles/nokxml.dir/encoding/updater.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/encoding/updater.cc.o.d"
+  "/root/repo/src/encoding/value_store.cc" "src/CMakeFiles/nokxml.dir/encoding/value_store.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/encoding/value_store.cc.o.d"
+  "/root/repo/src/nok/logical_matcher.cc" "src/CMakeFiles/nokxml.dir/nok/logical_matcher.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/nok/logical_matcher.cc.o.d"
+  "/root/repo/src/nok/nok_partition.cc" "src/CMakeFiles/nokxml.dir/nok/nok_partition.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/nok/nok_partition.cc.o.d"
+  "/root/repo/src/nok/pattern_tree.cc" "src/CMakeFiles/nokxml.dir/nok/pattern_tree.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/nok/pattern_tree.cc.o.d"
+  "/root/repo/src/nok/physical_matcher.cc" "src/CMakeFiles/nokxml.dir/nok/physical_matcher.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/nok/physical_matcher.cc.o.d"
+  "/root/repo/src/nok/query_engine.cc" "src/CMakeFiles/nokxml.dir/nok/query_engine.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/nok/query_engine.cc.o.d"
+  "/root/repo/src/nok/structural_join.cc" "src/CMakeFiles/nokxml.dir/nok/structural_join.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/nok/structural_join.cc.o.d"
+  "/root/repo/src/nok/xpath_parser.cc" "src/CMakeFiles/nokxml.dir/nok/xpath_parser.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/nok/xpath_parser.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/nokxml.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/file.cc" "src/CMakeFiles/nokxml.dir/storage/file.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/storage/file.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/CMakeFiles/nokxml.dir/storage/pager.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/storage/pager.cc.o.d"
+  "/root/repo/src/streaming/sax_source.cc" "src/CMakeFiles/nokxml.dir/streaming/sax_source.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/streaming/sax_source.cc.o.d"
+  "/root/repo/src/streaming/stream_matcher.cc" "src/CMakeFiles/nokxml.dir/streaming/stream_matcher.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/streaming/stream_matcher.cc.o.d"
+  "/root/repo/src/xml/dom.cc" "src/CMakeFiles/nokxml.dir/xml/dom.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/xml/dom.cc.o.d"
+  "/root/repo/src/xml/escape.cc" "src/CMakeFiles/nokxml.dir/xml/escape.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/xml/escape.cc.o.d"
+  "/root/repo/src/xml/sax_parser.cc" "src/CMakeFiles/nokxml.dir/xml/sax_parser.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/xml/sax_parser.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/nokxml.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/nokxml.dir/xml/serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

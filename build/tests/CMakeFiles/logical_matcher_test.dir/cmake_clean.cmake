@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logical_matcher_test.dir/logical_matcher_test.cc.o"
+  "CMakeFiles/logical_matcher_test.dir/logical_matcher_test.cc.o.d"
+  "logical_matcher_test"
+  "logical_matcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logical_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nok_partition_test.dir/nok_partition_test.cc.o"
+  "CMakeFiles/nok_partition_test.dir/nok_partition_test.cc.o.d"
+  "nok_partition_test"
+  "nok_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nok_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

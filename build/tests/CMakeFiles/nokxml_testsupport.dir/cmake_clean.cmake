@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nokxml_testsupport.dir/oracle.cc.o"
+  "CMakeFiles/nokxml_testsupport.dir/oracle.cc.o.d"
+  "CMakeFiles/nokxml_testsupport.dir/test_util.cc.o"
+  "CMakeFiles/nokxml_testsupport.dir/test_util.cc.o.d"
+  "libnokxml_testsupport.a"
+  "libnokxml_testsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nokxml_testsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_store_test.dir/string_store_test.cc.o"
+  "CMakeFiles/string_store_test.dir/string_store_test.cc.o.d"
+  "string_store_test"
+  "string_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

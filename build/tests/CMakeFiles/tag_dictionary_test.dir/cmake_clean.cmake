@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_dictionary_test.dir/tag_dictionary_test.cc.o"
+  "CMakeFiles/tag_dictionary_test.dir/tag_dictionary_test.cc.o.d"
+  "tag_dictionary_test"
+  "tag_dictionary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_dictionary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

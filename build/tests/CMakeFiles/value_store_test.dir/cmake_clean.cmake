@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_store_test.dir/value_store_test.cc.o"
+  "CMakeFiles/value_store_test.dir/value_store_test.cc.o.d"
+  "value_store_test"
+  "value_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

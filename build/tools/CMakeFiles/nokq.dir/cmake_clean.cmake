@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nokq.dir/nokq.cc.o"
+  "CMakeFiles/nokq.dir/nokq.cc.o.d"
+  "nokq"
+  "nokq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nokq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
