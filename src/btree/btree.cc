@@ -11,18 +11,34 @@ namespace nok {
 namespace {
 constexpr uint64_t kMagic = 0x4e4f4b42545245ull;  // "NOKBTRE"
 constexpr PageId kMetaPage = 0;
+// Meta page layout: magic @0, root @8, num_entries @12, format version
+// @20, epoch @24.  Version 0 is the pre-versioning layout (raw pages,
+// epoch 0); 1 is raw with version/epoch fields; 2 is checksummed.
+constexpr uint32_t kMetaVersionOffset = 20;
+constexpr uint32_t kMetaEpochOffset = 24;
+constexpr uint32_t kFormatVersionRaw = 1;
+constexpr uint32_t kFormatVersionChecksummed = 2;
 }  // namespace
 
-BTree::BTree(std::unique_ptr<File> file, Options options)
-    : options_(options) {
-  pager_ = std::make_unique<Pager>(std::move(file), options.page_size);
+BTree::BTree(std::unique_ptr<Pager> pager, Options options)
+    : options_(options), pager_(std::move(pager)) {
   pool_ = std::make_unique<BufferPool>(pager_.get(), options.pool_frames);
 }
 
 Result<std::unique_ptr<BTree>> BTree::Open(std::unique_ptr<File> file,
                                            Options options) {
   const bool fresh = file->Size() == 0;
-  std::unique_ptr<BTree> tree(new BTree(std::move(file), options));
+  if (fresh && options.error_if_empty) {
+    return Status::Corruption(
+        "index file is empty but was expected to hold a tree; it was lost "
+        "or truncated");
+  }
+  NOK_ASSIGN_OR_RETURN(
+      auto pager,
+      Pager::Open(std::move(file), options.page_size,
+                  options.checksum_pages ? PageFormat::kChecksummed
+                                         : PageFormat::kRaw));
+  std::unique_ptr<BTree> tree(new BTree(std::move(pager), options));
   if (fresh) {
     NOK_RETURN_IF_ERROR(tree->InitNew());
   } else {
@@ -56,34 +72,66 @@ Status BTree::InitNew() {
 }
 
 Status BTree::LoadMeta() {
-  NOK_ASSIGN_OR_RETURN(auto handle, pool_->Fetch(kMetaPage));
-  const char* p = handle.data();
+  if (pager_->page_count() == 0) {
+    return Status::Corruption("btree file has no meta page");
+  }
+  std::vector<char> buf(options_.page_size);
+  NOK_RETURN_IF_ERROR(pager_->ReadPage(kMetaPage, buf.data()));
+  const char* p = buf.data();
   if (DecodeFixed64(p) != kMagic) {
     return Status::Corruption("bad btree magic");
   }
   root_ = DecodeFixed32(p + 8);
   num_entries_ = DecodeFixed64(p + 12);
+  const uint32_t version = DecodeFixed32(p + kMetaVersionOffset);
+  const uint32_t expect = options_.checksum_pages
+                              ? kFormatVersionChecksummed
+                              : kFormatVersionRaw;
+  // Version 0 files predate the version field; they are raw.
+  if (version != 0 && version != expect) {
+    return Status::Corruption("btree format version " +
+                              std::to_string(version) +
+                              " does not match the requested page format");
+  }
+  epoch_ = DecodeFixed64(p + kMetaEpochOffset);
+  if (root_ == kInvalidPage || root_ >= pager_->page_count()) {
+    return Status::Corruption("btree root page " + std::to_string(root_) +
+                              " is out of range (file has " +
+                              std::to_string(pager_->page_count()) +
+                              " pages); the meta page is damaged");
+  }
   return Status::OK();
 }
 
+// Meta goes through the pager directly, not the pool, so Flush can order
+// it strictly after the data pages reach disk.
 Status BTree::WriteMeta() {
-  NOK_ASSIGN_OR_RETURN(auto handle, pool_->Fetch(kMetaPage));
-  char* p = handle.mutable_data();
-  memset(p, 0, options_.page_size);
+  std::vector<char> buf(options_.page_size, '\0');
+  char* p = buf.data();
   EncodeFixed64(p, kMagic);
   EncodeFixed32(p + 8, root_);
   EncodeFixed64(p + 12, num_entries_);
-  handle.MarkDirty();
+  EncodeFixed32(p + kMetaVersionOffset, options_.checksum_pages
+                                            ? kFormatVersionChecksummed
+                                            : kFormatVersionRaw);
+  EncodeFixed64(p + kMetaEpochOffset, epoch_);
+  NOK_RETURN_IF_ERROR(pager_->WritePage(kMetaPage, buf.data()));
   meta_dirty_ = false;
   return Status::OK();
 }
 
 Status BTree::Flush() {
+  // Data pages first, synced, then the meta page, synced: the meta is the
+  // commit record, so a crash anywhere in this sequence leaves either the
+  // old meta (pointing at the old, durable tree) or the new meta (pointing
+  // at the new, durable tree) — never a pointer into unsynced pages.
+  NOK_RETURN_IF_ERROR(pool_->FlushAll());
+  NOK_RETURN_IF_ERROR(pager_->Sync());
   if (meta_dirty_) {
     NOK_RETURN_IF_ERROR(WriteMeta());
+    NOK_RETURN_IF_ERROR(pager_->Sync());
   }
-  NOK_RETURN_IF_ERROR(pool_->FlushAll());
-  return pager_->Sync();
+  return Status::OK();
 }
 
 Status BTree::Insert(const Slice& key, const Slice& value) {

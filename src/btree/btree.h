@@ -40,6 +40,14 @@ class BTreeIterator;
 struct BTreeOptions {
   uint32_t page_size = kDefaultPageSize;
   size_t pool_frames = 64;
+  /// Store pages with CRC-32C trailers (PageFormat::kChecksummed).  Must
+  /// match the format the file was created with.
+  bool checksum_pages = false;
+  /// Fail with Corruption instead of formatting a fresh tree when the file
+  /// is empty.  Set when reopening an index that is supposed to exist: an
+  /// empty file then means lost data, and silently starting over would
+  /// turn a detectable crash scar into a wrong-answers bug.
+  bool error_if_empty = false;
 };
 
 /// A single B+ tree persisted in one file.
@@ -75,8 +83,22 @@ class BTree {
   /// On-disk footprint in bytes (what Table 1 reports as |B+x|).
   uint64_t SizeBytes() const { return pager_->SizeBytes(); }
 
-  /// Writes back dirty pages and the meta page.
+  /// Commits the tree to disk: data pages are written and synced first,
+  /// then the meta page (root + entry count + epoch), then synced again —
+  /// so a crash between the two syncs leaves the previous meta pointing at
+  /// a fully durable tree.
   Status Flush();
+
+  /// Store-generation counter, persisted in the meta page.  The document
+  /// store stamps every component with the same epoch on each commit and
+  /// cross-checks them at open to detect torn multi-file updates.
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t epoch) {
+    if (epoch_ != epoch) {
+      epoch_ = epoch;
+      meta_dirty_ = true;
+    }
+  }
 
   /// New iterator over the tree.  The iterator pins one leaf at a time;
   /// at most a handful may be live at once (bounded by pool frames).
@@ -87,7 +109,7 @@ class BTree {
  private:
   friend class BTreeIterator;
 
-  BTree(std::unique_ptr<File> file, Options options);
+  BTree(std::unique_ptr<Pager> pager, Options options);
 
   Status InitNew();
   Status LoadMeta();
@@ -114,6 +136,7 @@ class BTree {
   std::unique_ptr<BufferPool> pool_;
   PageId root_ = kInvalidPage;
   uint64_t num_entries_ = 0;
+  uint64_t epoch_ = 0;
   bool meta_dirty_ = false;
 };
 

@@ -22,4 +22,38 @@ uint32_t Hash32(const Slice& data) {
   return h;
 }
 
+namespace {
+
+/// Byte-at-a-time lookup table for the reflected Castagnoli polynomial.
+struct Crc32cTable {
+  uint32_t entries[256];
+  constexpr Crc32cTable() : entries() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0x82f63b78u ^ (c >> 1)) : (c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+constexpr Crc32cTable kCrc32cTable;
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const char* data, size_t n) {
+  uint32_t c = crc ^ 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    c = kCrc32cTable.entries[(c ^ static_cast<unsigned char>(data[i])) &
+                             0xff] ^
+        (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+uint32_t Crc32c(const Slice& data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
 }  // namespace nok

@@ -21,6 +21,16 @@ uint64_t Hash64(const Slice& data);
 /// 32-bit variant (used for in-memory hash tables only).
 uint32_t Hash32(const Slice& data);
 
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected) over data.  This
+/// is the page-trailer checksum of the storage layer: stable across
+/// platforms and process runs (it is persisted in every checksummed page),
+/// and the same function LevelDB/RocksDB use for block integrity.
+uint32_t Crc32c(const Slice& data);
+
+/// Incremental form: extends a running CRC-32C with n more bytes.  Seed a
+/// fresh computation with crc = 0.
+uint32_t Crc32cExtend(uint32_t crc, const char* data, size_t n);
+
 }  // namespace nok
 
 #endif  // NOKXML_COMMON_HASH_H_

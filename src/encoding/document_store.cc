@@ -69,25 +69,29 @@ Status ParseIdPayload(const Slice& payload, uint64_t* pos, bool* has_value,
 
 namespace {
 
-constexpr const char* kTreeFile = "tree.nok";
-constexpr const char* kValuesFile = "values.dat";
-constexpr const char* kDictFile = "tags.dict";
-constexpr const char* kTagIdxFile = "tag.idx";
-constexpr const char* kValIdxFile = "val.idx";
-constexpr const char* kIdIdxFile = "id.idx";
-constexpr const char* kPathIdxFile = "path.idx";
-constexpr const char* kStaleFile = "positions.stale";
-
-Result<std::unique_ptr<File>> OpenComponentFile(const std::string& dir,
-                                                const char* name,
-                                                bool create) {
-  if (dir.empty()) {
-    return NewMemFile();
-  }
-  return OpenPosixFile(dir + "/" + name, create);
-}
+constexpr const char* kTreeFile = store_files::kTree;
+constexpr const char* kValuesFile = store_files::kValues;
+constexpr const char* kDictFile = store_files::kDict;
+constexpr const char* kTagIdxFile = store_files::kTagIdx;
+constexpr const char* kValIdxFile = store_files::kValIdx;
+constexpr const char* kIdIdxFile = store_files::kIdIdx;
+constexpr const char* kPathIdxFile = store_files::kPathIdx;
+constexpr const char* kStaleFile = store_files::kStale;
 
 }  // namespace
+
+Result<std::unique_ptr<File>> DocumentStore::OpenComponent(
+    const char* name, bool create) const {
+  const std::string path =
+      options_.dir.empty() ? std::string(name) : options_.dir + "/" + name;
+  if (options_.file_factory) {
+    return options_.file_factory(path, create);
+  }
+  if (options_.dir.empty()) {
+    return NewMemFile();
+  }
+  return OpenPosixFile(path, create);
+}
 
 Status DocumentStore::InitFiles(const Options& options) {
   options_ = options;
@@ -104,33 +108,38 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Build(
 
   // Component files.
   NOK_ASSIGN_OR_RETURN(auto tree_file,
-                       OpenComponentFile(options.dir, kTreeFile, true));
+                       store->OpenComponent(kTreeFile, true));
   if (tree_file->Size() != 0) {
     return Status::AlreadyExists("tree file is not empty; use OpenDir");
   }
   NOK_ASSIGN_OR_RETURN(auto values_file,
-                       OpenComponentFile(options.dir, kValuesFile, true));
+                       store->OpenComponent(kValuesFile, true));
   NOK_ASSIGN_OR_RETURN(auto tag_idx_file,
-                       OpenComponentFile(options.dir, kTagIdxFile, true));
+                       store->OpenComponent(kTagIdxFile, true));
   NOK_ASSIGN_OR_RETURN(auto val_idx_file,
-                       OpenComponentFile(options.dir, kValIdxFile, true));
+                       store->OpenComponent(kValIdxFile, true));
   NOK_ASSIGN_OR_RETURN(auto id_idx_file,
-                       OpenComponentFile(options.dir, kIdIdxFile, true));
+                       store->OpenComponent(kIdIdxFile, true));
   NOK_ASSIGN_OR_RETURN(auto path_idx_file,
-                       OpenComponentFile(options.dir, kPathIdxFile, true));
+                       store->OpenComponent(kPathIdxFile, true));
 
   StringStore::Options tree_options;
   tree_options.page_size = options.page_size;
   tree_options.reserve_ratio = options.reserve_ratio;
   tree_options.pool_frames = options.pool_frames;
   tree_options.use_header_skip = options.use_header_skip;
+  tree_options.checksum_pages = options.checksum_pages;
   StringStore::Builder builder(std::move(tree_file), tree_options);
 
-  NOK_ASSIGN_OR_RETURN(store->values_,
-                       ValueStore::Open(std::move(values_file)));
+  ValueStore::Options value_options;
+  value_options.checksum_records = options.checksum_pages;
+  NOK_ASSIGN_OR_RETURN(store->values_, ValueStore::Open(
+                                           std::move(values_file),
+                                           value_options));
   BTree::Options idx_options;
   idx_options.page_size = options.index_page_size;
   idx_options.pool_frames = options.index_pool_frames;
+  idx_options.checksum_pages = options.checksum_pages;
   NOK_ASSIGN_OR_RETURN(store->tag_index_,
                        BTree::Open(std::move(tag_idx_file), idx_options));
   NOK_ASSIGN_OR_RETURN(store->value_index_,
@@ -243,7 +252,20 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Build(
     return Status::ParseError("document ended with open elements");
   }
 
-  NOK_ASSIGN_OR_RETURN(store->tree_, builder.Finish());
+  // Commit, generation 1.  Everything the tree meta will declare valid —
+  // the value file, the indexes, the dictionary — must be durable before
+  // builder.Finish() writes that meta (the store-level commit record).  A
+  // crash before Finish leaves a tree file without a valid meta page, so
+  // OpenDir reports the half-built store instead of opening it.
+  store->epoch_ = 1;
+  NOK_RETURN_IF_ERROR(store->values_->Sync());
+  for (BTree* index : {store->tag_index_.get(), store->value_index_.get(),
+                       store->id_index_.get(), store->path_index_.get()}) {
+    index->set_epoch(store->epoch_);
+    NOK_RETURN_IF_ERROR(index->Flush());
+  }
+  NOK_RETURN_IF_ERROR(store->SaveDictionary());
+  NOK_ASSIGN_OR_RETURN(store->tree_, builder.Finish(store->epoch_));
 
   store->stats_.xml_bytes = xml.size();
   store->stats_.node_count = store->tree_->node_count();
@@ -254,9 +276,6 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Build(
                             static_cast<double>(leaf_count);
   store->stats_.distinct_tags = store->tags_.size();
   store->RefreshSizeStats();
-
-  NOK_RETURN_IF_ERROR(store->SaveDictionary());
-  NOK_RETURN_IF_ERROR(store->Flush());
   return store;
 }
 
@@ -269,45 +288,98 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::OpenDir(
   NOK_RETURN_IF_ERROR(store->InitFiles(options));
 
   NOK_ASSIGN_OR_RETURN(auto tree_file,
-                       OpenComponentFile(options.dir, kTreeFile, false));
+                       store->OpenComponent(kTreeFile, false));
+  // The tree meta page records whether the store was built with
+  // checksums; every other component follows that format.
+  NOK_ASSIGN_OR_RETURN(const bool checksummed,
+                       StringStore::SniffChecksummed(tree_file.get()));
+  store->options_.checksum_pages = checksummed;
   StringStore::Options tree_options;
   tree_options.page_size = options.page_size;
   tree_options.reserve_ratio = options.reserve_ratio;
   tree_options.pool_frames = options.pool_frames;
   tree_options.use_header_skip = options.use_header_skip;
+  tree_options.checksum_pages = checksummed;
   NOK_ASSIGN_OR_RETURN(store->tree_, StringStore::Open(std::move(tree_file),
                                                        tree_options));
 
   NOK_ASSIGN_OR_RETURN(auto values_file,
-                       OpenComponentFile(options.dir, kValuesFile, false));
-  NOK_ASSIGN_OR_RETURN(store->values_,
-                       ValueStore::Open(std::move(values_file)));
+                       store->OpenComponent(kValuesFile, false));
+  ValueStore::Options value_options;
+  value_options.checksum_records = checksummed;
+  NOK_ASSIGN_OR_RETURN(store->values_, ValueStore::Open(
+                                           std::move(values_file),
+                                           value_options));
 
   BTree::Options idx_options;
   idx_options.page_size = options.index_page_size;
   idx_options.pool_frames = options.index_pool_frames;
+  idx_options.checksum_pages = checksummed;
+  // A zero-length index file here means the index was lost (e.g. a crash
+  // truncated it); formatting a fresh empty index would silently answer
+  // queries with no results.
+  idx_options.error_if_empty = true;
   NOK_ASSIGN_OR_RETURN(auto tag_idx_file,
-                       OpenComponentFile(options.dir, kTagIdxFile, false));
+                       store->OpenComponent(kTagIdxFile, false));
   NOK_ASSIGN_OR_RETURN(store->tag_index_,
                        BTree::Open(std::move(tag_idx_file), idx_options));
   NOK_ASSIGN_OR_RETURN(auto val_idx_file,
-                       OpenComponentFile(options.dir, kValIdxFile, false));
+                       store->OpenComponent(kValIdxFile, false));
   NOK_ASSIGN_OR_RETURN(store->value_index_,
                        BTree::Open(std::move(val_idx_file), idx_options));
   NOK_ASSIGN_OR_RETURN(auto id_idx_file,
-                       OpenComponentFile(options.dir, kIdIdxFile, false));
+                       store->OpenComponent(kIdIdxFile, false));
   NOK_ASSIGN_OR_RETURN(store->id_index_,
                        BTree::Open(std::move(id_idx_file), idx_options));
+  // The path index is derived (RefreshPositions rebuilds it), so losing
+  // it is recoverable; open it permissively.
+  BTree::Options path_idx_options = idx_options;
+  path_idx_options.error_if_empty = false;
   NOK_ASSIGN_OR_RETURN(auto path_idx_file,
-                       OpenComponentFile(options.dir, kPathIdxFile, false));
-  NOK_ASSIGN_OR_RETURN(store->path_index_,
-                       BTree::Open(std::move(path_idx_file), idx_options));
+                       store->OpenComponent(kPathIdxFile, false));
+  NOK_ASSIGN_OR_RETURN(
+      store->path_index_,
+      BTree::Open(std::move(path_idx_file), path_idx_options));
 
   std::string dict_data;
   NOK_RETURN_IF_ERROR(
       ReadFileToString(options.dir + "/" + kDictFile, &dict_data));
-  NOK_ASSIGN_OR_RETURN(store->tags_,
-                       TagDictionary::Deserialize(Slice(dict_data)));
+  uint64_t dict_epoch = 0;
+  NOK_ASSIGN_OR_RETURN(
+      store->tags_,
+      TagDictionary::Deserialize(Slice(dict_data), &dict_epoch));
+
+  // Cross-check component generations.  Flush stamps every component with
+  // the same epoch and writes the tree meta last, so a mismatch means a
+  // torn multi-file commit: refusing to open beats silently mixing
+  // generations.  All-zero means a legacy store that predates epochs.
+  // The path index is excluded — it is derived and rebuilt on refresh.
+  {
+    const uint64_t tree_epoch = store->tree_->epoch();
+    const uint64_t epochs[] = {tree_epoch,
+                               store->tag_index_->epoch(),
+                               store->value_index_->epoch(),
+                               store->id_index_->epoch(),
+                               dict_epoch};
+    bool all_zero = true, all_match = true;
+    for (uint64_t e : epochs) {
+      if (e != 0) all_zero = false;
+      if (e != tree_epoch) all_match = false;
+    }
+    if (!all_zero && !all_match) {
+      std::string listing;
+      for (uint64_t e : epochs) {
+        if (!listing.empty()) listing += ", ";
+        listing += std::to_string(e);
+      }
+      return Status::Corruption(
+          "store components are from different generations (epochs " +
+          listing +
+          " for tree, tag index, value index, id index, dictionary); a "
+          "multi-file commit was torn by a crash");
+    }
+    store->epoch_ = tree_epoch;
+  }
 
   store->stats_.node_count = store->tree_->node_count();
   store->stats_.max_depth = store->tree_->max_level();
@@ -320,7 +392,7 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::OpenDir(
 Status DocumentStore::SaveDictionary() {
   if (options_.dir.empty()) return Status::OK();
   return WriteStringToFile(options_.dir + "/" + kDictFile,
-                           Slice(tags_.Serialize()));
+                           Slice(tags_.Serialize(epoch_)));
 }
 
 void DocumentStore::RefreshSizeStats() {
@@ -333,12 +405,20 @@ void DocumentStore::RefreshSizeStats() {
 }
 
 Status DocumentStore::Flush() {
-  NOK_RETURN_IF_ERROR(tree_->buffer_pool()->FlushAll());
+  // One new generation.  Order: value file and indexes (data synced before
+  // each component's own meta), then the dictionary, then the tree string
+  // whose meta page — written last — commits the generation.
+  ++epoch_;
   NOK_RETURN_IF_ERROR(values_->Sync());
-  NOK_RETURN_IF_ERROR(tag_index_->Flush());
-  NOK_RETURN_IF_ERROR(value_index_->Flush());
-  NOK_RETURN_IF_ERROR(id_index_->Flush());
-  NOK_RETURN_IF_ERROR(path_index_->Flush());
+  for (BTree* index :
+       {tag_index_.get(), value_index_.get(), id_index_.get(),
+        path_index_.get()}) {
+    index->set_epoch(epoch_);
+    NOK_RETURN_IF_ERROR(index->Flush());
+  }
+  NOK_RETURN_IF_ERROR(SaveDictionary());
+  tree_->set_epoch(epoch_);
+  NOK_RETURN_IF_ERROR(tree_->Flush());
   return Status::OK();
 }
 
@@ -375,6 +455,14 @@ Result<StorePos> DocumentStore::Locate(const DeweyId& id) {
     NOK_RETURN_IF_ERROR(index_keys::ParseIdPayload(
         Slice(payload.ValueOrDie()), &global, &has_value, &offset));
     return tree_->PosForGlobal(global);
+  }
+  return Navigate(id);
+}
+
+Result<StorePos> DocumentStore::Navigate(const DeweyId& id) {
+  const auto& components = id.components();
+  if (components.empty() || components[0] != 0) {
+    return Status::InvalidArgument("bad Dewey ID " + id.ToString());
   }
   StorePos pos = tree_->RootPos();
   for (size_t depth = 1; depth < components.size(); ++depth) {

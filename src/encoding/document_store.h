@@ -18,6 +18,7 @@
 #define NOKXML_ENCODING_DOCUMENT_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -32,6 +33,19 @@
 #include "encoding/value_store.h"
 
 namespace nok {
+
+/// Component file names inside a store directory (shared with the
+/// offline verifier).
+namespace store_files {
+inline constexpr const char* kTree = "tree.nok";
+inline constexpr const char* kValues = "values.dat";
+inline constexpr const char* kDict = "tags.dict";
+inline constexpr const char* kTagIdx = "tag.idx";
+inline constexpr const char* kValIdx = "val.idx";
+inline constexpr const char* kIdIdx = "id.idx";
+inline constexpr const char* kPathIdx = "path.idx";
+inline constexpr const char* kStale = "positions.stale";
+}  // namespace store_files
 
 /// Build/open knobs.
 struct DocumentStoreOptions {
@@ -48,8 +62,19 @@ struct DocumentStoreOptions {
   size_t index_pool_frames = 64;
   /// Toggle for the (st,lo,hi) page-skip optimization (Section 5).
   bool use_header_skip = true;
+  /// Store every component with integrity checksums: CRC-32C page
+  /// trailers in the tree string and the B+ trees, per-record CRCs in the
+  /// value file.  Recorded in the tree meta page, so OpenDir detects the
+  /// format automatically; this flag only matters at Build time.
+  bool checksum_pages = false;
   /// Directory for the store files; empty = fully in-memory.
   std::string dir;
+  /// Hook for wrapping component files (fault injection in tests).  When
+  /// set, every component file is opened through this factory; `path` is
+  /// the file path (or the bare component name when dir is empty).
+  std::function<Result<std::unique_ptr<File>>(const std::string& path,
+                                              bool create)>
+      file_factory;
 };
 
 /// Document-level statistics (the columns of Table 1).
@@ -93,6 +118,11 @@ class DocumentStore {
   /// while positions are fresh, otherwise a FIRST-CHILD /
   /// FOLLOWING-SIBLING walk along the components.
   Result<StorePos> Locate(const DeweyId& id);
+
+  /// Physical position by pure navigation (FIRST-CHILD /
+  /// FOLLOWING-SIBLING walk), never consulting the indexes.  The scrubber
+  /// uses this as the independent ground truth to check B+i against.
+  Result<StorePos> Navigate(const DeweyId& id);
 
   /// The node's value (nullopt if it has none).
   Result<std::optional<std::string>> ValueOf(const DeweyId& id);
@@ -158,8 +188,16 @@ class DocumentStore {
   /// Recomputes component sizes (after updates).
   void RefreshSizeStats();
 
-  /// Flushes every component.
+  /// Commits every component to disk as one new store generation: the
+  /// epoch counter is bumped, the value file and the indexes are written
+  /// and synced first, then the tree string's meta page — the store-level
+  /// commit record — last.  After a crash anywhere inside Flush, OpenDir
+  /// either sees the previous consistent generation or reports Corruption
+  /// (mismatched epochs); it never silently mixes generations.
   Status Flush();
+
+  /// Current store generation (see Flush).
+  uint64_t epoch() const { return epoch_; }
 
   /// Clears all buffer pools and I/O counters (cold-start for benchmarks).
   Status DropCaches();
@@ -169,6 +207,10 @@ class DocumentStore {
 
   Status InitFiles(const Options& options);
   Status SaveDictionary();
+
+  /// Opens one component file, honoring options_.file_factory.
+  Result<std::unique_ptr<File>> OpenComponent(const char* name,
+                                              bool create) const;
 
   /// Moves a node's B+i/B+t/B+v entries from old_dewey to new_dewey
   /// (sibling-shift maintenance during updates; updater.cc).
@@ -191,6 +233,7 @@ class DocumentStore {
   std::unique_ptr<BTree> id_index_;
   std::unique_ptr<BTree> path_index_;
   DocumentStoreStats stats_;
+  uint64_t epoch_ = 0;
   bool positions_fresh_ = true;
 };
 

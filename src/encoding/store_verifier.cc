@@ -1,0 +1,189 @@
+#include "encoding/store_verifier.h"
+
+#include <memory>
+#include <utility>
+
+#include "btree/btree.h"
+#include "encoding/dewey.h"
+#include "encoding/string_store.h"
+#include "storage/file.h"
+#include "storage/pager.h"
+
+namespace nok {
+
+namespace {
+
+// Beyond this many issues the store is toast and more detail is noise.
+constexpr size_t kMaxIssues = 100;
+
+void AddIssue(VerifyReport* report, std::string component,
+              std::string detail) {
+  if (report->issues.size() >= kMaxIssues) {
+    report->truncated = true;
+    return;
+  }
+  report->issues.push_back(
+      VerifyIssue{std::move(component), std::move(detail)});
+}
+
+/// Reads every page of one paged component file, reporting each page that
+/// fails (checksum mismatch, short file, ...).
+void ScrubPagedFile(const std::string& dir, const char* name,
+                    uint32_t page_size, PageFormat format,
+                    VerifyReport* report) {
+  const std::string path = dir + "/" + name;
+  if (!FileExists(path)) {
+    AddIssue(report, name, "file is missing");
+    return;
+  }
+  auto file = OpenPosixFile(path, /*create=*/false);
+  if (!file.ok()) {
+    AddIssue(report, name, file.status().ToString());
+    return;
+  }
+  auto pager = Pager::Open(std::move(file).ValueOrDie(), page_size, format);
+  if (!pager.ok()) {
+    AddIssue(report, name, pager.status().ToString());
+    return;
+  }
+  const auto& p = pager.ValueOrDie();
+  std::vector<char> buf(page_size);
+  for (PageId id = 0; id < p->page_count(); ++id) {
+    ++report->pages_checked;
+    Status s = p->ReadPage(id, buf.data());
+    if (!s.ok()) {
+      AddIssue(report, name, s.ToString());
+    }
+  }
+}
+
+}  // namespace
+
+Result<VerifyReport> VerifyStoreDir(const std::string& dir,
+                                    DocumentStoreOptions options) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("verify requires a store directory");
+  }
+  if (!FileExists(dir + "/" + store_files::kTree)) {
+    return Status::NotFound("no document store in " + dir + " (" +
+                            store_files::kTree + " is missing)");
+  }
+  VerifyReport report;
+
+  // Pass 1: raw page scrub of every paged file, in the format the tree
+  // meta page records.
+  PageFormat format = PageFormat::kRaw;
+  {
+    auto tree_file = OpenPosixFile(dir + "/" + store_files::kTree,
+                                   /*create=*/false);
+    if (!tree_file.ok()) {
+      AddIssue(&report, store_files::kTree, tree_file.status().ToString());
+      return report;
+    }
+    auto checksummed =
+        StringStore::SniffChecksummed(tree_file.ValueOrDie().get());
+    if (!checksummed.ok()) {
+      AddIssue(&report, store_files::kTree,
+               checksummed.status().ToString());
+      return report;
+    }
+    format = checksummed.ValueOrDie() ? PageFormat::kChecksummed
+                                      : PageFormat::kRaw;
+  }
+  ScrubPagedFile(dir, store_files::kTree, options.page_size, format,
+                 &report);
+  for (const char* idx :
+       {store_files::kTagIdx, store_files::kValIdx, store_files::kIdIdx,
+        store_files::kPathIdx}) {
+    ScrubPagedFile(dir, idx, options.index_page_size, format, &report);
+  }
+  if (!report.ok()) {
+    // Damaged pages would poison the structural passes with noise.
+    return report;
+  }
+
+  // Pass 2: structural open (magics, versions, page chain, epochs).
+  options.dir = dir;
+  auto store_or = DocumentStore::OpenDir(options);
+  if (!store_or.ok()) {
+    AddIssue(&report, "store", store_or.status().ToString());
+    return report;
+  }
+  auto store = std::move(store_or).ValueOrDie();
+
+  // Pass 3: every B+i entry against an independent navigation of the
+  // tree string, and its value record against the data file.
+  BTreeIterator it = store->id_index()->NewIterator();
+  Status s = it.SeekToFirst();
+  if (!s.ok()) {
+    AddIssue(&report, "B+i", s.ToString());
+    return report;
+  }
+  while (it.Valid()) {
+    ++report.entries_checked;
+    auto dewey_or = DeweyId::Decode(it.key());
+    if (!dewey_or.ok()) {
+      AddIssue(&report, "B+i",
+               "undecodable Dewey key: " + dewey_or.status().ToString());
+    } else {
+      const DeweyId dewey = std::move(dewey_or).ValueOrDie();
+      auto nav = store->Navigate(dewey);
+      if (!nav.ok()) {
+        AddIssue(&report, "B+i",
+                 "entry for " + dewey.ToString() +
+                     " has no matching node in the tree string: " +
+                     nav.status().ToString());
+      } else {
+        uint64_t pos = 0, offset = 0;
+        bool has_value = false;
+        Status ps = index_keys::ParseIdPayload(it.value(), &pos,
+                                               &has_value, &offset);
+        if (!ps.ok()) {
+          AddIssue(&report, "B+i",
+                   "bad payload for " + dewey.ToString() + ": " +
+                       ps.ToString());
+        } else {
+          if (store->positions_fresh() &&
+              pos != store->tree()->GlobalPos(nav.ValueOrDie())) {
+            AddIssue(&report, "B+i",
+                     "stored position " + std::to_string(pos) + " for " +
+                         dewey.ToString() + " disagrees with the tree (" +
+                         std::to_string(store->tree()->GlobalPos(
+                             nav.ValueOrDie())) +
+                         ") although positions are marked fresh");
+          }
+          if (has_value) {
+            auto value = store->values()->Read(offset);
+            if (!value.ok()) {
+              AddIssue(&report, "values.dat",
+                       "record for " + dewey.ToString() + ": " +
+                           value.status().ToString());
+            }
+          }
+        }
+      }
+    }
+    if (report.issues.size() >= kMaxIssues) {
+      report.truncated = true;
+      break;
+    }
+    s = it.Next();
+    if (!s.ok()) {
+      AddIssue(&report, "B+i", s.ToString());
+      break;
+    }
+  }
+
+  // The node count in the tree meta must agree with the B+i entry count
+  // (every node has exactly one entry).
+  if (!report.truncated &&
+      report.entries_checked != store->tree()->node_count()) {
+    AddIssue(&report, "B+i",
+             "index holds " + std::to_string(report.entries_checked) +
+                 " entries but the tree records " +
+                 std::to_string(store->tree()->node_count()) + " nodes");
+  }
+  return report;
+}
+
+}  // namespace nok

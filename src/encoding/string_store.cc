@@ -21,6 +21,17 @@ constexpr size_t kMetaNodeCount = 12;
 constexpr size_t kMetaMaxLevel = 20;
 constexpr size_t kMetaFirstData = 24;
 constexpr size_t kMetaFreeList = 28;
+// Version 0 is the pre-versioning layout (raw pages, epoch 0); 1 is raw
+// with version/epoch fields; 2 is checksummed.
+constexpr size_t kMetaVersion = 32;
+constexpr size_t kMetaEpoch = 36;
+constexpr uint32_t kFormatVersionRaw = 1;
+constexpr uint32_t kFormatVersionChecksummed = 2;
+
+PageFormat FormatFor(const StringStoreOptions& options) {
+  return options.checksum_pages ? PageFormat::kChecksummed
+                                : PageFormat::kRaw;
+}
 
 }  // namespace
 
@@ -47,20 +58,32 @@ StorePageHeader DecodeStorePageHeader(const char* buf) {
 
 StringStore::Builder::Builder(std::unique_ptr<File> file, Options options)
     : options_(options) {
-  pager_ = std::make_unique<Pager>(std::move(file), options.page_size);
-  NOK_CHECK(pager_->page_count() == 0) << "builder requires an empty file";
   const uint32_t reserve =
       static_cast<uint32_t>(options_.page_size * options_.reserve_ratio);
   NOK_CHECK(options_.page_size > kPageHeaderSize + reserve + 4)
       << "page size too small for the reserve ratio";
   fill_limit_ = options_.page_size - kPageHeaderSize - reserve;
 
+  // I/O failures here (a non-empty file, a failed page write) are deferred
+  // into init_status_ so the first Open()/Close()/Finish() reports them.
+  auto pager = Pager::Open(std::move(file), options.page_size,
+                           FormatFor(options));
+  if (!pager.ok()) {
+    init_status_ = pager.status();
+    return;
+  }
+  pager_ = std::move(pager).ValueOrDie();
+  if (pager_->page_count() != 0) {
+    init_status_ =
+        Status::InvalidArgument("builder requires an empty file");
+    return;
+  }
   PageId meta = kInvalidPage;
-  Status s = pager_->AllocatePage(&meta);
-  NOK_CHECK(s.ok()) << s.ToString();
+  init_status_ = pager_->AllocatePage(&meta);
+  if (!init_status_.ok()) return;
   NOK_CHECK(meta == kMetaPage);
-  s = pager_->AllocatePage(&cur_page_);
-  NOK_CHECK(s.ok()) << s.ToString();
+  init_status_ = pager_->AllocatePage(&cur_page_);
+  if (!init_status_.ok()) return;
   page_buf_.assign(options_.page_size, '\0');
 }
 
@@ -110,6 +133,7 @@ Status StringStore::Builder::AppendSymbol(const char* bytes, uint32_t n,
 }
 
 Status StringStore::Builder::Open(TagId tag, uint64_t* global_pos) {
+  NOK_RETURN_IF_ERROR(init_status_);
   if (finished_) return Status::Internal("builder already finished");
   if (tag == kInvalidTag || tag > kMaxTagId) {
     return Status::InvalidArgument("bad tag id " + std::to_string(tag));
@@ -135,6 +159,7 @@ Status StringStore::Builder::Open(TagId tag, uint64_t* global_pos) {
 }
 
 Status StringStore::Builder::Close() {
+  NOK_RETURN_IF_ERROR(init_status_);
   if (finished_) return Status::Internal("builder already finished");
   if (level_ <= 0) {
     return Status::InvalidArgument("close with no open element");
@@ -145,7 +170,9 @@ Status StringStore::Builder::Close() {
   return Status::OK();
 }
 
-Result<std::unique_ptr<StringStore>> StringStore::Builder::Finish() {
+Result<std::unique_ptr<StringStore>> StringStore::Builder::Finish(
+    uint64_t epoch) {
+  NOK_RETURN_IF_ERROR(init_status_);
   if (finished_) return Status::Internal("builder already finished");
   if (level_ != 0) {
     return Status::InvalidArgument("unbalanced document: level " +
@@ -155,6 +182,9 @@ Result<std::unique_ptr<StringStore>> StringStore::Builder::Finish() {
     return Status::InvalidArgument("empty document");
   }
   NOK_RETURN_IF_ERROR(FlushPage(kInvalidPage));
+  // Data pages must be durable before the meta page declares them valid:
+  // the meta is the commit record of the build.
+  NOK_RETURN_IF_ERROR(pager_->Sync());
 
   // Meta page.
   std::string meta(options_.page_size, '\0');
@@ -165,6 +195,10 @@ Result<std::unique_ptr<StringStore>> StringStore::Builder::Finish() {
                 static_cast<uint32_t>(max_level_));
   EncodeFixed32(meta.data() + kMetaFirstData, 1);
   EncodeFixed32(meta.data() + kMetaFreeList, kInvalidPage);
+  EncodeFixed32(meta.data() + kMetaVersion, options_.checksum_pages
+                                                ? kFormatVersionChecksummed
+                                                : kFormatVersionRaw);
+  EncodeFixed64(meta.data() + kMetaEpoch, epoch);
   NOK_RETURN_IF_ERROR(pager_->WritePage(kMetaPage, meta.data()));
   NOK_RETURN_IF_ERROR(pager_->Sync());
   finished_ = true;
@@ -185,9 +219,14 @@ Result<std::unique_ptr<StringStore>> StringStore::Open(
 }
 
 Status StringStore::Init(std::unique_ptr<File> file) {
-  pager_ = std::make_unique<Pager>(std::move(file), options_.page_size);
+  NOK_ASSIGN_OR_RETURN(pager_,
+                       Pager::Open(std::move(file), options_.page_size,
+                                   FormatFor(options_)));
   pool_ = std::make_unique<BufferPool>(pager_.get(), options_.pool_frames);
 
+  if (pager_->page_count() == 0) {
+    return Status::Corruption("string store file has no meta page");
+  }
   std::string buf(options_.page_size, '\0');
   NOK_RETURN_IF_ERROR(pager_->ReadPage(kMetaPage, buf.data()));
   if (DecodeFixed64(buf.data() + kMetaMagic) != kMagic) {
@@ -198,11 +237,63 @@ Status StringStore::Init(std::unique_ptr<File> file) {
         "page size mismatch: stored " +
         std::to_string(DecodeFixed32(buf.data() + kMetaPageSize)));
   }
+  const uint32_t version = DecodeFixed32(buf.data() + kMetaVersion);
+  const uint32_t expect = options_.checksum_pages
+                              ? kFormatVersionChecksummed
+                              : kFormatVersionRaw;
+  if (version != 0 && version != expect) {
+    return Status::Corruption("string store format version " +
+                              std::to_string(version) +
+                              " does not match the requested page format");
+  }
   node_count_ = DecodeFixed64(buf.data() + kMetaNodeCount);
   max_level_ = static_cast<int>(DecodeFixed32(buf.data() + kMetaMaxLevel));
   first_data_page_ = DecodeFixed32(buf.data() + kMetaFirstData);
   free_list_head_ = DecodeFixed32(buf.data() + kMetaFreeList);
+  epoch_ = DecodeFixed64(buf.data() + kMetaEpoch);
   return ReloadHeaders();
+}
+
+StringStore::~StringStore() {
+  if (pager_ == nullptr) return;
+  Status s = Flush();
+  if (!s.ok()) {
+    NOK_LOG(Error) << "StringStore flush on destruction failed: "
+                   << s.ToString();
+  }
+}
+
+Status StringStore::Flush() {
+  NOK_RETURN_IF_ERROR(pool_->FlushAll());
+  NOK_RETURN_IF_ERROR(pager_->Sync());
+  if (meta_dirty_) {
+    NOK_RETURN_IF_ERROR(WriteMetaPage());
+    NOK_RETURN_IF_ERROR(pager_->Sync());
+  }
+  return Status::OK();
+}
+
+Result<bool> StringStore::SniffChecksummed(File* file) {
+  char buf[kMetaVersion + 4];
+  if (file->Size() < sizeof(buf)) {
+    return Status::Corruption("store file too small to hold a meta page");
+  }
+  Slice unused;
+  NOK_RETURN_IF_ERROR(file->ReadAt(0, sizeof(buf), buf, &unused));
+  if (DecodeFixed64(buf + kMetaMagic) != kMagic) {
+    return Status::Corruption("bad string store magic");
+  }
+  const uint32_t version = DecodeFixed32(buf + kMetaVersion);
+  switch (version) {
+    case 0:  // Pre-versioning files are raw.
+    case kFormatVersionRaw:
+      return false;
+    case kFormatVersionChecksummed:
+      return true;
+    default:
+      return Status::Corruption("unknown string store format version " +
+                                std::to_string(version));
+  }
 }
 
 Status StringStore::ReloadHeaders() {
@@ -210,9 +301,17 @@ Status StringStore::ReloadHeaders() {
   const PageId n = pager_->page_count();
   headers_.assign(n, StorePageHeader{});
   std::string buf(options_.page_size, '\0');
+  const uint16_t max_used =
+      static_cast<uint16_t>(options_.page_size - kPageHeaderSize);
   for (PageId p = 1; p < n; ++p) {
     NOK_RETURN_IF_ERROR(pager_->ReadPage(p, buf.data()));
     headers_[p] = DecodeStorePageHeader(buf.data());
+    if (headers_[p].used > max_used) {
+      return Status::Corruption(
+          "page " + std::to_string(p) + " claims " +
+          std::to_string(headers_[p].used) +
+          " used bytes, more than a page body holds");
+    }
   }
   return RebuildChainFromHeaders();
 }
@@ -247,7 +346,13 @@ Status StringStore::WriteMetaPage() {
                 static_cast<uint32_t>(max_level_));
   EncodeFixed32(meta.data() + kMetaFirstData, first_data_page_);
   EncodeFixed32(meta.data() + kMetaFreeList, free_list_head_);
-  return pager_->WritePage(kMetaPage, meta.data());
+  EncodeFixed32(meta.data() + kMetaVersion, options_.checksum_pages
+                                                ? kFormatVersionChecksummed
+                                                : kFormatVersionRaw);
+  EncodeFixed64(meta.data() + kMetaEpoch, epoch_);
+  NOK_RETURN_IF_ERROR(pager_->WritePage(kMetaPage, meta.data()));
+  meta_dirty_ = false;
+  return Status::OK();
 }
 
 const StorePageHeader& StringStore::header(PageId page) const {

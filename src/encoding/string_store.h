@@ -89,6 +89,9 @@ struct StringStoreOptions {
   /// chain order instead of consulting the (st,lo,hi) headers — the
   /// ablation knob for the Section 5 optimization.
   bool use_header_skip = true;
+  /// Store pages with CRC-32C trailers (PageFormat::kChecksummed).  Must
+  /// match the format the file was created with.
+  bool checksum_pages = false;
 };
 
 /// Read (and, via TreeUpdater, write) access to one materialized tree.
@@ -115,15 +118,18 @@ class StringStore {
     /// Current nesting level (0 outside the root).
     int level() const { return level_; }
 
-    /// Finalizes headers and the meta page and returns a reader over the
-    /// same file.  The builder is unusable afterwards.
-    Result<std::unique_ptr<StringStore>> Finish();
+    /// Finalizes headers and the meta page (stamped with epoch) and
+    /// returns a reader over the same file.  Data pages are synced before
+    /// the meta page is written, so the meta is the commit record of the
+    /// build.  The builder is unusable afterwards.
+    Result<std::unique_ptr<StringStore>> Finish(uint64_t epoch = 0);
 
    private:
     Status AppendSymbol(const char* bytes, uint32_t n, int new_level);
     Status FlushPage(PageId next);
 
     Options options_;
+    Status init_status_;  ///< First I/O error from construction, if any.
     std::unique_ptr<Pager> pager_;
     std::string page_buf_;
     uint32_t fill_limit_;
@@ -145,6 +151,23 @@ class StringStore {
   /// headers into memory.
   static Result<std::unique_ptr<StringStore>> Open(
       std::unique_ptr<File> file, Options options = {});
+
+  ~StringStore();
+
+  /// Commits the store: data pages are written and synced first, then the
+  /// meta page (if dirty), then synced again, so the meta never points at
+  /// unsynced data.
+  Status Flush();
+
+  /// Store-generation counter, persisted in the meta page (see
+  /// BTree::epoch for the cross-component torn-update check it feeds).
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t epoch) {
+    if (epoch_ != epoch) {
+      epoch_ = epoch;
+      meta_dirty_ = true;
+    }
+  }
 
   // -------------------------------------------------------------------
   // Primitive tree operations (Algorithm 2 of the paper).
@@ -211,6 +234,13 @@ class StringStore {
   /// updates restructure pages).
   Status ReloadHeaders();
 
+  /// Inspects the raw leading bytes of a store file and reports whether it
+  /// was written in checksummed page format.  Works in either format
+  /// because the meta page starts at offset 0 regardless of the per-page
+  /// trailer.  Fails with Corruption if the file does not start with a
+  /// string-store meta page.
+  static Result<bool> SniffChecksummed(File* file);
+
  private:
   friend class TreeUpdater;
 
@@ -266,6 +296,7 @@ class StringStore {
   std::vector<uint64_t> chain_seq_;        // PageId -> chain index.
   PageId first_data_page_ = kInvalidPage;
   uint64_t node_count_ = 0;
+  uint64_t epoch_ = 0;
   int max_level_ = 0;
   PageId free_list_head_ = kInvalidPage;   // Reusable pages after deletes.
   NavStats nav_stats_;

@@ -1,9 +1,21 @@
 #include "encoding/tag_dictionary.h"
 
+#include <cstring>
+
 #include "common/coding.h"
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace nok {
+
+namespace {
+// Header: magic (8 bytes) | crc32c(payload) (4) | epoch (8) | payload.
+// The payload is the legacy headerless serialization, so old files (which
+// cannot start with the magic — the leading byte is a varint count) still
+// deserialize.
+constexpr char kDictMagic[8] = {'N', 'O', 'K', 'D', 'I', 'C', 'T', '2'};
+constexpr size_t kDictHeaderSize = 8 + 4 + 8;
+}  // namespace
 
 Result<TagId> TagDictionary::Intern(std::string_view name) {
   auto it = ids_.find(std::string(name));
@@ -47,19 +59,45 @@ uint64_t TagDictionary::OccurrenceCount(TagId id) const {
   return counts_[id - 1];
 }
 
-std::string TagDictionary::Serialize() const {
-  std::string out;
-  PutVarint32(&out, static_cast<uint32_t>(names_.size()));
+std::string TagDictionary::Serialize(uint64_t epoch) const {
+  std::string payload;
+  PutVarint32(&payload, static_cast<uint32_t>(names_.size()));
   for (size_t i = 0; i < names_.size(); ++i) {
-    PutLengthPrefixedSlice(&out, Slice(names_[i]));
-    PutVarint64(&out, counts_[i]);
+    PutLengthPrefixedSlice(&payload, Slice(names_[i]));
+    PutVarint64(&payload, counts_[i]);
   }
+  // The CRC covers everything after itself (epoch + payload), so no byte
+  // of the record can rot undetected.
+  std::string covered;
+  PutFixed64(&covered, epoch);
+  covered.append(payload);
+  std::string out;
+  out.append(kDictMagic, sizeof(kDictMagic));
+  PutFixed32(&out, Crc32c(Slice(covered)));
+  out.append(covered);
   return out;
 }
 
-Result<TagDictionary> TagDictionary::Deserialize(const Slice& data) {
-  TagDictionary dict;
+Result<TagDictionary> TagDictionary::Deserialize(const Slice& data,
+                                                 uint64_t* epoch) {
+  if (epoch != nullptr) *epoch = 0;
   Slice input = data;
+  if (input.size() >= kDictHeaderSize &&
+      memcmp(input.data(), kDictMagic, sizeof(kDictMagic)) == 0) {
+    const uint32_t stored = DecodeFixed32(input.data() + 8);
+    const uint64_t stored_epoch = DecodeFixed64(input.data() + 12);
+    const uint32_t actual =
+        Crc32c(Slice(input.data() + 12, input.size() - 12));
+    input = Slice(input.data() + kDictHeaderSize,
+                  input.size() - kDictHeaderSize);
+    if (stored != actual) {
+      return Status::Corruption(
+          "tag dictionary checksum mismatch: stored " +
+          std::to_string(stored) + ", computed " + std::to_string(actual));
+    }
+    if (epoch != nullptr) *epoch = stored_epoch;
+  }
+  TagDictionary dict;
   uint32_t n = 0;
   if (!GetVarint32(&input, &n)) {
     return Status::Corruption("tag dictionary: bad count");

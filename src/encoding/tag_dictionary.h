@@ -57,9 +57,16 @@ class TagDictionary {
   /// Total occurrences across all tags (= subject tree node count).
   uint64_t total_occurrences() const { return total_; }
 
-  /// Serialization (one small file per document store).
-  std::string Serialize() const;
-  static Result<TagDictionary> Deserialize(const Slice& data);
+  /// Serialization (one small file per document store).  The blob carries
+  /// a "NOKDICT2" header with a CRC-32C of the payload and the store
+  /// epoch, so a torn or bit-rotted dictionary file is detected at open.
+  std::string Serialize(uint64_t epoch = 0) const;
+
+  /// Accepts both the current header format and the headerless legacy
+  /// format (which reads back with epoch 0).  *epoch, if non-null,
+  /// receives the stored epoch.
+  static Result<TagDictionary> Deserialize(const Slice& data,
+                                           uint64_t* epoch = nullptr);
 
  private:
   std::unordered_map<std::string, TagId> ids_;

@@ -101,7 +101,13 @@ Status TreeUpdater::AllocatePage(PageId* id) {
   return Status::OK();
 }
 
-Status TreeUpdater::WriteMeta() { return store_->WriteMetaPage(); }
+Status TreeUpdater::WriteMeta() {
+  // Deferred: the meta page is the store's commit record, so it must not
+  // hit disk before the data pages it describes.  StringStore::Flush
+  // writes it after the data pages are synced.
+  store_->meta_dirty_ = true;
+  return Status::OK();
+}
 
 Status TreeUpdater::InsertBefore(StorePos before, const std::string& symbols,
                                  uint64_t node_delta) {
@@ -610,20 +616,17 @@ Status DocumentStore::RefreshPositions() {
   // The path index is rebuilt wholesale: updates do not maintain it (its
   // keys are whole root paths), so recreate it on a fresh file.
   {
-    std::unique_ptr<File> fresh_file;
-    if (options_.dir.empty()) {
-      fresh_file = NewMemFile();
-    } else {
-      NOK_ASSIGN_OR_RETURN(
-          fresh_file,
-          OpenPosixFile(options_.dir + "/path.idx", /*create=*/true));
-      NOK_RETURN_IF_ERROR(fresh_file->Truncate(0));
-    }
+    NOK_ASSIGN_OR_RETURN(
+        auto fresh_file,
+        OpenComponent(store_files::kPathIdx, /*create=*/true));
+    NOK_RETURN_IF_ERROR(fresh_file->Truncate(0));
     BTree::Options idx_options;
     idx_options.page_size = options_.index_page_size;
     idx_options.pool_frames = options_.index_pool_frames;
+    idx_options.checksum_pages = options_.checksum_pages;
     NOK_ASSIGN_OR_RETURN(path_index_,
                          BTree::Open(std::move(fresh_file), idx_options));
+    path_index_->set_epoch(epoch_);
   }
 
   // One document-order pass deriving (dewey, position, tag path) for

@@ -6,8 +6,9 @@
 namespace nok {
 
 Result<std::unique_ptr<ValueStore>> ValueStore::Open(
-    std::unique_ptr<File> file) {
-  return std::unique_ptr<ValueStore>(new ValueStore(std::move(file)));
+    std::unique_ptr<File> file, Options options) {
+  return std::unique_ptr<ValueStore>(
+      new ValueStore(std::move(file), options));
 }
 
 Status ValueStore::Append(const Slice& value, uint64_t* offset) {
@@ -25,6 +26,9 @@ Status ValueStore::Append(const Slice& value, uint64_t* offset) {
   std::string record;
   PutVarint32(&record, static_cast<uint32_t>(value.size()));
   record.append(value.data(), value.size());
+  if (options_.checksum_records) {
+    PutFixed32(&record, Crc32c(value));
+  }
   NOK_RETURN_IF_ERROR(file_->Append(Slice(record), offset));
   dedup_[h].push_back(*offset);
   return Status::OK();
@@ -48,13 +52,27 @@ Result<std::string> ValueStore::Read(uint64_t offset) const {
     return Status::Corruption("bad value record header");
   }
   const uint64_t value_off = offset + static_cast<uint64_t>(p - header);
-  if (value_off + len > size) {
+  const uint64_t trailer = options_.checksum_records ? 4 : 0;
+  if (value_off + len + trailer > size) {
     return Status::Corruption("value record overruns data file");
   }
   std::string out(len, '\0');
   Slice unused;
   if (len > 0) {
     NOK_RETURN_IF_ERROR(file_->ReadAt(value_off, len, out.data(), &unused));
+  }
+  if (options_.checksum_records) {
+    char crc_buf[4];
+    NOK_RETURN_IF_ERROR(
+        file_->ReadAt(value_off + len, 4, crc_buf, &unused));
+    const uint32_t stored = DecodeFixed32(crc_buf);
+    const uint32_t actual = Crc32c(Slice(out));
+    if (stored != actual) {
+      return Status::Corruption(
+          "checksum mismatch on value record at offset " +
+          std::to_string(offset) + ": stored " + std::to_string(stored) +
+          ", computed " + std::to_string(actual));
+    }
   }
   return out;
 }

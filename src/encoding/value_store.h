@@ -21,13 +21,23 @@
 
 namespace nok {
 
+/// Behaviour knobs for a ValueStore.
+struct ValueStoreOptions {
+  /// Append records as (len, value, crc32c(value)) and verify the CRC on
+  /// every Read, so bit rot and torn record writes surface as Corruption.
+  /// Must match the format the file was written with.
+  bool checksum_records = false;
+};
+
 /// Append-only data file of (len, value) records.
 class ValueStore {
  public:
+  using Options = ValueStoreOptions;
+
   /// Opens a value store over a file (empty or previously written).
   /// Takes ownership of the file.
   static Result<std::unique_ptr<ValueStore>> Open(
-      std::unique_ptr<File> file);
+      std::unique_ptr<File> file, Options options = {});
 
   /// Appends value (deduplicated: an identical existing record's offset is
   /// returned instead of writing a new one).  *offset receives the record
@@ -43,10 +53,11 @@ class ValueStore {
   Status Sync() { return file_->Sync(); }
 
  private:
-  explicit ValueStore(std::unique_ptr<File> file)
-      : file_(std::move(file)) {}
+  ValueStore(std::unique_ptr<File> file, Options options)
+      : file_(std::move(file)), options_(options) {}
 
   std::unique_ptr<File> file_;
+  Options options_;
   /// Dedup map: value hash -> offsets of records with that hash (collision
   /// candidates are verified by reading).  Rebuilt lazily: populated from
   /// appends only, so reopening a store loses dedup across sessions —

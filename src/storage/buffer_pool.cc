@@ -64,11 +64,17 @@ Status BufferPool::EvictOne() {
         std::to_string(capacity_) + " frames are pinned");
   }
   Frame* victim = lru_.back();
-  lru_.pop_back();
+  // Write back before unlinking: if the write fails the frame stays dirty
+  // and in the LRU list, the pool stays consistent, and the caller sees
+  // the error.  Evicting first would strand the frame outside the list
+  // with a dangling lru_pos.
   if (victim->dirty) {
     NOK_RETURN_IF_ERROR(pager_->WritePage(victim->id, victim->data.get()));
     ++stats_.disk_writes;
+    victim->dirty = false;
   }
+  lru_.pop_back();
+  victim->in_lru = false;
   ++stats_.evictions;
   frames_.erase(victim->id);
   return Status::OK();

@@ -1,0 +1,161 @@
+#include "storage/fault_injection_file.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace nok {
+
+void FaultInjector::FailAtOp(uint64_t index, FaultKind kind, bool sticky) {
+  armed_ = true;
+  probabilistic_ = false;
+  tripped_ = false;
+  fail_index_ = index;
+  kind_ = kind;
+  sticky_ = sticky;
+}
+
+void FaultInjector::FailWithProbability(uint64_t seed, double p,
+                                        FaultKind kind) {
+  armed_ = true;
+  probabilistic_ = true;
+  tripped_ = false;
+  sticky_ = false;
+  kind_ = kind;
+  probability_ = p;
+  rng_ = std::make_unique<Random>(seed);
+}
+
+void FaultInjector::Reset() {
+  Disarm();
+  ops_seen_ = 0;
+  faults_injected_ = 0;
+}
+
+void FaultInjector::Disarm() {
+  armed_ = false;
+  probabilistic_ = false;
+  tripped_ = false;
+  rng_.reset();
+}
+
+bool FaultInjector::NextOpFaults(FaultKind* kind) {
+  const uint64_t index = ops_seen_++;
+  if (!armed_) return false;
+  bool fault;
+  if (tripped_) {
+    fault = true;
+  } else if (probabilistic_) {
+    fault = rng_->Bernoulli(probability_);
+  } else {
+    fault = index == fail_index_;
+    if (fault && sticky_) tripped_ = true;
+  }
+  if (fault) {
+    ++faults_injected_;
+    *kind = kind_;
+  }
+  return fault;
+}
+
+Status FaultInjector::DropAllUnsyncedData() {
+  for (FaultInjectionFile* file : files_) {
+    NOK_RETURN_IF_ERROR(file->DropUnsyncedData());
+  }
+  return Status::OK();
+}
+
+void FaultInjector::Register(FaultInjectionFile* file) {
+  files_.push_back(file);
+}
+
+void FaultInjector::Unregister(FaultInjectionFile* file) {
+  files_.erase(std::remove(files_.begin(), files_.end(), file),
+               files_.end());
+}
+
+FaultInjectionFile::FaultInjectionFile(
+    std::unique_ptr<File> base, std::shared_ptr<FaultInjector> injector)
+    : base_(std::move(base)), injector_(std::move(injector)) {
+  // A freshly opened file's on-disk contents are durable by definition.
+  durable_image_.resize(base_->Size());
+  if (!durable_image_.empty()) {
+    Slice unused;
+    Status s = base_->ReadAt(0, durable_image_.size(),
+                             durable_image_.data(), &unused);
+    (void)s;
+  }
+  injector_->Register(this);
+}
+
+FaultInjectionFile::~FaultInjectionFile() { injector_->Unregister(this); }
+
+Status FaultInjectionFile::CheckFault(bool is_write, uint64_t offset,
+                                      const Slice* data) {
+  FaultKind kind;
+  if (!injector_->NextOpFaults(&kind)) return Status::OK();
+  switch (kind) {
+    case FaultKind::kError:
+      break;
+    case FaultKind::kTorn: {
+      // Apply the first half of the faulting write, then fail.  Reads and
+      // other operations cannot tear; they just fail.
+      if (is_write && data != nullptr && data->size() > 1) {
+        Status s =
+            base_->WriteAt(offset, Slice(data->data(), data->size() / 2));
+        (void)s;
+      }
+      break;
+    }
+    case FaultKind::kCrash: {
+      Status s = injector_->DropAllUnsyncedData();
+      (void)s;
+      break;
+    }
+  }
+  return Status::IOError("injected fault (op " +
+                         std::to_string(injector_->ops_seen() - 1) + ")");
+}
+
+Status FaultInjectionFile::ReadAt(uint64_t offset, size_t n, char* scratch,
+                                  Slice* out) const {
+  NOK_RETURN_IF_ERROR(const_cast<FaultInjectionFile*>(this)->CheckFault(
+      /*is_write=*/false, offset, nullptr));
+  return base_->ReadAt(offset, n, scratch, out);
+}
+
+Status FaultInjectionFile::WriteAt(uint64_t offset, const Slice& data) {
+  NOK_RETURN_IF_ERROR(CheckFault(/*is_write=*/true, offset, &data));
+  return base_->WriteAt(offset, data);
+}
+
+Status FaultInjectionFile::Append(const Slice& data, uint64_t* offset) {
+  NOK_RETURN_IF_ERROR(CheckFault(/*is_write=*/true, base_->Size(), &data));
+  return base_->Append(data, offset);
+}
+
+Status FaultInjectionFile::Truncate(uint64_t size) {
+  NOK_RETURN_IF_ERROR(CheckFault(/*is_write=*/true, size, nullptr));
+  return base_->Truncate(size);
+}
+
+Status FaultInjectionFile::Sync() {
+  NOK_RETURN_IF_ERROR(CheckFault(/*is_write=*/true, 0, nullptr));
+  NOK_RETURN_IF_ERROR(base_->Sync());
+  return CaptureDurableImage();
+}
+
+Status FaultInjectionFile::CaptureDurableImage() {
+  durable_image_.resize(base_->Size());
+  if (durable_image_.empty()) return Status::OK();
+  Slice unused;
+  return base_->ReadAt(0, durable_image_.size(), durable_image_.data(),
+                       &unused);
+}
+
+Status FaultInjectionFile::DropUnsyncedData() {
+  NOK_RETURN_IF_ERROR(base_->Truncate(durable_image_.size()));
+  if (durable_image_.empty()) return Status::OK();
+  return base_->WriteAt(0, Slice(durable_image_));
+}
+
+}  // namespace nok

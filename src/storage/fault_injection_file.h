@@ -1,0 +1,143 @@
+// Fault-injection wrapper around the File interface.
+//
+// The robustness test harness (tests/fault_injection_test.cc) wraps every
+// file a store opens in a FaultInjectionFile sharing one FaultInjector.
+// The injector counts every I/O operation across all wrapped files and can
+//
+//   * fail the k-th operation deterministically (the LevelDB-style sweep:
+//     run a workload once to count its operations, then re-run it once per
+//     k asserting clean Status propagation and post-fault consistency);
+//   * fail operations probabilistically with a seeded, reproducible RNG;
+//   * tear the faulting write (apply a prefix of the data before failing),
+//     which is what page checksums exist to catch;
+//   * simulate a machine crash: drop every byte written since the last
+//     Sync() in every live wrapped file, then fail all further I/O.
+//
+// Faults are "sticky" by default: once the scheduled operation fails, every
+// later operation fails too, modelling a dead disk — which is what makes
+// the sweep's atomicity assertions meaningful (nothing after the fault can
+// quietly complete the torn operation).
+
+#ifndef NOKXML_STORAGE_FAULT_INJECTION_FILE_H_
+#define NOKXML_STORAGE_FAULT_INJECTION_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/file.h"
+
+namespace nok {
+
+class FaultInjectionFile;
+
+/// Kind of damage done at the faulting operation.
+enum class FaultKind : uint8_t {
+  kError,  ///< The operation fails with IOError; data is untouched.
+  kTorn,   ///< A write applies a prefix of its data, then fails.
+  kCrash,  ///< All unsynced data in every live wrapped file is dropped,
+           ///< then the operation fails.
+};
+
+/// Shared fault controller.  Not thread-safe (the library is
+/// single-threaded per store).  One injector is typically shared by every
+/// file of a document store so the operation counter spans the whole
+/// workload.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Arms a deterministic fault: the operation with 0-based index `index`
+  /// (counting every operation through every wrapped file since the last
+  /// Reset) fails with the given kind.  When sticky, every operation from
+  /// `index` on fails; otherwise only that one.
+  void FailAtOp(uint64_t index, FaultKind kind = FaultKind::kError,
+                bool sticky = true);
+
+  /// Arms seeded probabilistic faults: each operation independently fails
+  /// with probability p (non-sticky).
+  void FailWithProbability(uint64_t seed, double p,
+                           FaultKind kind = FaultKind::kError);
+
+  /// Disarms all faults and clears counters.
+  void Reset();
+
+  /// Disarms all faults but keeps counters (used between the fault and the
+  /// reopen phase of a sweep iteration).
+  void Disarm();
+
+  /// Operations observed since the last Reset.
+  uint64_t ops_seen() const { return ops_seen_; }
+  /// Faults injected since the last Reset.
+  uint64_t faults_injected() const { return faults_injected_; }
+
+  /// Drops unsynced data in every live wrapped file (the crash
+  /// simulation, also invoked automatically by a kCrash fault).
+  Status DropAllUnsyncedData();
+
+ private:
+  friend class FaultInjectionFile;
+
+  /// Called by wrapped files before each operation; returns the fault to
+  /// inject for this operation, or kError-free OK via `fault == false`.
+  bool NextOpFaults(FaultKind* kind);
+
+  void Register(FaultInjectionFile* file);
+  void Unregister(FaultInjectionFile* file);
+
+  uint64_t ops_seen_ = 0;
+  uint64_t faults_injected_ = 0;
+
+  bool armed_ = false;
+  bool sticky_ = true;
+  bool tripped_ = false;  ///< A sticky fault has fired; everything fails.
+  uint64_t fail_index_ = 0;
+  FaultKind kind_ = FaultKind::kError;
+
+  bool probabilistic_ = false;
+  double probability_ = 0;
+  std::unique_ptr<Random> rng_;
+
+  std::vector<FaultInjectionFile*> files_;  ///< Live wrapped files.
+};
+
+/// File wrapper that consults a FaultInjector before every operation and
+/// tracks a "durable image" (the contents as of the last Sync) so crashes
+/// can be simulated by restoring it.
+class FaultInjectionFile final : public File {
+ public:
+  /// Takes ownership of base.  The injector must outlive this file.
+  FaultInjectionFile(std::unique_ptr<File> base,
+                     std::shared_ptr<FaultInjector> injector);
+  ~FaultInjectionFile() override;
+
+  Status ReadAt(uint64_t offset, size_t n, char* scratch,
+                Slice* out) const override;
+  Status WriteAt(uint64_t offset, const Slice& data) override;
+  Status Append(const Slice& data, uint64_t* offset) override;
+  uint64_t Size() const override { return base_->Size(); }
+  Status Truncate(uint64_t size) override;
+  Status Sync() override;
+
+  /// Restores the file to its durable image (contents at the last
+  /// successful Sync; empty if never synced).  Simulates losing the page
+  /// cache in a machine crash.
+  Status DropUnsyncedData();
+
+ private:
+  Status CheckFault(bool is_write, uint64_t offset, const Slice* data);
+  Status CaptureDurableImage();
+
+  std::unique_ptr<File> base_;
+  std::shared_ptr<FaultInjector> injector_;
+  std::string durable_image_;
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_STORAGE_FAULT_INJECTION_FILE_H_

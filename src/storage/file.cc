@@ -15,6 +15,24 @@ namespace nok {
 
 namespace {
 
+/// Maps a write-path errno to a Status with an actionable message.  Disk
+/// exhaustion gets its own wording so operators do not chase it as a bug.
+Status WriteErrnoToStatus(const char* op, int err) {
+  if (err == ENOSPC) {
+    return Status::IOError(std::string(op) +
+                           ": no space left on device (ENOSPC); free disk "
+                           "space and retry");
+  }
+#ifdef EDQUOT
+  if (err == EDQUOT) {
+    return Status::IOError(std::string(op) +
+                           ": disk quota exceeded (EDQUOT); raise the "
+                           "quota or free space and retry");
+  }
+#endif
+  return Status::IOError(std::string(op) + ": " + strerror(err));
+}
+
 /// File backed by a POSIX file descriptor using pread/pwrite.
 class PosixFile final : public File {
  public:
@@ -51,7 +69,7 @@ class PosixFile final : public File {
                            static_cast<off_t>(offset + put));
       if (w < 0) {
         if (errno == EINTR) continue;
-        return Status::IOError(std::string("pwrite: ") + strerror(errno));
+        return WriteErrnoToStatus("pwrite", errno);
       }
       put += static_cast<size_t>(w);
     }
@@ -68,7 +86,7 @@ class PosixFile final : public File {
 
   Status Truncate(uint64_t size) override {
     if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
-      return Status::IOError(std::string("ftruncate: ") + strerror(errno));
+      return WriteErrnoToStatus("ftruncate", errno);
     }
     size_ = size;
     return Status::OK();
@@ -130,7 +148,8 @@ class MemFile final : public File {
 
 Result<std::unique_ptr<File>> OpenPosixFile(const std::string& path,
                                             bool create) {
-  int flags = O_RDWR;
+  // O_CLOEXEC so store fds do not leak into children the process spawns.
+  int flags = O_RDWR | O_CLOEXEC;
   if (create) flags |= O_CREAT;
   int fd = ::open(path.c_str(), flags, 0644);
   if (fd < 0) {

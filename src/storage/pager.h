@@ -4,6 +4,19 @@
 // the file and reads/writes whole pages.  Free-space management is the
 // business of the structures above it (the B+ tree keeps a free list in its
 // meta page; the string store chains pages with next-page pointers).
+//
+// Two on-disk page formats are supported:
+//
+//   kRaw          each page occupies exactly page_size bytes;
+//   kChecksummed  each page occupies page_size + 4 bytes: the page body
+//                 followed by a CRC-32C trailer over the body.  ReadPage
+//                 verifies the trailer and fails with Status::Corruption
+//                 (naming the page) on a mismatch, so torn writes and bit
+//                 rot surface as clean errors instead of garbage data.
+//
+// Callers always see page_size-byte buffers; the trailer is invisible
+// above the pager (the BufferPool and every store work unchanged in both
+// formats).
 
 #ifndef NOKXML_STORAGE_PAGER_H_
 #define NOKXML_STORAGE_PAGER_H_
@@ -11,37 +24,54 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "storage/file.h"
 #include "storage/page.h"
 
 namespace nok {
 
+/// On-disk layout of the pages of one file.
+enum class PageFormat : uint8_t {
+  kRaw = 0,         ///< page_size bytes per page, no integrity trailer.
+  kChecksummed = 1, ///< page_size + 4 bytes per page; CRC-32C trailer.
+};
+
+/// Bytes of the per-page CRC-32C trailer in kChecksummed format.
+inline constexpr uint32_t kPageTrailerSize = 4;
+
 /// Fixed-size-page adapter over a File.  Owns the file.
 class Pager {
  public:
-  /// Takes ownership of file; page_size must be > 0 and the file size must
-  /// be a multiple of it (0 for a fresh file).
-  Pager(std::unique_ptr<File> file, uint32_t page_size = kDefaultPageSize);
+  /// Opens a pager over file (taking ownership).  Fails with
+  /// InvalidArgument if page_size is 0 and with Corruption if the file
+  /// size is not a whole number of on-disk page slots (a truncated or
+  /// foreign file).
+  static Result<std::unique_ptr<Pager>> Open(
+      std::unique_ptr<File> file, uint32_t page_size = kDefaultPageSize,
+      PageFormat format = PageFormat::kRaw);
 
   uint32_t page_size() const { return page_size_; }
   PageId page_count() const { return page_count_; }
+  PageFormat format() const { return format_; }
 
   /// Appends a zeroed page; *id receives its page number.
   Status AllocatePage(PageId* id);
 
-  /// Reads page id into buf (page_size() bytes).
+  /// Reads page id into buf (page_size() bytes).  In kChecksummed format
+  /// the trailer is verified first; a mismatch is Status::Corruption.
   Status ReadPage(PageId id, char* buf) const;
 
-  /// Writes page id from buf (page_size() bytes).
+  /// Writes page id from buf (page_size() bytes), computing the trailer
+  /// in kChecksummed format.
   Status WritePage(PageId id, const char* buf);
 
   /// Flushes the underlying file.
   Status Sync() { return file_->Sync(); }
 
-  /// Bytes currently occupied by pages.
+  /// Bytes currently occupied by pages on disk (trailers included).
   uint64_t SizeBytes() const {
-    return static_cast<uint64_t>(page_count_) * page_size_;
+    return static_cast<uint64_t>(page_count_) * slot_size_;
   }
 
   /// Releases ownership of the underlying file; the pager must not be
@@ -50,9 +80,13 @@ class Pager {
   std::unique_ptr<File> ReleaseFile() { return std::move(file_); }
 
  private:
+  Pager(std::unique_ptr<File> file, uint32_t page_size, PageFormat format);
+
   std::unique_ptr<File> file_;
   uint32_t page_size_;
-  PageId page_count_;
+  uint32_t slot_size_;  ///< On-disk bytes per page (body + trailer).
+  PageFormat format_;
+  PageId page_count_ = 0;
 };
 
 }  // namespace nok

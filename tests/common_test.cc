@@ -216,6 +216,34 @@ TEST(HashTest, StableKnownValues) {
   EXPECT_NE(Hash32(Slice("a")), Hash32(Slice("b")));
 }
 
+TEST(Crc32cTest, KnownAnswer) {
+  // The CRC-32C check value from the iSCSI RFC (RFC 3720) test vector.
+  EXPECT_EQ(Crc32c(Slice("123456789")), 0xE3069283u);
+  EXPECT_EQ(Crc32c(Slice("")), 0u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split : {size_t{0}, size_t{1}, size_t{10}, data.size()}) {
+    uint32_t partial = Crc32c(Slice(data.data(), split));
+    uint32_t full =
+        Crc32cExtend(partial, data.data() + split, data.size() - split);
+    EXPECT_EQ(full, Crc32c(Slice(data))) << "split " << split;
+  }
+}
+
+TEST(Crc32cTest, SensitiveToEveryBit) {
+  std::string data(32, '\xAB');
+  const uint32_t base = Crc32c(Slice(data));
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] = static_cast<char>(data[i] ^ (1 << bit));
+      EXPECT_NE(Crc32c(Slice(data)), base) << "byte " << i << " bit " << bit;
+      data[i] = static_cast<char>(data[i] ^ (1 << bit));
+    }
+  }
+}
+
 TEST(HashTest, FewCollisionsOnSmallKeySpace) {
   std::set<uint64_t> hashes;
   for (int i = 0; i < 10000; ++i) {

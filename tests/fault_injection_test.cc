@@ -1,0 +1,399 @@
+// Fault-injection tests for the storage stack: injector semantics, buffer
+// pool write-back failures, and LevelDB-style sweeps that fail every k-th
+// I/O operation of a workload, asserting clean error propagation and
+// old-state/new-state atomicity on reopen.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "encoding/document_store.h"
+#include "encoding/store_verifier.h"
+#include "storage/buffer_pool.h"
+#include "storage/fault_injection_file.h"
+#include "storage/file.h"
+#include "storage/pager.h"
+
+namespace nok {
+namespace {
+
+constexpr const char* kBibXml =
+    "<bib>"
+    "<book year=\"1994\"><title>TCP/IP</title><author><last>Stevens"
+    "</last><first>W.</first></author><price>65.95</price></book>"
+    "<book year=\"2000\"><title>Data on the Web</title><author><last>"
+    "Abiteboul</last><first>Serge</first></author><price>39.95</price>"
+    "</book>"
+    "</bib>";
+
+std::string TempDir(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("nokxml_fault_" + name + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector semantics.
+
+TEST(FaultInjectorTest, FailsExactlyTheScheduledOp) {
+  auto injector = std::make_shared<FaultInjector>();
+  FaultInjectionFile file(NewMemFile(), injector);
+  injector->FailAtOp(2, FaultKind::kError, /*sticky=*/false);
+
+  EXPECT_TRUE(file.WriteAt(0, Slice("aa")).ok());   // Op 0.
+  EXPECT_TRUE(file.WriteAt(2, Slice("bb")).ok());   // Op 1.
+  Status s = file.WriteAt(4, Slice("cc"));          // Op 2: fails.
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_TRUE(file.WriteAt(4, Slice("cc")).ok());   // Non-sticky: recovers.
+  EXPECT_EQ(injector->faults_injected(), 1u);
+  EXPECT_EQ(injector->ops_seen(), 4u);
+}
+
+TEST(FaultInjectorTest, StickyFaultKillsEverythingAfter) {
+  auto injector = std::make_shared<FaultInjector>();
+  FaultInjectionFile file(NewMemFile(), injector);
+  injector->FailAtOp(1, FaultKind::kError, /*sticky=*/true);
+
+  EXPECT_TRUE(file.WriteAt(0, Slice("aa")).ok());
+  EXPECT_FALSE(file.WriteAt(2, Slice("bb")).ok());
+  EXPECT_FALSE(file.WriteAt(4, Slice("cc")).ok());
+  EXPECT_FALSE(file.Sync().ok());
+  char buf[4];
+  Slice out;
+  EXPECT_FALSE(file.ReadAt(0, 2, buf, &out).ok());
+  injector->Disarm();
+  EXPECT_TRUE(file.ReadAt(0, 2, buf, &out).ok());
+}
+
+TEST(FaultInjectorTest, OpCounterSpansAllFiles) {
+  auto injector = std::make_shared<FaultInjector>();
+  FaultInjectionFile a(NewMemFile(), injector);
+  FaultInjectionFile b(NewMemFile(), injector);
+  injector->FailAtOp(1, FaultKind::kError, /*sticky=*/false);
+
+  EXPECT_TRUE(a.WriteAt(0, Slice("x")).ok());   // Op 0 on file a.
+  EXPECT_FALSE(b.WriteAt(0, Slice("y")).ok());  // Op 1 on file b: fails.
+}
+
+TEST(FaultInjectorTest, TornWriteAppliesAPrefix) {
+  auto injector = std::make_shared<FaultInjector>();
+  auto base = NewMemFile();
+  File* raw = base.get();
+  FaultInjectionFile file(std::move(base), injector);
+  ASSERT_TRUE(file.WriteAt(0, Slice("........")).ok());
+
+  injector->FailAtOp(1, FaultKind::kTorn, /*sticky=*/false);
+  Status s = file.WriteAt(0, Slice("ABCDEFGH"));
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+
+  char buf[8];
+  Slice out;
+  ASSERT_TRUE(raw->ReadAt(0, 8, buf, &out).ok());
+  EXPECT_EQ(out.ToString(), "ABCD....");  // Half landed, half did not.
+}
+
+TEST(FaultInjectorTest, CrashDropsUnsyncedData) {
+  auto injector = std::make_shared<FaultInjector>();
+  auto base = NewMemFile();
+  File* raw = base.get();
+  FaultInjectionFile file(std::move(base), injector);
+
+  ASSERT_TRUE(file.WriteAt(0, Slice("durable!")).ok());
+  ASSERT_TRUE(file.Sync().ok());
+  ASSERT_TRUE(file.WriteAt(0, Slice("volatile")).ok());
+  ASSERT_TRUE(file.WriteAt(8, Slice("tail")).ok());
+
+  injector->FailAtOp(4, FaultKind::kCrash, /*sticky=*/true);
+  EXPECT_FALSE(file.WriteAt(0, Slice("boom")).ok());
+
+  // The base file is back at its last synced image.
+  EXPECT_EQ(raw->Size(), 8u);
+  char buf[8];
+  Slice out;
+  ASSERT_TRUE(raw->ReadAt(0, 8, buf, &out).ok());
+  EXPECT_EQ(out.ToString(), "durable!");
+}
+
+TEST(FaultInjectorTest, CrashOnNeverSyncedFileEmptiesIt) {
+  auto injector = std::make_shared<FaultInjector>();
+  auto base = NewMemFile();
+  File* raw = base.get();
+  FaultInjectionFile file(std::move(base), injector);
+  ASSERT_TRUE(file.WriteAt(0, Slice("not yet durable")).ok());
+  ASSERT_TRUE(file.DropUnsyncedData().ok());
+  EXPECT_EQ(raw->Size(), 0u);
+}
+
+TEST(FaultInjectorTest, ProbabilisticFaultsAreReproducible) {
+  auto run = [](uint64_t seed) {
+    auto injector = std::make_shared<FaultInjector>();
+    FaultInjectionFile file(NewMemFile(), injector);
+    injector->FailWithProbability(seed, 0.2);
+    uint64_t failures = 0;
+    for (int i = 0; i < 200; ++i) {
+      if (!file.WriteAt(0, Slice("z")).ok()) ++failures;
+    }
+    return failures;
+  };
+  const uint64_t a = run(7), b = run(7), c = run(8);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0u);
+  EXPECT_LT(a, 200u);
+  EXPECT_NE(a, c);  // Different seed, different schedule (overwhelmingly).
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool under write-back failures.
+
+struct FaultyPool {
+  std::shared_ptr<FaultInjector> injector;
+  std::unique_ptr<Pager> pager;
+  std::unique_ptr<BufferPool> pool;
+};
+
+FaultyPool MakeFaultyPool(size_t frames) {
+  FaultyPool fp;
+  fp.injector = std::make_shared<FaultInjector>();
+  auto file = std::make_unique<FaultInjectionFile>(NewMemFile(),
+                                                   fp.injector);
+  auto pager = Pager::Open(std::move(file), 128);
+  EXPECT_TRUE(pager.ok());
+  fp.pager = std::move(pager).ValueOrDie();
+  fp.pool = std::make_unique<BufferPool>(fp.pager.get(), frames);
+  return fp;
+}
+
+TEST(BufferPoolFaultTest, FailedWriteBackLeavesFrameDirtyAndRecovers) {
+  auto fp = MakeFaultyPool(1);
+  PageId p0, p1;
+  ASSERT_TRUE(fp.pager->AllocatePage(&p0).ok());
+  ASSERT_TRUE(fp.pager->AllocatePage(&p1).ok());
+  {
+    auto h = fp.pool->Fetch(p0);
+    ASSERT_TRUE(h.ok());
+    h->mutable_data()[0] = 'D';
+    h->MarkDirty();
+  }
+
+  // Every further write fails: evicting the dirty frame for p1 must fail
+  // without losing the dirty data.
+  fp.injector->FailAtOp(fp.injector->ops_seen(), FaultKind::kError,
+                        /*sticky=*/true);
+  auto h1 = fp.pool->Fetch(p1);
+  EXPECT_FALSE(h1.ok());
+  EXPECT_TRUE(h1.status().IsIOError()) << h1.status().ToString();
+
+  // Disk heals; the dirty page must still be in the pool and flushable.
+  fp.injector->Disarm();
+  ASSERT_TRUE(fp.pool->FlushAll().ok());
+  std::string buf(128, '\0');
+  ASSERT_TRUE(fp.pager->ReadPage(p0, buf.data()).ok());
+  EXPECT_EQ(buf[0], 'D');
+
+  // And the pool is structurally intact: eviction now succeeds.
+  auto h2 = fp.pool->Fetch(p1);
+  EXPECT_TRUE(h2.ok()) << h2.status().ToString();
+}
+
+TEST(BufferPoolFaultTest, FlushAllPropagatesWriteError) {
+  auto fp = MakeFaultyPool(4);
+  PageId p0;
+  ASSERT_TRUE(fp.pager->AllocatePage(&p0).ok());
+  {
+    auto h = fp.pool->Fetch(p0);
+    ASSERT_TRUE(h.ok());
+    h->mutable_data()[3] = 'E';
+    h->MarkDirty();
+  }
+  fp.injector->FailAtOp(fp.injector->ops_seen(), FaultKind::kError,
+                        /*sticky=*/true);
+  EXPECT_FALSE(fp.pool->FlushAll().ok());
+
+  fp.injector->Disarm();
+  ASSERT_TRUE(fp.pool->FlushAll().ok());  // Frame stayed dirty.
+  std::string buf(128, '\0');
+  ASSERT_TRUE(fp.pager->ReadPage(p0, buf.data()).ok());
+  EXPECT_EQ(buf[3], 'E');
+}
+
+// ---------------------------------------------------------------------------
+// Sweeps over whole-store workloads.
+
+/// Store options that route every component file through the injector.
+DocumentStoreOptions InjectedOptions(
+    const std::string& dir, std::shared_ptr<FaultInjector> injector) {
+  DocumentStoreOptions options;
+  options.dir = dir;
+  options.checksum_pages = true;
+  options.file_factory =
+      [injector](const std::string& path,
+                 bool create) -> Result<std::unique_ptr<File>> {
+    auto base = OpenPosixFile(path, create);
+    NOK_RETURN_IF_ERROR(base.status());
+    return std::unique_ptr<File>(new FaultInjectionFile(
+        std::move(base).ValueOrDie(), injector));
+  };
+  return options;
+}
+
+/// Build + flush under the injector; returns the first non-OK status.
+/// *commit_ops (optional) receives the operation count at the moment the
+/// commit returned -- destructor-phase syncs after that point fail softly
+/// (logged, not propagated), so sweeps must not count them.
+Status BuildWorkload(const std::string& dir,
+                     std::shared_ptr<FaultInjector> injector,
+                     uint64_t* commit_ops = nullptr) {
+  auto store = DocumentStore::Build(kBibXml, InjectedOptions(dir, injector));
+  NOK_RETURN_IF_ERROR(store.status());
+  Status s = (*store)->Flush();
+  if (commit_ops != nullptr) *commit_ops = injector->ops_seen();
+  return s;
+}
+
+/// What a plain (uninjected) reopen of the store dir sees.
+struct ReopenOutcome {
+  Status status = Status::OK();
+  uint64_t node_count = 0;
+  size_t stevens_hits = 0;
+};
+
+ReopenOutcome Reopen(const std::string& dir) {
+  ReopenOutcome outcome;
+  DocumentStoreOptions options;
+  options.dir = dir;
+  auto store = DocumentStore::OpenDir(options);
+  if (!store.ok()) {
+    outcome.status = store.status();
+    return outcome;
+  }
+  outcome.node_count = (*store)->stats().node_count;
+  auto hits = (*store)->NodesWithValue(Slice("Stevens"));
+  if (!hits.ok()) {
+    outcome.status = hits.status();
+    return outcome;
+  }
+  outcome.stevens_hits = hits->size();
+  return outcome;
+}
+
+class FaultSweep : public ::testing::TestWithParam<FaultKind> {};
+
+TEST_P(FaultSweep, BuildFailsCleanAtEveryOp) {
+  const std::string dir = TempDir("build_sweep");
+  auto injector = std::make_shared<FaultInjector>();
+
+  // Dry run to count the workload's operations and capture ground truth.
+  std::filesystem::remove_all(dir);
+  uint64_t total_ops = 0;
+  ASSERT_TRUE(BuildWorkload(dir, injector, &total_ops).ok());
+  ASSERT_GT(total_ops, 0u);
+  const ReopenOutcome truth = Reopen(dir);
+  ASSERT_TRUE(truth.status.ok()) << truth.status.ToString();
+  ASSERT_EQ(truth.stevens_hits, 1u);
+
+  // Sweep; stride keeps the test fast when the workload is I/O-heavy.
+  const uint64_t stride = total_ops / 200 + 1;
+  for (uint64_t k = 0; k < total_ops; k += stride) {
+    std::filesystem::remove_all(dir);
+    injector->Reset();
+    injector->FailAtOp(k, GetParam(), /*sticky=*/true);
+    Status s = BuildWorkload(dir, injector);
+    EXPECT_FALSE(s.ok()) << "op " << k << " did not propagate";
+
+    // With the fault disarmed, reopening must either yield the complete
+    // document or a clean error -- never a crash, never partial data that
+    // masquerades as a smaller document.
+    injector->Disarm();
+    const ReopenOutcome outcome = Reopen(dir);
+    if (outcome.status.ok()) {
+      EXPECT_EQ(outcome.node_count, truth.node_count) << "op " << k;
+      EXPECT_EQ(outcome.stevens_hits, truth.stevens_hits) << "op " << k;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_P(FaultSweep, UpdateKeepsOldOrNewStateAtEveryOp) {
+  const std::string dir = TempDir("update_sweep");
+  const std::string scratch = TempDir("update_scratch");
+  auto injector = std::make_shared<FaultInjector>();
+
+  // A clean store on disk: the "old" state.
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(BuildWorkload(dir, injector).ok());
+  const ReopenOutcome old_state = Reopen(dir);
+  ASSERT_TRUE(old_state.status.ok());
+
+  uint64_t commit_ops = 0;
+  auto update = [&injector, &commit_ops](const std::string& d) {
+    auto store = DocumentStore::OpenDir(InjectedOptions(d, injector));
+    NOK_RETURN_IF_ERROR(store.status());
+    NOK_RETURN_IF_ERROR((*store)->InsertSubtree(
+        DeweyId({0}), 2, "<book><title>New</title></book>"));
+    Status s = (*store)->Flush();
+    commit_ops = injector->ops_seen();
+    return s;
+  };
+
+  // Dry run on a copy for the op count and the "new" state.
+  std::filesystem::remove_all(scratch);
+  std::filesystem::copy(dir, scratch);
+  injector->Reset();
+  ASSERT_TRUE(update(scratch).ok());
+  const uint64_t total_ops = commit_ops;
+  const ReopenOutcome new_state = Reopen(scratch);
+  ASSERT_TRUE(new_state.status.ok()) << new_state.status.ToString();
+  ASSERT_GT(new_state.node_count, old_state.node_count);
+
+  const uint64_t stride = total_ops / 200 + 1;
+  for (uint64_t k = 0; k < total_ops; k += stride) {
+    std::filesystem::remove_all(scratch);
+    std::filesystem::copy(dir, scratch);
+    injector->Reset();
+    injector->FailAtOp(k, GetParam(), /*sticky=*/true);
+    Status s = update(scratch);
+    EXPECT_FALSE(s.ok()) << "op " << k << " did not propagate";
+
+    injector->Disarm();
+    const ReopenOutcome outcome = Reopen(scratch);
+    if (outcome.status.ok()) {
+      // Atomicity: the store reads as exactly the old or the new
+      // document, never a blend.
+      EXPECT_TRUE(outcome.node_count == old_state.node_count ||
+                  outcome.node_count == new_state.node_count)
+          << "op " << k << ": node_count " << outcome.node_count;
+      EXPECT_EQ(outcome.stevens_hits, 1u) << "op " << k;
+    }
+    // else: a clean Corruption/IOError is an acceptable outcome for a
+    // half-committed store; crashing or silently mixing states is not.
+  }
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(scratch);
+}
+
+INSTANTIATE_TEST_SUITE_P(ErrorAndCrash, FaultSweep,
+                         ::testing::Values(FaultKind::kError,
+                                           FaultKind::kCrash));
+
+TEST(FaultSweepTest, RandomFaultsNeverCrashTheBuilder) {
+  const std::string dir = TempDir("random");
+  auto injector = std::make_shared<FaultInjector>();
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    std::filesystem::remove_all(dir);
+    injector->Reset();
+    injector->FailWithProbability(seed, 0.02);
+    Status s = BuildWorkload(dir, injector);
+    if (s.ok()) continue;  // Got lucky; nothing to check.
+    injector->Disarm();
+    const ReopenOutcome outcome = Reopen(dir);
+    if (outcome.status.ok()) {
+      EXPECT_EQ(outcome.stevens_hits, 1u) << "seed " << seed;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace nok

@@ -98,42 +98,126 @@ TEST(FileTest, ReadWriteStringHelpers) {
 // ---------------------------------------------------------------------------
 // Pager.
 
-TEST(PagerTest, AllocateReadWrite) {
-  Pager pager(NewMemFile(), 256);
-  EXPECT_EQ(pager.page_count(), 0u);
+std::unique_ptr<Pager> MakePager(uint32_t page_size,
+                                 PageFormat format = PageFormat::kRaw) {
+  auto r = Pager::Open(NewMemFile(), page_size, format);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).ValueOrDie();
+}
+
+class PagerFormats : public ::testing::TestWithParam<PageFormat> {};
+
+TEST_P(PagerFormats, AllocateReadWrite) {
+  auto pager = MakePager(256, GetParam());
+  EXPECT_EQ(pager->page_count(), 0u);
   PageId a, b;
-  ASSERT_TRUE(pager.AllocatePage(&a).ok());
-  ASSERT_TRUE(pager.AllocatePage(&b).ok());
+  ASSERT_TRUE(pager->AllocatePage(&a).ok());
+  ASSERT_TRUE(pager->AllocatePage(&b).ok());
   EXPECT_EQ(a, 0u);
   EXPECT_EQ(b, 1u);
-  EXPECT_EQ(pager.SizeBytes(), 512u);
 
   std::string page(256, 'x');
-  ASSERT_TRUE(pager.WritePage(b, page.data()).ok());
+  ASSERT_TRUE(pager->WritePage(b, page.data()).ok());
   std::string readback(256, '\0');
-  ASSERT_TRUE(pager.ReadPage(b, readback.data()).ok());
+  ASSERT_TRUE(pager->ReadPage(b, readback.data()).ok());
   EXPECT_EQ(readback, page);
   // Fresh pages are zeroed.
-  ASSERT_TRUE(pager.ReadPage(a, readback.data()).ok());
+  ASSERT_TRUE(pager->ReadPage(a, readback.data()).ok());
   EXPECT_EQ(readback, std::string(256, '\0'));
 }
 
-TEST(PagerTest, OutOfRangeRejected) {
-  Pager pager(NewMemFile(), 256);
+TEST_P(PagerFormats, OutOfRangeRejected) {
+  auto pager = MakePager(256, GetParam());
   std::string buf(256, '\0');
-  EXPECT_TRUE(pager.ReadPage(0, buf.data()).IsOutOfRange());
-  EXPECT_TRUE(pager.WritePage(3, buf.data()).IsOutOfRange());
+  EXPECT_TRUE(pager->ReadPage(0, buf.data()).IsOutOfRange());
+  EXPECT_TRUE(pager->WritePage(3, buf.data()).IsOutOfRange());
+}
+
+INSTANTIATE_TEST_SUITE_P(RawAndChecksummed, PagerFormats,
+                         ::testing::Values(PageFormat::kRaw,
+                                           PageFormat::kChecksummed));
+
+TEST(PagerTest, RawSizeBytesCountsOnlyBodies) {
+  auto pager = MakePager(256);
+  PageId a;
+  ASSERT_TRUE(pager->AllocatePage(&a).ok());
+  ASSERT_TRUE(pager->AllocatePage(&a).ok());
+  EXPECT_EQ(pager->SizeBytes(), 512u);
+}
+
+TEST(PagerTest, ZeroPageSizeRejected) {
+  auto r = Pager::Open(NewMemFile(), 0);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(PagerTest, TruncatedFileIsCorruptionNotCrash) {
+  // A file whose size is not a whole number of page slots means a torn
+  // write or truncation; Open must report it, not abort.
+  for (uint64_t size : {1u, 255u, 257u, 300u}) {
+    auto file = NewMemFile();
+    ASSERT_TRUE(file->WriteAt(0, Slice(std::string(size, 'a'))).ok());
+    auto r = Pager::Open(std::move(file), 256);
+    EXPECT_TRUE(r.status().IsCorruption()) << "size " << size;
+  }
+}
+
+TEST(PagerTest, ChecksumDetectsFlippedByte) {
+  auto file = NewMemFile();
+  File* raw = file.get();
+  auto r = Pager::Open(std::move(file), 128, PageFormat::kChecksummed);
+  ASSERT_TRUE(r.ok());
+  auto& pager = r.ValueOrDie();
+  PageId id;
+  ASSERT_TRUE(pager->AllocatePage(&id).ok());
+  std::string page(128, 'p');
+  ASSERT_TRUE(pager->WritePage(id, page.data()).ok());
+
+  // Flip one byte of the page body behind the pager's back.
+  char byte;
+  Slice got;
+  ASSERT_TRUE(raw->ReadAt(17, 1, &byte, &got).ok());
+  char flipped = static_cast<char>(got[0] ^ 0x40);
+  ASSERT_TRUE(raw->WriteAt(17, Slice(&flipped, 1)).ok());
+
+  std::string buf(128, '\0');
+  Status s = pager->ReadPage(id, buf.data());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_NE(s.ToString().find("page 0"), std::string::npos) << s.ToString();
+}
+
+TEST(PagerTest, ChecksummedFileSurvivesReopen) {
+  auto file = NewMemFile();
+  File* raw = file.get();
+  auto r = Pager::Open(std::move(file), 128, PageFormat::kChecksummed);
+  ASSERT_TRUE(r.ok());
+  PageId id;
+  ASSERT_TRUE((*r)->AllocatePage(&id).ok());
+  std::string page(128, 'q');
+  ASSERT_TRUE((*r)->WritePage(id, page.data()).ok());
+
+  // Reopen over the same bytes.
+  std::string image(raw->Size(), '\0');
+  Slice got;
+  ASSERT_TRUE(raw->ReadAt(0, image.size(), image.data(), &got).ok());
+  auto copy = NewMemFile();
+  ASSERT_TRUE(copy->WriteAt(0, got).ok());
+  auto r2 = Pager::Open(std::move(copy), 128, PageFormat::kChecksummed);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ((*r2)->page_count(), 1u);
+  std::string buf(128, '\0');
+  ASSERT_TRUE((*r2)->ReadPage(id, buf.data()).ok());
+  EXPECT_EQ(buf, page);
 }
 
 // ---------------------------------------------------------------------------
 // BufferPool.
 
 TEST(BufferPoolTest, HitAndMissCounting) {
-  Pager pager(NewMemFile(), 128);
+  auto pager = MakePager(128);
   PageId p0, p1;
-  ASSERT_TRUE(pager.AllocatePage(&p0).ok());
-  ASSERT_TRUE(pager.AllocatePage(&p1).ok());
-  BufferPool pool(&pager, 4);
+  ASSERT_TRUE(pager->AllocatePage(&p0).ok());
+  ASSERT_TRUE(pager->AllocatePage(&p1).ok());
+  BufferPool pool(pager.get(), 4);
 
   {
     auto h = pool.Fetch(p0);
@@ -149,10 +233,10 @@ TEST(BufferPoolTest, HitAndMissCounting) {
 }
 
 TEST(BufferPoolTest, DirtyPagesWrittenBackOnEviction) {
-  Pager pager(NewMemFile(), 128);
+  auto pager = MakePager(128);
   std::vector<PageId> pages(4);
-  for (auto& p : pages) ASSERT_TRUE(pager.AllocatePage(&p).ok());
-  BufferPool pool(&pager, 2);
+  for (auto& p : pages) ASSERT_TRUE(pager->AllocatePage(&p).ok());
+  BufferPool pool(pager.get(), 2);
 
   {
     auto h = pool.Fetch(pages[0]);
@@ -167,15 +251,15 @@ TEST(BufferPoolTest, DirtyPagesWrittenBackOnEviction) {
   EXPECT_GE(pool.stats().disk_writes, 1u);
 
   std::string buf(128, '\0');
-  ASSERT_TRUE(pager.ReadPage(pages[0], buf.data()).ok());
+  ASSERT_TRUE(pager->ReadPage(pages[0], buf.data()).ok());
   EXPECT_EQ(buf[0], 'Z');
 }
 
 TEST(BufferPoolTest, AllPinnedExhaustsCapacity) {
-  Pager pager(NewMemFile(), 128);
+  auto pager = MakePager(128);
   std::vector<PageId> pages(3);
-  for (auto& p : pages) ASSERT_TRUE(pager.AllocatePage(&p).ok());
-  BufferPool pool(&pager, 2);
+  for (auto& p : pages) ASSERT_TRUE(pager->AllocatePage(&p).ok());
+  BufferPool pool(pager.get(), 2);
 
   auto h0 = pool.Fetch(pages[0]);
   auto h1 = pool.Fetch(pages[1]);
@@ -189,10 +273,10 @@ TEST(BufferPoolTest, AllPinnedExhaustsCapacity) {
 }
 
 TEST(BufferPoolTest, DecorationSurvivesWhileCachedAndDropsOnEvict) {
-  Pager pager(NewMemFile(), 128);
+  auto pager = MakePager(128);
   std::vector<PageId> pages(3);
-  for (auto& p : pages) ASSERT_TRUE(pager.AllocatePage(&p).ok());
-  BufferPool pool(&pager, 2);
+  for (auto& p : pages) ASSERT_TRUE(pager->AllocatePage(&p).ok());
+  BufferPool pool(pager.get(), 2);
 
   {
     auto h = pool.Fetch(pages[0]);
@@ -217,10 +301,10 @@ TEST(BufferPoolTest, DecorationSurvivesWhileCachedAndDropsOnEvict) {
 }
 
 TEST(BufferPoolTest, DropAllFlushesAndClears) {
-  Pager pager(NewMemFile(), 128);
+  auto pager = MakePager(128);
   PageId p0;
-  ASSERT_TRUE(pager.AllocatePage(&p0).ok());
-  BufferPool pool(&pager, 4);
+  ASSERT_TRUE(pager->AllocatePage(&p0).ok());
+  BufferPool pool(pager.get(), 4);
   {
     auto h = pool.Fetch(p0);
     ASSERT_TRUE(h.ok());
@@ -238,10 +322,10 @@ TEST(BufferPoolTest, DropAllFlushesAndClears) {
 }
 
 TEST(BufferPoolTest, MoveHandleTransfersPin) {
-  Pager pager(NewMemFile(), 128);
+  auto pager = MakePager(128);
   PageId p0;
-  ASSERT_TRUE(pager.AllocatePage(&p0).ok());
-  BufferPool pool(&pager, 1);
+  ASSERT_TRUE(pager->AllocatePage(&p0).ok());
+  BufferPool pool(pager.get(), 1);
   auto h = pool.Fetch(p0);
   ASSERT_TRUE(h.ok());
   PageHandle moved = std::move(h).ValueOrDie();

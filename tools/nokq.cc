@@ -1,6 +1,6 @@
 // nokq: command-line front end for the nokxml library.
 //
-//   nokq build  <file.xml> <store-dir>          build a persistent store
+//   nokq build  <file.xml> <store-dir> [--checksum]   build a store
 //   nokq query  <store-dir> <xpath> [--values] [--strategy auto|scan|tag|
 //               value|path] [--explain]
 //   nokq stream <file.xml> <xpath>              single-pass evaluation
@@ -8,12 +8,14 @@
 //   nokq insert <store-dir> <parent-dewey> <index> <fragment.xml>
 //   nokq delete <store-dir> <dewey>
 //   nokq refresh <store-dir>                    rebuild cached positions
+//   nokq verify <store-dir>                     offline integrity scrub
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "common/timer.h"
+#include "encoding/store_verifier.h"
 #include "nokxml.h"
 #include "storage/file.h"
 
@@ -22,14 +24,15 @@ namespace {
 int Usage() {
   fprintf(stderr,
           "usage:\n"
-          "  nokq build  <file.xml> <store-dir>\n"
+          "  nokq build  <file.xml> <store-dir> [--checksum]\n"
           "  nokq query  <store-dir> <xpath> [--values] [--explain]\n"
           "              [--strategy auto|scan|tag|value|path]\n"
           "  nokq stream <file.xml> <xpath>\n"
           "  nokq stats  <store-dir>\n"
           "  nokq insert <store-dir> <parent-dewey> <index> <frag.xml>\n"
           "  nokq delete <store-dir> <dewey>\n"
-          "  nokq refresh <store-dir>\n");
+          "  nokq refresh <store-dir>\n"
+          "  nokq verify <store-dir>\n");
   return 2;
 }
 
@@ -77,12 +80,14 @@ const char* StrategyName(nok::StartStrategy s) {
   return "?";
 }
 
-int CmdBuild(const std::string& xml_path, const std::string& dir) {
+int CmdBuild(const std::string& xml_path, const std::string& dir,
+             bool checksum) {
   std::string xml;
   nok::Status s = nok::ReadFileToString(xml_path, &xml);
   if (!s.ok()) return Fail(s);
   nok::DocumentStore::Options options;
   options.dir = dir;
+  options.checksum_pages = checksum;
   nok::Timer timer;
   auto store = nok::DocumentStore::Build(xml, options);
   if (!store.ok()) return Fail(store.status());
@@ -232,12 +237,35 @@ int CmdRefresh(const std::string& dir) {
   return (*store)->Flush().ok() ? 0 : 1;
 }
 
+int CmdVerify(const std::string& dir) {
+  nok::Timer timer;
+  auto report = nok::VerifyStoreDir(dir);
+  if (!report.ok()) return Fail(report.status());
+  for (const nok::VerifyIssue& issue : report->issues) {
+    fprintf(stderr, "damage [%s]: %s\n", issue.component.c_str(),
+            issue.detail.c_str());
+  }
+  if (report->truncated) {
+    fprintf(stderr, "...issue list truncated\n");
+  }
+  printf("%s: %llu pages, %llu index entries checked in %.2fs: %s\n",
+         dir.c_str(), (unsigned long long)report->pages_checked,
+         (unsigned long long)report->entries_checked,
+         timer.ElapsedSeconds(),
+         report->ok() ? "clean" : "DAMAGED");
+  return report->ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  if (command == "build" && argc == 4) return CmdBuild(argv[2], argv[3]);
+  if (command == "build" && (argc == 4 || argc == 5)) {
+    const bool checksum = argc == 5 && strcmp(argv[4], "--checksum") == 0;
+    if (argc == 5 && !checksum) return Usage();
+    return CmdBuild(argv[2], argv[3], checksum);
+  }
   if (command == "query" && argc >= 4) return CmdQuery(argc, argv);
   if (command == "stream" && argc == 4) return CmdStream(argv[2], argv[3]);
   if (command == "stats" && argc == 3) return CmdStats(argv[2]);
@@ -246,5 +274,6 @@ int main(int argc, char** argv) {
   }
   if (command == "delete" && argc == 4) return CmdDelete(argv[2], argv[3]);
   if (command == "refresh" && argc == 3) return CmdRefresh(argv[2]);
+  if (command == "verify" && argc == 3) return CmdVerify(argv[2]);
   return Usage();
 }
