@@ -42,7 +42,13 @@ inline int FlagInt(int argc, char** argv, const char* name,
                    int default_value) {
   const std::string v =
       FlagValue(argc, argv, name, std::to_string(default_value));
-  return atoi(v.c_str());
+  char* end = nullptr;
+  const long parsed = strtol(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    fprintf(stderr, "bad integer for --%s: %s\n", name, v.c_str());
+    return default_value;
+  }
+  return static_cast<int>(parsed);
 }
 
 inline bool FlagBool(int argc, char** argv, const char* name) {

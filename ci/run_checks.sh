@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Full merge gate: every check CI runs, runnable locally with one command.
+#
+#   ci/run_checks.sh            # run everything
+#   ci/run_checks.sh lint       # just nok_lint (+ selftest)
+#   ci/run_checks.sh release    # Release build + ctest
+#   ci/run_checks.sh sanitize   # ASan/UBSan build + ctest
+#   ci/run_checks.sh werror     # strict-warning build (NOK_WERROR=ON)
+#
+# Build trees live under build-ci/ so they never collide with a local
+# build/ directory.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT=$(pwd)
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+run_lint() {
+  step "nok_lint selftest"
+  python3 tools/lint/nok_lint.py --selftest
+  step "nok_lint (format findings fatal in CI)"
+  python3 tools/lint/nok_lint.py --root "$ROOT" --format-check --format-fatal
+}
+
+run_release() {
+  step "Release build + ctest"
+  cmake -S . -B build-ci/release -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-ci/release -j "$JOBS"
+  ctest --test-dir build-ci/release --output-on-failure -j "$JOBS"
+}
+
+run_sanitize() {
+  step "ASan/UBSan build + ctest"
+  cmake -S . -B build-ci/sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DNOK_SANITIZE=address,undefined
+  cmake --build build-ci/sanitize -j "$JOBS"
+  ctest --test-dir build-ci/sanitize --output-on-failure -j "$JOBS"
+}
+
+run_werror() {
+  step "Strict-warning build (NOK_WERROR=ON)"
+  cmake -S . -B build-ci/werror -DCMAKE_BUILD_TYPE=Release -DNOK_WERROR=ON
+  cmake --build build-ci/werror -j "$JOBS"
+  # Clang sees a different warning set than GCC; run it too when present.
+  if command -v clang++ >/dev/null 2>&1; then
+    step "Strict-warning build (clang++)"
+    cmake -S . -B build-ci/werror-clang -DCMAKE_BUILD_TYPE=Release \
+          -DNOK_WERROR=ON -DCMAKE_CXX_COMPILER=clang++
+    cmake --build build-ci/werror-clang -j "$JOBS"
+  else
+    echo "clang++ not found; skipping the Clang strict-warning build"
+  fi
+}
+
+case "${1:-all}" in
+  lint)     run_lint ;;
+  release)  run_release ;;
+  sanitize) run_sanitize ;;
+  werror)   run_werror ;;
+  all)
+    run_lint
+    run_release
+    run_sanitize
+    run_werror
+    step "all checks passed"
+    ;;
+  *)
+    echo "unknown check: $1 (expected lint|release|sanitize|werror|all)" >&2
+    exit 2
+    ;;
+esac

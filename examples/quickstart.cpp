@@ -14,7 +14,8 @@
 int main() {
   const std::string xml = R"(
     <library>
-      <book genre="databases"><title>Readings in DB</title><year>1998</year></book>
+      <book genre="databases"><title>Readings in DB</title>
+      <year>1998</year></book>
       <book genre="systems"><title>TAOCP</title><year>1997</year></book>
       <book genre="databases"><title>Red Book</title><year>2005</year></book>
     </library>)";
@@ -29,8 +30,9 @@ int main() {
   }
   printf("stored %llu nodes; tree string is %llu bytes for %zu bytes of "
          "XML\n\n",
-         (unsigned long long)(*store)->stats().node_count,
-         (unsigned long long)(*store)->stats().tree_bytes, xml.size());
+         static_cast<unsigned long long>((*store)->stats().node_count),
+         static_cast<unsigned long long>((*store)->stats().tree_bytes),
+         xml.size());
 
   // 2. Run a path query.
   nok::QueryEngine engine(store->get());

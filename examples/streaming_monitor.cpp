@@ -50,6 +50,7 @@ int main() {
   printf("\nsingle pass over %llu events; peak buffer %zu nodes "
          "(Proposition 1: one <reading> subtree at a time, never the "
          "whole feed)\n",
-         (unsigned long long)stats.events, stats.peak_buffered_nodes);
+         static_cast<unsigned long long>(stats.events),
+         stats.peak_buffered_nodes);
   return matches->size() == static_cast<size_t>(planted) ? 0 : 1;
 }

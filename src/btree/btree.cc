@@ -1,6 +1,5 @@
 #include "btree/btree.h"
 
-#include <cstring>
 #include <vector>
 
 #include "common/coding.h"

@@ -142,13 +142,17 @@ uint16_t NodeRef::UpperBound(const Slice& key) const {
 }
 
 uint32_t NodeRef::LeafCellSize(const Slice& key, const Slice& value) {
-  return static_cast<uint32_t>(VarintLength(key.size()) + key.size() +
-                               VarintLength(value.size()) + value.size()) +
+  return static_cast<uint32_t>(
+             static_cast<size_t>(VarintLength(key.size())) + key.size() +
+             static_cast<size_t>(VarintLength(value.size())) +
+             value.size()) +
          2;  // +2 for the slot entry.
 }
 
 uint32_t NodeRef::InternalCellSize(const Slice& key) {
-  return static_cast<uint32_t>(VarintLength(key.size()) + key.size() + 4) +
+  return static_cast<uint32_t>(
+             static_cast<size_t>(VarintLength(key.size())) + key.size() +
+             4) +
          2;
 }
 

@@ -18,8 +18,11 @@ namespace nok {
 
 /// Holds either a value of type T or a non-OK Status explaining why the
 /// value is absent.
+///
+/// Marked [[nodiscard]] at class level: any function returning a Result by
+/// value is must-use (silently dropping one drops the error too).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Error result; aborts (via assert) if the status is OK, because an OK
   /// Result must carry a value.
@@ -37,10 +40,10 @@ class Result {
   Result& operator=(const Result&) = default;
   Result& operator=(Result&&) noexcept = default;
 
-  bool ok() const { return std::holds_alternative<T>(rep_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(rep_); }
 
   /// The error status, or OK if a value is held.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(rep_);
   }
 

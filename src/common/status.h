@@ -34,7 +34,11 @@ enum class StatusCode : int {
 std::string_view StatusCodeToString(StatusCode code);
 
 /// Outcome of a fallible operation: a code plus an optional message.
-class Status {
+///
+/// Marked [[nodiscard]] at class level: any function returning a Status by
+/// value is must-use.  A call site that intentionally drops one must say so
+/// with NOK_IGNORE_STATUS(expr, "why").
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() noexcept = default;
@@ -79,8 +83,10 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return rep_ == nullptr; }
-  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return rep_ == nullptr; }
+  [[nodiscard]] StatusCode code() const {
+    return rep_ ? rep_->code : StatusCode::kOk;
+  }
 
   bool IsInvalidArgument() const {
     return code() == StatusCode::kInvalidArgument;
@@ -121,6 +127,20 @@ class Status {
   do {                                           \
     ::nok::Status _st = (expr);                  \
     if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Explicitly discards a Status.  Every use must carry a short justification
+/// so reviewers (and nok_lint) can audit intentional drops:
+///
+///   NOK_IGNORE_STATUS(file->Close(), "best-effort close on error path");
+///
+/// The justification is a compile-time string literal; it is not evaluated.
+#define NOK_IGNORE_STATUS(expr, justification)                         \
+  do {                                                                 \
+    static_assert(sizeof(justification) > 1,                           \
+                  "NOK_IGNORE_STATUS requires a justification");       \
+    ::nok::Status _ignored_st = (expr);                                \
+    (void)_ignored_st;                                                 \
   } while (0)
 
 /// Evaluates a Result<T> expression, assigning the value or propagating the

@@ -51,8 +51,9 @@ class DeweyId {
   /// not deep enough.
   std::optional<DeweyId> Ancestor(size_t k) const {
     if (k >= components_.size()) return std::nullopt;
-    return DeweyId(std::vector<uint32_t>(components_.begin(),
-                                         components_.end() - k));
+    return DeweyId(std::vector<uint32_t>(
+        components_.begin(),
+        components_.end() - static_cast<std::ptrdiff_t>(k)));
   }
 
   /// Number of components (root = 1); equals the node's level.

@@ -420,7 +420,6 @@ Status DocumentStore::InsertSubtree(const DeweyId& parent,
   };
   std::vector<NewNode> additions;
   const DeweyId frag_root_dewey = parent.Child(child_index);
-  Status encode_status;
   // Iterative encoding to match CollectSubtree's pre-order.
   struct Item {
     const DomNode* node;

@@ -53,22 +53,24 @@ int BuildNokTree(const PatternNode* pattern, int tree_id,
 
 /// Starts a new NoK tree rooted at `pattern`; returns its id.
 int SpawnTree(const PatternNode* pattern, NokPartition* partition) {
-  const int id = static_cast<int>(partition->trees.size());
+  const size_t idx = partition->trees.size();
+  const int id = static_cast<int>(idx);
   partition->trees.emplace_back();
-  partition->trees[id].id = id;
-  partition->trees[id].root_is_doc_root = pattern->is_doc_root;
+  partition->trees[idx].id = id;
+  partition->trees[idx].root_is_doc_root = pattern->is_doc_root;
   BuildNokTree(pattern, id, partition);
   return id;
 }
 
 int BuildNokTree(const PatternNode* pattern, int tree_id,
                  NokPartition* partition) {
-  const int local =
-      static_cast<int>(partition->trees[tree_id].nodes.size());
-  partition->trees[tree_id].nodes.emplace_back();
-  partition->trees[tree_id].nodes[local].pattern = pattern;
+  const size_t ti = static_cast<size_t>(tree_id);
+  const size_t li = partition->trees[ti].nodes.size();
+  const int local = static_cast<int>(li);
+  partition->trees[ti].nodes.emplace_back();
+  partition->trees[ti].nodes[li].pattern = pattern;
   if (pattern->is_returning) {
-    partition->trees[tree_id].returning_node = local;
+    partition->trees[ti].returning_node = local;
     partition->returning_tree = tree_id;
   }
 
@@ -81,8 +83,7 @@ int BuildNokTree(const PatternNode* pattern, int tree_id,
       case Axis::kChild:
       case Axis::kFollowingSibling: {
         const int child_local = BuildNokTree(child, tree_id, partition);
-        partition->trees[tree_id].nodes[local].children.push_back(
-            child_local);
+        partition->trees[ti].nodes[li].children.push_back(child_local);
         local_of_child[i] = child_local;
         break;
       }
@@ -98,7 +99,7 @@ int BuildNokTree(const PatternNode* pattern, int tree_id,
   }
 
   // Sibling order among the local children (positions within `children`).
-  NokTree& t = partition->trees[tree_id];
+  NokTree& t = partition->trees[ti];
   for (auto [a, b] : pattern->sibling_order) {
     const int la = local_of_child[static_cast<size_t>(a)];
     const int lb = local_of_child[static_cast<size_t>(b)];
@@ -107,12 +108,12 @@ int BuildNokTree(const PatternNode* pattern, int tree_id,
                                      // document-order side.
     // Translate local node indexes into positions in the children vector.
     int pa = -1, pb = -1;
-    for (size_t i = 0; i < t.nodes[local].children.size(); ++i) {
-      if (t.nodes[local].children[i] == la) pa = static_cast<int>(i);
-      if (t.nodes[local].children[i] == lb) pb = static_cast<int>(i);
+    for (size_t i = 0; i < t.nodes[li].children.size(); ++i) {
+      if (t.nodes[li].children[i] == la) pa = static_cast<int>(i);
+      if (t.nodes[li].children[i] == lb) pb = static_cast<int>(i);
     }
     NOK_CHECK(pa >= 0 && pb >= 0);
-    t.nodes[local].sibling_order.emplace_back(pa, pb);
+    t.nodes[li].sibling_order.emplace_back(pa, pb);
   }
   return local;
 }

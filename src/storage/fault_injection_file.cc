@@ -80,9 +80,11 @@ FaultInjectionFile::FaultInjectionFile(
   durable_image_.resize(base_->Size());
   if (!durable_image_.empty()) {
     Slice unused;
-    Status s = base_->ReadAt(0, durable_image_.size(),
-                             durable_image_.data(), &unused);
-    (void)s;
+    NOK_IGNORE_STATUS(
+        base_->ReadAt(0, durable_image_.size(), durable_image_.data(),
+                      &unused),
+        "snapshot of pre-existing bytes is best-effort; an unreadable base "
+        "file will surface on the first real read");
   }
   injector_->Register(this);
 }
@@ -100,15 +102,17 @@ Status FaultInjectionFile::CheckFault(bool is_write, uint64_t offset,
       // Apply the first half of the faulting write, then fail.  Reads and
       // other operations cannot tear; they just fail.
       if (is_write && data != nullptr && data->size() > 1) {
-        Status s =
-            base_->WriteAt(offset, Slice(data->data(), data->size() / 2));
-        (void)s;
+        NOK_IGNORE_STATUS(
+            base_->WriteAt(offset, Slice(data->data(), data->size() / 2)),
+            "the torn half-write is the injected damage itself; the caller "
+            "sees the IOError below regardless");
       }
       break;
     }
     case FaultKind::kCrash: {
-      Status s = injector_->DropAllUnsyncedData();
-      (void)s;
+      NOK_IGNORE_STATUS(injector_->DropAllUnsyncedData(),
+                        "the simulated crash is the injected damage itself; "
+                        "the caller sees the IOError below regardless");
       break;
     }
   }

@@ -2,7 +2,6 @@
 
 #include <cstring>
 #include <string>
-#include <vector>
 
 #include "common/coding.h"
 #include "common/hash.h"

@@ -121,9 +121,13 @@ Result<std::string> DecodeEntities(const Slice& text) {
         for (size_t k = 2; k < ent.size(); ++k) {
           char c = ent[k];
           uint32_t d;
-          if (c >= '0' && c <= '9') d = static_cast<uint32_t>(c - '0');
-          else if (c >= 'a' && c <= 'f') d = static_cast<uint32_t>(c - 'a' + 10);
-          else if (c >= 'A' && c <= 'F') d = static_cast<uint32_t>(c - 'A' + 10);
+          if (c >= '0' && c <= '9') {
+            d = static_cast<uint32_t>(c - '0');
+          } else if (c >= 'a' && c <= 'f') {
+            d = static_cast<uint32_t>(c - 'a' + 10);
+          } else if (c >= 'A' && c <= 'F') {
+            d = static_cast<uint32_t>(c - 'A' + 10);
+          }
           else { ok = false; break; }
           cp = cp * 16 + d;
         }

@@ -161,7 +161,7 @@ TEST(BTreeTest, PersistsAcrossReopen) {
       (std::filesystem::temp_directory_path() /
        ("nokxml_btree_reopen_" + std::to_string(::getpid())))
           .string();
-  RemoveFile(path).ok();
+  NOK_IGNORE_STATUS(RemoveFile(path), "pre-test scratch cleanup");
   {
     auto file = OpenPosixFile(path, /*create=*/true);
     ASSERT_TRUE(file.ok());
@@ -188,7 +188,7 @@ TEST(BTreeTest, PersistsAcrossReopen) {
       EXPECT_EQ(*got, "value" + std::to_string(i));
     }
   }
-  RemoveFile(path).ok();
+  NOK_IGNORE_STATUS(RemoveFile(path), "best-effort teardown cleanup");
 }
 
 // Property test: random interleaved inserts/deletes against a multimap.

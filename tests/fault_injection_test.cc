@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <string>
 
+#include "btree/btree.h"
 #include "encoding/document_store.h"
 #include "encoding/store_verifier.h"
 #include "storage/buffer_pool.h"
@@ -219,6 +221,62 @@ TEST(BufferPoolFaultTest, FlushAllPropagatesWriteError) {
 }
 
 // ---------------------------------------------------------------------------
+// BTree error propagation: a failed write-back during eviction must
+// surface out of Insert, and a failed sync out of Flush.  These lock in
+// the call-site audit done for the [[nodiscard]] sweep.
+
+TEST(BTreeFaultTest, InsertPropagatesEvictionWriteFailure) {
+  auto injector = std::make_shared<FaultInjector>();
+  BTreeOptions options;
+  options.page_size = 256;   // Small pages: splits after a few entries.
+  options.pool_frames = 4;   // Tiny pool: eviction on nearly every fetch.
+  auto tree = BTree::Open(
+      std::make_unique<FaultInjectionFile>(NewMemFile(), injector), options);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+
+  // Grow well past four pages so further inserts must evict dirty frames.
+  char key[16] = {0};
+  for (int i = 0; i < 200; ++i) {
+    std::snprintf(key, sizeof(key), "key%05d", i);
+    ASSERT_TRUE((*tree)->Insert(Slice(key), Slice("v")).ok()) << i;
+  }
+
+  injector->FailAtOp(injector->ops_seen(), FaultKind::kError,
+                     /*sticky=*/true);
+  Status failed = Status::OK();
+  for (int i = 200; i < 264 && failed.ok(); ++i) {
+    std::snprintf(key, sizeof(key), "key%05d", i);
+    failed = (*tree)->Insert(Slice(key), Slice("v"));
+  }
+  EXPECT_FALSE(failed.ok()) << "no insert propagated the injected fault";
+  EXPECT_TRUE(failed.IsIOError()) << failed.ToString();
+
+  // Disk heals: the tree is still usable and durable.
+  injector->Disarm();
+  ASSERT_TRUE((*tree)->Flush().ok());
+  auto got = (*tree)->Get(Slice("key00000"));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, "v");
+}
+
+TEST(BTreeFaultTest, FlushPropagatesSyncFailure) {
+  auto injector = std::make_shared<FaultInjector>();
+  auto tree = BTree::Open(
+      std::make_unique<FaultInjectionFile>(NewMemFile(), injector));
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  ASSERT_TRUE((*tree)->Insert(Slice("k"), Slice("v")).ok());
+
+  injector->FailAtOp(injector->ops_seen(), FaultKind::kError,
+                     /*sticky=*/true);
+  Status s = (*tree)->Flush();
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+
+  injector->Disarm();
+  ASSERT_TRUE((*tree)->Flush().ok());
+}
+
+// ---------------------------------------------------------------------------
 // Sweeps over whole-store workloads.
 
 /// Store options that route every component file through the injector.
@@ -276,6 +334,26 @@ ReopenOutcome Reopen(const std::string& dir) {
   }
   outcome.stevens_hits = hits->size();
   return outcome;
+}
+
+TEST(DocumentStoreFaultTest, FlushPropagatesSyncFailure) {
+  const std::string dir = TempDir("flush_sync");
+  std::filesystem::remove_all(dir);
+  auto injector = std::make_shared<FaultInjector>();
+  auto store = DocumentStore::Build(kBibXml, InjectedOptions(dir, injector));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  // Every I/O from here on fails: the commit must report it, not swallow
+  // it (nokq exits on exactly this status).
+  injector->FailAtOp(injector->ops_seen(), FaultKind::kError,
+                     /*sticky=*/true);
+  Status s = (*store)->Flush();
+  EXPECT_FALSE(s.ok()) << "Flush swallowed the injected sync failure";
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  store->reset();  // Destructor-phase sync failures are logged, not fatal.
+
+  injector->Disarm();
+  std::filesystem::remove_all(dir);
 }
 
 class FaultSweep : public ::testing::TestWithParam<FaultKind> {};

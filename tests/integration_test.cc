@@ -169,8 +169,9 @@ TEST_P(DatasetEngines, AllFourEnginesAgreeOnCategories) {
 
 INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetEngines,
                          ::testing::ValuesIn(AllDatasets()),
-                         [](const auto& info) {
-                           return std::string(DatasetName(info.param));
+                         [](const auto& suite_info) {
+                           return std::string(
+                               DatasetName(suite_info.param));
                          });
 
 TEST(UseCasesCorpusTest, ParsesAndReproducesAxisRatio) {

@@ -25,7 +25,7 @@ class FileKinds : public ::testing::TestWithParam<bool> {
   std::unique_ptr<File> Make() {
     if (GetParam()) {
       path_ = TempPath("file");
-      RemoveFile(path_).ok();
+      NOK_IGNORE_STATUS(RemoveFile(path_), "pre-test scratch cleanup");
       auto r = OpenPosixFile(path_, /*create=*/true);
       EXPECT_TRUE(r.ok()) << r.status().ToString();
       return std::move(r).ValueOrDie();
@@ -33,7 +33,9 @@ class FileKinds : public ::testing::TestWithParam<bool> {
     return NewMemFile();
   }
   void TearDown() override {
-    if (!path_.empty()) RemoveFile(path_).ok();
+    if (!path_.empty()) {
+      NOK_IGNORE_STATUS(RemoveFile(path_), "best-effort teardown cleanup");
+    }
   }
   std::string path_;
 };

@@ -1,0 +1,448 @@
+#!/usr/bin/env python3
+"""nok_lint: repo-specific static checks the C++ toolchain cannot express.
+
+Dependency-free (Python 3 stdlib only).  Registered as a ctest test, and run
+by ci/run_checks.sh; a non-empty finding list is a build failure.
+
+Rules
+-----
+NOK001  include-layering: source under src/<layer>/ may only include
+        headers from layers at or below it in the DAG
+            common <- storage <- btree
+            common <- xml
+            {storage, btree, xml} <- encoding <- nok <- {streaming, baseline}
+            common <- datagen
+        and baseline/ headers are never included from nok/ or encoding/
+        (the baselines compare against NoK; NoK must not depend on them).
+NOK002  banned APIs: atoi/atol/atoll (silent 0 on garbage), sprintf
+        (unbounded), rand/srand (not reproducible, poor distribution —
+        use common/random.h), and raw abort() outside src/common/logging
+        (error handling goes through Status or NOK_CHECK).
+NOK003  include guards: every header uses
+        #ifndef NOKXML_<PATH>_H_ / #define NOKXML_<PATH>_H_ where <PATH>
+        is the path relative to src/ (or the repo root for tests/, bench/,
+        tools/), uppercased, with separators mapped to '_'.
+NOK004  unchecked Status: in tests, a local `Status name = ...;` (or
+        nok::Status) whose name is never mentioned again before the end of
+        the enclosing block silently drops an error the test meant to
+        observe.
+
+Format checks (advisory by default; --format-fatal makes them errors)
+---------------------------------------------------------------------
+FMT001  line longer than 80 columns
+FMT002  trailing whitespace
+FMT003  tab character in source
+FMT004  CRLF line ending
+
+Usage
+-----
+    nok_lint.py [--root DIR] [--format-check] [--format-fatal] [paths...]
+    nok_lint.py --selftest          # run against tools/lint/testdata/
+
+Self-test fixtures declare expectations inline:
+
+    int bad = atoi(s);  // EXPECT-LINT: NOK002
+
+--selftest asserts that every EXPECT-LINT annotation fires on exactly that
+line and that no unannotated line produces a finding.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --- Layering -------------------------------------------------------------
+
+# layer -> layers it may include from (itself is always allowed).
+ALLOWED_DEPS = {
+    "common": set(),
+    "storage": {"common"},
+    "btree": {"common", "storage"},
+    "xml": {"common"},
+    "encoding": {"common", "storage", "btree", "xml"},
+    "nok": {"common", "storage", "btree", "xml", "encoding"},
+    "streaming": {"common", "storage", "btree", "xml", "encoding", "nok"},
+    "baseline": {"common", "storage", "btree", "xml", "encoding", "nok"},
+    "datagen": {"common", "xml"},
+}
+
+SOURCE_DIRS = ("src", "tools", "tests", "bench", "examples")
+SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+BANNED_APIS = [
+    (re.compile(r"\b(atoi|atol|atoll)\s*\("),
+     "maps garbage to 0 silently; parse with strtol-family plus end/errno "
+     "checks"),
+    (re.compile(r"\bsprintf\s*\("),
+     "unbounded; use snprintf or std::string formatting"),
+    (re.compile(r"\b(rand|srand)\s*\("),
+     "non-reproducible; use common/random.h"),
+    (re.compile(r"\babort\s*\(\s*\)"),
+     "raw abort() loses the failure message; return a Status or use "
+     "NOK_CHECK"),
+]
+# Files allowed to call abort(): the NOK_CHECK machinery itself.
+ABORT_ALLOWED = {os.path.join("src", "common", "logging.h"),
+                 os.path.join("src", "common", "logging.cc")}
+
+STATUS_DECL_RE = re.compile(
+    r"^\s*(?:const\s+)?(?:nok::)?Status\s+([a-z_][A-Za-z0-9_]*)\s*=")
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line          # 1-based
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Returns text with comment/string contents blanked (newlines kept),
+    so line/column positions survive but tokens inside them do not match."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated; be forgiving
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def rel(path, root):
+    return os.path.relpath(path, root)
+
+
+# --- NOK001: layering -----------------------------------------------------
+
+def check_layering(path, root, code_text, findings):
+    r = rel(path, root)
+    parts = r.split(os.sep)
+    if parts[0] != "src":
+        return  # tools/tests/bench/examples may include anything
+    layer = parts[1] if len(parts) > 2 else None  # src/nokxml.h: no layer
+    for lineno, line in enumerate(code_text.splitlines(), 1):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        target = m.group(1).split("/")[0]
+        if target not in ALLOWED_DEPS:
+            continue  # not a layer-qualified include (e.g. system header)
+        if layer is None:
+            # src/nokxml.h is the public umbrella; it may include anything
+            # except the baselines (they are not part of the public API).
+            continue
+        if target == layer:
+            continue
+        if target not in ALLOWED_DEPS[layer]:
+            findings.append(Finding(
+                "NOK001", r, lineno,
+                f'layer "{layer}" must not include from "{target}" '
+                f'(allowed: {", ".join(sorted(ALLOWED_DEPS[layer])) or "none"})'))
+
+
+# --- NOK002: banned APIs --------------------------------------------------
+
+def check_banned_apis(path, root, code_text, findings):
+    r = rel(path, root)
+    for lineno, line in enumerate(code_text.splitlines(), 1):
+        for pattern, why in BANNED_APIS:
+            m = pattern.search(line)
+            if not m:
+                continue
+            name = m.group(0).split("(")[0].strip()
+            if name == "abort" and r in ABORT_ALLOWED:
+                continue
+            findings.append(Finding(
+                "NOK002", r, lineno, f"banned API {name}(): {why}"))
+
+
+# --- NOK003: include guards -----------------------------------------------
+
+def expected_guard(path, root):
+    r = rel(path, root)
+    parts = r.split(os.sep)
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"\.(h|hpp)$", "", stem)
+    stem = re.sub(r"[^A-Za-z0-9]", "_", stem).upper()
+    return f"NOKXML_{stem}_H_"
+
+
+def check_include_guard(path, root, raw_text, findings):
+    r = rel(path, root)
+    if not r.endswith((".h", ".hpp")):
+        return
+    want = expected_guard(path, root)
+    ifndef = re.search(r"^[ \t]*#[ \t]*ifndef[ \t]+(\S+)", raw_text, re.M)
+    define = re.search(r"^[ \t]*#[ \t]*define[ \t]+(\S+)", raw_text, re.M)
+    if not ifndef or not define:
+        findings.append(Finding(
+            "NOK003", r, 1, f"missing include guard (expected {want})"))
+        return
+    got = ifndef.group(1)
+    lineno = raw_text[: ifndef.start()].count("\n") + 1
+    if got != want:
+        findings.append(Finding(
+            "NOK003", r, lineno,
+            f"include guard {got} should be {want}"))
+    elif define.group(1) != want:
+        lineno = raw_text[: define.start()].count("\n") + 1
+        findings.append(Finding(
+            "NOK003", r, lineno,
+            f"#define {define.group(1)} does not match guard {want}"))
+
+
+# --- NOK004: unchecked Status in tests ------------------------------------
+
+def check_unchecked_status(path, root, code_text, findings):
+    r = rel(path, root)
+    if not r.startswith("tests" + os.sep):
+        return
+    lines = code_text.splitlines()
+    for idx, line in enumerate(lines):
+        m = STATUS_DECL_RE.match(line)
+        if not m:
+            continue
+        # Initializing to OK (e.g. a struct member default) drops nothing.
+        if "Status::OK()" in line[m.end():]:
+            continue
+        name = m.group(1)
+        # Scan forward to the end of the enclosing block: depth goes below
+        # zero when the block that contains the declaration closes.
+        depth = 0
+        used = False
+        ident = re.compile(r"\b" + re.escape(name) + r"\b")
+        for j in range(idx, len(lines)):
+            scan = lines[j]
+            if j == idx:
+                scan = scan[m.end():]  # skip the declaration itself
+            if ident.search(scan):
+                used = True
+                break
+            depth += lines[j].count("{") - lines[j].count("}")
+            if depth < 0:
+                break
+        if not used:
+            findings.append(Finding(
+                "NOK004", r, idx + 1,
+                f'Status "{name}" is assigned but never checked; assert on '
+                f"it or use NOK_IGNORE_STATUS with a justification"))
+
+
+# --- Format checks --------------------------------------------------------
+
+def check_format(path, root, raw_text, findings):
+    r = rel(path, root)
+    for lineno, line in enumerate(raw_text.split("\n"), 1):
+        if line.endswith("\r"):
+            findings.append(Finding("FMT004", r, lineno,
+                                    "CRLF line ending"))
+            line = line[:-1]
+        if len(line) > 80:
+            findings.append(Finding(
+                "FMT001", r, lineno,
+                f"line is {len(line)} columns (limit 80)"))
+        if line != line.rstrip():
+            findings.append(Finding("FMT002", r, lineno,
+                                    "trailing whitespace"))
+        if "\t" in line:
+            findings.append(Finding("FMT003", r, lineno,
+                                    "tab character"))
+
+
+# --- Driver ---------------------------------------------------------------
+
+def collect_files(root, paths):
+    if paths:
+        for p in paths:
+            yield os.path.abspath(p)
+        return
+    for top in SOURCE_DIRS:
+        base = os.path.join(root, top)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if d != "testdata"]
+            for f in sorted(filenames):
+                if f.endswith(SOURCE_EXTS):
+                    yield os.path.join(dirpath, f)
+
+
+def lint_file(path, root, with_format):
+    findings = []
+    # newline="" disables universal-newline translation so FMT004 can see
+    # literal CRLF endings.
+    with open(path, encoding="utf-8", errors="replace", newline="") as fh:
+        raw = fh.read()
+    code = strip_comments_and_strings(raw)
+    # Layering inspects #include lines, whose paths live inside string
+    # quotes — run it on the raw text.
+    check_layering(path, root, raw, findings)
+    check_banned_apis(path, root, code, findings)
+    check_include_guard(path, root, raw, findings)
+    check_unchecked_status(path, root, code, findings)
+    if with_format:
+        check_format(path, root, raw, findings)
+    return findings
+
+
+def run_lint(root, paths, with_format, format_fatal):
+    errors, advisories = [], []
+    for path in collect_files(root, paths):
+        for f in lint_file(path, root, with_format):
+            if f.rule.startswith("FMT") and not format_fatal:
+                advisories.append(f)
+            else:
+                errors.append(f)
+    for f in errors:
+        print(str(f))
+    for f in advisories:
+        print(f"advisory: {f}")
+    if errors:
+        print(f"nok_lint: {len(errors)} error(s), "
+              f"{len(advisories)} advisory finding(s)")
+        return 1
+    if advisories:
+        print(f"nok_lint: clean ({len(advisories)} advisory "
+              f"format finding(s))")
+    else:
+        print("nok_lint: clean")
+    return 0
+
+
+# --- Self-test ------------------------------------------------------------
+
+EXPECT_RE = re.compile(r"EXPECT-LINT:\s*([A-Z0-9]+(?:\s*,\s*[A-Z0-9]+)*)")
+
+
+def run_selftest(root):
+    # The fixture tree mirrors a miniature repo (testdata/src/...,
+    # testdata/tests/...), so path-sensitive rules (layering, guard names,
+    # tests-only checks) are exercised by linting with testdata as root.
+    testdata = os.path.join(root, "tools", "lint", "testdata")
+    if not os.path.isdir(testdata):
+        print(f"selftest: no fixture directory at {testdata}",
+              file=sys.stderr)
+        return 1
+    failures = []
+    fixture_count = 0
+    for dirpath, _, filenames in os.walk(testdata):
+        for name in sorted(filenames):
+            if not name.endswith(SOURCE_EXTS):
+                continue
+            fixture_count += 1
+            path = os.path.join(dirpath, name)
+            with open(path, encoding="utf-8") as fh:
+                raw_lines = fh.read().split("\n")
+            expected = {}  # lineno -> set of rules
+            for lineno, line in enumerate(raw_lines, 1):
+                m = EXPECT_RE.search(line)
+                if m:
+                    rules = {r.strip() for r in m.group(1).split(",")}
+                    expected[lineno] = rules
+            got = {}
+            for f in lint_file(path, testdata, with_format=True):
+                got.setdefault(f.line, set()).add(f.rule)
+            for lineno, rules in sorted(expected.items()):
+                missing = rules - got.get(lineno, set())
+                for rule in sorted(missing):
+                    failures.append(
+                        f"{path}:{lineno}: expected {rule} did not fire")
+            for lineno, rules in sorted(got.items()):
+                surplus = rules - expected.get(lineno, set())
+                for rule in sorted(surplus):
+                    failures.append(
+                        f"{path}:{lineno}: unexpected {rule} finding")
+    for msg in failures:
+        print(msg)
+    if failures:
+        print(f"nok_lint --selftest: {len(failures)} failure(s) across "
+              f"{fixture_count} fixture file(s)")
+        return 1
+    print(f"nok_lint --selftest: ok ({fixture_count} fixture file(s))")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: two levels above this "
+                         "script)")
+    ap.add_argument("--format-check", action="store_true",
+                    help="also run the FMT* checks (advisory unless "
+                         "--format-fatal)")
+    ap.add_argument("--format-fatal", action="store_true",
+                    help="make FMT* findings errors (implies "
+                         "--format-check)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="validate the rules against tools/lint/testdata/")
+    ap.add_argument("paths", nargs="*",
+                    help="specific files to lint (default: whole tree)")
+    args = ap.parse_args()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    if args.selftest:
+        sys.exit(run_selftest(root))
+    sys.exit(run_lint(root, args.paths,
+                      args.format_check or args.format_fatal,
+                      args.format_fatal))
+
+
+if __name__ == "__main__":
+    main()

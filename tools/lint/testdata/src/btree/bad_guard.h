@@ -1,0 +1,13 @@
+// NOK003 fixture: the guard exists but its name does not follow
+// NOKXML_<DIR>_<FILE>_H_ (expected NOKXML_BTREE_BAD_GUARD_H_).
+
+#ifndef WRONG_GUARD_NAME_H  // EXPECT-LINT: NOK003
+#define WRONG_GUARD_NAME_H
+
+namespace nok {
+
+int BadGuardFixture();
+
+}  // namespace nok
+
+#endif  // WRONG_GUARD_NAME_H

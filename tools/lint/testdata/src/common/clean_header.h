@@ -1,0 +1,16 @@
+// A fully conforming header: correct guard, no banned APIs, no layering
+// violations, clean formatting.  The self-test asserts nok_lint reports
+// nothing for this file.
+
+#ifndef NOKXML_COMMON_CLEAN_HEADER_H_
+#define NOKXML_COMMON_CLEAN_HEADER_H_
+
+#include "common/status.h"
+
+namespace nok {
+
+inline int Twice(int x) { return x * 2; }
+
+}  // namespace nok
+
+#endif  // NOKXML_COMMON_CLEAN_HEADER_H_

@@ -1,0 +1,11 @@
+// FMT fixture: each formatting rule fires once.  The trailing-space,
+// tab, and CRLF lines are byte-exact; editors may not show them.
+
+namespace nok {
+
+int kPadding___________________________________________ = 1;  // this line deliberately runs past the eighty-column limit EXPECT-LINT: FMT001
+int trailing = 2;  // EXPECT-LINT: FMT002   
+int	tabbed = 3;  // EXPECT-LINT: FMT003
+int crlf = 4;  // EXPECT-LINT: FMT004
+
+}  // namespace nok

@@ -1,0 +1,10 @@
+// NOK001 fixture: encoding/ must never include baseline/ (the baselines
+// exist to be compared against the succinct encoding, not the reverse).
+
+#include "baseline/interval_encoding.h"  // EXPECT-LINT: NOK001
+
+namespace nok {
+
+int EncodingLayeringFixture() { return 0; }
+
+}  // namespace nok

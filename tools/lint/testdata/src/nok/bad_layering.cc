@@ -1,0 +1,12 @@
+// NOK001 fixture: nok/ is below baseline/ and streaming/ in the DAG, so
+// both includes are layering violations.  The common/ include is fine.
+
+#include "common/status.h"
+#include "baseline/di_engine.h"        // EXPECT-LINT: NOK001
+#include "streaming/stream_matcher.h"  // EXPECT-LINT: NOK001
+
+namespace nok {
+
+int LayeringFixture() { return 0; }
+
+}  // namespace nok

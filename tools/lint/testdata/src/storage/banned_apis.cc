@@ -1,0 +1,22 @@
+// NOK002 fixture: each banned call fires once; mentions inside comments
+// and string literals must not fire.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nok {
+
+int BannedFixture(const char* text) {
+  int a = atoi(text);             // EXPECT-LINT: NOK002
+  long b = atol(text);            // EXPECT-LINT: NOK002
+  char buf[16];
+  sprintf(buf, "%d", a);          // EXPECT-LINT: NOK002
+  int c = rand();                 // EXPECT-LINT: NOK002
+  srand(42);                      // EXPECT-LINT: NOK002
+  if (a + b + c == 0) abort();    // EXPECT-LINT: NOK002
+  // atoi(text) in a comment is not a call.
+  const char* s = "atoi(text) in a string is not a call";
+  return s[0] + static_cast<int>(b);
+}
+
+}  // namespace nok

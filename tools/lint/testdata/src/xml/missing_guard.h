@@ -1,0 +1,7 @@
+// NOK003 fixture: header with no include guard.  EXPECT-LINT: NOK003
+
+namespace nok {
+
+int MissingGuardFixture();
+
+}  // namespace nok

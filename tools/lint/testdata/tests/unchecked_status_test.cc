@@ -1,0 +1,23 @@
+// NOK004 fixture: a Status assigned and then forgotten fires; a checked
+// one and an OK-initialized struct member do not.
+
+#include "common/status.h"
+
+namespace nok {
+
+Status Fallible();
+
+void DropsTheError() {
+  Status s = Fallible();  // EXPECT-LINT: NOK004
+}
+
+void ChecksTheError() {
+  Status checked = Fallible();
+  if (!checked.ok()) return;
+}
+
+struct Outcome {
+  Status status = Status::OK();  // default member init: no drop
+};
+
+}  // namespace nok

@@ -10,7 +10,10 @@
 //   nokq refresh <store-dir>                    rebuild cached positions
 //   nokq verify <store-dir>                     offline integrity scrub
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -39,6 +42,29 @@ int Usage() {
 int Fail(const nok::Status& status) {
   fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Final durability step of the mutating commands.  A failed flush is data
+/// loss — it must produce a diagnostic, not a bare exit code.
+int FinishFlush(nok::DocumentStore* store) {
+  nok::Status s = store->Flush();
+  if (!s.ok()) return Fail(s);
+  return 0;
+}
+
+/// Parses a non-negative decimal integer, rejecting trailing garbage (the
+/// failure mode atoi silently maps to 0).
+nok::Result<uint32_t> ParseIndex(const std::string& text) {
+  if (text.empty()) {
+    return nok::Status::InvalidArgument("empty child index");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long v = strtoul(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size() || v > UINT32_MAX) {
+    return nok::Status::InvalidArgument("bad child index: " + text);
+  }
+  return static_cast<uint32_t>(v);
 }
 
 nok::Result<nok::DeweyId> ParseDewey(const std::string& text) {
@@ -92,10 +118,10 @@ int CmdBuild(const std::string& xml_path, const std::string& dir,
   auto store = nok::DocumentStore::Build(xml, options);
   if (!store.ok()) return Fail(store.status());
   printf("built %s: %llu nodes in %.2fs (tree %llu bytes)\n", dir.c_str(),
-         (unsigned long long)(*store)->stats().node_count,
+         static_cast<unsigned long long>((*store)->stats().node_count),
          timer.ElapsedSeconds(),
-         (unsigned long long)(*store)->stats().tree_bytes);
-  return (*store)->Flush().ok() ? 0 : 1;
+         static_cast<unsigned long long>((*store)->stats().tree_bytes));
+  return FinishFlush(store->get());
 }
 
 int CmdQuery(int argc, char** argv) {
@@ -170,7 +196,7 @@ int CmdStream(const std::string& xml_path, const std::string& xpath) {
     printf("%s\n", id.ToString().c_str());
   }
   fprintf(stderr, "%zu results; %llu events, peak buffer %zu nodes\n",
-          result->size(), (unsigned long long)stats.events,
+          result->size(), static_cast<unsigned long long>(stats.events),
           stats.peak_buffered_nodes);
   return 0;
 }
@@ -179,19 +205,22 @@ int CmdStats(const std::string& dir) {
   auto store = OpenStore(dir);
   if (!store.ok()) return Fail(store.status());
   const nok::DocumentStoreStats& s = (*store)->stats();
-  printf("nodes:        %llu\n", (unsigned long long)s.node_count);
+  printf("nodes:        %llu\n", static_cast<unsigned long long>(s.node_count));
   printf("max depth:    %d\n", s.max_depth);
-  printf("tags:         %llu\n", (unsigned long long)s.distinct_tags);
-  printf("|tree|:       %llu bytes\n", (unsigned long long)s.tree_bytes);
+  printf("tags:         %llu\n",
+         static_cast<unsigned long long>(s.distinct_tags));
+  printf("|tree|:       %llu bytes\n",
+         static_cast<unsigned long long>(s.tree_bytes));
   printf("|B+t|:        %llu bytes\n",
-         (unsigned long long)s.tag_index_bytes);
+         static_cast<unsigned long long>(s.tag_index_bytes));
   printf("|B+v|:        %llu bytes\n",
-         (unsigned long long)s.value_index_bytes);
+         static_cast<unsigned long long>(s.value_index_bytes));
   printf("|B+i|:        %llu bytes\n",
-         (unsigned long long)s.id_index_bytes);
+         static_cast<unsigned long long>(s.id_index_bytes));
   printf("|B+p|:        %llu bytes\n",
-         (unsigned long long)s.path_index_bytes);
-  printf("data file:    %llu bytes\n", (unsigned long long)s.data_bytes);
+         static_cast<unsigned long long>(s.path_index_bytes));
+  printf("data file:    %llu bytes\n",
+         static_cast<unsigned long long>(s.data_bytes));
   printf("positions:    %s\n",
          (*store)->positions_fresh() ? "fresh" : "stale (run refresh)");
   return 0;
@@ -204,15 +233,16 @@ int CmdInsert(const std::string& dir, const std::string& dewey_text,
   if (!store.ok()) return Fail(store.status());
   auto dewey = ParseDewey(dewey_text);
   if (!dewey.ok()) return Fail(dewey.status());
+  auto index = ParseIndex(index_text);
+  if (!index.ok()) return Fail(index.status());
   std::string fragment;
   nok::Status s = nok::ReadFileToString(fragment_path, &fragment);
   if (!s.ok()) return Fail(s);
-  s = (*store)->InsertSubtree(
-      *dewey, static_cast<uint32_t>(atoi(index_text.c_str())), fragment);
+  s = (*store)->InsertSubtree(*dewey, *index, fragment);
   if (!s.ok()) return Fail(s);
   printf("inserted under %s; positions are now stale (nokq refresh)\n",
          dewey->ToString().c_str());
-  return (*store)->Flush().ok() ? 0 : 1;
+  return FinishFlush(store->get());
 }
 
 int CmdDelete(const std::string& dir, const std::string& dewey_text) {
@@ -224,7 +254,7 @@ int CmdDelete(const std::string& dir, const std::string& dewey_text) {
   if (!s.ok()) return Fail(s);
   printf("deleted %s; positions are now stale (nokq refresh)\n",
          dewey->ToString().c_str());
-  return (*store)->Flush().ok() ? 0 : 1;
+  return FinishFlush(store->get());
 }
 
 int CmdRefresh(const std::string& dir) {
@@ -234,7 +264,7 @@ int CmdRefresh(const std::string& dir) {
   nok::Status s = (*store)->RefreshPositions();
   if (!s.ok()) return Fail(s);
   printf("positions refreshed in %.2fs\n", timer.ElapsedSeconds());
-  return (*store)->Flush().ok() ? 0 : 1;
+  return FinishFlush(store->get());
 }
 
 int CmdVerify(const std::string& dir) {
@@ -249,8 +279,8 @@ int CmdVerify(const std::string& dir) {
     fprintf(stderr, "...issue list truncated\n");
   }
   printf("%s: %llu pages, %llu index entries checked in %.2fs: %s\n",
-         dir.c_str(), (unsigned long long)report->pages_checked,
-         (unsigned long long)report->entries_checked,
+         dir.c_str(), static_cast<unsigned long long>(report->pages_checked),
+         static_cast<unsigned long long>(report->entries_checked),
          timer.ElapsedSeconds(),
          report->ok() ? "clean" : "DAMAGED");
   return report->ok() ? 0 : 1;
