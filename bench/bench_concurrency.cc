@@ -1,0 +1,154 @@
+// Concurrent read-path scaling: aggregate throughput of the Table 2
+// workload when 1, 2, 4, ... reader threads share one read-only
+// DocumentStore through the sharded buffer pool.
+//
+// Each thread owns its own QueryEngine (cheap per-thread object); the
+// store handle, buffer pools and pager are shared.  Per-thread and
+// aggregate numbers mirror what `nokq bench --threads` reports.
+//
+// Usage: bench_concurrency [--scale 0.05] [--max-threads 8] [--repeat 2]
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "datagen/dataset_gen.h"
+#include "datagen/query_gen.h"
+#include "encoding/document_store.h"
+#include "nok/query_engine.h"
+#include "storage/file.h"
+
+namespace nok {
+namespace {
+
+struct WorkerResult {
+  uint64_t queries = 0;
+  uint64_t results = 0;
+  Status status;
+};
+
+void Worker(DocumentStore* store, const std::vector<std::string>* xpaths,
+            int repeat, WorkerResult* out) {
+  QueryEngine engine(store);
+  for (int r = 0; r < repeat; ++r) {
+    for (const std::string& xpath : *xpaths) {
+      auto result = engine.Evaluate(xpath);
+      if (!result.ok()) {
+        out->status = result.status();
+        return;
+      }
+      ++out->queries;
+      out->results += result->size();
+    }
+  }
+}
+
+int Run(int argc, char** argv) {
+  setbuf(stdout, nullptr);
+  GenOptions gen;
+  gen.scale = bench::FlagDouble(argc, argv, "scale", 0.05);
+  const int max_threads = bench::FlagInt(argc, argv, "max-threads", 8);
+  const int repeat = bench::FlagInt(argc, argv, "repeat", 2);
+
+  GeneratedDataset ds = GenerateDataset(Dataset::kDblp, gen);
+  std::vector<std::string> xpaths;
+  auto queries = QueriesForDataset(ds);
+  auto variants = DescendantVariants(queries, gen.seed);
+  queries.insert(queries.end(), variants.begin(), variants.end());
+  for (const CategoryQuery& q : queries) xpaths.push_back(q.xpath);
+
+  // Concurrency needs a directory-backed store (read-only reopen).
+  const std::string dir = "/tmp/nok_bench_concurrency";
+  {
+    DocumentStore::Options options;
+    options.dir = dir;
+    for (const char* f :
+         {store_files::kTree, store_files::kValues, store_files::kDict,
+          store_files::kTagIdx, store_files::kValIdx, store_files::kIdIdx,
+          store_files::kPathIdx, store_files::kStale}) {
+      Status s = RemoveFile(dir + "/" + f);
+      if (!s.ok()) {
+        fprintf(stderr, "cleanup failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    auto built = DocumentStore::Build(ds.xml, options);
+    if (!built.ok()) {
+      fprintf(stderr, "build failed: %s\n",
+              built.status().ToString().c_str());
+      return 1;
+    }
+    Status s = (*built)->Flush();
+    if (!s.ok()) {
+      fprintf(stderr, "flush failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  DocumentStore::Options options;
+  options.dir = dir;
+  options.read_only = true;
+  options.pool_shards = 16;
+  options.index_pool_shards = 8;
+  auto store = DocumentStore::OpenDir(options);
+  if (!store.ok()) {
+    fprintf(stderr, "open failed: %s\n",
+            store.status().ToString().c_str());
+    return 1;
+  }
+
+  printf("concurrent read path (dblp-like, scale %.3f, %zu queries, "
+         "repeat %d; hardware threads: %u)\n\n",
+         gen.scale, xpaths.size(), repeat,
+         std::thread::hardware_concurrency());
+  printf("%8s %12s %14s %10s\n", "threads", "queries", "throughput",
+         "speedup");
+
+  double base_qps = 0;
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    Status s = (*store)->DropCaches();
+    if (!s.ok()) {
+      fprintf(stderr, "drop caches failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::vector<WorkerResult> results(static_cast<size_t>(threads));
+    Timer wall;
+    {
+      std::vector<std::thread> workers;
+      for (int t = 0; t < threads; ++t) {
+        workers.emplace_back(Worker, store->get(), &xpaths, repeat,
+                             &results[static_cast<size_t>(t)]);
+      }
+      for (std::thread& w : workers) w.join();
+    }
+    const double seconds = wall.ElapsedSeconds();
+    uint64_t total = 0;
+    for (const WorkerResult& r : results) {
+      if (!r.status.ok()) {
+        fprintf(stderr, "query failed: %s\n",
+                r.status.ToString().c_str());
+        return 1;
+      }
+      if (r.results != results[0].results) {
+        fprintf(stderr, "threads disagree on results\n");
+        return 1;
+      }
+      total += r.queries;
+    }
+    const double qps =
+        seconds == 0 ? 0 : static_cast<double>(total) / seconds;
+    if (threads == 1) base_qps = qps;
+    printf("%8d %12llu %11.1f qps %9.2fx\n", threads,
+           static_cast<unsigned long long>(total), qps,
+           base_qps == 0 ? 0 : qps / base_qps);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nok
+
+int main(int argc, char** argv) { return nok::Run(argc, argv); }

@@ -5,6 +5,7 @@
 #   ci/run_checks.sh lint       # just nok_lint (+ selftest)
 #   ci/run_checks.sh release    # Release build + ctest
 #   ci/run_checks.sh sanitize   # ASan/UBSan build + ctest
+#   ci/run_checks.sh tsan       # TSan build + concurrency/differential
 #   ci/run_checks.sh werror     # strict-warning build (NOK_WERROR=ON)
 #
 # Build trees live under build-ci/ so they never collide with a local
@@ -40,6 +41,18 @@ run_sanitize() {
   ctest --test-dir build-ci/sanitize --output-on-failure -j "$JOBS"
 }
 
+run_tsan() {
+  step "TSan build + concurrency/differential suites"
+  # TSan is incompatible with ASan, so it gets its own tree; the race-
+  # sensitive suites are the concurrent read path and the differential
+  # harness that drives the same engines single-threaded.
+  cmake -S . -B build-ci/tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DNOK_SANITIZE=thread
+  cmake --build build-ci/tsan -j "$JOBS"
+  ctest --test-dir build-ci/tsan --output-on-failure -j "$JOBS" \
+        -R "concurrency_test|differential_test"
+}
+
 run_werror() {
   step "Strict-warning build (NOK_WERROR=ON)"
   cmake -S . -B build-ci/werror -DCMAKE_BUILD_TYPE=Release -DNOK_WERROR=ON
@@ -59,16 +72,19 @@ case "${1:-all}" in
   lint)     run_lint ;;
   release)  run_release ;;
   sanitize) run_sanitize ;;
+  tsan)     run_tsan ;;
   werror)   run_werror ;;
   all)
     run_lint
     run_release
     run_sanitize
+    run_tsan
     run_werror
     step "all checks passed"
     ;;
   *)
-    echo "unknown check: $1 (expected lint|release|sanitize|werror|all)" >&2
+    echo "unknown check: $1" \
+         "(expected lint|release|sanitize|tsan|werror|all)" >&2
     exit 2
     ;;
 esac

@@ -21,12 +21,18 @@ constexpr uint32_t kFormatVersionChecksummed = 2;
 
 BTree::BTree(std::unique_ptr<Pager> pager, Options options)
     : options_(options), pager_(std::move(pager)) {
-  pool_ = std::make_unique<BufferPool>(pager_.get(), options.pool_frames);
+  pool_ = std::make_unique<BufferPool>(pager_.get(), options.pool_frames,
+                                       options.pool_shards);
 }
 
 Result<std::unique_ptr<BTree>> BTree::Open(std::unique_ptr<File> file,
                                            Options options) {
   const bool fresh = file->Size() == 0;
+  if (fresh && options.read_only) {
+    return Status::InvalidArgument(
+        "cannot open an empty btree file read-only: formatting a fresh "
+        "tree requires write access");
+  }
   if (fresh && options.error_if_empty) {
     return Status::Corruption(
         "index file is empty but was expected to hold a tree; it was lost "
@@ -120,6 +126,9 @@ Status BTree::WriteMeta() {
 }
 
 Status BTree::Flush() {
+  // A read-only tree has nothing dirty by construction; skip the flush
+  // machinery so destruction of a shared reader handle stays I/O-free.
+  if (options_.read_only) return Status::OK();
   // Data pages first, synced, then the meta page, synced: the meta is the
   // commit record, so a crash anywhere in this sequence leaves either the
   // old meta (pointing at the old, durable tree) or the new meta (pointing
@@ -134,6 +143,9 @@ Status BTree::Flush() {
 }
 
 Status BTree::Insert(const Slice& key, const Slice& value) {
+  if (options_.read_only) {
+    return Status::InvalidArgument("Insert on a btree opened read-only");
+  }
   if (NodeRef::LeafCellSize(key, value) > options_.page_size / 4) {
     return Status::InvalidArgument("entry too large for page size");
   }
@@ -292,6 +304,9 @@ Result<std::string> BTree::Get(const Slice& key) {
 }
 
 Result<bool> BTree::Delete(const Slice& key) {
+  if (options_.read_only) {
+    return Status::InvalidArgument("Delete on a btree opened read-only");
+  }
   BTreeIterator it = NewIterator();
   NOK_RETURN_IF_ERROR(it.Seek(key));
   if (!it.Valid() || it.key() != key) return false;
@@ -304,6 +319,10 @@ Result<bool> BTree::Delete(const Slice& key) {
 }
 
 Result<bool> BTree::DeleteExact(const Slice& key, const Slice& value) {
+  if (options_.read_only) {
+    return Status::InvalidArgument(
+        "DeleteExact on a btree opened read-only");
+  }
   BTreeIterator it = NewIterator();
   NOK_RETURN_IF_ERROR(it.Seek(key));
   while (it.Valid() && it.key() == key) {

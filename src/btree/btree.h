@@ -40,6 +40,12 @@ class BTreeIterator;
 struct BTreeOptions {
   uint32_t page_size = kDefaultPageSize;
   size_t pool_frames = 64;
+  /// Number of independent buffer-pool LRU shards (see BufferPool).
+  size_t pool_shards = 1;
+  /// Open the tree for lookups only: Insert/Delete/Flush are rejected
+  /// (Flush quietly no-ops so destruction stays I/O-free), which makes
+  /// Get/NewIterator safe to call from many threads at once.
+  bool read_only = false;
   /// Store pages with CRC-32C trailers (PageFormat::kChecksummed).  Must
   /// match the format the file was created with.
   bool checksum_pages = false;
@@ -51,6 +57,11 @@ struct BTreeOptions {
 };
 
 /// A single B+ tree persisted in one file.
+///
+/// Thread safety: a tree opened with Options::read_only supports
+/// concurrent Get/NewIterator from any number of threads — root_ and
+/// num_entries_ are immutable after Open and page access goes through the
+/// sharded BufferPool.  A writable tree is single-threaded.
 class BTree {
  public:
   using Options = BTreeOptions;

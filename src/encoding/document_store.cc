@@ -90,6 +90,9 @@ Result<std::unique_ptr<File>> DocumentStore::OpenComponent(
   if (options_.dir.empty()) {
     return NewMemFile();
   }
+  if (options_.read_only && !create) {
+    return OpenPosixFileReadOnly(path);
+  }
   return OpenPosixFile(path, create);
 }
 
@@ -103,6 +106,11 @@ Status DocumentStore::InitFiles(const Options& options) {
 
 Result<std::unique_ptr<DocumentStore>> DocumentStore::Build(
     const std::string& xml, Options options) {
+  if (options.read_only) {
+    return Status::InvalidArgument(
+        "Build writes every component; open the finished store with "
+        "OpenDir(read_only) instead");
+  }
   std::unique_ptr<DocumentStore> store(new DocumentStore());
   NOK_RETURN_IF_ERROR(store->InitFiles(options));
 
@@ -298,8 +306,10 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::OpenDir(
   tree_options.page_size = options.page_size;
   tree_options.reserve_ratio = options.reserve_ratio;
   tree_options.pool_frames = options.pool_frames;
+  tree_options.pool_shards = options.pool_shards;
   tree_options.use_header_skip = options.use_header_skip;
   tree_options.checksum_pages = checksummed;
+  tree_options.read_only = options.read_only;
   NOK_ASSIGN_OR_RETURN(store->tree_, StringStore::Open(std::move(tree_file),
                                                        tree_options));
 
@@ -314,7 +324,9 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::OpenDir(
   BTree::Options idx_options;
   idx_options.page_size = options.index_page_size;
   idx_options.pool_frames = options.index_pool_frames;
+  idx_options.pool_shards = options.index_pool_shards;
   idx_options.checksum_pages = checksummed;
+  idx_options.read_only = options.read_only;
   // A zero-length index file here means the index was lost (e.g. a crash
   // truncated it); formatting a fresh empty index would silently answer
   // queries with no results.
@@ -405,6 +417,9 @@ void DocumentStore::RefreshSizeStats() {
 }
 
 Status DocumentStore::Flush() {
+  if (options_.read_only) {
+    return Status::InvalidArgument("Flush on a store opened read-only");
+  }
   // One new generation.  Order: value file and indexes (data synced before
   // each component's own meta), then the dictionary, then the tree string
   // whose meta page — written last — commits the generation.
@@ -573,6 +588,10 @@ Result<size_t> DocumentStore::EstimatePathCount(
 }
 
 Status DocumentStore::MarkPositionsStale() {
+  if (options_.read_only) {
+    return Status::InvalidArgument(
+        "MarkPositionsStale on a store opened read-only");
+  }
   positions_fresh_ = false;
   if (!options_.dir.empty()) {
     return WriteStringToFile(options_.dir + "/" + kStaleFile, Slice("1"));

@@ -60,6 +60,16 @@ struct DocumentStoreOptions {
   size_t pool_frames = 256;
   /// Buffer-pool frames for each B+ tree.
   size_t index_pool_frames = 64;
+  /// Buffer-pool LRU shards for the tree string (see BufferPool).  More
+  /// shards cut mutex contention when many threads query one store.
+  size_t pool_shards = 1;
+  /// Buffer-pool LRU shards for each B+ tree.
+  size_t index_pool_shards = 1;
+  /// Open every component read-only (O_RDONLY files, mutating operations
+  /// rejected).  Required for serving one store handle to many query
+  /// threads concurrently; see DESIGN.md "Concurrency model".  Only
+  /// meaningful for OpenDir.
+  bool read_only = false;
   /// Toggle for the (st,lo,hi) page-skip optimization (Section 5).
   bool use_header_skip = true;
   /// Store every component with integrity checksums: CRC-32C page
@@ -93,6 +103,13 @@ struct DocumentStoreStats {
 };
 
 /// One stored document plus its indexes.
+///
+/// Thread safety: a store opened via OpenDir with Options::read_only set
+/// supports concurrent reads (Locate/Navigate/ValueOf/NodesWith*/
+/// Estimate*) from any number of threads sharing the one handle; each
+/// thread runs its own QueryEngine over it.  Mutating operations
+/// (InsertSubtree/DeleteSubtree/RefreshPositions/Flush) then fail with
+/// InvalidArgument.  A writable store is single-threaded.
 class DocumentStore {
  public:
   using Options = DocumentStoreOptions;

@@ -222,7 +222,8 @@ Status StringStore::Init(std::unique_ptr<File> file) {
   NOK_ASSIGN_OR_RETURN(pager_,
                        Pager::Open(std::move(file), options_.page_size,
                                    FormatFor(options_)));
-  pool_ = std::make_unique<BufferPool>(pager_.get(), options_.pool_frames);
+  pool_ = std::make_unique<BufferPool>(pager_.get(), options_.pool_frames,
+                                       options_.pool_shards);
 
   if (pager_->page_count() == 0) {
     return Status::Corruption("string store file has no meta page");
@@ -264,6 +265,10 @@ StringStore::~StringStore() {
 }
 
 Status StringStore::Flush() {
+  // A read-only store has nothing dirty by construction, and its file
+  // rejects writes; skip the flush machinery entirely so destruction of a
+  // shared reader handle stays I/O-free.
+  if (options_.read_only) return Status::OK();
   NOK_RETURN_IF_ERROR(pool_->FlushAll());
   NOK_RETURN_IF_ERROR(pager_->Sync());
   if (meta_dirty_) {
@@ -421,7 +426,7 @@ Result<StringStore::ViewHandle> StringStore::FetchView(PageId page) {
     }
     handle.set_decoration(view);
   }
-  ++nav_stats_.pages_scanned;
+  nav_pages_scanned_.fetch_add(1, std::memory_order_relaxed);
   return ViewHandle{std::move(handle), std::move(view)};
 }
 
@@ -461,7 +466,7 @@ Result<std::optional<StorePos>> StringStore::ScanForward(StorePos pos,
     const bool can_skip = options_.use_header_skip && idx == 0 &&
                           h.used > 0 && h.lo > skip_level;
     if (can_skip) {
-      ++nav_stats_.pages_skipped;
+      nav_pages_skipped_.fetch_add(1, std::memory_order_relaxed);
     } else if (h.used > 0) {
       NOK_ASSIGN_OR_RETURN(auto vh, FetchView(page));
       const PageView& view = *vh.view;

@@ -36,6 +36,7 @@
 #ifndef NOKXML_ENCODING_STRING_STORE_H_
 #define NOKXML_ENCODING_STRING_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -85,6 +86,14 @@ struct StringStoreOptions {
   /// paper's r; Section 4.2 suggests 20%).
   double reserve_ratio = 0.2;
   size_t pool_frames = 256;
+  /// Number of independent buffer-pool LRU shards.  One shard keeps the
+  /// classic global LRU; more shards let concurrent reader threads fetch
+  /// pages without contending on a single mutex.
+  size_t pool_shards = 1;
+  /// Open the store for reading only: Flush becomes a no-op and the store
+  /// promises never to write, which makes every navigation primitive safe
+  /// to call from many threads at once.
+  bool read_only = false;
   /// When false, FOLLOWING-SIBLING and subtree scans read every page in
   /// chain order instead of consulting the (st,lo,hi) headers — the
   /// ablation knob for the Section 5 optimization.
@@ -95,6 +104,11 @@ struct StringStoreOptions {
 };
 
 /// Read (and, via TreeUpdater, write) access to one materialized tree.
+///
+/// Thread safety: a store opened with Options::read_only supports
+/// concurrent navigation from any number of threads — headers_/chain_ are
+/// immutable after Open, page access goes through the sharded BufferPool,
+/// and NavStats counters are atomic.  A writable store is single-threaded.
 class StringStore {
  public:
   using Options = StringStoreOptions;
@@ -220,12 +234,24 @@ class StringStore {
   const StorePageHeader& header(PageId page) const;
 
   /// Navigation-level statistics (complementing BufferPool I/O counters).
+  /// Counters are atomic so concurrent readers can bump them; nav_stats()
+  /// returns a relaxed snapshot.
   struct NavStats {
     uint64_t pages_scanned = 0;   ///< Page bodies materialized.
     uint64_t pages_skipped = 0;   ///< Pages skipped via (st,lo,hi).
   };
-  const NavStats& nav_stats() const { return nav_stats_; }
-  void ResetNavStats() { nav_stats_ = NavStats{}; }
+  NavStats nav_stats() const {
+    NavStats snap;
+    snap.pages_scanned =
+        nav_pages_scanned_.load(std::memory_order_relaxed);
+    snap.pages_skipped =
+        nav_pages_skipped_.load(std::memory_order_relaxed);
+    return snap;
+  }
+  void ResetNavStats() {
+    nav_pages_scanned_.store(0, std::memory_order_relaxed);
+    nav_pages_skipped_.store(0, std::memory_order_relaxed);
+  }
 
   BufferPool* buffer_pool() { return pool_.get(); }
   const Options& options() const { return options_; }
@@ -299,7 +325,8 @@ class StringStore {
   uint64_t epoch_ = 0;
   int max_level_ = 0;
   PageId free_list_head_ = kInvalidPage;   // Reusable pages after deletes.
-  NavStats nav_stats_;
+  std::atomic<uint64_t> nav_pages_scanned_{0};
+  std::atomic<uint64_t> nav_pages_skipped_{0};
   bool meta_dirty_ = false;
 };
 

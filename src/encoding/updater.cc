@@ -364,6 +364,10 @@ DeweyId ShiftComponent(const DeweyId& dewey, size_t depth, int64_t delta) {
 Status DocumentStore::InsertSubtree(const DeweyId& parent,
                                     uint32_t child_index,
                                     const std::string& xml_fragment) {
+  if (options_.read_only) {
+    return Status::InvalidArgument(
+        "InsertSubtree on a store opened read-only");
+  }
   NOK_ASSIGN_OR_RETURN(auto fragment, DomTree::Parse(xml_fragment));
   NOK_ASSIGN_OR_RETURN(StorePos parent_pos, Locate(parent));
   NOK_RETURN_IF_ERROR(MarkPositionsStale());
@@ -487,6 +491,10 @@ Status DocumentStore::InsertSubtree(const DeweyId& parent,
 }
 
 Status DocumentStore::DeleteSubtree(const DeweyId& node) {
+  if (options_.read_only) {
+    return Status::InvalidArgument(
+        "DeleteSubtree on a store opened read-only");
+  }
   if (node.depth() <= 1) {
     return Status::InvalidArgument("cannot delete the document root");
   }
@@ -610,6 +618,10 @@ Status DocumentStore::RemoveIndexEntries(const DeweyId& dewey, TagId tag) {
 
 
 Status DocumentStore::RefreshPositions() {
+  if (options_.read_only) {
+    return Status::InvalidArgument(
+        "RefreshPositions on a store opened read-only");
+  }
   if (positions_fresh_) return Status::OK();
 
   // The path index is rebuilt wholesale: updates do not maintain it (its

@@ -71,6 +71,12 @@ struct NokBinding {
 };
 
 /// Evaluates path expressions against one DocumentStore.
+///
+/// An engine is a cheap per-thread object: it holds only the store
+/// pointer and the diagnostics of its own last Evaluate call.  For
+/// concurrent evaluation, open the store read-only, share the one
+/// DocumentStore handle, and give each thread its own QueryEngine —
+/// last_stats() then never races across threads.
 class QueryEngine {
  public:
   explicit QueryEngine(DocumentStore* store) : store_(store) {}

@@ -1,14 +1,21 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <string>
 
 #include "common/logging.h"
 
 namespace nok {
 
-BufferPool::BufferPool(Pager* pager, size_t capacity)
+BufferPool::BufferPool(Pager* pager, size_t capacity, size_t shards)
     : pager_(pager), capacity_(capacity) {
   NOK_CHECK(capacity_ >= 1);
+  const size_t count = std::max<size_t>(1, std::min(shards, capacity));
+  shard_capacity_ = std::max<size_t>(1, capacity / count);
+  shards_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
 }
 
 BufferPool::~BufferPool() {
@@ -19,86 +26,155 @@ BufferPool::~BufferPool() {
   }
 }
 
+BufferPool::Shard& BufferPool::ShardFor(PageId id) {
+  // Fibonacci hashing: consecutive page ids (the common access pattern
+  // for sequential scans) spread evenly instead of striping one shard.
+  const uint64_t mixed =
+      static_cast<uint64_t>(id) * 0x9e3779b97f4a7c15ull;
+  return *shards_[(mixed >> 32) % shards_.size()];
+}
+
 Result<PageHandle> BufferPool::Fetch(PageId id) {
-  ++stats_.fetches;
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    ++stats_.hits;
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.stats.fetches;
+  auto it = shard.frames.find(id);
+  if (it != shard.frames.end()) {
+    ++shard.stats.hits;
     Frame* frame = it->second.get();
     if (frame->in_lru) {
-      lru_.erase(frame->lru_pos);
+      shard.lru.erase(frame->lru_pos);
       frame->in_lru = false;
     }
     ++frame->pin_count;
     return PageHandle(this, frame);
   }
 
-  if (frames_.size() >= capacity_) {
-    NOK_RETURN_IF_ERROR(EvictOne());
+  ++shard.stats.misses;
+  if (shard.frames.size() >= shard_capacity_) {
+    NOK_RETURN_IF_ERROR(EvictOneLocked(shard));
   }
 
+  // The shard lock is held across the disk read.  Readers of *other*
+  // shards proceed in parallel; two readers missing on the same shard
+  // serialize, which also guarantees a page is read from disk once, not
+  // once per concurrent requester.
   auto frame = std::make_unique<Frame>();
   frame->id = id;
+  frame->home = &shard;
   frame->data = std::make_unique<char[]>(pager_->page_size());
   NOK_RETURN_IF_ERROR(pager_->ReadPage(id, frame->data.get()));
-  ++stats_.disk_reads;
+  ++shard.stats.disk_reads;
   frame->pin_count = 1;
   Frame* raw = frame.get();
-  frames_.emplace(id, std::move(frame));
+  shard.frames.emplace(id, std::move(frame));
   return PageHandle(this, raw);
 }
 
 void BufferPool::Unpin(Frame* frame) {
+  Shard& shard = *frame->home;
+  std::lock_guard<std::mutex> lock(shard.mu);
   NOK_CHECK(frame->pin_count > 0);
   if (--frame->pin_count == 0) {
-    lru_.push_front(frame);
-    frame->lru_pos = lru_.begin();
+    shard.lru.push_front(frame);
+    frame->lru_pos = shard.lru.begin();
     frame->in_lru = true;
   }
 }
 
-Status BufferPool::EvictOne() {
-  if (lru_.empty()) {
+std::shared_ptr<void> BufferPool::Decoration(const Frame* frame) const {
+  std::lock_guard<std::mutex> lock(frame->home->mu);
+  return frame->decoration;
+}
+
+void BufferPool::SetDecoration(Frame* frame, std::shared_ptr<void> d) {
+  std::lock_guard<std::mutex> lock(frame->home->mu);
+  frame->decoration = std::move(d);
+}
+
+Status BufferPool::EvictOneLocked(Shard& shard) {
+  if (shard.lru.empty()) {
     return Status::Internal(
         "buffer pool capacity exhausted: all " +
-        std::to_string(capacity_) + " frames are pinned");
+        std::to_string(shard_capacity_) +
+        " frames of the shard are pinned");
   }
-  Frame* victim = lru_.back();
+  Frame* victim = shard.lru.back();
   // Write back before unlinking: if the write fails the frame stays dirty
   // and in the LRU list, the pool stays consistent, and the caller sees
   // the error.  Evicting first would strand the frame outside the list
   // with a dangling lru_pos.
-  if (victim->dirty) {
+  if (victim->dirty.load(std::memory_order_acquire)) {
     NOK_RETURN_IF_ERROR(pager_->WritePage(victim->id, victim->data.get()));
-    ++stats_.disk_writes;
-    victim->dirty = false;
+    ++shard.stats.disk_writes;
+    victim->dirty.store(false, std::memory_order_release);
   }
-  lru_.pop_back();
+  shard.lru.pop_back();
   victim->in_lru = false;
-  ++stats_.evictions;
-  frames_.erase(victim->id);
+  ++shard.stats.evictions;
+  shard.frames.erase(victim->id);
   return Status::OK();
 }
 
-Status BufferPool::FlushAll() {
-  for (auto& [id, frame] : frames_) {
-    if (frame->dirty) {
+Status BufferPool::FlushShardLocked(Shard& shard) {
+  for (auto& [id, frame] : shard.frames) {
+    if (frame->dirty.load(std::memory_order_acquire)) {
       NOK_RETURN_IF_ERROR(pager_->WritePage(id, frame->data.get()));
-      ++stats_.disk_writes;
-      frame->dirty = false;
+      ++shard.stats.disk_writes;
+      frame->dirty.store(false, std::memory_order_release);
     }
   }
   return Status::OK();
 }
 
-Status BufferPool::DropAll() {
-  NOK_RETURN_IF_ERROR(FlushAll());
-  while (!lru_.empty()) {
-    Frame* victim = lru_.back();
-    lru_.pop_back();
-    frames_.erase(victim->id);
+Status BufferPool::FlushAll() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    NOK_RETURN_IF_ERROR(FlushShardLocked(*shard));
   }
   return Status::OK();
+}
+
+Status BufferPool::DropAll() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    NOK_RETURN_IF_ERROR(FlushShardLocked(*shard));
+    while (!shard->lru.empty()) {
+      Frame* victim = shard->lru.back();
+      shard->lru.pop_back();
+      shard->frames.erase(victim->id);
+    }
+  }
+  return Status::OK();
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.fetches += shard->stats.fetches;
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.disk_reads += shard->stats.disk_reads;
+    total.disk_writes += shard->stats.disk_writes;
+    total.evictions += shard->stats.evictions;
+  }
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stats = Stats{};
+  }
+}
+
+std::shared_ptr<void> PageHandle::decoration() const {
+  return pool_->Decoration(frame_);
+}
+
+void PageHandle::set_decoration(std::shared_ptr<void> d) {
+  pool_->SetDecoration(frame_, std::move(d));
 }
 
 }  // namespace nok

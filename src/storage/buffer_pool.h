@@ -1,4 +1,4 @@
-// Buffer pool: an LRU cache of pages with pin/unpin semantics.
+// Buffer pool: a sharded LRU cache of pages with pin/unpin semantics.
 //
 // All page access in the query path goes through a pool so that the
 // experiments can count real page fetches (disk reads) — the quantity
@@ -8,14 +8,26 @@
 // Frames can carry a "decoration": an arbitrary object derived from the
 // page contents (the string store caches decoded symbol/level arrays this
 // way).  A decoration lives exactly as long as the frame holds that page.
+//
+// Thread safety: the pool is internally sharded by page id.  Each shard
+// owns its own mutex, frame map, LRU list, and Stats, so concurrent
+// Fetch/Release traffic on different shards never contends.  Concurrent
+// readers are safe as long as the underlying Pager supports concurrent
+// ReadPage calls (positional reads; see pager.h).  Concurrent *writers*
+// (MarkDirty + eviction write-back) are not coordinated beyond the shard
+// lock — the write path remains single-threaded by convention, which the
+// read-only open mode of the stores enforces.
 
 #ifndef NOKXML_STORAGE_BUFFER_POOL_H_
 #define NOKXML_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -25,27 +37,36 @@ namespace nok {
 
 class PageHandle;
 
-/// LRU page cache over one Pager.  Not thread-safe.
+/// Sharded LRU page cache over one Pager.  Safe for concurrent readers;
+/// see the file comment for the exact contract.
 class BufferPool {
  public:
   /// I/O counters since construction or the last ResetStats().
+  /// Invariant: fetches == hits + misses, and every miss that reaches the
+  /// pager successfully becomes exactly one disk_read.
   struct Stats {
-    uint64_t fetches = 0;     ///< Fetch() calls.
+    uint64_t fetches = 0;     ///< Fetch() calls (lookups).
     uint64_t hits = 0;        ///< Fetches served from memory.
+    uint64_t misses = 0;      ///< Fetches that had to go to the pager.
     uint64_t disk_reads = 0;  ///< Pages read from the pager.
     uint64_t disk_writes = 0; ///< Dirty pages written back.
     uint64_t evictions = 0;   ///< Frames recycled.
   };
 
-  /// pager must outlive the pool; capacity is the frame count (>= 1).
-  BufferPool(Pager* pager, size_t capacity);
+  /// pager must outlive the pool; capacity is the total frame count
+  /// (>= 1).  shards is the number of independent LRU domains; it is
+  /// clamped to [1, capacity] and each shard gets capacity/shards frames
+  /// (at least one).  The default of one shard preserves a single global
+  /// LRU order, which single-threaded callers and tests rely on.
+  BufferPool(Pager* pager, size_t capacity, size_t shards = 1);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Returns a pinned handle to page id, reading it from disk on a miss.
-  /// Fails if every frame is pinned (capacity exhausted by live handles).
+  /// Fails if every frame in the page's shard is pinned (capacity
+  /// exhausted by live handles).
   Result<PageHandle> Fetch(PageId id);
 
   /// Writes back all dirty frames (pinned or not).
@@ -55,38 +76,58 @@ class BufferPool {
   /// benchmarks to start measurements cold.
   Status DropAll();
 
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats{}; }
+  /// Aggregated counters across all shards, taken shard by shard (the
+  /// result is a consistent sum of per-shard snapshots, not a single
+  /// global instant).
+  Stats stats() const;
+  void ResetStats();
 
   size_t capacity() const { return capacity_; }
+  size_t shard_count() const { return shards_.size(); }
   Pager* pager() const { return pager_; }
 
  private:
   friend class PageHandle;
 
+  struct Shard;
+
   struct Frame {
     PageId id = kInvalidPage;
     std::unique_ptr<char[]> data;
+    Shard* home = nullptr;
     int pin_count = 0;
-    bool dirty = false;
+    // Written by MarkDirty() without the shard lock; read under it.
+    std::atomic<bool> dirty{false};
     std::shared_ptr<void> decoration;
-    // Position in lru_ when pin_count == 0.
+    // Position in the shard's lru list when pin_count == 0.
     std::list<Frame*>::iterator lru_pos;
     bool in_lru = false;
   };
 
+  struct Shard {
+    mutable std::mutex mu;
+    Stats stats;
+    std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
+    // Front = most recently used unpinned frame; back = eviction victim.
+    std::list<Frame*> lru;
+  };
+
+  Shard& ShardFor(PageId id);
+  Status EvictOneLocked(Shard& shard);
+  Status FlushShardLocked(Shard& shard);
   void Unpin(Frame* frame);
-  Status EvictOne();
+  std::shared_ptr<void> Decoration(const Frame* frame) const;
+  void SetDecoration(Frame* frame, std::shared_ptr<void> d);
 
   Pager* pager_;
   size_t capacity_;
-  Stats stats_;
-  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
-  // Front = most recently used unpinned frame; back = eviction victim.
-  std::list<Frame*> lru_;
+  size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
-/// RAII pin on a buffer-pool frame.  Movable, not copyable.
+/// RAII pin on a buffer-pool frame.  Movable, not copyable.  A handle is
+/// owned by one thread; distinct threads holding handles to the same page
+/// is fine (the frame stays pinned until the last one releases).
 class PageHandle {
  public:
   PageHandle() = default;
@@ -108,16 +149,16 @@ class PageHandle {
   const char* data() const { return frame_->data.get(); }
 
   /// Mutable access; the caller must also MarkDirty() for persistence.
+  /// Write path only — never call on a store opened read-only.
   char* mutable_data() { return frame_->data.get(); }
-  void MarkDirty() { frame_->dirty = true; }
+  void MarkDirty() { frame_->dirty.store(true, std::memory_order_release); }
 
   /// Page-derived cache object; reset whenever the frame is recycled.
-  const std::shared_ptr<void>& decoration() const {
-    return frame_->decoration;
-  }
-  void set_decoration(std::shared_ptr<void> d) {
-    frame_->decoration = std::move(d);
-  }
+  /// Returns a snapshot copy — concurrent readers may race to decorate a
+  /// freshly-read page, in which case the last writer wins and the loser's
+  /// object simply dies with its local shared_ptr.
+  std::shared_ptr<void> decoration() const;
+  void set_decoration(std::shared_ptr<void> d);
 
   /// Drops the pin early (also done by the destructor).
   void Release() {

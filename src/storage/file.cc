@@ -33,10 +33,13 @@ Status WriteErrnoToStatus(const char* op, int err) {
   return Status::IOError(std::string(op) + ": " + strerror(err));
 }
 
-/// File backed by a POSIX file descriptor using pread/pwrite.
+/// File backed by a POSIX file descriptor using pread/pwrite.  ReadAt is
+/// safe for concurrent callers (pread carries its own offset); the write
+/// path is single-threaded by contract.
 class PosixFile final : public File {
  public:
-  PosixFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
+  PosixFile(int fd, uint64_t size, bool writable)
+      : fd_(fd), size_(size), writable_(writable) {}
 
   ~PosixFile() override {
     if (fd_ >= 0) ::close(fd_);
@@ -63,6 +66,9 @@ class PosixFile final : public File {
   }
 
   Status WriteAt(uint64_t offset, const Slice& data) override {
+    if (!writable_) {
+      return Status::InvalidArgument("pwrite: file opened read-only");
+    }
     size_t put = 0;
     while (put < data.size()) {
       ssize_t w = ::pwrite(fd_, data.data() + put, data.size() - put,
@@ -85,6 +91,9 @@ class PosixFile final : public File {
   uint64_t Size() const override { return size_; }
 
   Status Truncate(uint64_t size) override {
+    if (!writable_) {
+      return Status::InvalidArgument("ftruncate: file opened read-only");
+    }
     if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
       return WriteErrnoToStatus("ftruncate", errno);
     }
@@ -93,6 +102,7 @@ class PosixFile final : public File {
   }
 
   Status Sync() override {
+    if (!writable_) return Status::OK();  // Nothing can be dirty.
     if (::fdatasync(fd_) != 0) {
       return Status::IOError(std::string("fdatasync: ") + strerror(errno));
     }
@@ -102,6 +112,7 @@ class PosixFile final : public File {
  private:
   int fd_;
   uint64_t size_;
+  bool writable_;
 };
 
 /// File held entirely in a std::string; used by tests.
@@ -161,7 +172,24 @@ Result<std::unique_ptr<File>> OpenPosixFile(const std::string& path,
     return Status::IOError("fstat " + path + ": " + strerror(errno));
   }
   return std::unique_ptr<File>(
-      new PosixFile(fd, static_cast<uint64_t>(st.st_size)));
+      new PosixFile(fd, static_cast<uint64_t>(st.st_size),
+                    /*writable=*/true));
+}
+
+Result<std::unique_ptr<File>> OpenPosixFileReadOnly(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat " + path + ": " + strerror(errno));
+  }
+  return std::unique_ptr<File>(
+      new PosixFile(fd, static_cast<uint64_t>(st.st_size),
+                    /*writable=*/false));
 }
 
 std::unique_ptr<File> NewMemFile() { return std::make_unique<MemFile>(); }

@@ -17,7 +17,12 @@
 
 namespace nok {
 
-/// Random-access byte store.  Not thread-safe; callers serialize access.
+/// Random-access byte store.
+///
+/// Thread safety: ReadAt is positional and const; any number of threads
+/// may call it concurrently as long as no thread is mutating the file
+/// (WriteAt/Append/Truncate).  The mutating methods are not coordinated —
+/// callers serialize writes, or open read-only and never write.
 class File {
  public:
   virtual ~File() = default;
@@ -47,6 +52,12 @@ class File {
 /// Opens (or creates, if create is true) a file on the local filesystem.
 Result<std::unique_ptr<File>> OpenPosixFile(const std::string& path,
                                             bool create);
+
+/// Opens an existing file read-only (O_RDONLY).  Every mutating method of
+/// the returned File fails with InvalidArgument; Sync is a no-op.  Use for
+/// stores served concurrently by many reader threads.
+Result<std::unique_ptr<File>> OpenPosixFileReadOnly(
+    const std::string& path);
 
 /// Creates an empty in-memory file (for tests and ephemeral stores).
 std::unique_ptr<File> NewMemFile();

@@ -17,6 +17,12 @@
 // Callers always see page_size-byte buffers; the trailer is invisible
 // above the pager (the BufferPool and every store work unchanged in both
 // formats).
+//
+// Thread safety: ReadPage is const and uses positional (pread-style)
+// reads, so any number of threads may read concurrently provided no
+// thread is calling AllocatePage/WritePage at the same time.  The sharded
+// BufferPool relies on exactly this contract for its concurrent read
+// path; the stores' read-only open mode guarantees the no-writer side.
 
 #ifndef NOKXML_STORAGE_PAGER_H_
 #define NOKXML_STORAGE_PAGER_H_

@@ -1,0 +1,137 @@
+// Randomized differential harness over the generated Table 2 workload:
+// for several dataset seeds, every category query (and its descendant-
+// axis variant) runs through the NoK QueryEngine, the DI and TwigStack
+// structural-join baselines, and the navigational baseline, and each
+// engine's Dewey-ID result set must equal the brute-force oracle's.
+//
+// Documents are generated at the minimum dataset size (the generators
+// floor at 8 entries) because the oracle is exponential by design.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/di_engine.h"
+#include "baseline/interval_encoding.h"
+#include "baseline/navigational_engine.h"
+#include "baseline/twigstack_engine.h"
+#include "datagen/dataset_gen.h"
+#include "datagen/query_gen.h"
+#include "encoding/document_store.h"
+#include "nok/query_engine.h"
+#include "nok/xpath_parser.h"
+#include "tests/oracle.h"
+#include "xml/dom.h"
+
+namespace nok {
+namespace {
+
+std::vector<std::string> CanonDewey(const std::vector<DeweyId>& ids) {
+  std::vector<std::string> out;
+  for (const DeweyId& id : ids) out.push_back(id.ToString());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> CanonNodes(
+    const std::vector<const DomNode*>& nodes) {
+  std::vector<std::string> out;
+  for (const DomNode* n : nodes) out.push_back(DomDewey(n).ToString());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Maps interval-document node indexes to Dewey strings via the DOM (both
+/// enumerate nodes in document order).
+std::vector<std::string> CanonIndexesOrDie(
+    const DomTree& dom, const std::vector<uint32_t>& indexes) {
+  std::vector<const DomNode*> doc_order;
+  ForEachNode(dom.root(),
+              [&](const DomNode* n) { doc_order.push_back(n); });
+  std::vector<std::string> out;
+  for (uint32_t i : indexes) {
+    EXPECT_LT(i, doc_order.size());
+    if (i < doc_order.size()) {
+      out.push_back(DomDewey(doc_order[i]).ToString());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void RunDataset(Dataset dataset, uint64_t seed) {
+  GenOptions gen;
+  gen.scale = 0.0;  // Generators floor at 8 entries: oracle-sized docs.
+  gen.seed = seed;
+  const GeneratedDataset ds = GenerateDataset(dataset, gen);
+
+  std::vector<CategoryQuery> queries = QueriesForDataset(ds);
+  const std::vector<CategoryQuery> variants =
+      DescendantVariants(queries, seed);
+  queries.insert(queries.end(), variants.begin(), variants.end());
+  ASSERT_EQ(queries.size(), 24u);
+
+  auto dom = DomTree::Parse(ds.xml);
+  ASSERT_TRUE(dom.ok()) << dom.status().ToString();
+  auto interval = IntervalDocument::Build(ds.xml);
+  ASSERT_TRUE(interval.ok()) << interval.status().ToString();
+  DiEngine di(&*interval);
+  TwigStackEngine twig(&*interval);
+  NavigationalEngine nav(&*dom);
+
+  DocumentStore::Options options;
+  options.page_size = 512;  // Small pages: the store actually pages.
+  auto store = DocumentStore::Build(ds.xml, options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  QueryEngine engine(store->get());
+
+  for (const CategoryQuery& q : queries) {
+    SCOPED_TRACE(ds.name + " seed " + std::to_string(seed) + " " + q.id +
+                 " (" + q.category + "): " + q.xpath);
+    auto oracle = OracleEvaluateDewey(q.xpath, *dom);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    const std::vector<std::string> want = CanonDewey(*oracle);
+
+    auto pattern = ParseXPath(q.xpath);
+    ASSERT_TRUE(pattern.ok()) << pattern.status().ToString();
+
+    auto nok_result = engine.Evaluate(q.xpath);
+    ASSERT_TRUE(nok_result.ok()) << nok_result.status().ToString();
+    EXPECT_EQ(CanonDewey(*nok_result), want) << "engine: NoK";
+
+    auto di_result = di.Evaluate(*pattern);
+    ASSERT_TRUE(di_result.ok()) << di_result.status().ToString();
+    EXPECT_EQ(CanonIndexesOrDie(*dom, *di_result), want) << "engine: DI";
+
+    auto twig_result = twig.Evaluate(*pattern);
+    ASSERT_TRUE(twig_result.ok()) << twig_result.status().ToString();
+    EXPECT_EQ(CanonIndexesOrDie(*dom, *twig_result), want)
+        << "engine: TwigStack";
+
+    auto nav_result = nav.Evaluate(*pattern);
+    ASSERT_TRUE(nav_result.ok()) << nav_result.status().ToString();
+    EXPECT_EQ(CanonNodes(*nav_result), want) << "engine: navigational";
+  }
+}
+
+TEST(DifferentialTest, AuthorAcrossSeeds) {
+  for (uint64_t seed : {1u, 7u, 42u}) RunDataset(Dataset::kAuthor, seed);
+}
+
+TEST(DifferentialTest, CatalogAcrossSeeds) {
+  for (uint64_t seed : {3u, 11u}) RunDataset(Dataset::kCatalog, seed);
+}
+
+TEST(DifferentialTest, TreebankAcrossSeeds) {
+  for (uint64_t seed : {5u, 23u}) RunDataset(Dataset::kTreebank, seed);
+}
+
+TEST(DifferentialTest, DblpAcrossSeeds) {
+  for (uint64_t seed : {2u, 13u}) RunDataset(Dataset::kDblp, seed);
+}
+
+}  // namespace
+}  // namespace nok

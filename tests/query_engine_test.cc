@@ -155,6 +155,53 @@ TEST(QueryEngineTest, StatsReportStrategy) {
   EXPECT_EQ(stats.results, 2u);
 }
 
+TEST(QueryEngineTest, LastStatsCountsAreNonzeroForMatchingQueries) {
+  auto f = MakeFixture(kBibXml);
+  for (const char* query :
+       {"//book[author/last=\"Stevens\"]", "/bib/book/title",
+        "//author[last=\"Abiteboul\"]"}) {
+    auto result = f.engine->Evaluate(query);
+    ASSERT_TRUE(result.ok()) << query;
+    ASSERT_FALSE(result->empty()) << query;
+    const QueryStats& stats = f.engine->last_stats();
+    EXPECT_EQ(stats.results, result->size()) << query;
+    ASSERT_FALSE(stats.trees.empty()) << query;
+    for (size_t t = 0; t < stats.trees.size(); ++t) {
+      // A query with results matched in every NoK tree: each tree saw at
+      // least one candidate and produced at least one binding.
+      EXPECT_GT(stats.trees[t].candidates, 0u)
+          << query << " tree " << t;
+      EXPECT_GT(stats.trees[t].bindings, 0u) << query << " tree " << t;
+      EXPECT_GE(stats.trees[t].candidates, stats.trees[t].bindings)
+          << query << " tree " << t;
+    }
+  }
+}
+
+TEST(QueryEngineTest, HitRatioReproducibleAcrossIdenticalRuns) {
+  // Small pages so one query touches several tree pages.
+  auto f = MakeFixture(kBibXml, /*page_size=*/128);
+  const std::string query = "//book[author/last=\"Stevens\"][price<100]";
+  BufferPool* pool = f.store->tree()->buffer_pool();
+
+  ASSERT_TRUE(f.store->DropCaches().ok());  // Calls ResetStats() too.
+  ASSERT_TRUE(f.engine->Evaluate(query).ok());
+  const BufferPool::Stats first = pool->stats();
+  EXPECT_GT(first.fetches, 0u);
+  EXPECT_EQ(first.hits + first.misses, first.fetches);
+
+  ASSERT_TRUE(f.store->DropCaches().ok());
+  ASSERT_TRUE(f.engine->Evaluate(query).ok());
+  const BufferPool::Stats second = pool->stats();
+
+  // Cold-start evaluation is deterministic, so the I/O profile — and with
+  // it the hit ratio — must reproduce exactly.
+  EXPECT_EQ(first.fetches, second.fetches);
+  EXPECT_EQ(first.hits, second.hits);
+  EXPECT_EQ(first.misses, second.misses);
+  EXPECT_EQ(first.disk_reads, second.disk_reads);
+}
+
 TEST(QueryEngineTest, AbsentTagsReturnEmpty) {
   auto f = MakeFixture(kBibXml);
   for (const char* query : {"//nonexistent", "/bib/nothing/at/all",

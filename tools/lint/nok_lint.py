@@ -26,6 +26,13 @@ NOK004  unchecked Status: in tests, a local `Status name = ...;` (or
         nok::Status) whose name is never mentioned again before the end of
         the enclosing block silently drops an error the test meant to
         observe.
+NOK005  threading discipline (src/ only): `.detach()` orphans a thread
+        no sanitizer or shutdown path can see — join it instead; and a
+        naked `.lock()` on a mutex-named receiver (mu, mutex, mtx, with
+        optional underscores) leaks the lock on early return or throw —
+        use std::lock_guard / std::scoped_lock / std::unique_lock.
+        Receivers that do not look like mutexes (e.g. a
+        std::weak_ptr named `wp`) are not flagged.
 
 Format checks (advisory by default; --format-fatal makes them errors)
 ---------------------------------------------------------------------
@@ -90,6 +97,15 @@ ABORT_ALLOWED = {os.path.join("src", "common", "logging.h"),
 
 STATUS_DECL_RE = re.compile(
     r"^\s*(?:const\s+)?(?:nok::)?Status\s+([a-z_][A-Za-z0-9_]*)\s*=")
+
+# NOK005: thread/mutex discipline.  Only src/ is checked — tests and
+# benches may drive threads however the scenario demands.
+DETACH_RE = re.compile(r"(?:\.|->)\s*detach\s*\(\s*\)")
+LOCK_CALL_RE = re.compile(
+    r"\b([A-Za-z_][A-Za-z0-9_]*)\s*(?:\.|->)\s*lock\s*\(\s*\)")
+# Receiver names that denote a mutex: mu, mu_, shard_mu, mutex_, mtx...
+# Anything else (weak_ptr `wp`, a file named `lockfile`) is left alone.
+MUTEXISH_RE = re.compile(r"(?:^|_)(mu|mutex|mtx)_?$")
 
 
 class Finding:
@@ -287,6 +303,28 @@ def check_unchecked_status(path, root, code_text, findings):
                 f"it or use NOK_IGNORE_STATUS with a justification"))
 
 
+# --- NOK005: threading discipline in src/ ---------------------------------
+
+def check_threading(path, root, code_text, findings):
+    r = rel(path, root)
+    if not r.startswith("src" + os.sep):
+        return
+    for lineno, line in enumerate(code_text.splitlines(), 1):
+        if DETACH_RE.search(line):
+            findings.append(Finding(
+                "NOK005", r, lineno,
+                "thread detach() orphans the thread past shutdown and "
+                "sanitizer visibility; join it (std::jthread or an owner "
+                "that joins in its destructor)"))
+        for m in LOCK_CALL_RE.finditer(line):
+            if MUTEXISH_RE.search(m.group(1)):
+                findings.append(Finding(
+                    "NOK005", r, lineno,
+                    f"naked {m.group(1)}.lock() leaks the lock on early "
+                    f"return or exception; use std::lock_guard, "
+                    f"std::scoped_lock, or std::unique_lock"))
+
+
 # --- Format checks --------------------------------------------------------
 
 def check_format(path, root, raw_text, findings):
@@ -337,6 +375,7 @@ def lint_file(path, root, with_format):
     check_banned_apis(path, root, code, findings)
     check_include_guard(path, root, raw, findings)
     check_unchecked_status(path, root, code, findings)
+    check_threading(path, root, code, findings)
     if with_format:
         check_format(path, root, raw, findings)
     return findings

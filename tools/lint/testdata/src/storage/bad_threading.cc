@@ -1,0 +1,47 @@
+// NOK005 fixture: thread detach() and naked mutex lock() fire in src/;
+// scoped holders and non-mutex receivers named like smart pointers do
+// not.
+
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace nok {
+
+struct Shard {
+  std::mutex mu;
+  int value = 0;
+};
+
+class ThreadingFixture {
+ public:
+  void Bad(Shard* shard) {
+    std::thread worker([] {});
+    worker.detach();                   // EXPECT-LINT: NOK005
+    mu_.lock();                        // EXPECT-LINT: NOK005
+    shard->mu.lock();                  // EXPECT-LINT: NOK005
+    shard_mtx_.lock();                 // EXPECT-LINT: NOK005
+    mutex_.lock();                     // EXPECT-LINT: NOK005
+    mutex_.unlock();
+    shard_mtx_.unlock();
+    shard->mu.unlock();
+    mu_.unlock();
+  }
+
+  int Good(Shard* shard, std::weak_ptr<int> wp) {
+    std::lock_guard<std::mutex> guard(mu_);      // scoped: fine
+    std::scoped_lock both(shard->mu, mutex_);    // scoped: fine
+    // wp is a weak_ptr, not a mutex: lock() here must not fire.
+    if (auto strong = wp.lock()) return *strong + shard->value;
+    std::thread worker([] {});
+    worker.join();                               // joined: fine
+    return shard->value;
+  }
+
+ private:
+  std::mutex mu_;
+  std::mutex mutex_;
+  std::mutex shard_mtx_;
+};
+
+}  // namespace nok

@@ -1,0 +1,17 @@
+// NOK005 is scoped to src/: the same constructs in tests/ produce no
+// findings, so this file carries no EXPECT-LINT annotations.
+
+#include <mutex>
+#include <thread>
+
+namespace nok {
+
+inline void TestsMayDriveThreadsDirectly() {
+  std::mutex mu;
+  mu.lock();
+  mu.unlock();
+  std::thread worker([] {});
+  worker.detach();
+}
+
+}  // namespace nok

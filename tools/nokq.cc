@@ -9,6 +9,9 @@
 //   nokq delete <store-dir> <dewey>
 //   nokq refresh <store-dir>                    rebuild cached positions
 //   nokq verify <store-dir>                     offline integrity scrub
+//   nokq gen    <dataset> <store-dir>           generate + build + queries
+//   nokq bench  <store-dir> [--threads N] [--repeat K]
+//               [--queries file] [--json path]  parallel query driver
 
 #include <cerrno>
 #include <cstdint>
@@ -16,8 +19,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/timer.h"
+#include "datagen/dataset_gen.h"
+#include "datagen/query_gen.h"
 #include "encoding/store_verifier.h"
 #include "nokxml.h"
 #include "storage/file.h"
@@ -35,7 +42,11 @@ int Usage() {
           "  nokq insert <store-dir> <parent-dewey> <index> <frag.xml>\n"
           "  nokq delete <store-dir> <dewey>\n"
           "  nokq refresh <store-dir>\n"
-          "  nokq verify <store-dir>\n");
+          "  nokq verify <store-dir>\n"
+          "  nokq gen    <dataset> <store-dir> [--scale S] [--seed N]\n"
+          "              (datasets: author address catalog treebank dblp)\n"
+          "  nokq bench  <store-dir> [--threads N] [--repeat K]\n"
+          "              [--queries file] [--json path]\n");
   return 2;
 }
 
@@ -286,6 +297,252 @@ int CmdVerify(const std::string& dir) {
   return report->ok() ? 0 : 1;
 }
 
+int CmdGen(int argc, char** argv) {
+  const std::string name = argv[2];
+  const std::string dir = argv[3];
+  nok::GenOptions gen_options;
+  for (int i = 4; i < argc; ++i) {
+    if (strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      gen_options.scale = atof(argv[++i]);
+    } else if (strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      gen_options.seed = strtoull(argv[++i], nullptr, 10);
+    } else {
+      return Usage();
+    }
+  }
+
+  bool found = false;
+  nok::Dataset dataset = nok::Dataset::kAuthor;
+  for (nok::Dataset d : nok::AllDatasets()) {
+    if (nok::DatasetName(d) == name) {
+      dataset = d;
+      found = true;
+    }
+  }
+  if (!found) {
+    fprintf(stderr, "unknown dataset: %s\n", name.c_str());
+    return Usage();
+  }
+
+  nok::Timer timer;
+  nok::GeneratedDataset ds = nok::GenerateDataset(dataset, gen_options);
+  nok::DocumentStore::Options options;
+  options.dir = dir;
+  auto store = nok::DocumentStore::Build(ds.xml, options);
+  if (!store.ok()) return Fail(store.status());
+
+  // The Table 2 workload (12 categories plus their descendant-axis
+  // variants), one query per line, for `nokq bench`.
+  std::string listing;
+  auto queries = nok::QueriesForDataset(ds);
+  auto variants = nok::DescendantVariants(queries, gen_options.seed);
+  queries.insert(queries.end(), variants.begin(), variants.end());
+  for (const nok::CategoryQuery& q : queries) {
+    listing += "# " + q.id + " " + q.category + "\n" + q.xpath + "\n";
+  }
+  nok::Status s = nok::WriteStringToFile(dir + "/queries.txt",
+                                         nok::Slice(listing));
+  if (!s.ok()) return Fail(s);
+
+  printf("generated %s (%llu nodes, %zu entries), %zu queries in %.2fs\n",
+         ds.name.c_str(),
+         static_cast<unsigned long long>((*store)->stats().node_count),
+         ds.entries, queries.size(), timer.ElapsedSeconds());
+  return FinishFlush(store->get());
+}
+
+/// One thread's share of a bench run.
+struct BenchThreadResult {
+  uint64_t queries = 0;
+  uint64_t results = 0;        ///< Sum of result-set sizes (sanity).
+  double seconds = 0;
+  double mean_latency_us = 0;
+  double max_latency_us = 0;
+  nok::Status status;          ///< First failure, if any.
+};
+
+void BenchWorker(nok::DocumentStore* store,
+                 const std::vector<std::string>* xpaths, int repeat,
+                 BenchThreadResult* out) {
+  nok::QueryEngine engine(store);
+  double total_us = 0, max_us = 0;
+  nok::Timer thread_timer;
+  for (int r = 0; r < repeat; ++r) {
+    for (const std::string& xpath : *xpaths) {
+      nok::Timer timer;
+      auto result = engine.Evaluate(xpath);
+      const double us = static_cast<double>(timer.ElapsedMicros());
+      if (!result.ok()) {
+        out->status = result.status();
+        return;
+      }
+      ++out->queries;
+      out->results += result->size();
+      total_us += us;
+      if (us > max_us) max_us = us;
+    }
+  }
+  out->seconds = thread_timer.ElapsedSeconds();
+  out->mean_latency_us =
+      out->queries == 0 ? 0 : total_us / static_cast<double>(out->queries);
+  out->max_latency_us = max_us;
+}
+
+void AppendPoolJson(std::string* json, const char* name,
+                    const nok::BufferPool::Stats& s) {
+  char buf[256];
+  const double rate =
+      s.fetches == 0
+          ? 0
+          : static_cast<double>(s.hits) / static_cast<double>(s.fetches);
+  snprintf(buf, sizeof(buf),
+           "    \"%s\": {\"fetches\": %llu, \"hits\": %llu, "
+           "\"misses\": %llu, \"disk_reads\": %llu, \"hit_rate\": %.4f}",
+           name, static_cast<unsigned long long>(s.fetches),
+           static_cast<unsigned long long>(s.hits),
+           static_cast<unsigned long long>(s.misses),
+           static_cast<unsigned long long>(s.disk_reads), rate);
+  *json += buf;
+}
+
+int CmdBench(int argc, char** argv) {
+  const std::string dir = argv[2];
+  int threads = 1, repeat = 1;
+  std::string queries_path = dir + "/queries.txt";
+  std::string json_path = "BENCH_concurrency.json";
+  for (int i = 3; i < argc; ++i) {
+    if (strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      threads = static_cast<int>(strtol(argv[++i], &end, 10));
+      if (end == nullptr || *end != '\0') return Usage();
+    } else if (strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      repeat = static_cast<int>(strtol(argv[++i], &end, 10));
+      if (end == nullptr || *end != '\0') return Usage();
+    } else if (strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      queries_path = argv[++i];
+    } else if (strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (threads < 1 || repeat < 1) return Usage();
+
+  // The workload: one xpath per line; '#' comments and blanks skipped.
+  std::string listing;
+  nok::Status s = nok::ReadFileToString(queries_path, &listing);
+  if (!s.ok()) return Fail(s);
+  std::vector<std::string> xpaths;
+  size_t start = 0;
+  while (start <= listing.size()) {
+    size_t end = listing.find('\n', start);
+    if (end == std::string::npos) end = listing.size();
+    std::string line = listing.substr(start, end - start);
+    if (!line.empty() && line[0] != '#') xpaths.push_back(line);
+    start = end + 1;
+  }
+  if (xpaths.empty()) {
+    return Fail(nok::Status::InvalidArgument("no queries in " +
+                                             queries_path));
+  }
+
+  // One read-only store handle shared by every thread; sharded pools so
+  // reader threads do not contend on one LRU mutex.
+  nok::DocumentStore::Options options;
+  options.dir = dir;
+  options.read_only = true;
+  options.pool_shards = 16;
+  options.index_pool_shards = 8;
+  auto store = nok::DocumentStore::OpenDir(options);
+  if (!store.ok()) return Fail(store.status());
+  s = (*store)->DropCaches();
+  if (!s.ok()) return Fail(s);
+
+  std::vector<BenchThreadResult> results(
+      static_cast<size_t>(threads));
+  nok::Timer wall;
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back(BenchWorker, store->get(), &xpaths, repeat,
+                           &results[static_cast<size_t>(t)]);
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  uint64_t total_queries = 0;
+  double mean_sum = 0, max_us = 0;
+  for (const BenchThreadResult& r : results) {
+    if (!r.status.ok()) return Fail(r.status);
+    if (r.results != results[0].results) {
+      return Fail(nok::Status::Internal(
+          "threads disagree on result counts: " +
+          std::to_string(r.results) + " vs " +
+          std::to_string(results[0].results)));
+    }
+    total_queries += r.queries;
+    mean_sum += r.mean_latency_us;
+    if (r.max_latency_us > max_us) max_us = r.max_latency_us;
+  }
+  const double throughput =
+      wall_seconds == 0 ? 0
+                        : static_cast<double>(total_queries) / wall_seconds;
+
+  std::string json = "{\n";
+  char buf[512];
+  snprintf(buf, sizeof(buf),
+           "  \"store\": \"%s\",\n  \"threads\": %d,\n"
+           "  \"repeat\": %d,\n  \"distinct_queries\": %zu,\n"
+           "  \"wall_seconds\": %.6f,\n  \"aggregate\": {\n"
+           "    \"total_queries\": %llu,\n"
+           "    \"throughput_qps\": %.2f,\n"
+           "    \"mean_latency_us\": %.2f,\n"
+           "    \"max_latency_us\": %.2f\n  },\n",
+           dir.c_str(), threads, repeat, xpaths.size(), wall_seconds,
+           static_cast<unsigned long long>(total_queries), throughput,
+           mean_sum / static_cast<double>(threads), max_us);
+  json += buf;
+
+  json += "  \"buffer_pools\": {\n";
+  AppendPoolJson(&json, "tree", (*store)->tree()->buffer_pool()->stats());
+  json += ",\n";
+  AppendPoolJson(&json, "tag_index",
+                 (*store)->tag_index()->buffer_pool()->stats());
+  json += ",\n";
+  AppendPoolJson(&json, "value_index",
+                 (*store)->value_index()->buffer_pool()->stats());
+  json += ",\n";
+  AppendPoolJson(&json, "id_index",
+                 (*store)->id_index()->buffer_pool()->stats());
+  json += ",\n";
+  AppendPoolJson(&json, "path_index",
+                 (*store)->path_index()->buffer_pool()->stats());
+  json += "\n  },\n  \"per_thread\": [\n";
+  for (size_t t = 0; t < results.size(); ++t) {
+    const BenchThreadResult& r = results[t];
+    snprintf(buf, sizeof(buf),
+             "    {\"thread\": %zu, \"queries\": %llu, "
+             "\"seconds\": %.6f, \"mean_latency_us\": %.2f, "
+             "\"max_latency_us\": %.2f}%s\n",
+             t, static_cast<unsigned long long>(r.queries), r.seconds,
+             r.mean_latency_us, r.max_latency_us,
+             t + 1 == results.size() ? "" : ",");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  s = nok::WriteStringToFile(json_path, nok::Slice(json));
+  if (!s.ok()) return Fail(s);
+  printf("%llu queries on %d threads in %.3fs: %.1f q/s "
+         "(report: %s)\n",
+         static_cast<unsigned long long>(total_queries), threads,
+         wall_seconds, throughput, json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -305,5 +562,7 @@ int main(int argc, char** argv) {
   if (command == "delete" && argc == 4) return CmdDelete(argv[2], argv[3]);
   if (command == "refresh" && argc == 3) return CmdRefresh(argv[2]);
   if (command == "verify" && argc == 3) return CmdVerify(argv[2]);
+  if (command == "gen" && argc >= 4) return CmdGen(argc, argv);
+  if (command == "bench" && argc >= 3) return CmdBench(argc, argv);
   return Usage();
 }
