@@ -7,6 +7,8 @@
 #   ci/run_checks.sh sanitize   # ASan/UBSan build + ctest
 #   ci/run_checks.sh tsan       # TSan build + concurrency/differential
 #   ci/run_checks.sh werror     # strict-warning build (NOK_WERROR=ON)
+#   ci/run_checks.sh bench-smoke # page-skip ablation bench on a tiny
+#                                # dataset + JSON report validation
 #
 # Build trees live under build-ci/ so they never collide with a local
 # build/ directory.
@@ -68,23 +70,63 @@ run_werror() {
   fi
 }
 
+run_bench_smoke() {
+  step "Page-skip ablation bench (tiny dataset)"
+  cmake -S . -B build-ci/bench -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-ci/bench -j "$JOBS" --target bench_pageskip
+  # The bench itself fails if any ablation mode disagrees on results or
+  # if the tag summaries skip nothing for the rarest marker tag.
+  build-ci/bench/bench/bench_pageskip --scale 0.02 --runs 2 \
+      --json build-ci/bench/BENCH_pageskip.json
+
+  step "BENCH_pageskip.json schema check"
+  python3 - build-ci/bench/BENCH_pageskip.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+for key in ("dataset", "scale", "seed", "page_size", "runs",
+            "node_count", "chain_pages", "measurements", "checks"):
+    assert key in report, f"missing key: {key}"
+assert report["measurements"], "no measurements"
+for m in report["measurements"]:
+    for key in ("mode", "header_skip", "tag_summaries", "tag",
+                "tag_count", "results", "mean_seconds", "pages_scanned",
+                "pages_skipped", "pages_skipped_by_tag",
+                "decode_cache_hits"):
+        assert key in m, f"measurement missing key: {key}"
+    if not m["header_skip"]:
+        assert m["pages_skipped"] == 0, f"skip counter without knob: {m}"
+    if not m["tag_summaries"]:
+        assert m["pages_skipped_by_tag"] == 0, \
+            f"tag-skip counter without knob: {m}"
+assert report["checks"]["results_identical"] is True
+assert report["checks"]["tag_skip_effective"] is True
+print("BENCH_pageskip.json: schema ok,",
+      len(report["measurements"]), "measurements")
+EOF
+}
+
 case "${1:-all}" in
-  lint)     run_lint ;;
-  release)  run_release ;;
-  sanitize) run_sanitize ;;
-  tsan)     run_tsan ;;
-  werror)   run_werror ;;
+  lint)        run_lint ;;
+  release)     run_release ;;
+  sanitize)    run_sanitize ;;
+  tsan)        run_tsan ;;
+  werror)      run_werror ;;
+  bench-smoke) run_bench_smoke ;;
   all)
     run_lint
     run_release
     run_sanitize
     run_tsan
     run_werror
+    run_bench_smoke
     step "all checks passed"
     ;;
   *)
     echo "unknown check: $1" \
-         "(expected lint|release|sanitize|tsan|werror|all)" >&2
+         "(expected lint|release|sanitize|tsan|werror|bench-smoke|all)" >&2
     exit 2
     ;;
 esac

@@ -40,6 +40,11 @@ class DeweyId {
     return DeweyId(std::move(c));
   }
 
+  /// Advances this ID to its following sibling in place (increments the
+  /// last component).  The matcher's sibling loops use this instead of
+  /// rebuilding the component vector through components()/Child().
+  void NextSibling() { ++components_.back(); }
+
   /// ID of the parent, or nullopt for the root.
   std::optional<DeweyId> Parent() const {
     if (components_.size() <= 1) return std::nullopt;

@@ -72,6 +72,11 @@ struct DocumentStoreOptions {
   bool read_only = false;
   /// Toggle for the (st,lo,hi) page-skip optimization (Section 5).
   bool use_header_skip = true;
+  /// Toggle for the per-page tag summaries consulted by tag-filtered
+  /// scans (see tag_summary.h).  Mirrors use_header_skip as an ablation
+  /// knob; when off, the tree string is written in the plain v1/v2
+  /// format.
+  bool use_tag_summaries = true;
   /// Store every component with integrity checksums: CRC-32C page
   /// trailers in the tree string and the B+ trees, per-record CRCs in the
   /// value file.  Recorded in the tree meta page, so OpenDir detects the

@@ -183,6 +183,36 @@ Result<VerifyReport> VerifyStoreDir(const std::string& dir,
                  " entries but the tree records " +
                  std::to_string(store->tree()->node_count()) + " nodes");
   }
+
+  // Pass 4: per-page tag summaries.  Recompute every chain page's summary
+  // from its body and compare against the summary the store navigates by
+  // (loaded from the v3/v4 meta extension or rebuilt on open).  A stale
+  // summary cannot cause wrong answers on its own (false positives only
+  // slow scans down), but a summary missing a present tag makes
+  // NextOpenWithTag skip matches, so a mismatch is real damage.
+  StringStore* tree = store->tree();
+  if (tree->options().use_tag_summaries) {
+    for (size_t i = 0; i < tree->chain_length(); ++i) {
+      const PageId page = tree->chain_page(i);
+      auto expect = tree->ComputeTagSummary(page);
+      if (!expect.ok()) {
+        AddIssue(&report, store_files::kTree,
+                 "page " + std::to_string(page) +
+                     ": cannot recompute tag summary: " +
+                     expect.status().ToString());
+      } else if (tree->tag_summary(page) != expect.ValueOrDie()) {
+        AddIssue(&report, store_files::kTree,
+                 "page " + std::to_string(page) + ": stored tag summary " +
+                     std::to_string(tree->tag_summary(page)) +
+                     " disagrees with the page body (expected " +
+                     std::to_string(expect.ValueOrDie()) + ")");
+      }
+      if (report.issues.size() >= kMaxIssues) {
+        report.truncated = true;
+        break;
+      }
+    }
+  }
   return report;
 }
 

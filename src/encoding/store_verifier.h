@@ -1,6 +1,6 @@
 // Offline integrity scrub for a document store directory (`nokq verify`).
 //
-// Three passes, each independent of the machinery it checks:
+// Four passes, each independent of the machinery it checks:
 //
 //   1. Page scrub: every page of every paged component file (the tree
 //      string and the four B+ tree indexes) is read raw through a Pager in
@@ -12,6 +12,10 @@
 //      re-derived by pure FIRST-CHILD / FOLLOWING-SIBLING navigation of
 //      the tree string and compared against the stored entry, and its
 //      value record is read (which verifies the record CRC).
+//   4. Tag-summary cross-check: when the store navigates by per-page tag
+//      summaries, every chain page's summary is recomputed from the page
+//      body and compared against the word the scans consult, so a stale
+//      or corrupted summary cannot silently cause skipped matches.
 //
 // The scrub never repairs anything; it reports.  Repair is rebuilding
 // from the source document or restoring from a copy.

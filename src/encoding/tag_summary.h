@@ -1,0 +1,55 @@
+// Per-page tag-presence summaries (the format v3/v4 meta extension).
+//
+// The (st,lo,hi) page header lets FOLLOWING-SIBLING skip pages by *level*
+// only; a scan for a rare tag still materializes every page whose level
+// range overlaps.  Each data page therefore also carries a 64-bit word
+// summarizing the set of open-symbol tags occurring in it:
+//
+//   * TagId <= 64: an exact bitmap -- bit (tag - 1) -- so membership
+//     answers are precise for small dictionaries (all five Table 1
+//     datasets fit);
+//   * TagId  > 64: the id degrades gracefully into a two-probe Bloom
+//     filter over the same 64 bits.
+//
+// Either way there are no false negatives: a tag-filtered scan may only
+// over-read, never skip a page it needed.  The words live in the meta
+// page when they fit and are rebuilt from page bodies on open otherwise,
+// so v1/v2 files keep working unchanged.
+
+#ifndef NOKXML_ENCODING_TAG_SUMMARY_H_
+#define NOKXML_ENCODING_TAG_SUMMARY_H_
+
+#include <cstdint>
+
+#include "encoding/tag_dictionary.h"
+
+namespace nok {
+
+/// Tag ids up to this value map to a single exact bitmap bit.
+inline constexpr uint32_t kTagSummaryExactBits = 64;
+
+/// The summary bits contributed by one open symbol with the given tag.
+/// kInvalidTag contributes nothing (and tests as "may contain" below, the
+/// safe direction for an unknown tag).
+inline constexpr uint64_t TagSummaryBits(TagId tag) {
+  if (tag == kInvalidTag) return 0;
+  if (tag <= kTagSummaryExactBits) {
+    return uint64_t{1} << (tag - 1);
+  }
+  // Fibonacci mixing spreads the sequentially interned ids; two probes
+  // keep the false-positive rate modest even for dictionaries well past
+  // 64 tags.
+  const uint64_t h = static_cast<uint64_t>(tag) * 0x9E3779B97F4A7C15ull;
+  return (uint64_t{1} << (h & 63)) | (uint64_t{1} << ((h >> 6) & 63));
+}
+
+/// Whether a page whose summary is `summary` may contain an open symbol
+/// with `tag`.  False means certainly absent (the page can be skipped).
+inline constexpr bool SummaryMayContain(uint64_t summary, TagId tag) {
+  const uint64_t bits = TagSummaryBits(tag);
+  return (summary & bits) == bits;
+}
+
+}  // namespace nok
+
+#endif  // NOKXML_ENCODING_TAG_SUMMARY_H_

@@ -13,7 +13,7 @@
 
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 #include "encoding/document_store.h"
@@ -22,6 +22,30 @@
 #include "nok/tree_cursor.h"
 
 namespace nok {
+
+/// Resolves every pattern node's tag name against a document's dictionary
+/// once, producing a table indexed by PatternNode::id (the dense pre-order
+/// ids assigned by PatternTree::Renumber).  Wildcards, the virtual root
+/// and names absent from the document resolve to kInvalidTag.  Built once
+/// per query at plan time and shared by every cursor, replacing per-cursor
+/// name lookups during matching.
+inline std::vector<TagId> ResolvePatternTags(const PatternTree& pattern,
+                                             const TagDictionary& tags) {
+  std::vector<TagId> table(static_cast<size_t>(pattern.size()),
+                           kInvalidTag);
+  std::vector<const PatternNode*> stack = {pattern.root()};
+  while (!stack.empty()) {
+    const PatternNode* node = stack.back();
+    stack.pop_back();
+    if (!node->is_doc_root && !node->wildcard &&
+        static_cast<size_t>(node->id) < table.size()) {
+      auto id = tags.Lookup(node->tag);
+      if (id.has_value()) table[static_cast<size_t>(node->id)] = *id;
+    }
+    for (const auto& child : node->children) stack.push_back(child.get());
+  }
+  return table;
+}
 
 /// Cursor over a DocumentStore's string representation.
 class StoreCursor {
@@ -65,17 +89,16 @@ class StoreCursor {
     NOK_ASSIGN_OR_RETURN(auto sibling,
                          store_->tree()->FollowingSibling(node.pos));
     if (!sibling.has_value()) return std::optional<NodeT>();
-    std::vector<uint32_t> components = node.dewey.components();
-    ++components.back();
-    return std::optional<NodeT>(
-        NodeT{*sibling, DeweyId(std::move(components)), false});
+    NodeT next{*sibling, node.dewey, false};
+    next.dewey.NextSibling();  // In place: no component-vector rebuild.
+    return std::optional<NodeT>(std::move(next));
   }
 
   Result<bool> Matches(const NodeT& node, const PatternNode& pattern) {
     if (pattern.is_doc_root) return node.virtual_root;
     if (node.virtual_root) return false;
     if (!pattern.wildcard) {
-      const TagId want = ResolveTag(pattern.tag);
+      const TagId want = ResolveTag(pattern);
       if (want == kInvalidTag) return false;
       NOK_ASSIGN_OR_RETURN(TagId got, store_->tree()->TagAt(node.pos));
       if (got != want) return false;
@@ -88,22 +111,29 @@ class StoreCursor {
     return true;
   }
 
+  /// Installs the plan-time tag table (see ResolvePatternTags).  The
+  /// table must outlive every Matches call; without one the cursor falls
+  /// back to dictionary lookups per call.
+  void set_tag_table(const std::vector<TagId>* table) {
+    tag_table_ = table;
+  }
+
   DocumentStore* store() { return store_; }
 
  private:
-  /// Pattern tag name -> TagId with memoization (kInvalidTag: the name
-  /// does not occur in the document at all).
-  TagId ResolveTag(const std::string& name) {
-    auto it = tag_cache_.find(name);
-    if (it != tag_cache_.end()) return it->second;
-    auto id = store_->tags()->Lookup(name);
-    const TagId resolved = id.has_value() ? *id : kInvalidTag;
-    tag_cache_.emplace(name, resolved);
-    return resolved;
+  /// Resolved tag of a pattern node: from the plan-time table when
+  /// installed (kInvalidTag: the name does not occur in the document).
+  TagId ResolveTag(const PatternNode& pattern) {
+    if (tag_table_ != nullptr &&
+        static_cast<size_t>(pattern.id) < tag_table_->size()) {
+      return (*tag_table_)[static_cast<size_t>(pattern.id)];
+    }
+    auto id = store_->tags()->Lookup(pattern.tag);
+    return id.has_value() ? *id : kInvalidTag;
   }
 
   DocumentStore* store_;
-  std::unordered_map<std::string, TagId> tag_cache_;
+  const std::vector<TagId>* tag_table_ = nullptr;
 };
 
 /// Convenience alias: the physical matcher is the logical matcher over a

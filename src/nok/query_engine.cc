@@ -152,14 +152,32 @@ Result<NodeMatch> QueryEngine::ToMatch(const StoreCursor::NodeT& node,
 }
 
 Result<std::vector<StoreCursor::NodeT>> QueryEngine::ScanCandidates(
-    const PatternNode& root_pattern) {
+    const PatternNode& root_pattern, TagId want) {
   std::vector<StoreCursor::NodeT> out;
   StringStore* tree = store_->tree();
-  TagId want = kInvalidTag;
-  if (!root_pattern.wildcard) {
-    auto id = store_->tags()->Lookup(root_pattern.tag);
-    if (!id.has_value()) return out;  // Tag absent: no matches anywhere.
-    want = *id;
+  if (!root_pattern.wildcard && want == kInvalidTag) {
+    return out;  // Tag absent: no matches anywhere.
+  }
+
+  // Fused path for a selective tag test: phase A enumerates hit positions
+  // with NextOpenWithTag, a single tag-filtered chain scan that skips
+  // pages via the per-page summaries (no child counting, so skipping is
+  // sound); phase B derives Dewey IDs only for the hits.  A frequent tag
+  // would gain nothing from the filter while phase B re-navigates per
+  // hit, so it keeps the counter scan below, as do wildcards.
+  if (!root_pattern.wildcard &&
+      store_->CountTag(want) * 2 <= store_->stats().node_count) {
+    std::vector<StorePos> hits;
+    StorePos pos = tree->RootPos();
+    NOK_ASSIGN_OR_RETURN(TagId root_tag, tree->TagAt(pos));
+    if (root_tag == want) hits.push_back(pos);
+    for (;;) {
+      NOK_ASSIGN_OR_RETURN(auto next, tree->NextOpenWithTag(pos, want));
+      if (!next.has_value()) break;
+      pos = *next;
+      hits.push_back(pos);
+    }
+    return DeweysForHits(hits);
   }
 
   // Single forward scan; Dewey IDs are derived from the level sequence.
@@ -180,6 +198,88 @@ Result<std::vector<StoreCursor::NodeT>> QueryEngine::ScanCandidates(
     }
     NOK_ASSIGN_OR_RETURN(auto next, tree->NextOpen(*pos));
     pos = next;
+  }
+  return out;
+}
+
+Result<std::vector<StoreCursor::NodeT>> QueryEngine::DeweysForHits(
+    const std::vector<StorePos>& hits) {
+  std::vector<StoreCursor::NodeT> out;
+  out.reserve(hits.size());
+  StringStore* tree = store_->tree();
+
+  // Interval-guided descent.  The stack holds the path from the root to
+  // the node most recently visited: (child index, position, subtree-end
+  // global).  For each hit (ascending), entries whose subtree ends before
+  // the hit are popped, and the walk resumes from the shallowest popped
+  // sibling — so each level's sibling chain is traversed at most once
+  // across all hits.
+  struct PathEntry {
+    uint32_t component;
+    StorePos pos;
+    uint64_t end;
+  };
+  std::vector<PathEntry> stack;
+  std::vector<uint32_t> components;
+
+  for (const StorePos& hit : hits) {
+    const uint64_t g = tree->GlobalPos(hit);
+    std::optional<PathEntry> resume;
+    while (!stack.empty() && stack.back().end < g) {
+      resume = stack.back();
+      stack.pop_back();
+    }
+    if (stack.empty()) {
+      const StorePos root = tree->RootPos();
+      NOK_ASSIGN_OR_RETURN(uint64_t root_end,
+                           tree->SubtreeEndGlobal(root));
+      stack.push_back(PathEntry{0, root, root_end});
+      resume.reset();  // The root has no siblings to resume from.
+    }
+    while (tree->GlobalPos(stack.back().pos) != g) {
+      // Step down one level to the child whose interval contains g.
+      PathEntry child{0, StorePos{}, 0};
+      if (resume.has_value()) {
+        NOK_ASSIGN_OR_RETURN(auto sib,
+                             tree->FollowingSibling(resume->pos));
+        if (!sib.has_value()) {
+          return Status::Corruption("scan hit outside every sibling");
+        }
+        child.component = resume->component + 1;
+        child.pos = *sib;
+        resume.reset();
+      } else {
+        NOK_ASSIGN_OR_RETURN(auto first,
+                             tree->FirstChild(stack.back().pos));
+        if (!first.has_value()) {
+          return Status::Corruption("scan hit below a leaf");
+        }
+        child.pos = *first;
+      }
+      for (;;) {
+        if (tree->GlobalPos(child.pos) > g) {
+          return Status::Corruption("scan hit between sibling subtrees");
+        }
+        NOK_ASSIGN_OR_RETURN(child.end,
+                             tree->SubtreeEndGlobal(child.pos));
+        if (g <= child.end) break;
+        NOK_ASSIGN_OR_RETURN(auto sib,
+                             tree->FollowingSibling(child.pos));
+        if (!sib.has_value()) {
+          return Status::Corruption("scan hit outside every sibling");
+        }
+        child.pos = *sib;
+        ++child.component;
+      }
+      stack.push_back(child);
+    }
+    components.clear();
+    components.reserve(stack.size());
+    for (const PathEntry& entry : stack) {
+      components.push_back(entry.component);
+    }
+    out.push_back(StoreCursor::NodeT{
+        hit, DeweyId(std::vector<uint32_t>(components)), false});
   }
   return out;
 }
@@ -288,8 +388,20 @@ Result<std::vector<StoreCursor::NodeT>> QueryEngine::ResolveHits(
   return out;
 }
 
+namespace {
+
+/// Plan-time resolved tag of a pattern node (see ResolvePatternTags).
+TagId ResolvedTag(const std::vector<TagId>& tag_table,
+                  const PatternNode* p) {
+  const size_t id = static_cast<size_t>(p->id);
+  return id < tag_table.size() ? tag_table[id] : kInvalidTag;
+}
+
+}  // namespace
+
 Result<QueryEngine::TreePlan> QueryEngine::PlanTree(
-    const NokTree& tree, const QueryOptions& options) {
+    const NokTree& tree, const std::vector<TagId>& tag_table,
+    const QueryOptions& options) {
   // Anchor scoring: the cost of anchored evaluation is roughly the number
   // of candidate matches of the anchor PLUS the matching work inside its
   // pattern subtree, approximated by the total tag occurrences below it.
@@ -303,8 +415,8 @@ Result<QueryEngine::TreePlan> QueryEngine::PlanTree(
     if (p->wildcard) {
       weight[i] = store_->stats().node_count;
     } else {
-      auto id = store_->tags()->Lookup(p->tag);
-      weight[i] = id.has_value() ? store_->CountTag(*id) : 0;
+      const TagId id = ResolvedTag(tag_table, p);
+      weight[i] = id != kInvalidTag ? store_->CountTag(id) : 0;
     }
   }
   std::vector<uint64_t> below(n, 0);  // Sum of weights below node i.
@@ -362,10 +474,9 @@ Result<QueryEngine::TreePlan> QueryEngine::PlanTree(
       }
     }
     if (!p->wildcard) {
-      auto id = store_->tags()->Lookup(p->tag);
       const uint64_t score = weight[i] + below[i];
       if (score < best_tag.score) {
-        best_tag = TagChoice{score, id.has_value() ? *id : kInvalidTag,
+        best_tag = TagChoice{score, ResolvedTag(tag_table, p),
                              static_cast<int>(i)};
       }
     }
@@ -380,12 +491,12 @@ Result<QueryEngine::TreePlan> QueryEngine::PlanTree(
           ok = false;
           break;
         }
-        auto id = store_->tags()->Lookup(ap->tag);
-        if (!id.has_value()) {
+        const TagId id = ResolvedTag(tag_table, ap);
+        if (id == kInvalidTag) {
           tag_path.clear();  // Unknown tag: the path matches nothing.
           break;
         }
-        tag_path.push_back(*id);
+        tag_path.push_back(id);
       }
       if (ok) {
         std::reverse(tag_path.begin(), tag_path.end());
@@ -645,7 +756,13 @@ Result<std::vector<DeweyId>> QueryEngine::EvaluatePattern(
   const size_t n_trees = partition.trees.size();
   stats_.trees.resize(n_trees);
 
+  // Resolve every pattern tag against the dictionary once; the table is
+  // shared by planning and by every Matches call during matching.
+  const std::vector<TagId> tag_table =
+      ResolvePatternTags(pattern, *store_->tags());
+
   StoreCursor base_cursor(store_);
+  base_cursor.set_tag_table(&tag_table);
   ConstrainedCursor cursor(&base_cursor);
 
   // NoK matching per tree, children before parents (arc targets always
@@ -659,7 +776,8 @@ Result<std::vector<DeweyId>> QueryEngine::EvaluatePattern(
     const std::vector<bool> designated =
         ComputeDesignated(partition, static_cast<int>(t));
 
-    NOK_ASSIGN_OR_RETURN(TreePlan plan, PlanTree(tree, options));
+    NOK_ASSIGN_OR_RETURN(TreePlan plan,
+                         PlanTree(tree, tag_table, options));
     tree_stats.strategy = plan.strategy;
 
     const bool anchored = plan.strategy != StartStrategy::kScan &&
@@ -694,8 +812,10 @@ Result<std::vector<DeweyId>> QueryEngine::EvaluatePattern(
       if (tree.root_is_doc_root) {
         candidates.push_back(base_cursor.VirtualRoot());
       } else if (plan.strategy == StartStrategy::kScan) {
-        NOK_ASSIGN_OR_RETURN(candidates,
-                             ScanCandidates(*tree.nodes[0].pattern));
+        NOK_ASSIGN_OR_RETURN(
+            candidates,
+            ScanCandidates(*tree.nodes[0].pattern,
+                           ResolvedTag(tag_table, tree.nodes[0].pattern)));
       } else if (plan.anchor == 0) {
         NOK_ASSIGN_OR_RETURN(candidates, ResolveHits(plan.anchor_hits));
       } else {

@@ -104,14 +104,25 @@ class QueryEngine {
     std::vector<DocumentStore::IndexedNode> anchor_hits;
   };
 
-  /// Chooses strategy + anchor + index hits for one tree.
+  /// Chooses strategy + anchor + index hits for one tree.  tag_table maps
+  /// PatternNode::id -> resolved TagId (see ResolvePatternTags).
   Result<TreePlan> PlanTree(const NokTree& tree,
+                            const std::vector<TagId>& tag_table,
                             const QueryOptions& options);
 
   /// All document nodes whose tag satisfies the NoK root's name test, via
   /// a sequential scan of the string store (the "naive" strategy).
+  /// `want` is the root pattern's resolved tag (kInvalidTag for a name
+  /// absent from the document).  Selective tags take the fused
+  /// NextOpenWithTag path: the scan consults the per-page tag summaries
+  /// and Dewey IDs are derived only for the hits.
   Result<std::vector<StoreCursor::NodeT>> ScanCandidates(
-      const PatternNode& root_pattern);
+      const PatternNode& root_pattern, TagId want);
+
+  /// Dewey IDs for tag-scan hit positions (ascending): an interval-guided
+  /// descent that reuses the navigation path across consecutive hits.
+  Result<std::vector<StoreCursor::NodeT>> DeweysForHits(
+      const std::vector<StorePos>& hits);
 
   /// Converts sorted candidate Dewey IDs to physical nodes, reusing the
   /// navigation path across consecutive candidates (the slow path used

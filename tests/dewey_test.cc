@@ -17,6 +17,19 @@ TEST(DeweyTest, RootAndChildren) {
   EXPECT_EQ(second_child.depth(), 2u);
 }
 
+TEST(DeweyTest, NextSiblingAdvancesInPlace) {
+  DeweyId d({0, 3, 1});
+  d.NextSibling();
+  EXPECT_EQ(d.ToString(), "0.3.2");
+  d.NextSibling();
+  EXPECT_EQ(d.ToString(), "0.3.3");
+  EXPECT_EQ(d.depth(), 3u);
+  // Equivalent to rebuilding through the parent: d.Parent().Child(i+1).
+  const DeweyId rebuilt = DeweyId({0, 3}).Child(4);
+  d.NextSibling();
+  EXPECT_EQ(d, rebuilt);
+}
+
 TEST(DeweyTest, ParentAndAncestor) {
   const DeweyId d({0, 3, 1, 4});
   EXPECT_EQ(d.Parent()->ToString(), "0.3.1");

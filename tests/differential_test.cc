@@ -117,6 +117,83 @@ void RunDataset(Dataset dataset, uint64_t seed) {
   }
 }
 
+/// The Table 2 sweep across the four {header-skip} x {tag-summary}
+/// ablation modes: every mode must match the brute-force oracle, and the
+/// NavStats counters must respect the knobs (a disabled knob's counter
+/// stays zero; enabling skips never scans more pages than the no-skip
+/// run of the same query).
+void RunAblationSweep(Dataset dataset, uint64_t seed) {
+  GenOptions gen;
+  gen.scale = 0.0;
+  gen.seed = seed;
+  const GeneratedDataset ds = GenerateDataset(dataset, gen);
+
+  std::vector<CategoryQuery> queries = QueriesForDataset(ds);
+  const std::vector<CategoryQuery> variants =
+      DescendantVariants(queries, seed);
+  queries.insert(queries.end(), variants.begin(), variants.end());
+
+  auto dom = DomTree::Parse(ds.xml);
+  ASSERT_TRUE(dom.ok()) << dom.status().ToString();
+
+  struct Mode {
+    bool header_skip;
+    bool tag_summaries;
+  };
+  const Mode modes[] = {
+      {false, false}, {true, false}, {false, true}, {true, true}};
+  std::vector<std::unique_ptr<DocumentStore>> stores;
+  for (const Mode& mode : modes) {
+    DocumentStore::Options options;
+    options.page_size = 512;
+    options.use_header_skip = mode.header_skip;
+    options.use_tag_summaries = mode.tag_summaries;
+    auto store = DocumentStore::Build(ds.xml, options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    stores.push_back(std::move(store).ValueOrDie());
+  }
+
+  for (const CategoryQuery& q : queries) {
+    SCOPED_TRACE(ds.name + " seed " + std::to_string(seed) + " " + q.id +
+                 ": " + q.xpath);
+    auto oracle = OracleEvaluateDewey(q.xpath, *dom);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    const std::vector<std::string> want = CanonDewey(*oracle);
+
+    std::vector<StringStore::NavStats> nav;
+    for (size_t m = 0; m < stores.size(); ++m) {
+      stores[m]->tree()->ResetNavStats();
+      QueryEngine engine(stores[m].get());
+      auto result = engine.Evaluate(q.xpath);
+      ASSERT_TRUE(result.ok())
+          << "mode " << m << ": " << result.status().ToString();
+      EXPECT_EQ(CanonDewey(*result), want) << "mode " << m;
+      nav.push_back(stores[m]->tree()->nav_stats());
+    }
+
+    // Counter hygiene: a disabled knob must never skip.
+    EXPECT_EQ(nav[0].pages_skipped, 0u);
+    EXPECT_EQ(nav[0].pages_skipped_by_tag, 0u);
+    EXPECT_EQ(nav[1].pages_skipped_by_tag, 0u);  // Header-only.
+    EXPECT_EQ(nav[2].pages_skipped, 0u);         // Tag-only.
+    // Every page a scan handles is either materialized or skipped, so
+    // skips can only remove page visits relative to the no-skip run.
+    for (size_t m = 1; m < nav.size(); ++m) {
+      EXPECT_LE(nav[m].pages_scanned, nav[0].pages_scanned) << "mode " << m;
+    }
+    // With both knobs on, the tag summaries must not skip fewer pages
+    // than the tag-only mode gets from a strictly larger page set.
+    EXPECT_GE(nav[3].pages_skipped_by_tag + nav[3].pages_skipped,
+              nav[1].pages_skipped);
+  }
+}
+
+TEST(DifferentialTest, AblationModesMatchOracle) {
+  RunAblationSweep(Dataset::kCatalog, 3);
+  RunAblationSweep(Dataset::kDblp, 2);
+  RunAblationSweep(Dataset::kTreebank, 5);
+}
+
 TEST(DifferentialTest, AuthorAcrossSeeds) {
   for (uint64_t seed : {1u, 7u, 42u}) RunDataset(Dataset::kAuthor, seed);
 }

@@ -100,6 +100,54 @@ INSTANTIATE_TEST_SUITE_P(
         "//book[publisher=\"Kluwer\"]//first",
         "/bib/book[price!=\"65.95\"]"));
 
+TEST(QueryEngineTest, FusedScanUsesTagSummaries) {
+  // A rare tag under forced kScan takes the fused NextOpenWithTag path:
+  // with small pages the affiliation scan must skip pages by tag summary
+  // and still match the oracle.
+  auto f = MakeFixture(kBibXml, /*page_size=*/64);
+  f.store->tree()->ResetNavStats();
+  QueryOptions options;
+  options.strategy = StartStrategy::kScan;
+  ExpectMatchesOracle(&f, "//affiliation", options);
+  EXPECT_GT(f.store->tree()->nav_stats().pages_skipped_by_tag, 0u);
+}
+
+TEST(QueryEngineTest, ScanAgreesAcrossAblationModes) {
+  // The four {header-skip} x {tag-summary} combinations must return the
+  // same answers for every forced-scan query.
+  const char* queries[] = {"//book",      "//last",        "//affiliation",
+                           "//book//last", "/bib/book/title", "//*[@year]"};
+  std::vector<std::vector<std::string>> baseline(std::size(queries));
+  bool first = true;
+  for (bool header_skip : {true, false}) {
+    for (bool tag_summaries : {true, false}) {
+      DocumentStore::Options store_options;
+      store_options.page_size = 64;
+      store_options.use_header_skip = header_skip;
+      store_options.use_tag_summaries = tag_summaries;
+      auto store = DocumentStore::Build(kBibXml, store_options);
+      ASSERT_TRUE(store.ok()) << store.status().ToString();
+      QueryEngine engine(store->get());
+      QueryOptions options;
+      options.strategy = StartStrategy::kScan;
+      for (size_t q = 0; q < std::size(queries); ++q) {
+        auto r = engine.Evaluate(queries[q], options);
+        ASSERT_TRUE(r.ok()) << queries[q];
+        std::vector<std::string> s;
+        for (const auto& d : *r) s.push_back(d.ToString());
+        if (first) {
+          baseline[q] = std::move(s);
+        } else {
+          EXPECT_EQ(s, baseline[q])
+              << queries[q] << " header_skip=" << header_skip
+              << " tag_summaries=" << tag_summaries;
+        }
+      }
+      first = false;
+    }
+  }
+}
+
 TEST(QueryEngineTest, AllStrategiesAgree) {
   auto f = MakeFixture(kBibXml);
   const char* queries[] = {

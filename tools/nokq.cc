@@ -2,7 +2,8 @@
 //
 //   nokq build  <file.xml> <store-dir> [--checksum]   build a store
 //   nokq query  <store-dir> <xpath> [--values] [--strategy auto|scan|tag|
-//               value|path] [--explain]
+//               value|path] [--explain] [--no-header-skip]
+//               [--no-tag-summaries]
 //   nokq stream <file.xml> <xpath>              single-pass evaluation
 //   nokq stats  <store-dir>                     Table-1 style statistics
 //   nokq insert <store-dir> <parent-dewey> <index> <fragment.xml>
@@ -37,6 +38,7 @@ int Usage() {
           "  nokq build  <file.xml> <store-dir> [--checksum]\n"
           "  nokq query  <store-dir> <xpath> [--values] [--explain]\n"
           "              [--strategy auto|scan|tag|value|path]\n"
+          "              [--no-header-skip] [--no-tag-summaries]\n"
           "  nokq stream <file.xml> <xpath>\n"
           "  nokq stats  <store-dir>\n"
           "  nokq insert <store-dir> <parent-dewey> <index> <frag.xml>\n"
@@ -100,9 +102,12 @@ nok::Result<nok::DeweyId> ParseDewey(const std::string& text) {
 }
 
 nok::Result<std::unique_ptr<nok::DocumentStore>> OpenStore(
-    const std::string& dir) {
+    const std::string& dir, bool use_header_skip = true,
+    bool use_tag_summaries = true) {
   nok::DocumentStore::Options options;
   options.dir = dir;
+  options.use_header_skip = use_header_skip;
+  options.use_tag_summaries = use_tag_summaries;
   return nok::DocumentStore::OpenDir(options);
 }
 
@@ -139,12 +144,17 @@ int CmdQuery(int argc, char** argv) {
   const std::string dir = argv[2];
   const std::string xpath = argv[3];
   bool values = false, explain = false;
+  bool header_skip = true, tag_summaries = true;
   nok::QueryOptions options;
   for (int i = 4; i < argc; ++i) {
     if (strcmp(argv[i], "--values") == 0) {
       values = true;
     } else if (strcmp(argv[i], "--explain") == 0) {
       explain = true;
+    } else if (strcmp(argv[i], "--no-header-skip") == 0) {
+      header_skip = false;
+    } else if (strcmp(argv[i], "--no-tag-summaries") == 0) {
+      tag_summaries = false;
     } else if (strcmp(argv[i], "--strategy") == 0 && i + 1 < argc) {
       const std::string name = argv[++i];
       if (name == "auto") options.strategy = nok::StartStrategy::kAuto;
@@ -162,7 +172,7 @@ int CmdQuery(int argc, char** argv) {
     }
   }
 
-  auto store = OpenStore(dir);
+  auto store = OpenStore(dir, header_skip, tag_summaries);
   if (!store.ok()) return Fail(store.status());
   nok::QueryEngine engine(store->get());
   nok::Timer timer;
@@ -192,6 +202,14 @@ int CmdQuery(int argc, char** argv) {
       fprintf(stderr, "  tree %zu: %s, %zu candidates, %zu bindings\n", t,
               StrategyName(ts.strategy), ts.candidates, ts.bindings);
     }
+    const auto nav = (*store)->tree()->nav_stats();
+    fprintf(stderr,
+            "  pages: %llu scanned, %llu skipped by (st,lo,hi), "
+            "%llu skipped by tag summary, %llu decode-cache hits\n",
+            static_cast<unsigned long long>(nav.pages_scanned),
+            static_cast<unsigned long long>(nav.pages_skipped),
+            static_cast<unsigned long long>(nav.pages_skipped_by_tag),
+            static_cast<unsigned long long>(nav.decode_cache_hits));
   }
   return 0;
 }
