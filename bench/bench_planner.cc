@@ -1,0 +1,268 @@
+// Planner ablation: measures what cost-based semi-join ordering (most
+// selective ready tree first + semi-join pre-filtering of anchor
+// candidates) and the plan cache buy on branchy Table-2 style queries.
+//
+// Three modes per query:
+//   fixed       legacy partition order (n-1..0), no pre-filter, no cache
+//   cost        cost-based schedule + pre-filter (the default)
+//   cost+cache  cost plus the bounded plan cache (repeat runs hit it)
+//
+// The knobs only change evaluation order and which candidate pages are
+// touched, never the answer, so the run fails unless all modes return
+// identical result sets.  It also fails if cost-based ordering is slower
+// than the fixed order (beyond a small timing tolerance) on any query,
+// or fails to reach the target speedup on at least one branchy query.
+//
+// Usage: bench_planner [--dataset catalog] [--scale 0.05] [--seed 42]
+//                      [--page-size 512] [--runs 5]
+//                      [--target-speedup 1.2] [--tolerance 0.10]
+//                      [--json BENCH_planner.json]
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "datagen/dataset_gen.h"
+#include "datagen/query_gen.h"
+#include "encoding/document_store.h"
+#include "nok/query_engine.h"
+#include "storage/file.h"
+
+namespace nok {
+namespace {
+
+struct Mode {
+  bool cost_based;
+  bool cache;
+  const char* name;
+};
+
+constexpr Mode kModes[] = {
+    {false, false, "fixed"},
+    {true, false, "cost"},
+    {true, true, "cost+cache"},
+};
+
+/// One (query, mode) measurement.
+struct Cell {
+  size_t results = 0;
+  double best_seconds = 0;   ///< Min over runs (noise-robust).
+  double mean_seconds = 0;
+  uint64_t pages_scanned = 0;
+  uint64_t cache_hits = 0;
+  std::vector<std::string> deweys;  ///< For the cross-mode identity check.
+};
+
+/// The branchy workload: the bushy half of the Table 2 categories plus
+/// two hand-built queries whose anchors are frequent but whose predicate
+/// subtrees are rare — the shape where evaluating the rare tree first
+/// and pre-filtering the anchor candidates pays the most.
+std::vector<CategoryQuery> Workload(const GeneratedDataset& ds) {
+  std::vector<CategoryQuery> out;
+  for (const CategoryQuery& q : QueriesForDataset(ds)) {
+    if (q.category.size() == 3 && q.category[1] == 'b') out.push_back(q);
+  }
+  std::string entry = ds.entry_path;
+  const size_t slash = entry.rfind('/');
+  if (slash != std::string::npos) entry = entry.substr(slash + 1);
+  out.push_back({"X1", "xb n",
+                 ds.entry_path + "[" + ds.detail_a + "][.//" +
+                     ds.marker_gem + "]"});
+  out.push_back({"X2", "xb y",
+                 "//" + entry + "[" + ds.needle_tag_a + "=\"" +
+                     ds.needle_low_a + "\"][.//" + ds.marker_rare + "]"});
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  GenOptions gen;
+  gen.scale = bench::FlagDouble(argc, argv, "scale", 0.05);
+  gen.seed = static_cast<uint64_t>(bench::FlagInt(argc, argv, "seed", 42));
+  const std::string dataset_name =
+      bench::FlagValue(argc, argv, "dataset", "catalog");
+  const uint32_t page_size = static_cast<uint32_t>(
+      bench::FlagInt(argc, argv, "page-size", 512));
+  const int runs = bench::FlagInt(argc, argv, "runs", 5);
+  const double target =
+      bench::FlagDouble(argc, argv, "target-speedup", 1.2);
+  const double tolerance = bench::FlagDouble(argc, argv, "tolerance", 0.10);
+  const std::string json_path =
+      bench::FlagValue(argc, argv, "json", "BENCH_planner.json");
+
+  Dataset dataset = Dataset::kCatalog;
+  bool found = false;
+  for (Dataset d : AllDatasets()) {
+    if (DatasetName(d) == dataset_name) {
+      dataset = d;
+      found = true;
+    }
+  }
+  if (!found) {
+    fprintf(stderr, "unknown dataset: %s\n", dataset_name.c_str());
+    return 2;
+  }
+
+  GeneratedDataset ds = GenerateDataset(dataset, gen);
+  const std::vector<CategoryQuery> queries = Workload(ds);
+
+  DocumentStore::Options options;
+  options.page_size = page_size;
+  auto store = DocumentStore::Build(ds.xml, options);
+  if (!store.ok()) {
+    fprintf(stderr, "build failed: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+
+  printf("planner ablation: %s (scale %.3f, page size %u, %d runs)\n\n",
+         ds.name.c_str(), gen.scale, page_size, runs);
+  printf("%-4s %-10s %8s %9s %9s %8s %8s\n", "id", "mode", "results",
+         "best ms", "mean ms", "pages", "hits");
+
+  std::vector<std::vector<Cell>> grid;  // [query][mode].
+  for (const CategoryQuery& q : queries) {
+    std::vector<Cell> row;
+    for (const Mode& mode : kModes) {
+      Cell cell;
+      QueryEngine engine(store->get());
+      QueryOptions qo;
+      qo.cost_based_join_order = mode.cost_based;
+      qo.use_plan_cache = mode.cache;
+      double total_seconds = 0;
+      double best_seconds = 0;
+      for (int r = 0; r < runs; ++r) {
+        Status s = (*store)->DropCaches();
+        if (!s.ok()) {
+          fprintf(stderr, "drop caches failed: %s\n", s.ToString().c_str());
+          return 1;
+        }
+        (*store)->tree()->ResetNavStats();
+        Timer timer;
+        auto result = engine.Evaluate(q.xpath, qo);
+        const double seconds = timer.ElapsedSeconds();
+        total_seconds += seconds;
+        if (r == 0 || seconds < best_seconds) best_seconds = seconds;
+        if (!result.ok()) {
+          fprintf(stderr, "%s [%s] failed: %s\n", q.xpath.c_str(),
+                  mode.name, result.status().ToString().c_str());
+          return 1;
+        }
+        if (r + 1 == runs) {
+          cell.results = result->size();
+          cell.pages_scanned =
+              (*store)->tree()->nav_stats().pages_scanned;
+          cell.deweys.reserve(result->size());
+          for (const DeweyId& id : *result) {
+            cell.deweys.push_back(id.ToString());
+          }
+        }
+      }
+      cell.best_seconds = best_seconds;
+      cell.mean_seconds = total_seconds / runs;
+      cell.cache_hits = engine.plan_cache().stats().hits;
+      printf("%-4s %-10s %8zu %9.3f %9.3f %8llu %8llu\n", q.id.c_str(),
+             mode.name, cell.results, cell.best_seconds * 1e3,
+             cell.mean_seconds * 1e3,
+             static_cast<unsigned long long>(cell.pages_scanned),
+             static_cast<unsigned long long>(cell.cache_hits));
+      row.push_back(std::move(cell));
+    }
+    grid.push_back(std::move(row));
+  }
+
+  // Check 1: ordering, pre-filtering and caching must not change answers.
+  bool identical = true;
+  for (size_t q = 0; q < grid.size(); ++q) {
+    for (size_t m = 1; m < grid[q].size(); ++m) {
+      if (grid[q][m].deweys != grid[q][0].deweys) {
+        identical = false;
+        fprintf(stderr,
+                "RESULT MISMATCH: mode %s disagrees with mode %s on %s\n",
+                kModes[m].name, kModes[0].name, queries[q].xpath.c_str());
+      }
+    }
+  }
+  // Check 2: cost-based ordering is never slower than the fixed order
+  // (within a timing-noise tolerance on best-of-runs).
+  bool never_slower = true;
+  double max_speedup = 0;
+  for (size_t q = 0; q < grid.size(); ++q) {
+    const double fixed = grid[q][0].best_seconds;
+    const double cost = grid[q][1].best_seconds;
+    const double speedup = cost > 0 ? fixed / cost : 1.0;
+    max_speedup = std::max(max_speedup, speedup);
+    if (cost > fixed * (1.0 + tolerance)) {
+      never_slower = false;
+      fprintf(stderr,
+              "REGRESSION: %s cost-based %.3fms vs fixed %.3fms\n",
+              queries[q].id.c_str(), cost * 1e3, fixed * 1e3);
+    }
+  }
+  // Check 3: at least one branchy query reaches the target speedup.
+  const bool target_met = max_speedup >= target;
+  if (!target_met) {
+    fprintf(stderr,
+            "SPEEDUP TARGET MISSED: best %.2fx < target %.2fx\n",
+            max_speedup, target);
+  }
+
+  std::string json = "{\n";
+  char buf[512];
+  snprintf(buf, sizeof(buf),
+           "  \"dataset\": \"%s\",\n  \"scale\": %.4f,\n"
+           "  \"seed\": %llu,\n  \"page_size\": %u,\n  \"runs\": %d,\n"
+           "  \"target_speedup\": %.2f,\n  \"tolerance\": %.2f,\n"
+           "  \"measurements\": [\n",
+           ds.name.c_str(), gen.scale,
+           static_cast<unsigned long long>(gen.seed), page_size, runs,
+           target, tolerance);
+  json += buf;
+  for (size_t q = 0; q < grid.size(); ++q) {
+    for (size_t m = 0; m < grid[q].size(); ++m) {
+      const Cell& c = grid[q][m];
+      const double speedup =
+          c.best_seconds > 0 ? grid[q][0].best_seconds / c.best_seconds
+                             : 1.0;
+      snprintf(
+          buf, sizeof(buf),
+          "    {\"query\": \"%s\", \"category\": \"%s\", "
+          "\"mode\": \"%s\", \"cost_based\": %s, \"plan_cache\": %s, "
+          "\"results\": %zu, \"best_seconds\": %.6f, "
+          "\"mean_seconds\": %.6f, \"pages_scanned\": %llu, "
+          "\"plan_cache_hits\": %llu, \"speedup_vs_fixed\": %.3f}%s\n",
+          queries[q].id.c_str(), queries[q].category.c_str(),
+          kModes[m].name, kModes[m].cost_based ? "true" : "false",
+          kModes[m].cache ? "true" : "false", c.results, c.best_seconds,
+          c.mean_seconds, static_cast<unsigned long long>(c.pages_scanned),
+          static_cast<unsigned long long>(c.cache_hits), speedup,
+          q + 1 == grid.size() && m + 1 == grid[q].size() ? "" : ",");
+      json += buf;
+    }
+  }
+  snprintf(buf, sizeof(buf),
+           "  ],\n  \"checks\": {\"results_identical\": %s, "
+           "\"never_slower\": %s, \"speedup_target_met\": %s, "
+           "\"max_speedup\": %.3f}\n}\n",
+           identical ? "true" : "false", never_slower ? "true" : "false",
+           target_met ? "true" : "false", max_speedup);
+  json += buf;
+
+  Status s = WriteStringToFile(json_path, Slice(json));
+  if (!s.ok()) {
+    fprintf(stderr, "write %s failed: %s\n", json_path.c_str(),
+            s.ToString().c_str());
+    return 1;
+  }
+  const bool ok = identical && never_slower && target_met;
+  printf("\nbest speedup %.2fx; report: %s (%s)\n", max_speedup,
+         json_path.c_str(), ok ? "checks passed" : "CHECKS FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nok
+
+int main(int argc, char** argv) { return nok::Run(argc, argv); }

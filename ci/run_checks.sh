@@ -106,6 +106,43 @@ assert report["checks"]["tag_skip_effective"] is True
 print("BENCH_pageskip.json: schema ok,",
       len(report["measurements"]), "measurements")
 EOF
+
+  step "Planner ablation bench (tiny dataset)"
+  cmake --build build-ci/bench -j "$JOBS" --target bench_planner
+  # The bench itself fails if any mode disagrees on results, if the
+  # cost-based order regresses any query, or if no branchy query reaches
+  # the target speedup.  The tiny smoke run keeps the result-identity
+  # check but relaxes the timing assertions (noise dominates at this
+  # scale; EXPERIMENTS.md records the full-size run).
+  build-ci/bench/bench/bench_planner --scale 0.02 --runs 2 \
+      --target-speedup 1.0 --tolerance 2.0 \
+      --json build-ci/bench/BENCH_planner.json
+
+  step "BENCH_planner.json schema check"
+  python3 - build-ci/bench/BENCH_planner.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+for key in ("dataset", "scale", "seed", "page_size", "runs",
+            "target_speedup", "tolerance", "measurements", "checks"):
+    assert key in report, f"missing key: {key}"
+assert report["measurements"], "no measurements"
+modes = set()
+for m in report["measurements"]:
+    for key in ("query", "category", "mode", "cost_based", "plan_cache",
+                "results", "best_seconds", "mean_seconds",
+                "pages_scanned", "plan_cache_hits", "speedup_vs_fixed"):
+        assert key in m, f"measurement missing key: {key}"
+    modes.add(m["mode"])
+    if not m["plan_cache"]:
+        assert m["plan_cache_hits"] == 0, f"cache hits without cache: {m}"
+assert modes == {"fixed", "cost", "cost+cache"}, f"bad mode set: {modes}"
+assert report["checks"]["results_identical"] is True
+print("BENCH_planner.json: schema ok,",
+      len(report["measurements"]), "measurements")
+EOF
 }
 
 case "${1:-all}" in

@@ -47,7 +47,7 @@ const char* kBibliography = R"(
   </book>
 </bib>)";
 
-const char* StrategyName(nok::StartStrategy s) {
+const char* StrategyDisplay(nok::StartStrategy s) {
   switch (s) {
     case nok::StartStrategy::kScan: return "sequential scan";
     case nok::StartStrategy::kTagIndex: return "tag index";
@@ -93,11 +93,11 @@ int main() {
               result.status().ToString().c_str());
       return 1;
     }
-    printf("strategy %-16s -> %zu matches;", StrategyName(strategy),
+    printf("strategy %-16s -> %zu matches;", StrategyDisplay(strategy),
            result->size());
     for (const auto& tree_stats : engine.last_stats().trees) {
       printf(" [tree: %s, %zu candidates, %zu bindings]",
-             StrategyName(tree_stats.strategy), tree_stats.candidates,
+             StrategyDisplay(tree_stats.strategy), tree_stats.candidates,
              tree_stats.bindings);
     }
     printf("\n");

@@ -595,6 +595,7 @@ Status DocumentStore::MarkPositionsStale() {
         "MarkPositionsStale on a store opened read-only");
   }
   positions_fresh_ = false;
+  ++structure_version_;
   if (!options_.dir.empty()) {
     return WriteStringToFile(options_.dir + "/" + kStaleFile, Slice("1"));
   }

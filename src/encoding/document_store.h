@@ -221,6 +221,14 @@ class DocumentStore {
   /// Current store generation (see Flush).
   uint64_t epoch() const { return epoch_; }
 
+  /// Monotonic count of structural/index mutations in this process:
+  /// bumped by every InsertSubtree/DeleteSubtree and by
+  /// RefreshPositions.  epoch() only advances on Flush, so plan caches
+  /// combine both to invalidate on any change that can alter planning
+  /// inputs (tag counts, value counts, position freshness).  In-memory
+  /// only — not persisted.
+  uint64_t structure_version() const { return structure_version_; }
+
   /// Clears all buffer pools and I/O counters (cold-start for benchmarks).
   Status DropCaches();
 
@@ -256,6 +264,7 @@ class DocumentStore {
   std::unique_ptr<BTree> path_index_;
   DocumentStoreStats stats_;
   uint64_t epoch_ = 0;
+  uint64_t structure_version_ = 0;
   bool positions_fresh_ = true;
 };
 

@@ -724,6 +724,7 @@ Status DocumentStore::RefreshPositions() {
   }
 
   positions_fresh_ = true;
+  ++structure_version_;
   if (!options_.dir.empty()) {
     NOK_RETURN_IF_ERROR(RemoveFile(options_.dir + "/positions.stale"));
   }

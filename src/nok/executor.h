@@ -1,0 +1,131 @@
+// Query executor: runs a QueryPlan over one DocumentStore.
+//
+// The executor is the only layer that materializes candidates.  It is a
+// small set of pull-style operators wired per the plan:
+//
+//   AnchorScan / TagIndexProbe / ValueIndexProbe / PathIndexProbe
+//       produce candidate subject nodes per the tree's access path;
+//   SemiJoinFilter
+//       (cost-based plans only) prunes anchor candidates against the
+//       already-evaluated child trees' qualified roots before any page
+//       is fetched for them — a sorted Dewey merge, no I/O;
+//   NokMatch
+//       Algorithm 1 over Algorithm 2 per candidate (anchored trunk
+//       verification or whole-tree matching), with global-arc
+//       constraints injected into witness selection;
+//   StructuralSemiJoin
+//       the top-down liveness pass along each global arc;
+//   Output
+//       collects the returning node's matches in document order.
+//
+// Each operator records runtime stats — estimated vs. actual
+// cardinality, rows in/out, subject-tree pages touched (NavStats
+// deltas) and wall time — into an ExecutionTrace, which is what
+// QueryEngine::ExplainLast() and `nokq explain` render.
+
+#ifndef NOKXML_NOK_EXECUTOR_H_
+#define NOKXML_NOK_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "encoding/document_store.h"
+#include "nok/nok_partition.h"
+#include "nok/physical_matcher.h"
+#include "nok/planner.h"
+#include "nok/structural_join.h"
+
+namespace nok {
+
+/// Diagnostics from the last Evaluate call.
+struct QueryStats {
+  /// Per NoK tree: which strategy ran and how many candidates/matches.
+  struct TreeStats {
+    StartStrategy strategy = StartStrategy::kScan;
+    size_t candidates = 0;
+    size_t bindings = 0;
+  };
+  std::vector<TreeStats> trees;
+  size_t results = 0;
+};
+
+/// One successful NoK match: the matched subject nodes per designated
+/// local pattern node (indexed by local node id).
+struct NokBinding {
+  std::vector<std::vector<NodeMatch>> matches;
+};
+
+/// Runtime record of one plan operator.
+struct OperatorStats {
+  std::string op;      ///< "TagIndexProbe", "NokMatch", ...
+  int tree = -1;       ///< NoK tree id; -1 for cross-tree operators.
+  std::string detail;  ///< Operand / axis / mode, plan-dependent only.
+  bool has_estimate = false;
+  uint64_t estimated = 0;  ///< Planner's cardinality estimate.
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  uint64_t pages = 0;      ///< Subject-tree pages materialized (NavStats).
+  double seconds = 0;      ///< Wall time inside the operator.
+};
+
+/// Everything ExplainLast needs about the last execution.
+struct ExecutionTrace {
+  std::vector<OperatorStats> operators;
+  bool plan_cache_hit = false;  ///< Filled by QueryEngine.
+  double plan_seconds = 0;      ///< Planning wall time (0 on cache hit).
+};
+
+/// Executes query plans.  Like QueryEngine, an executor is a cheap
+/// per-thread object holding only the store pointer.
+class Executor {
+ public:
+  explicit Executor(DocumentStore* store) : store_(store) {}
+
+  /// Runs the plan; returns the returning node's matches as Dewey IDs in
+  /// document order.  `stats` and `trace` must be non-null; both are
+  /// overwritten.  The plan must have been built for this partition (and
+  /// for the store's current structural state).
+  Result<std::vector<DeweyId>> Run(const QueryPlan& plan,
+                                   const NokPartition& partition,
+                                   const std::vector<TagId>& tag_table,
+                                   const QueryOptions& options,
+                                   QueryStats* stats,
+                                   ExecutionTrace* trace);
+
+ private:
+  /// All document nodes whose tag satisfies the NoK root's name test, via
+  /// a sequential scan of the string store (the "naive" strategy).
+  /// `want` is the root pattern's resolved tag (kInvalidTag for a name
+  /// absent from the document).  Selective tags take the fused
+  /// NextOpenWithTag path: the scan consults the per-page tag summaries
+  /// and Dewey IDs are derived only for the hits.
+  Result<std::vector<StoreCursor::NodeT>> ScanCandidates(
+      const PatternNode& root_pattern, TagId want);
+
+  /// Dewey IDs for tag-scan hit positions (ascending): an interval-guided
+  /// descent that reuses the navigation path across consecutive hits.
+  Result<std::vector<StoreCursor::NodeT>> DeweysForHits(
+      const std::vector<StorePos>& hits);
+
+  /// Converts sorted candidate Dewey IDs to physical nodes, reusing the
+  /// navigation path across consecutive candidates (the slow path used
+  /// when stored positions are stale).
+  Result<std::vector<StoreCursor::NodeT>> LocateAll(
+      std::vector<DeweyId> deweys);
+
+  /// Index hits -> physical nodes (positions when fresh, else LocateAll).
+  Result<std::vector<StoreCursor::NodeT>> ResolveHits(
+      const std::vector<DocumentStore::IndexedNode>& hits);
+
+  /// Index hits for one access path (the probe operators' body).
+  Result<std::vector<DocumentStore::IndexedNode>> FetchHits(
+      const AccessPath& access);
+
+  DocumentStore* store_;
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_NOK_EXECUTOR_H_

@@ -1,0 +1,361 @@
+#include "nok/planner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "nok/physical_matcher.h"
+
+namespace nok {
+
+namespace {
+
+constexpr uint64_t kMaxScore = std::numeric_limits<uint64_t>::max();
+
+/// Plan-time resolved tag of a pattern node (see ResolvePatternTags).
+TagId ResolvedTag(const std::vector<TagId>& tag_table,
+                  const PatternNode* p) {
+  const size_t id = static_cast<size_t>(p->id);
+  return id < tag_table.size() ? tag_table[id] : kInvalidTag;
+}
+
+std::string DisplayName(const PatternNode* p) {
+  if (p->is_doc_root) return "(doc-root)";
+  if (p->wildcard) return "*";
+  return p->tag;
+}
+
+}  // namespace
+
+const char* StrategyName(StartStrategy strategy) {
+  switch (strategy) {
+    case StartStrategy::kAuto:
+      return "auto";
+    case StartStrategy::kScan:
+      return "scan";
+    case StartStrategy::kTagIndex:
+      return "tag-index";
+    case StartStrategy::kValueIndex:
+      return "value-index";
+    case StartStrategy::kPathIndex:
+      return "path-index";
+  }
+  return "?";
+}
+
+Result<AccessPath> Planner::PlanTree(const NokTree& tree,
+                                     const std::vector<TagId>& tag_table,
+                                     const QueryOptions& options) {
+  // Anchor scoring: the cost of anchored evaluation is roughly the number
+  // of candidate matches of the anchor PLUS the matching work inside its
+  // pattern subtree, approximated by the total tag occurrences below it.
+  // (A root-element anchor has a count of 1 but drags the whole document
+  // into the subtree match; a deep selective anchor prunes everything.)
+  const size_t n = tree.nodes.size();
+  std::vector<uint64_t> weight(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const PatternNode* p = tree.nodes[i].pattern;
+    if (p->is_doc_root) continue;
+    if (p->wildcard) {
+      weight[i] = store_->stats().node_count;
+    } else {
+      const TagId id = ResolvedTag(tag_table, p);
+      weight[i] = id != kInvalidTag ? store_->CountTag(id) : 0;
+    }
+  }
+  std::vector<uint64_t> below(n, 0);  // Sum of weights below node i.
+  for (size_t i = n; i-- > 0;) {      // Children have larger indexes.
+    for (int child : tree.nodes[i].children) {
+      below[i] += weight[static_cast<size_t>(child)] +
+                  below[static_cast<size_t>(child)];
+    }
+  }
+
+  struct ValueChoice {
+    uint64_t score = kMaxScore;
+    uint64_t count = 0;
+    std::string operand;
+    int node = 0;
+  };
+  ValueChoice best_value;
+  struct TagChoice {
+    uint64_t score = kMaxScore;
+    TagId tag = kInvalidTag;
+    int node = 0;
+  };
+  TagChoice best_tag;
+  struct PathChoice {
+    uint64_t score = kMaxScore;
+    uint64_t count = 0;
+    std::vector<TagId> path;
+    int node = 0;
+  };
+  PathChoice best_path;
+
+  // Rooted tag paths are only defined for the tree anchored at the
+  // document root, and the path index is only consistent while stored
+  // positions are fresh (it is rebuilt, not maintained, on update).
+  const bool paths_usable =
+      options.use_path_index && tree.root_is_doc_root &&
+      store_->positions_fresh() &&
+      (options.strategy == StartStrategy::kAuto ||
+       options.strategy == StartStrategy::kPathIndex);
+  const std::vector<int> parents =
+      paths_usable ? NokParents(tree) : std::vector<int>();
+
+  for (size_t i = 0; i < n; ++i) {
+    const PatternNode* p = tree.nodes[i].pattern;
+    if (p->is_doc_root) continue;  // The virtual root carries no test.
+    if (p->predicate.op == ValueOp::kEq &&
+        (options.strategy == StartStrategy::kAuto ||
+         options.strategy == StartStrategy::kValueIndex)) {
+      NOK_ASSIGN_OR_RETURN(
+          size_t count,
+          store_->EstimateValueCount(Slice(p->predicate.operand),
+                                     options.value_estimate_cap));
+      const uint64_t score = count + below[i];
+      if (score < best_value.score) {
+        best_value = ValueChoice{score, count, p->predicate.operand,
+                                 static_cast<int>(i)};
+      }
+    }
+    if (!p->wildcard) {
+      const uint64_t score = weight[i] + below[i];
+      if (score < best_tag.score) {
+        best_tag = TagChoice{score, ResolvedTag(tag_table, p),
+                             static_cast<int>(i)};
+      }
+    }
+    if (paths_usable && !p->wildcard) {
+      // Rooted tag path to this node (fails on a wildcard ancestor).
+      std::vector<TagId> tag_path;
+      bool ok = true;
+      for (int a = static_cast<int>(i); a > 0;
+           a = parents[static_cast<size_t>(a)]) {
+        const PatternNode* ap = tree.nodes[static_cast<size_t>(a)].pattern;
+        if (ap->wildcard) {
+          ok = false;
+          break;
+        }
+        const TagId id = ResolvedTag(tag_table, ap);
+        if (id == kInvalidTag) {
+          tag_path.clear();  // Unknown tag: the path matches nothing.
+          break;
+        }
+        tag_path.push_back(id);
+      }
+      if (ok) {
+        std::reverse(tag_path.begin(), tag_path.end());
+        size_t count = 0;
+        if (!tag_path.empty()) {
+          NOK_ASSIGN_OR_RETURN(
+              count, store_->EstimatePathCount(tag_path,
+                                               options.value_estimate_cap));
+        }
+        const uint64_t score = count + below[i];
+        if (score < best_path.score) {
+          best_path = PathChoice{score, count, std::move(tag_path),
+                                 static_cast<int>(i)};
+        }
+      }
+    }
+  }
+
+  // Paper heuristic: value index whenever a value constraint exists; else
+  // tag index when selective enough; else sequential scan.  Forced
+  // strategies that cannot apply to this tree (no equality constraint, no
+  // usable rooted path, no named node to anchor a tag probe on) degrade
+  // to a scan rather than silently returning nothing.
+  AccessPath access;
+  access.strategy = [&] {
+    switch (options.strategy) {
+      case StartStrategy::kScan:
+        return StartStrategy::kScan;
+      case StartStrategy::kTagIndex:
+        if (best_tag.score != kMaxScore) {
+          return StartStrategy::kTagIndex;
+        }
+        return StartStrategy::kScan;  // All-wildcard tree: nothing to probe.
+      case StartStrategy::kValueIndex:
+        if (best_value.score != kMaxScore) {
+          return StartStrategy::kValueIndex;
+        }
+        return StartStrategy::kScan;  // No usable equality constraint.
+      case StartStrategy::kPathIndex:
+        if (best_path.score != kMaxScore) {
+          return StartStrategy::kPathIndex;
+        }
+        return StartStrategy::kScan;  // No usable rooted path.
+      case StartStrategy::kAuto:
+        break;
+    }
+    if (best_value.score != kMaxScore) {
+      return StartStrategy::kValueIndex;
+    }
+    const double cutoff = options.index_fraction *
+                          static_cast<double>(store_->stats().node_count);
+    if (best_path.score < best_tag.score &&
+        static_cast<double>(best_path.score) <= cutoff) {
+      return StartStrategy::kPathIndex;
+    }
+    if (best_tag.tag != kInvalidTag &&
+        static_cast<double>(best_tag.score) <= cutoff) {
+      return StartStrategy::kTagIndex;
+    }
+    return StartStrategy::kScan;
+  }();
+
+  switch (access.strategy) {
+    case StartStrategy::kScan: {
+      const PatternNode* root = tree.nodes[0].pattern;
+      if (root->is_doc_root) {
+        access.estimated_candidates = 1;
+      } else if (root->wildcard) {
+        access.estimated_candidates = store_->stats().node_count;
+      } else {
+        const TagId id = ResolvedTag(tag_table, root);
+        access.tag = id;
+        access.estimated_candidates =
+            id != kInvalidTag ? store_->CountTag(id) : 0;
+      }
+      access.display = "root=" + DisplayName(root);
+      break;
+    }
+    case StartStrategy::kValueIndex: {
+      access.anchor = best_value.node;
+      access.value_operand = best_value.operand;
+      access.estimated_candidates = best_value.count;
+      access.display = "value=\"" + best_value.operand + "\"";
+      break;
+    }
+    case StartStrategy::kTagIndex: {
+      access.anchor = best_tag.node;
+      access.tag = best_tag.tag;
+      access.estimated_candidates =
+          best_tag.tag != kInvalidTag ? store_->CountTag(best_tag.tag) : 0;
+      access.display =
+          "tag=" +
+          DisplayName(
+              tree.nodes[static_cast<size_t>(best_tag.node)].pattern);
+      break;
+    }
+    case StartStrategy::kPathIndex: {
+      access.anchor = best_path.node;
+      access.tag_path = best_path.path;
+      access.estimated_candidates = best_path.count;
+      // Render the rooted path from the pattern chain root..anchor.
+      const std::vector<int> chain_parents = NokParents(tree);
+      std::vector<int> chain;
+      for (int a = best_path.node; a > 0;
+           a = chain_parents[static_cast<size_t>(a)]) {
+        chain.push_back(a);
+      }
+      access.display = "path=";
+      for (size_t j = chain.size(); j-- > 0;) {
+        access.display +=
+            "/" +
+            DisplayName(
+                tree.nodes[static_cast<size_t>(chain[j])].pattern);
+      }
+      break;
+    }
+    case StartStrategy::kAuto:
+      return Status::Internal("unreachable strategy");
+  }
+  return access;
+}
+
+std::vector<int> FixedSchedule(size_t n_trees) {
+  std::vector<int> order;
+  order.reserve(n_trees);
+  for (size_t t = n_trees; t-- > 0;) {
+    order.push_back(static_cast<int>(t));
+  }
+  return order;
+}
+
+std::vector<int> SelectivitySchedule(
+    const NokPartition& partition,
+    const std::vector<TreeAccessPlan>& trees) {
+  // Greedy most-selective-ready-first.  "Ready" = every child tree (arc
+  // target) already scheduled, so arc constraints are always installed
+  // before the parent's matching runs — the same invariant the fixed
+  // reverse-id order provides.
+  const size_t n = partition.trees.size();
+  std::vector<char> done(n, 0);
+  std::vector<int> order;
+  order.reserve(n);
+  while (order.size() < n) {
+    int best = -1;
+    for (size_t t = 0; t < n; ++t) {
+      if (done[t]) continue;
+      bool ready = true;
+      for (const GlobalArc* arc : partition.ArcsFrom(static_cast<int>(t))) {
+        if (!done[static_cast<size_t>(arc->to_tree)]) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      if (best < 0 ||
+          trees[t].access.estimated_candidates <
+              trees[static_cast<size_t>(best)].access.estimated_candidates ||
+          (trees[t].access.estimated_candidates ==
+               trees[static_cast<size_t>(best)].access.estimated_candidates &&
+           static_cast<int>(t) > best)) {
+        best = static_cast<int>(t);
+      }
+    }
+    NOK_CHECK(best >= 0) << "partition arcs are cyclic";
+    done[static_cast<size_t>(best)] = 1;
+    order.push_back(best);
+  }
+  return order;
+}
+
+Result<QueryPlan> Planner::Plan(const NokPartition& partition,
+                                const std::vector<TagId>& tag_table,
+                                const QueryOptions& options) {
+  QueryPlan plan;
+  plan.cost_based = options.cost_based_join_order;
+  plan.trees.resize(partition.trees.size());
+  for (size_t t = 0; t < partition.trees.size(); ++t) {
+    plan.trees[t].tree = static_cast<int>(t);
+    NOK_ASSIGN_OR_RETURN(
+        plan.trees[t].access,
+        PlanTree(partition.trees[t], tag_table, options));
+  }
+  plan.schedule = plan.cost_based
+                      ? SelectivitySchedule(partition, plan.trees)
+                      : FixedSchedule(partition.trees.size());
+  return plan;
+}
+
+std::string QueryPlan::ToString(const NokPartition& partition) const {
+  std::string out = "plan: ";
+  out += cost_based ? "cost-based join order" : "fixed join order";
+  out += "\n  schedule:";
+  for (int t : schedule) {
+    out += " " + std::to_string(t);
+  }
+  out += "\n";
+  for (const TreeAccessPlan& tree : trees) {
+    out += "  tree " + std::to_string(tree.tree) + ": ";
+    out += StrategyName(tree.access.strategy);
+    out += " " + tree.access.display;
+    if (tree.access.anchor != 0) {
+      out += " anchor=node" + std::to_string(tree.access.anchor);
+    }
+    out += " est=" + std::to_string(tree.access.estimated_candidates);
+    out += "\n";
+  }
+  for (const GlobalArc& arc : partition.arcs) {
+    out += "  arc: tree " + std::to_string(arc.from_tree) + " node " +
+           std::to_string(arc.from_node) + " -" +
+           std::string(AxisName(arc.axis)) + "-> tree " +
+           std::to_string(arc.to_tree) + "\n";
+  }
+  return out;
+}
+
+}  // namespace nok

@@ -1,0 +1,144 @@
+// Query planner: cost-based access-path and semi-join-order selection.
+//
+// The planner consumes a NokPartition plus cheap cardinality estimates
+// (exact B+t tag counts from the dictionary, capped B+v value counts,
+// capped B+p path counts, the document node count) and emits a QueryPlan
+// — a serializable IR describing, per NoK tree, which access path feeds
+// the matcher (the paper's Section 6.2 heuristic: value index > selective
+// tag index > scan, with the Section 8 path index as a fourth option) and
+// in which order the trees are evaluated (the semi-join schedule).
+//
+// Planning is pure: no index hits are fetched and no subject-tree pages
+// are touched beyond the estimate probes, so plans are cacheable (see
+// plan_cache.h) and inspectable (`nokq explain`).  The executor
+// (executor.h) is the only layer that materializes candidates.
+
+#ifndef NOKXML_NOK_PLANNER_H_
+#define NOKXML_NOK_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "encoding/document_store.h"
+#include "nok/nok_partition.h"
+#include "nok/structural_join.h"
+
+namespace nok {
+
+/// Starting-point strategy.  kPathIndex is the paper's Section 8
+/// extension: anchor on a whole rooted tag path when single tags are
+/// unselective but the path is rare.
+enum class StartStrategy { kAuto, kScan, kTagIndex, kValueIndex,
+                           kPathIndex };
+
+/// Per-query knobs.
+struct QueryOptions {
+  StartStrategy strategy = StartStrategy::kAuto;
+  /// Containment test for the global-arc joins.
+  JoinMode join_mode = JoinMode::kDewey;
+  /// kAuto: a tag index is used when the best tag count is below this
+  /// fraction of the document's node count; otherwise scan.
+  double index_fraction = 1.0 / 16;
+  /// Cap for value-selectivity estimation (counting stops here).
+  size_t value_estimate_cap = 512;
+  /// Consider the path index (B+p) during planning.  Only applies while
+  /// the store's positions are fresh (the path index is rebuilt, not
+  /// maintained, across updates).
+  bool use_path_index = true;
+  /// Cost-based semi-join schedule: evaluate the most selective ready
+  /// tree first and pre-filter anchor candidates against already-
+  /// evaluated child-tree results before any page is fetched for them.
+  /// Off reproduces the legacy fixed partition order exactly.
+  bool cost_based_join_order = true;
+  /// Consult/populate the engine's bounded plan cache.  Off by default:
+  /// a cache hit skips the planner's estimate probes, which changes the
+  /// per-query I/O profile that diagnostics tests and benchmarks pin
+  /// down.  Long-lived engines re-running the same workload turn it on.
+  bool use_plan_cache = false;
+};
+
+/// How one NoK tree's candidates are produced.  The operands (tag,
+/// value, rooted tag path) are recorded here so the executor can fetch
+/// hits without re-deriving the planner's choice.
+struct AccessPath {
+  StartStrategy strategy = StartStrategy::kScan;
+  /// Local node index the index hits refer to; 0 with kScan means a
+  /// whole-tree match from scanned/virtual roots.
+  int anchor = 0;
+  /// kTagIndex: the anchor's resolved tag (kInvalidTag when the name is
+  /// absent from the document — the probe then yields no hits, which is
+  /// the correct empty result).
+  TagId tag = kInvalidTag;
+  /// kValueIndex: the equality operand.
+  std::string value_operand;
+  /// kPathIndex: the rooted tag path (root tag first; empty when some
+  /// tag on the path is absent — again a correct empty probe).
+  std::vector<TagId> tag_path;
+  /// Estimated candidate count for this access path (tag counts are
+  /// exact; value/path counts are capped at value_estimate_cap).
+  uint64_t estimated_candidates = 0;
+  /// Display label for plans ("tag=author", "value=\"x\"", ...).
+  std::string display;
+};
+
+/// Plan for one NoK tree.
+struct TreeAccessPlan {
+  int tree = 0;
+  AccessPath access;
+};
+
+/// A complete plan for one partitioned pattern.
+///
+/// `schedule` lists tree ids in evaluation order.  It is always a valid
+/// children-before-parents order: a tree's arc constraints must be
+/// installed before its parent tree is matched (witness selection during
+/// matching is what keeps the semi-joins sound; a binding-level
+/// post-filter could not be).  The legacy order is n-1..0; the
+/// cost-based order picks the most selective ready tree first.
+struct QueryPlan {
+  std::vector<TreeAccessPlan> trees;  ///< Indexed by tree id.
+  std::vector<int> schedule;          ///< Tree ids, evaluation order.
+  /// Whether the executor may prune anchor candidates with the semi-join
+  /// pre-filter (mirrors QueryOptions::cost_based_join_order at plan
+  /// time so a cached plan replays identically).
+  bool cost_based = true;
+
+  /// Serialized human-readable form (stable; `nokq explain` prints it).
+  std::string ToString(const NokPartition& partition) const;
+};
+
+/// Stateless plan builder over one DocumentStore.
+class Planner {
+ public:
+  explicit Planner(DocumentStore* store) : store_(store) {}
+
+  /// Plans every tree of the partition and computes the semi-join
+  /// schedule.  tag_table maps PatternNode::id -> resolved TagId (see
+  /// ResolvePatternTags); estimates come from the dictionary and capped
+  /// index probes only — no hits are fetched.
+  Result<QueryPlan> Plan(const NokPartition& partition,
+                         const std::vector<TagId>& tag_table,
+                         const QueryOptions& options);
+
+ private:
+  Result<AccessPath> PlanTree(const NokTree& tree,
+                              const std::vector<TagId>& tag_table,
+                              const QueryOptions& options);
+
+  DocumentStore* store_;
+};
+
+/// The evaluation order used by the plan.  Exposed for tests: both
+/// orders must be children-before-parents over the partition's arcs.
+std::vector<int> FixedSchedule(size_t n_trees);
+std::vector<int> SelectivitySchedule(const NokPartition& partition,
+                                     const std::vector<TreeAccessPlan>& trees);
+
+/// Human-readable strategy name ("scan", "tag-index", ...).
+const char* StrategyName(StartStrategy strategy);
+
+}  // namespace nok
+
+#endif  // NOKXML_NOK_PLANNER_H_

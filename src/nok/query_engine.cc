@@ -1,922 +1,101 @@
 #include "nok/query_engine.h"
 
-#include <algorithm>
-#include <limits>
-#include <unordered_map>
+#include <chrono>
+#include <cstdio>
+#include <utility>
 
-#include "common/logging.h"
-#include "nok/logical_matcher.h"
+#include "nok/physical_matcher.h"
 #include "nok/xpath_parser.h"
 
 namespace nok {
 
-namespace {
-
-/// True iff `outer` has a related member of the sorted `inners` set
-/// (Dewey containment; equivalent to the interval condition and always
-/// available, so arc predicates use it in both join modes).
-bool AnyRelated(const NodeMatch& outer, const std::vector<NodeMatch>& inners,
-                Axis axis) {
-  if (inners.empty()) return false;
-  if (axis == Axis::kDescendant) {
-    if (outer.virtual_root) return true;
-    auto it = std::upper_bound(inners.begin(), inners.end(), outer,
-                               DocOrderLess);
-    return it != inners.end() &&
-           IsRelated(outer, *it, Axis::kDescendant, JoinMode::kDewey);
-  }
-  if (outer.virtual_root) return false;
-  if (axis == Axis::kFollowing) {
-    // The document-order-last inner is the canonical witness.
-    return IsRelated(outer, inners.back(), Axis::kFollowing,
-                     JoinMode::kDewey);
-  }
-  // Preceding: scan inners from the front past the outer's ancestors.
-  for (const NodeMatch& inner : inners) {
-    if (!DocOrderLess(inner, outer)) break;
-    if (IsRelated(outer, inner, Axis::kPreceding, JoinMode::kDewey)) {
-      return true;
-    }
-  }
-  return false;
-}
-
-/// StoreCursor wrapper that additionally enforces global-arc constraints:
-/// a pattern node with an outgoing arc only matches subject nodes that
-/// have a qualified child-tree root in the arc's relation.  Injecting the
-/// arcs into the NoK match keeps witness selection sound (Algorithm 1
-/// picks per-node witnesses; a binding-level post-filter could not).
-class ConstrainedCursor {
- public:
-  using NodeT = StoreCursor::NodeT;
-
-  struct ArcConstraint {
-    Axis axis;
-    const std::vector<NodeMatch>* qualified_roots;  // Sorted.
-  };
-
-  explicit ConstrainedCursor(StoreCursor* base) : base_(base) {}
-
-  void AddConstraint(const PatternNode* pattern, ArcConstraint constraint) {
-    constraints_[pattern].push_back(constraint);
-  }
-
-  Result<std::optional<NodeT>> FirstChild(const NodeT& node) {
-    return base_->FirstChild(node);
-  }
-  Result<std::optional<NodeT>> FollowingSibling(const NodeT& node) {
-    return base_->FollowingSibling(node);
-  }
-
-  Result<bool> Matches(const NodeT& node, const PatternNode& pattern) {
-    NOK_ASSIGN_OR_RETURN(bool ok, base_->Matches(node, pattern));
-    if (!ok) return false;
-    auto it = constraints_.find(&pattern);
-    if (it == constraints_.end()) return true;
-    NodeMatch as_match;
-    as_match.virtual_root = node.virtual_root;
-    if (!node.virtual_root) as_match.dewey = node.dewey;
-    for (const ArcConstraint& constraint : it->second) {
-      if (!AnyRelated(as_match, *constraint.qualified_roots,
-                      constraint.axis)) {
-        return false;
-      }
-    }
-    return true;
-  }
-
- private:
-  StoreCursor* base_;
-  std::unordered_map<const PatternNode*, std::vector<ArcConstraint>>
-      constraints_;
-};
-
-/// NodeT -> NodeMatch (interval endpoints only in kInterval mode).
-Result<NodeMatch> NodeToMatch(DocumentStore* store,
-                              const StoreCursor::NodeT& node,
-                              JoinMode mode) {
-  NodeMatch match;
-  if (node.virtual_root) {
-    match.virtual_root = true;
-    return match;
-  }
-  match.dewey = node.dewey;
-  if (mode == JoinMode::kInterval) {
-    match.start = store->tree()->GlobalPos(node.pos);
-    NOK_ASSIGN_OR_RETURN(match.end,
-                         store->tree()->SubtreeEndGlobal(node.pos));
-  }
-  return match;
-}
-
-/// A standalone sub-NoK-tree with its index mapping and designations.
-struct SubMatcherData {
-  NokTree sub;
-  std::vector<int> map;            // Sub index -> original local index.
-  std::vector<bool> designated;    // Over sub indexes.
-  bool collects = false;           // Any designated node inside?
-};
-
-SubMatcherData MakeSub(const NokTree& tree, int local,
-                       const std::vector<bool>& designated) {
-  SubMatcherData data;
-  data.sub = ExtractNokSubtree(tree, local, &data.map);
-  data.designated.resize(data.sub.nodes.size());
-  for (size_t i = 0; i < data.map.size(); ++i) {
-    data.designated[i] = designated[static_cast<size_t>(data.map[i])];
-    data.collects = data.collects || data.designated[i];
-  }
-  return data;
-}
-
-/// Whether the tree uses sibling-order constraints anywhere (the anchored
-/// evaluator bails out to whole-tree matching for those).
-bool HasSiblingOrder(const NokTree& tree) {
-  for (const NokNode& node : tree.nodes) {
-    if (!node.sibling_order.empty()) return true;
-  }
-  return false;
-}
-
-}  // namespace
-
 Result<std::vector<DeweyId>> QueryEngine::Evaluate(
     const std::string& xpath, const QueryOptions& options) {
+  // Reset diagnostics before parsing, so a malformed query can never
+  // leave the previous query's stats/trace in place.
+  stats_ = QueryStats{};
+  last_trace_ = ExecutionTrace{};
+  last_plan_.reset();
+  last_plan_text_.clear();
   NOK_ASSIGN_OR_RETURN(auto pattern, ParseXPath(xpath));
   return EvaluatePattern(pattern, options);
 }
 
-Result<NodeMatch> QueryEngine::ToMatch(const StoreCursor::NodeT& node,
-                                       JoinMode mode) {
-  return NodeToMatch(store_, node, mode);
-}
-
-Result<std::vector<StoreCursor::NodeT>> QueryEngine::ScanCandidates(
-    const PatternNode& root_pattern, TagId want) {
-  std::vector<StoreCursor::NodeT> out;
-  StringStore* tree = store_->tree();
-  if (!root_pattern.wildcard && want == kInvalidTag) {
-    return out;  // Tag absent: no matches anywhere.
-  }
-
-  // Fused path for a selective tag test: phase A enumerates hit positions
-  // with NextOpenWithTag, a single tag-filtered chain scan that skips
-  // pages via the per-page summaries (no child counting, so skipping is
-  // sound); phase B derives Dewey IDs only for the hits.  A frequent tag
-  // would gain nothing from the filter while phase B re-navigates per
-  // hit, so it keeps the counter scan below, as do wildcards.
-  if (!root_pattern.wildcard &&
-      store_->CountTag(want) * 2 <= store_->stats().node_count) {
-    std::vector<StorePos> hits;
-    StorePos pos = tree->RootPos();
-    NOK_ASSIGN_OR_RETURN(TagId root_tag, tree->TagAt(pos));
-    if (root_tag == want) hits.push_back(pos);
-    for (;;) {
-      NOK_ASSIGN_OR_RETURN(auto next, tree->NextOpenWithTag(pos, want));
-      if (!next.has_value()) break;
-      pos = *next;
-      hits.push_back(pos);
-    }
-    return DeweysForHits(hits);
-  }
-
-  // Single forward scan; Dewey IDs are derived from the level sequence.
-  std::vector<uint32_t> child_counter(
-      static_cast<size_t>(tree->max_level()) + 2, 0);
-  std::vector<uint32_t> path;
-  std::optional<StorePos> pos = tree->RootPos();
-  while (pos.has_value()) {
-    NOK_ASSIGN_OR_RETURN(int level, tree->LevelAt(*pos));
-    NOK_ASSIGN_OR_RETURN(TagId tag, tree->TagAt(*pos));
-    const size_t l = static_cast<size_t>(level);
-    path.resize(l);
-    path[l - 1] = child_counter[l]++;
-    child_counter[l + 1] = 0;
-    if (root_pattern.wildcard || tag == want) {
-      out.push_back(StoreCursor::NodeT{
-          *pos, DeweyId(std::vector<uint32_t>(path)), false});
-    }
-    NOK_ASSIGN_OR_RETURN(auto next, tree->NextOpen(*pos));
-    pos = next;
-  }
-  return out;
-}
-
-Result<std::vector<StoreCursor::NodeT>> QueryEngine::DeweysForHits(
-    const std::vector<StorePos>& hits) {
-  std::vector<StoreCursor::NodeT> out;
-  out.reserve(hits.size());
-  StringStore* tree = store_->tree();
-
-  // Interval-guided descent.  The stack holds the path from the root to
-  // the node most recently visited: (child index, position, subtree-end
-  // global).  For each hit (ascending), entries whose subtree ends before
-  // the hit are popped, and the walk resumes from the shallowest popped
-  // sibling — so each level's sibling chain is traversed at most once
-  // across all hits.
-  struct PathEntry {
-    uint32_t component;
-    StorePos pos;
-    uint64_t end;
-  };
-  std::vector<PathEntry> stack;
-  std::vector<uint32_t> components;
-
-  for (const StorePos& hit : hits) {
-    const uint64_t g = tree->GlobalPos(hit);
-    std::optional<PathEntry> resume;
-    while (!stack.empty() && stack.back().end < g) {
-      resume = stack.back();
-      stack.pop_back();
-    }
-    if (stack.empty()) {
-      const StorePos root = tree->RootPos();
-      NOK_ASSIGN_OR_RETURN(uint64_t root_end,
-                           tree->SubtreeEndGlobal(root));
-      stack.push_back(PathEntry{0, root, root_end});
-      resume.reset();  // The root has no siblings to resume from.
-    }
-    while (tree->GlobalPos(stack.back().pos) != g) {
-      // Step down one level to the child whose interval contains g.
-      PathEntry child{0, StorePos{}, 0};
-      if (resume.has_value()) {
-        NOK_ASSIGN_OR_RETURN(auto sib,
-                             tree->FollowingSibling(resume->pos));
-        if (!sib.has_value()) {
-          return Status::Corruption("scan hit outside every sibling");
-        }
-        child.component = resume->component + 1;
-        child.pos = *sib;
-        resume.reset();
-      } else {
-        NOK_ASSIGN_OR_RETURN(auto first,
-                             tree->FirstChild(stack.back().pos));
-        if (!first.has_value()) {
-          return Status::Corruption("scan hit below a leaf");
-        }
-        child.pos = *first;
-      }
-      for (;;) {
-        if (tree->GlobalPos(child.pos) > g) {
-          return Status::Corruption("scan hit between sibling subtrees");
-        }
-        NOK_ASSIGN_OR_RETURN(child.end,
-                             tree->SubtreeEndGlobal(child.pos));
-        if (g <= child.end) break;
-        NOK_ASSIGN_OR_RETURN(auto sib,
-                             tree->FollowingSibling(child.pos));
-        if (!sib.has_value()) {
-          return Status::Corruption("scan hit outside every sibling");
-        }
-        child.pos = *sib;
-        ++child.component;
-      }
-      stack.push_back(child);
-    }
-    components.clear();
-    components.reserve(stack.size());
-    for (const PathEntry& entry : stack) {
-      components.push_back(entry.component);
-    }
-    out.push_back(StoreCursor::NodeT{
-        hit, DeweyId(std::vector<uint32_t>(components)), false});
-  }
-  return out;
-}
-
-Result<std::vector<StoreCursor::NodeT>> QueryEngine::LocateAll(
-    std::vector<DeweyId> deweys) {
-  std::sort(deweys.begin(), deweys.end(),
-            [](const DeweyId& a, const DeweyId& b) {
-              return a.Compare(b) < 0;
-            });
-  deweys.erase(std::unique(deweys.begin(), deweys.end()), deweys.end());
-
-  std::vector<StoreCursor::NodeT> out;
-  out.reserve(deweys.size());
-  StringStore* tree = store_->tree();
-
-  // Navigation cache: path[i] = (component value, position) of the node
-  // currently reached at depth i+1.  Consecutive sorted Dewey IDs share
-  // long prefixes, so most steps resume from the cached path.
-  struct PathEntry {
-    uint32_t component;
-    StorePos pos;
-  };
-  std::vector<PathEntry> cached;
-
-  for (const DeweyId& dewey : deweys) {
-    const auto& comp = dewey.components();
-    if (comp.empty() || comp[0] != 0) {
-      return Status::InvalidArgument("bad Dewey ID " + dewey.ToString());
-    }
-    // Longest usable prefix of the cached path: components equal, except
-    // the last reusable level may be <= (we can walk right, not left).
-    size_t keep = 0;
-    while (keep < cached.size() && keep < comp.size() &&
-           cached[keep].component == comp[keep]) {
-      ++keep;
-    }
-    bool resume_sideways = false;
-    if (keep < cached.size() && keep < comp.size() && keep > 0 &&
-        cached[keep].component < comp[keep]) {
-      resume_sideways = true;  // Continue right from cached[keep].
-    }
-    cached.resize(keep + (resume_sideways ? 1 : 0));
-
-    bool missing = false;
-    if (cached.empty()) {
-      cached.push_back(PathEntry{0, tree->RootPos()});
-    }
-    for (;;) {
-      PathEntry& last = cached.back();
-      const size_t level = cached.size();  // 1-based depth reached.
-      if (last.component < comp[level - 1]) {
-        // Walk right to the desired sibling.
-        NOK_ASSIGN_OR_RETURN(auto sibling,
-                             tree->FollowingSibling(last.pos));
-        if (!sibling.has_value()) {
-          missing = true;
-          break;
-        }
-        last.pos = *sibling;
-        ++last.component;
-        continue;
-      }
-      if (level == comp.size()) break;  // Arrived.
-      // Descend.
-      NOK_ASSIGN_OR_RETURN(auto child, tree->FirstChild(last.pos));
-      if (!child.has_value()) {
-        missing = true;
-        break;
-      }
-      cached.push_back(PathEntry{0, *child});
-    }
-    if (missing) {
-      return Status::Corruption("index references missing node " +
-                                dewey.ToString());
-    }
-    out.push_back(StoreCursor::NodeT{cached.back().pos, dewey, false});
-  }
-  return out;
-}
-
-Result<std::vector<StoreCursor::NodeT>> QueryEngine::ResolveHits(
-    const std::vector<DocumentStore::IndexedNode>& hits) {
-  if (!store_->positions_fresh()) {
-    std::vector<DeweyId> deweys;
-    deweys.reserve(hits.size());
-    for (const auto& hit : hits) deweys.push_back(hit.dewey);
-    return LocateAll(std::move(deweys));
-  }
-  std::vector<StoreCursor::NodeT> out;
-  out.reserve(hits.size());
-  for (const auto& hit : hits) {
-    NOK_ASSIGN_OR_RETURN(StorePos pos, store_->tree()->PosForGlobal(hit.pos));
-    out.push_back(StoreCursor::NodeT{pos, hit.dewey, false});
-  }
-  std::sort(out.begin(), out.end(),
-            [](const StoreCursor::NodeT& a, const StoreCursor::NodeT& b) {
-              return a.dewey.Compare(b.dewey) < 0;
-            });
-  out.erase(std::unique(out.begin(), out.end(),
-                        [](const StoreCursor::NodeT& a,
-                           const StoreCursor::NodeT& b) {
-                          return a.dewey == b.dewey;
-                        }),
-            out.end());
-  return out;
-}
-
-namespace {
-
-/// Plan-time resolved tag of a pattern node (see ResolvePatternTags).
-TagId ResolvedTag(const std::vector<TagId>& tag_table,
-                  const PatternNode* p) {
-  const size_t id = static_cast<size_t>(p->id);
-  return id < tag_table.size() ? tag_table[id] : kInvalidTag;
-}
-
-}  // namespace
-
-Result<QueryEngine::TreePlan> QueryEngine::PlanTree(
-    const NokTree& tree, const std::vector<TagId>& tag_table,
-    const QueryOptions& options) {
-  // Anchor scoring: the cost of anchored evaluation is roughly the number
-  // of candidate matches of the anchor PLUS the matching work inside its
-  // pattern subtree, approximated by the total tag occurrences below it.
-  // (A root-element anchor has a count of 1 but drags the whole document
-  // into the subtree match; a deep selective anchor prunes everything.)
-  const size_t n = tree.nodes.size();
-  std::vector<uint64_t> weight(n, 0);
-  for (size_t i = 0; i < n; ++i) {
-    const PatternNode* p = tree.nodes[i].pattern;
-    if (p->is_doc_root) continue;
-    if (p->wildcard) {
-      weight[i] = store_->stats().node_count;
-    } else {
-      const TagId id = ResolvedTag(tag_table, p);
-      weight[i] = id != kInvalidTag ? store_->CountTag(id) : 0;
-    }
-  }
-  std::vector<uint64_t> below(n, 0);  // Sum of weights below node i.
-  for (size_t i = n; i-- > 0;) {      // Children have larger indexes.
-    for (int child : tree.nodes[i].children) {
-      below[i] += weight[static_cast<size_t>(child)] +
-                  below[static_cast<size_t>(child)];
-    }
-  }
-
-  struct ValueChoice {
-    uint64_t score = std::numeric_limits<uint64_t>::max();
-    std::string operand;
-    int node = 0;
-  };
-  ValueChoice best_value;
-  struct TagChoice {
-    uint64_t score = std::numeric_limits<uint64_t>::max();
-    TagId tag = kInvalidTag;
-    int node = 0;
-  };
-  TagChoice best_tag;
-  struct PathChoice {
-    uint64_t score = std::numeric_limits<uint64_t>::max();
-    std::vector<TagId> path;
-    int node = 0;
-  };
-  PathChoice best_path;
-
-  // Rooted tag paths are only defined for the tree anchored at the
-  // document root, and the path index is only consistent while stored
-  // positions are fresh (it is rebuilt, not maintained, on update).
-  const bool paths_usable =
-      options.use_path_index && tree.root_is_doc_root &&
-      store_->positions_fresh() &&
-      (options.strategy == StartStrategy::kAuto ||
-       options.strategy == StartStrategy::kPathIndex);
-  const std::vector<int> parents =
-      paths_usable ? NokParents(tree) : std::vector<int>();
-
-  for (size_t i = 0; i < n; ++i) {
-    const PatternNode* p = tree.nodes[i].pattern;
-    if (p->is_doc_root) continue;  // The virtual root carries no test.
-    if (p->predicate.op == ValueOp::kEq &&
-        (options.strategy == StartStrategy::kAuto ||
-         options.strategy == StartStrategy::kValueIndex)) {
-      NOK_ASSIGN_OR_RETURN(
-          size_t count,
-          store_->EstimateValueCount(Slice(p->predicate.operand),
-                                     options.value_estimate_cap));
-      const uint64_t score = count + below[i];
-      if (score < best_value.score) {
-        best_value =
-            ValueChoice{score, p->predicate.operand, static_cast<int>(i)};
-      }
-    }
-    if (!p->wildcard) {
-      const uint64_t score = weight[i] + below[i];
-      if (score < best_tag.score) {
-        best_tag = TagChoice{score, ResolvedTag(tag_table, p),
-                             static_cast<int>(i)};
-      }
-    }
-    if (paths_usable && !p->wildcard) {
-      // Rooted tag path to this node (fails on a wildcard ancestor).
-      std::vector<TagId> tag_path;
-      bool ok = true;
-      for (int a = static_cast<int>(i); a > 0;
-           a = parents[static_cast<size_t>(a)]) {
-        const PatternNode* ap = tree.nodes[static_cast<size_t>(a)].pattern;
-        if (ap->wildcard) {
-          ok = false;
-          break;
-        }
-        const TagId id = ResolvedTag(tag_table, ap);
-        if (id == kInvalidTag) {
-          tag_path.clear();  // Unknown tag: the path matches nothing.
-          break;
-        }
-        tag_path.push_back(id);
-      }
-      if (ok) {
-        std::reverse(tag_path.begin(), tag_path.end());
-        size_t count = 0;
-        if (!tag_path.empty()) {
-          NOK_ASSIGN_OR_RETURN(
-              count, store_->EstimatePathCount(tag_path,
-                                               options.value_estimate_cap));
-        }
-        const uint64_t score = count + below[i];
-        if (score < best_path.score) {
-          best_path = PathChoice{score, std::move(tag_path),
-                                 static_cast<int>(i)};
-        }
-      }
-    }
-  }
-
-  // Paper heuristic: value index whenever a value constraint exists; else
-  // tag index when selective enough; else sequential scan.
-  TreePlan plan;
-  plan.strategy = [&] {
-    switch (options.strategy) {
-      case StartStrategy::kScan:
-        return StartStrategy::kScan;
-      case StartStrategy::kTagIndex:
-        return StartStrategy::kTagIndex;
-      case StartStrategy::kValueIndex:
-        if (best_value.score != std::numeric_limits<uint64_t>::max()) {
-          return StartStrategy::kValueIndex;
-        }
-        return StartStrategy::kScan;  // No usable equality constraint.
-      case StartStrategy::kPathIndex:
-        if (best_path.score != std::numeric_limits<uint64_t>::max()) {
-          return StartStrategy::kPathIndex;
-        }
-        return StartStrategy::kScan;  // No usable rooted path.
-      case StartStrategy::kAuto:
-        break;
-    }
-    if (best_value.score != std::numeric_limits<uint64_t>::max()) {
-      return StartStrategy::kValueIndex;
-    }
-    const double cutoff = options.index_fraction *
-                          static_cast<double>(store_->stats().node_count);
-    if (best_path.score < best_tag.score &&
-        static_cast<double>(best_path.score) <= cutoff) {
-      return StartStrategy::kPathIndex;
-    }
-    if (best_tag.tag != kInvalidTag &&
-        static_cast<double>(best_tag.score) <= cutoff) {
-      return StartStrategy::kTagIndex;
-    }
-    return StartStrategy::kScan;
-  }();
-
-  switch (plan.strategy) {
-    case StartStrategy::kScan:
-      break;
-    case StartStrategy::kValueIndex: {
-      plan.anchor = best_value.node;
-      NOK_ASSIGN_OR_RETURN(plan.anchor_hits,
-                           store_->NodesWithValue(Slice(best_value.operand)));
-      break;
-    }
-    case StartStrategy::kTagIndex: {
-      plan.anchor = best_tag.node;
-      if (best_tag.tag != kInvalidTag) {
-        NOK_ASSIGN_OR_RETURN(plan.anchor_hits,
-                             store_->NodesWithTag(best_tag.tag));
-      }
-      break;
-    }
-    case StartStrategy::kPathIndex: {
-      plan.anchor = best_path.node;
-      if (!best_path.path.empty()) {
-        NOK_ASSIGN_OR_RETURN(plan.anchor_hits,
-                             store_->NodesWithPath(best_path.path));
-      }
-      break;
-    }
-    case StartStrategy::kAuto:
-      return Status::Internal("unreachable strategy");
-  }
-  return plan;
-}
-
-namespace {
-
-/// Anchored evaluation of one NoK tree (Section 6.2 realized): the index
-/// supplies candidate matches of the anchor node; the trunk (anchor ->
-/// tree root) is verified upward via Dewey prefixes; branch subtrees hang
-/// off trunk nodes and are matched one level down; the anchor's own
-/// subtree is matched in full.  Every trunk edge is a child axis, so the
-/// subject ancestors are exactly the Dewey prefixes -- no search needed.
-class AnchoredMatcher {
- public:
-  AnchoredMatcher(DocumentStore* store, ConstrainedCursor* cursor,
-                  const NokTree& tree, const std::vector<bool>& designated,
-                  int anchor, JoinMode join_mode)
-      : store_(store),
-        cursor_(cursor),
-        tree_(tree),
-        designated_(designated),
-        join_mode_(join_mode) {
-    // Trunk chain root..anchor.
-    const std::vector<int> parents = NokParents(tree);
-    for (int n = anchor; n >= 0; n = parents[static_cast<size_t>(n)]) {
-      trunk_.push_back(n);
-    }
-    std::reverse(trunk_.begin(), trunk_.end());
-    // Branch data per trunk node (children except the trunk successor).
-    branches_.resize(trunk_.size());
-    for (size_t j = 0; j + 1 < trunk_.size(); ++j) {
-      for (int child : tree.nodes[static_cast<size_t>(trunk_[j])].children) {
-        if (child == trunk_[j + 1]) continue;
-        branches_[j].push_back(MakeSub(tree, child, designated));
-      }
-    }
-    anchor_sub_ = MakeSub(tree, anchor, designated);
-  }
-
-  /// Matches one candidate anchor node; returns the binding when the
-  /// whole tree matches around it.
-  Result<std::optional<NokBinding>> MatchCandidate(
-      const DocumentStore::IndexedNode& hit) {
-    const bool doc_root = tree_.root_is_doc_root;
-    const size_t trunk_len = trunk_.size();
-    // Depth feasibility: for rooted trees the anchor's document depth is
-    // fixed; for floating trees it only has a minimum.
-    if (doc_root) {
-      if (hit.dewey.depth() != trunk_len - 1) {
-        return std::optional<NokBinding>();
-      }
-    } else if (hit.dewey.depth() < trunk_len) {
-      return std::optional<NokBinding>();
-    }
-
-    NokBinding binding;
-    binding.matches.resize(tree_.nodes.size());
-
-    for (size_t j = 0; j < trunk_len; ++j) {
-      const int local = trunk_[j];
-      const PatternNode* pattern =
-          tree_.nodes[static_cast<size_t>(local)].pattern;
-      if (pattern->is_doc_root) {
-        NodeMatch virtual_match;
-        virtual_match.virtual_root = true;
-        binding.matches[static_cast<size_t>(local)].push_back(
-            virtual_match);
-        continue;
-      }
-      const size_t subject_depth =
-          doc_root ? j : hit.dewey.depth() - (trunk_len - 1) + j;
-      auto dewey = hit.dewey.Ancestor(hit.dewey.depth() - subject_depth);
-      NOK_CHECK(dewey.has_value());
-      NOK_ASSIGN_OR_RETURN(StorePos pos, store_->Locate(*dewey));
-      StoreCursor::NodeT node{pos, *dewey, false};
-
-      if (j + 1 == trunk_len) {
-        // The anchor: match its whole pattern subtree.
-        NokMatcher<ConstrainedCursor> matcher(&anchor_sub_.sub, cursor_,
-                                              anchor_sub_.designated);
-        NokMatcher<ConstrainedCursor>::MatchLists lists(
-            anchor_sub_.sub.nodes.size());
-        NOK_ASSIGN_OR_RETURN(bool ok, matcher.Match(node, &lists));
-        if (!ok) return std::optional<NokBinding>();
-        NOK_RETURN_IF_ERROR(Merge(anchor_sub_, lists, &binding));
-        continue;
-      }
-
-      // Inner trunk node: own constraints + branch subtrees.
-      NOK_ASSIGN_OR_RETURN(bool ok, cursor_->Matches(node, *pattern));
-      if (!ok) return std::optional<NokBinding>();
-      if (designated_[static_cast<size_t>(local)]) {
-        NOK_ASSIGN_OR_RETURN(NodeMatch match,
-                             NodeToMatch(store_, node, join_mode_));
-        binding.matches[static_cast<size_t>(local)].push_back(
-            std::move(match));
-      }
-      if (!branches_[j].empty()) {
-        NOK_ASSIGN_OR_RETURN(bool branch_ok,
-                             MatchBranches(node, branches_[j], &binding));
-        if (!branch_ok) return std::optional<NokBinding>();
-      }
-    }
-    for (auto& list : binding.matches) SortUnique(&list);
-    return std::optional<NokBinding>(std::move(binding));
-  }
-
- private:
-  /// Merges a sub-matcher's lists into the binding via the index map.
-  Status Merge(const SubMatcherData& sub,
-               const NokMatcher<ConstrainedCursor>::MatchLists& lists,
-               NokBinding* binding) {
-    for (size_t i = 0; i < lists.size(); ++i) {
-      for (const StoreCursor::NodeT& node : lists[i]) {
-        NOK_ASSIGN_OR_RETURN(NodeMatch match,
-                             NodeToMatch(store_, node, join_mode_));
-        binding->matches[static_cast<size_t>(sub.map[i])].push_back(
-            std::move(match));
-      }
-    }
-    return Status::OK();
-  }
-
-  /// One level of Algorithm 1: every branch must match some child of
-  /// `parent`; branches that collect designated matches keep matching all
-  /// children.
-  Result<bool> MatchBranches(const StoreCursor::NodeT& parent,
-                             std::vector<SubMatcherData>& branches,
-                             NokBinding* binding) {
-    const size_t n = branches.size();
-    std::vector<char> satisfied(n, 0);
-    size_t remaining = n;
-    size_t collecting = 0;
-    for (const SubMatcherData& b : branches) collecting += b.collects;
-
-    NOK_ASSIGN_OR_RETURN(auto u, cursor_->FirstChild(parent));
-    while (u.has_value() && (remaining > 0 || collecting > 0)) {
-      for (size_t i = 0; i < n; ++i) {
-        if (satisfied[i] && !branches[i].collects) continue;
-        NokMatcher<ConstrainedCursor> matcher(&branches[i].sub, cursor_,
-                                              branches[i].designated);
-        NokMatcher<ConstrainedCursor>::MatchLists lists(
-            branches[i].sub.nodes.size());
-        NOK_ASSIGN_OR_RETURN(bool ok, matcher.Match(*u, &lists));
-        if (!ok) continue;
-        NOK_RETURN_IF_ERROR(Merge(branches[i], lists, binding));
-        if (!satisfied[i]) {
-          satisfied[i] = 1;
-          --remaining;
-        }
-      }
-      NOK_ASSIGN_OR_RETURN(auto next, cursor_->FollowingSibling(*u));
-      u = next;
-    }
-    return remaining == 0;
-  }
-
-  DocumentStore* store_;
-  ConstrainedCursor* cursor_;
-  const NokTree& tree_;
-  const std::vector<bool>& designated_;
-  JoinMode join_mode_;
-  std::vector<int> trunk_;
-  std::vector<std::vector<SubMatcherData>> branches_;
-  SubMatcherData anchor_sub_;
-};
-
-}  // namespace
-
 Result<std::vector<DeweyId>> QueryEngine::EvaluatePattern(
     const PatternTree& pattern, const QueryOptions& options) {
   stats_ = QueryStats{};
+  last_trace_ = ExecutionTrace{};
+  last_plan_.reset();
+  last_plan_text_.clear();
+
   const NokPartition partition = PartitionPattern(pattern);
-  const size_t n_trees = partition.trees.size();
-  stats_.trees.resize(n_trees);
 
   // Resolve every pattern tag against the dictionary once; the table is
   // shared by planning and by every Matches call during matching.
   const std::vector<TagId> tag_table =
       ResolvePatternTags(pattern, *store_->tags());
 
-  StoreCursor base_cursor(store_);
-  base_cursor.set_tag_table(&tag_table);
-  ConstrainedCursor cursor(&base_cursor);
-
-  // NoK matching per tree, children before parents (arc targets always
-  // have larger tree ids), with each evaluated arc injected into the
-  // parent's matching as a node predicate.
-  std::vector<std::vector<Binding>> bindings(n_trees);
-  std::vector<std::vector<NodeMatch>> qualified_roots(n_trees);
-  for (size_t t = n_trees; t-- > 0;) {
-    const NokTree& tree = partition.trees[t];
-    QueryStats::TreeStats& tree_stats = stats_.trees[t];
-    const std::vector<bool> designated =
-        ComputeDesignated(partition, static_cast<int>(t));
-
-    NOK_ASSIGN_OR_RETURN(TreePlan plan,
-                         PlanTree(tree, tag_table, options));
-    tree_stats.strategy = plan.strategy;
-
-    const bool anchored = plan.strategy != StartStrategy::kScan &&
-                          plan.anchor != 0 && !HasSiblingOrder(tree);
-
-    if (anchored) {
-      // Index-anchored evaluation.
-      tree_stats.candidates = plan.anchor_hits.size();
-      std::sort(plan.anchor_hits.begin(), plan.anchor_hits.end(),
-                [](const DocumentStore::IndexedNode& a,
-                   const DocumentStore::IndexedNode& b) {
-                  return a.dewey.Compare(b.dewey) < 0;
-                });
-      plan.anchor_hits.erase(
-          std::unique(plan.anchor_hits.begin(), plan.anchor_hits.end(),
-                      [](const DocumentStore::IndexedNode& a,
-                         const DocumentStore::IndexedNode& b) {
-                        return a.dewey == b.dewey;
-                      }),
-          plan.anchor_hits.end());
-      AnchoredMatcher matcher(store_, &cursor, tree, designated,
-                              plan.anchor, options.join_mode);
-      for (const auto& hit : plan.anchor_hits) {
-        NOK_ASSIGN_OR_RETURN(auto binding, matcher.MatchCandidate(hit));
-        if (!binding.has_value()) continue;
-        qualified_roots[t].push_back(binding->matches[0].front());
-        bindings[t].push_back(std::move(*binding));
-      }
-    } else {
-      // Whole-tree matching from root candidates.
-      std::vector<StoreCursor::NodeT> candidates;
-      if (tree.root_is_doc_root) {
-        candidates.push_back(base_cursor.VirtualRoot());
-      } else if (plan.strategy == StartStrategy::kScan) {
-        NOK_ASSIGN_OR_RETURN(
-            candidates,
-            ScanCandidates(*tree.nodes[0].pattern,
-                           ResolvedTag(tag_table, tree.nodes[0].pattern)));
-      } else if (plan.anchor == 0) {
-        NOK_ASSIGN_OR_RETURN(candidates, ResolveHits(plan.anchor_hits));
-      } else {
-        // Index hits below the root but ordering constraints force a
-        // whole-tree match: map the hits up to candidate roots.
-        const int depth = tree.DepthOf(plan.anchor);
-        std::vector<DeweyId> roots;
-        for (const auto& hit : plan.anchor_hits) {
-          auto up = hit.dewey.Ancestor(static_cast<size_t>(depth - 1));
-          if (up.has_value()) roots.push_back(std::move(*up));
-        }
-        NOK_ASSIGN_OR_RETURN(candidates, LocateAll(std::move(roots)));
-      }
-      tree_stats.candidates = candidates.size();
-
-      NokMatcher<ConstrainedCursor> matcher(&tree, &cursor, designated);
-      for (const StoreCursor::NodeT& start : candidates) {
-        NokMatcher<ConstrainedCursor>::MatchLists lists(tree.nodes.size());
-        NOK_ASSIGN_OR_RETURN(bool ok, matcher.Match(start, &lists));
-        if (!ok) continue;
-        Binding binding;
-        binding.matches.resize(tree.nodes.size());
-        for (size_t i = 0; i < lists.size(); ++i) {
-          for (const StoreCursor::NodeT& node : lists[i]) {
-            NOK_ASSIGN_OR_RETURN(NodeMatch match,
-                                 ToMatch(node, options.join_mode));
-            binding.matches[i].push_back(std::move(match));
-          }
-          SortUnique(&binding.matches[i]);
-        }
-        qualified_roots[t].push_back(binding.matches[0].front());
-        bindings[t].push_back(std::move(binding));
-      }
-    }
-    tree_stats.bindings = bindings[t].size();
-    SortUnique(&qualified_roots[t]);
-
-    // Make this tree's qualified roots a predicate on its parent arc's
-    // source node.
-    const GlobalArc* arc = partition.ArcInto(static_cast<int>(t));
-    if (arc != nullptr) {
-      const NokTree& parent_tree =
-          partition.trees[static_cast<size_t>(arc->from_tree)];
-      const PatternNode* source =
-          parent_tree.nodes[static_cast<size_t>(arc->from_node)].pattern;
-      cursor.AddConstraint(
-          source, ConstrainedCursor::ArcConstraint{arc->axis,
-                                                   &qualified_roots[t]});
-    }
+  std::shared_ptr<const QueryPlan> plan;
+  bool cache_hit = false;
+  std::string key;
+  if (options.use_plan_cache) {
+    key = PlanCache::Key(pattern.ToString(), options, store_->epoch(),
+                         store_->structure_version());
+    plan = plan_cache_.Lookup(key);
+    cache_hit = plan != nullptr;
+  }
+  double plan_seconds = 0;
+  if (plan == nullptr) {
+    const auto start = std::chrono::steady_clock::now();
+    Planner planner(store_);
+    NOK_ASSIGN_OR_RETURN(QueryPlan fresh,
+                         planner.Plan(partition, tag_table, options));
+    plan_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    auto shared = std::make_shared<const QueryPlan>(std::move(fresh));
+    if (options.use_plan_cache) plan_cache_.Insert(key, shared);
+    plan = std::move(shared);
   }
 
-  // Top-down: a binding is alive when its root is related to an alive
-  // parent binding's source match (bindings' injected constraints are
-  // already satisfied bottom-up).  Increasing id order visits parents
-  // first.
-  std::vector<std::vector<char>> alive(n_trees);
-  alive[0].assign(bindings[0].size(), 1);
-  for (size_t t = 1; t < n_trees; ++t) {
-    const GlobalArc* arc = partition.ArcInto(static_cast<int>(t));
-    NOK_CHECK(arc != nullptr);
-    const size_t parent = static_cast<size_t>(arc->from_tree);
-    std::vector<NodeMatch> parent_sources;
-    for (size_t b = 0; b < bindings[parent].size(); ++b) {
-      if (!alive[parent][b]) continue;
-      const auto& sources =
-          bindings[parent][b].matches[static_cast<size_t>(arc->from_node)];
-      parent_sources.insert(parent_sources.end(), sources.begin(),
-                            sources.end());
-    }
-    SortUnique(&parent_sources);
-    alive[t].assign(bindings[t].size(), 0);
-    for (size_t b = 0; b < bindings[t].size(); ++b) {
-      const NodeMatch& root = bindings[t][b].matches[0].front();
-      for (const NodeMatch& src : parent_sources) {
-        if (IsRelated(src, root, arc->axis, options.join_mode)) {
-          alive[t][b] = 1;
-          break;
-        }
-      }
-    }
-  }
+  Executor executor(store_);
+  NOK_ASSIGN_OR_RETURN(
+      std::vector<DeweyId> out,
+      executor.Run(*plan, partition, tag_table, options, &stats_,
+                   &last_trace_));
+  last_trace_.plan_cache_hit = cache_hit;
+  last_trace_.plan_seconds = plan_seconds;
+  last_plan_text_ = plan->ToString(partition);
+  last_plan_ = std::move(plan);
+  return out;
+}
 
-  // Collect the returning node's matches over alive bindings.
-  const size_t rt = static_cast<size_t>(partition.returning_tree);
-  const int rn = partition.trees[rt].returning_node;
-  NOK_CHECK(rn >= 0) << "partition lost the returning node";
-  std::vector<NodeMatch> results;
-  for (size_t b = 0; b < bindings[rt].size(); ++b) {
-    if (!alive[rt][b]) continue;
-    const auto& matches = bindings[rt][b].matches[static_cast<size_t>(rn)];
-    results.insert(results.end(), matches.begin(), matches.end());
+std::string QueryEngine::ExplainLast() const {
+  if (last_plan_ == nullptr) return "no query evaluated yet\n";
+  std::string out = last_plan_text_;
+  char line[256];
+  std::snprintf(line, sizeof(line), "  planning: %s, time=%.3fms\n",
+                last_trace_.plan_cache_hit ? "plan cache hit"
+                                           : "plan cache miss",
+                last_trace_.plan_seconds * 1e3);
+  out += line;
+  out += "  operators:\n";
+  for (const OperatorStats& op : last_trace_.operators) {
+    std::string row = "    [";
+    row += op.tree >= 0 ? "tree " + std::to_string(op.tree) : "query";
+    row += "] " + op.op;
+    if (!op.detail.empty()) row += " " + op.detail;
+    if (op.has_estimate) row += " est=" + std::to_string(op.estimated);
+    row += " in=" + std::to_string(op.rows_in);
+    row += " out=" + std::to_string(op.rows_out);
+    std::snprintf(line, sizeof(line), " pages=%llu time=%.3fms\n",
+                  static_cast<unsigned long long>(op.pages),
+                  op.seconds * 1e3);
+    row += line;
+    out += row;
   }
-  SortUnique(&results);
-
-  std::vector<DeweyId> out;
-  out.reserve(results.size());
-  for (NodeMatch& match : results) {
-    NOK_CHECK(!match.virtual_root);
-    out.push_back(std::move(match.dewey));
-  }
-  stats_.results = out.size();
+  std::snprintf(line, sizeof(line), "  results: %zu\n", stats_.results);
+  out += line;
   return out;
 }
 

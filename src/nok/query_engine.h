@@ -3,77 +3,37 @@
 // Evaluation pipeline for one path expression:
 //
 //   parse -> pattern tree -> NoK partition
-//   for each NoK tree:
-//     choose starting points (paper's heuristic, Section 6.2):
-//       - a value-equality constraint exists -> value index (most
-//         selective one), mapped to candidate NoK roots by walking the
-//         Dewey ID up;
-//       - otherwise, the most selective tag in the tree if selective
-//         enough -> tag index;
-//       - otherwise sequential scan of the string store.
-//     run physical NoK matching (Algorithm 1 over Algorithm 2) per
-//     starting point, collecting one binding per successful start
-//   combine bindings along the global arcs with structural semi-joins
+//   plan  -> QueryPlan IR (planner.h): per-NoK-tree access path chosen
+//            by the paper's Section 6.2 heuristic from cheap cardinality
+//            estimates, plus the semi-join schedule; optionally served
+//            from a bounded per-engine plan cache (plan_cache.h)
+//   run   -> executor operators (executor.h): probes/scans feed NoK
+//            matching per tree, global arcs combine per-tree bindings
+//            with structural semi-joins
 //   return the returning node's matches (Dewey IDs in document order)
+//
+// The engine itself only wires the layers together and keeps the last
+// query's diagnostics (stats, plan, operator trace for ExplainLast).
 
 #ifndef NOKXML_NOK_QUERY_ENGINE_H_
 #define NOKXML_NOK_QUERY_ENGINE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "encoding/document_store.h"
-#include "nok/nok_partition.h"
-#include "nok/physical_matcher.h"
-#include "nok/structural_join.h"
+#include "nok/executor.h"
+#include "nok/plan_cache.h"
+#include "nok/planner.h"
 
 namespace nok {
-
-/// Starting-point strategy.  kPathIndex is the paper's Section 8
-/// extension: anchor on a whole rooted tag path when single tags are
-/// unselective but the path is rare.
-enum class StartStrategy { kAuto, kScan, kTagIndex, kValueIndex,
-                           kPathIndex };
-
-/// Per-query knobs.
-struct QueryOptions {
-  StartStrategy strategy = StartStrategy::kAuto;
-  /// Containment test for the global-arc joins.
-  JoinMode join_mode = JoinMode::kDewey;
-  /// kAuto: a tag index is used when the best tag count is below this
-  /// fraction of the document's node count; otherwise scan.
-  double index_fraction = 1.0 / 16;
-  /// Cap for value-selectivity estimation (counting stops here).
-  size_t value_estimate_cap = 512;
-  /// Consider the path index (B+p) during planning.  Only applies while
-  /// the store's positions are fresh (the path index is rebuilt, not
-  /// maintained, across updates).
-  bool use_path_index = true;
-};
-
-/// Diagnostics from the last Evaluate call.
-struct QueryStats {
-  /// Per NoK tree: which strategy ran and how many candidates/matches.
-  struct TreeStats {
-    StartStrategy strategy = StartStrategy::kScan;
-    size_t candidates = 0;
-    size_t bindings = 0;
-  };
-  std::vector<TreeStats> trees;
-  size_t results = 0;
-};
-
-/// One successful NoK match: the matched subject nodes per designated
-/// local pattern node (indexed by local node id).
-struct NokBinding {
-  std::vector<std::vector<NodeMatch>> matches;
-};
 
 /// Evaluates path expressions against one DocumentStore.
 ///
 /// An engine is a cheap per-thread object: it holds only the store
-/// pointer and the diagnostics of its own last Evaluate call.  For
+/// pointer and the diagnostics/plan cache of its own queries.  For
 /// concurrent evaluation, open the store read-only, share the one
 /// DocumentStore handle, and give each thread its own QueryEngine —
 /// last_stats() then never races across threads.
@@ -92,54 +52,21 @@ class QueryEngine {
 
   const QueryStats& last_stats() const { return stats_; }
 
+  /// Renders the last successful query's plan plus the per-operator
+  /// runtime trace (estimated vs. actual cardinalities, pages touched,
+  /// wall time).  `nokq explain` prints exactly this.
+  std::string ExplainLast() const;
+
+  /// The plan cache (see QueryOptions::use_plan_cache).
+  const PlanCache& plan_cache() const { return plan_cache_; }
+
  private:
-  using Binding = NokBinding;
-
-  /// How one NoK tree will be evaluated: the anchor is the most selective
-  /// constrained node (the paper's Section 6.2 heuristic); anchor 0 with
-  /// kScan means a whole-tree match from scanned/virtual roots.
-  struct TreePlan {
-    StartStrategy strategy = StartStrategy::kScan;
-    int anchor = 0;  ///< Local node index the index hits refer to.
-    std::vector<DocumentStore::IndexedNode> anchor_hits;
-  };
-
-  /// Chooses strategy + anchor + index hits for one tree.  tag_table maps
-  /// PatternNode::id -> resolved TagId (see ResolvePatternTags).
-  Result<TreePlan> PlanTree(const NokTree& tree,
-                            const std::vector<TagId>& tag_table,
-                            const QueryOptions& options);
-
-  /// All document nodes whose tag satisfies the NoK root's name test, via
-  /// a sequential scan of the string store (the "naive" strategy).
-  /// `want` is the root pattern's resolved tag (kInvalidTag for a name
-  /// absent from the document).  Selective tags take the fused
-  /// NextOpenWithTag path: the scan consults the per-page tag summaries
-  /// and Dewey IDs are derived only for the hits.
-  Result<std::vector<StoreCursor::NodeT>> ScanCandidates(
-      const PatternNode& root_pattern, TagId want);
-
-  /// Dewey IDs for tag-scan hit positions (ascending): an interval-guided
-  /// descent that reuses the navigation path across consecutive hits.
-  Result<std::vector<StoreCursor::NodeT>> DeweysForHits(
-      const std::vector<StorePos>& hits);
-
-  /// Converts sorted candidate Dewey IDs to physical nodes, reusing the
-  /// navigation path across consecutive candidates (the slow path used
-  /// when stored positions are stale).
-  Result<std::vector<StoreCursor::NodeT>> LocateAll(
-      std::vector<DeweyId> deweys);
-
-  /// Index hits -> physical nodes (positions when fresh, else LocateAll).
-  Result<std::vector<StoreCursor::NodeT>> ResolveHits(
-      const std::vector<DocumentStore::IndexedNode>& hits);
-
-  /// NodeT -> NodeMatch (computes the interval in kInterval mode).
-  Result<NodeMatch> ToMatch(const StoreCursor::NodeT& node,
-                            JoinMode mode);
-
   DocumentStore* store_;
   QueryStats stats_;
+  PlanCache plan_cache_;
+  std::shared_ptr<const QueryPlan> last_plan_;
+  std::string last_plan_text_;
+  ExecutionTrace last_trace_;
 };
 
 }  // namespace nok

@@ -188,6 +188,73 @@ void RunAblationSweep(Dataset dataset, uint64_t seed) {
   }
 }
 
+/// The Table 2 sweep across planner configurations: every query runs
+/// once with the planner's own choice (kAuto, cost-based order) and then
+/// under every forced StartStrategy crossed with {cost-based, fixed}
+/// join order and the plan cache on.  Access path, evaluation order,
+/// candidate pre-filtering and plan reuse are pure optimizations, so
+/// every configuration must return the planner's exact result set.
+void RunStrategySweep(Dataset dataset, uint64_t seed) {
+  GenOptions gen;
+  gen.scale = 0.0;
+  gen.seed = seed;
+  const GeneratedDataset ds = GenerateDataset(dataset, gen);
+
+  std::vector<CategoryQuery> queries = QueriesForDataset(ds);
+  const std::vector<CategoryQuery> variants =
+      DescendantVariants(queries, seed);
+  queries.insert(queries.end(), variants.begin(), variants.end());
+  ASSERT_EQ(queries.size(), 24u);
+
+  DocumentStore::Options options;
+  options.page_size = 512;
+  auto store = DocumentStore::Build(ds.xml, options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  QueryEngine engine(store->get());
+
+  const StartStrategy forced[] = {
+      StartStrategy::kScan, StartStrategy::kTagIndex,
+      StartStrategy::kValueIndex, StartStrategy::kPathIndex};
+  for (const CategoryQuery& q : queries) {
+    SCOPED_TRACE(ds.name + " seed " + std::to_string(seed) + " " + q.id +
+                 " (" + q.category + "): " + q.xpath);
+    auto planned = engine.Evaluate(q.xpath);
+    ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+    const std::vector<std::string> want = CanonDewey(*planned);
+
+    for (StartStrategy strategy : forced) {
+      for (bool cost_based : {true, false}) {
+        QueryOptions qo;
+        qo.strategy = strategy;
+        qo.cost_based_join_order = cost_based;
+        auto result = engine.Evaluate(q.xpath, qo);
+        ASSERT_TRUE(result.ok())
+            << StrategyName(strategy) << ": "
+            << result.status().ToString();
+        EXPECT_EQ(CanonDewey(*result), want)
+            << "strategy " << StrategyName(strategy) << " cost_based "
+            << cost_based;
+      }
+    }
+
+    // Plan-cache replay: the second evaluation reuses the cached plan.
+    QueryOptions cached;
+    cached.use_plan_cache = true;
+    for (int round = 0; round < 2; ++round) {
+      auto result = engine.Evaluate(q.xpath, cached);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(CanonDewey(*result), want) << "cache round " << round;
+    }
+  }
+}
+
+TEST(DifferentialTest, StrategySweepMatchesPlanner) {
+  RunStrategySweep(Dataset::kAuthor, 7);
+  RunStrategySweep(Dataset::kCatalog, 3);
+  RunStrategySweep(Dataset::kDblp, 2);
+  RunStrategySweep(Dataset::kTreebank, 5);
+}
+
 TEST(DifferentialTest, AblationModesMatchOracle) {
   RunAblationSweep(Dataset::kCatalog, 3);
   RunAblationSweep(Dataset::kDblp, 2);

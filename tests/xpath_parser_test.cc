@@ -139,16 +139,32 @@ TEST(XPathParserTest, WhitespaceTolerated) {
 
 class ParserErrors : public ::testing::TestWithParam<const char*> {};
 
-TEST_P(ParserErrors, RejectedWithParseError) {
+TEST_P(ParserErrors, RejectedWithCleanStatus) {
   auto tree = Parse(GetParam());
-  EXPECT_FALSE(tree.ok()) << GetParam();
+  ASSERT_FALSE(tree.ok()) << GetParam();
+  // Malformed input must surface as a typed Status (parse error, or
+  // not-supported for recognized-but-unimplemented syntax) with a
+  // message — never a crash, a success, or a bare untyped error.
+  EXPECT_TRUE(tree.status().IsParseError() ||
+              tree.status().IsNotSupported())
+      << GetParam() << ": " << tree.status().ToString();
+  EXPECT_FALSE(tree.status().message().empty()) << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Malformed, ParserErrors,
     ::testing::Values("", "a/b", "/", "//", "/a[", "/a[b", "/a[b=]",
                       "/a[b=\"x]", "/a]", "/a/b[=\"x\"]", "/a trailing",
-                      "/a[b=\"x\"][b=\"y\"]extra", "/a[.]"));
+                      "/a[b=\"x\"][b=\"y\"]extra", "/a[.]",
+                      // Unterminated predicates.
+                      "/a[b=\"x\"", "/a[b<", "/a[b][c",
+                      // Empty steps and paths.
+                      "/a//", "/a/", "//[b]", "/a/[b]",
+                      // Bad or unsupported axis names.
+                      "/a/ancestor::b", "/a/self::b", "/a/bogus::b",
+                      "/a/::b",
+                      // Stray brackets.
+                      "]", "/a[]", "/a[b]]", "/a]b"));
 
 TEST(AxisStatsTest, CountsAxes) {
   auto stats = CollectAxisStats("/a/b[c//d]/following::e");

@@ -33,6 +33,14 @@ NOK005  threading discipline (src/ only): `.detach()` orphans a thread
         use std::lock_guard / std::scoped_lock / std::unique_lock.
         Receivers that do not look like mutexes (e.g. a
         std::weak_ptr named `wp`) are not flagged.
+NOK006  nok sub-layering: inside src/nok/, only the planner/executor
+        pair (the storage-facing halves of the query engine) may include
+        "btree/..." headers directly.  query_engine and the matchers
+        consume plans and candidate sets; reaching into B+ tree
+        internals from them bypasses the planner's cost model and the
+        encoding facade.  (The reverse edges — encoding or btree
+        including nok/planner.h / nok/executor.h — are already NOK001
+        violations.)
 
 Format checks (advisory by default; --format-fatal makes them errors)
 ---------------------------------------------------------------------
@@ -213,6 +221,33 @@ def check_layering(path, root, code_text, findings):
                 f'(allowed: {", ".join(sorted(ALLOWED_DEPS[layer])) or "none"})'))
 
 
+# --- NOK006: nok sub-layering ---------------------------------------------
+
+# Basenames (sans extension) under src/nok/ allowed to include "btree/..."
+# directly: the planner (cardinality probes) and the executor (index-hit
+# materialization).  Everything else goes through them or the encoding
+# facade (DocumentStore).
+NOK_BTREE_ALLOWED = {"planner", "executor"}
+
+
+def check_nok_sublayering(path, root, code_text, findings):
+    r = rel(path, root)
+    parts = r.split(os.sep)
+    if len(parts) < 3 or parts[0] != "src" or parts[1] != "nok":
+        return
+    stem = os.path.splitext(parts[-1])[0]
+    if stem in NOK_BTREE_ALLOWED:
+        return
+    for lineno, line in enumerate(code_text.splitlines(), 1):
+        m = INCLUDE_RE.match(line)
+        if m and m.group(1).split("/")[0] == "btree":
+            findings.append(Finding(
+                "NOK006", r, lineno,
+                f'{parts[-1]} must not include B+ tree internals '
+                f'("{m.group(1)}"); only planner/executor may — use the '
+                f"plan IR or the DocumentStore facade instead"))
+
+
 # --- NOK002: banned APIs --------------------------------------------------
 
 def check_banned_apis(path, root, code_text, findings):
@@ -372,6 +407,7 @@ def lint_file(path, root, with_format):
     # Layering inspects #include lines, whose paths live inside string
     # quotes — run it on the raw text.
     check_layering(path, root, raw, findings)
+    check_nok_sublayering(path, root, raw, findings)
     check_banned_apis(path, root, code, findings)
     check_include_guard(path, root, raw, findings)
     check_unchecked_status(path, root, code, findings)

@@ -1,0 +1,12 @@
+// NOK006 fixture: a nok/ file other than planner/executor reaching into
+// B+ tree internals.  The encoding facade include is fine (nok may
+// depend on encoding under NOK001 and is not restricted by NOK006).
+
+#include "btree/btree.h"  // EXPECT-LINT: NOK006
+#include "encoding/document_store.h"
+
+namespace nok {
+
+int SublayeringFixture() { return 0; }
+
+}  // namespace nok

@@ -1,0 +1,11 @@
+// NOK006 fixture (negative): the planner is one of the two nok/ files
+// allowed to include B+ tree internals directly, so no finding fires.
+
+#include "btree/btree.h"
+#include "encoding/document_store.h"
+
+namespace nok {
+
+int PlannerSublayeringFixture() { return 0; }
+
+}  // namespace nok

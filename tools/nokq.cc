@@ -4,6 +4,8 @@
 //   nokq query  <store-dir> <xpath> [--values] [--strategy auto|scan|tag|
 //               value|path] [--explain] [--no-header-skip]
 //               [--no-tag-summaries]
+//   nokq explain <store-dir> <xpath> [--strategy ...] [--fixed-order]
+//               [--plan-cache]     print the query plan + operator trace
 //   nokq stream <file.xml> <xpath>              single-pass evaluation
 //   nokq stats  <store-dir>                     Table-1 style statistics
 //   nokq insert <store-dir> <parent-dewey> <index> <fragment.xml>
@@ -39,6 +41,9 @@ int Usage() {
           "  nokq query  <store-dir> <xpath> [--values] [--explain]\n"
           "              [--strategy auto|scan|tag|value|path]\n"
           "              [--no-header-skip] [--no-tag-summaries]\n"
+          "  nokq explain <store-dir> <xpath> [--fixed-order]\n"
+          "              [--plan-cache]\n"
+          "              [--strategy auto|scan|tag|value|path]\n"
           "  nokq stream <file.xml> <xpath>\n"
           "  nokq stats  <store-dir>\n"
           "  nokq insert <store-dir> <parent-dewey> <index> <frag.xml>\n"
@@ -111,17 +116,6 @@ nok::Result<std::unique_ptr<nok::DocumentStore>> OpenStore(
   return nok::DocumentStore::OpenDir(options);
 }
 
-const char* StrategyName(nok::StartStrategy s) {
-  switch (s) {
-    case nok::StartStrategy::kScan: return "scan";
-    case nok::StartStrategy::kTagIndex: return "tag-index";
-    case nok::StartStrategy::kValueIndex: return "value-index";
-    case nok::StartStrategy::kPathIndex: return "path-index";
-    case nok::StartStrategy::kAuto: return "auto";
-  }
-  return "?";
-}
-
 int CmdBuild(const std::string& xml_path, const std::string& dir,
              bool checksum) {
   std::string xml;
@@ -140,6 +134,41 @@ int CmdBuild(const std::string& xml_path, const std::string& dir,
   return FinishFlush(store->get());
 }
 
+bool ParseStrategyName(const char* name, nok::StartStrategy* out) {
+  const std::string s = name;
+  if (s == "auto") *out = nok::StartStrategy::kAuto;
+  else if (s == "scan") *out = nok::StartStrategy::kScan;
+  else if (s == "tag") *out = nok::StartStrategy::kTagIndex;
+  else if (s == "value") *out = nok::StartStrategy::kValueIndex;
+  else if (s == "path") *out = nok::StartStrategy::kPathIndex;
+  else return false;
+  return true;
+}
+
+int CmdExplain(int argc, char** argv) {
+  const std::string dir = argv[2];
+  const std::string xpath = argv[3];
+  nok::QueryOptions options;
+  for (int i = 4; i < argc; ++i) {
+    if (strcmp(argv[i], "--fixed-order") == 0) {
+      options.cost_based_join_order = false;
+    } else if (strcmp(argv[i], "--plan-cache") == 0) {
+      options.use_plan_cache = true;
+    } else if (strcmp(argv[i], "--strategy") == 0 && i + 1 < argc) {
+      if (!ParseStrategyName(argv[++i], &options.strategy)) return Usage();
+    } else {
+      return Usage();
+    }
+  }
+  auto store = OpenStore(dir);
+  if (!store.ok()) return Fail(store.status());
+  nok::QueryEngine engine(store->get());
+  auto result = engine.Evaluate(xpath, options);
+  if (!result.ok()) return Fail(result.status());
+  fputs(engine.ExplainLast().c_str(), stdout);
+  return 0;
+}
+
 int CmdQuery(int argc, char** argv) {
   const std::string dir = argv[2];
   const std::string xpath = argv[3];
@@ -156,17 +185,7 @@ int CmdQuery(int argc, char** argv) {
     } else if (strcmp(argv[i], "--no-tag-summaries") == 0) {
       tag_summaries = false;
     } else if (strcmp(argv[i], "--strategy") == 0 && i + 1 < argc) {
-      const std::string name = argv[++i];
-      if (name == "auto") options.strategy = nok::StartStrategy::kAuto;
-      else if (name == "scan") options.strategy = nok::StartStrategy::kScan;
-      else if (name == "tag")
-        options.strategy = nok::StartStrategy::kTagIndex;
-      else if (name == "value")
-        options.strategy = nok::StartStrategy::kValueIndex;
-      else if (name == "path")
-        options.strategy = nok::StartStrategy::kPathIndex;
-      else
-        return Usage();
+      if (!ParseStrategyName(argv[++i], &options.strategy)) return Usage();
     } else {
       return Usage();
     }
@@ -200,7 +219,7 @@ int CmdQuery(int argc, char** argv) {
     for (size_t t = 0; t < engine.last_stats().trees.size(); ++t) {
       const auto& ts = engine.last_stats().trees[t];
       fprintf(stderr, "  tree %zu: %s, %zu candidates, %zu bindings\n", t,
-              StrategyName(ts.strategy), ts.candidates, ts.bindings);
+              nok::StrategyName(ts.strategy), ts.candidates, ts.bindings);
     }
     const auto nav = (*store)->tree()->nav_stats();
     fprintf(stderr,
@@ -572,6 +591,7 @@ int main(int argc, char** argv) {
     return CmdBuild(argv[2], argv[3], checksum);
   }
   if (command == "query" && argc >= 4) return CmdQuery(argc, argv);
+  if (command == "explain" && argc >= 4) return CmdExplain(argc, argv);
   if (command == "stream" && argc == 4) return CmdStream(argv[2], argv[3]);
   if (command == "stats" && argc == 3) return CmdStats(argv[2]);
   if (command == "insert" && argc == 6) {
