@@ -5,7 +5,11 @@
 #   ci/run_checks.sh lint       # just nok_lint (+ selftest)
 #   ci/run_checks.sh release    # Release build + ctest
 #   ci/run_checks.sh sanitize   # ASan/UBSan build + ctest
-#   ci/run_checks.sh tsan       # TSan build + concurrency/differential
+#   ci/run_checks.sh tsan       # TSan build + concurrency/differential/
+#                               # snapshot-isolation suites
+#   ci/run_checks.sh crash-recovery # WAL kill-point sweep under ASan:
+#                               # crash at every write/fsync, reopen,
+#                               # expect replay or clean restore
 #   ci/run_checks.sh werror     # strict-warning build (NOK_WERROR=ON)
 #   ci/run_checks.sh bench-smoke # page-skip ablation bench on a tiny
 #                                # dataset + JSON report validation
@@ -52,7 +56,23 @@ run_tsan() {
         -DNOK_SANITIZE=thread
   cmake --build build-ci/tsan -j "$JOBS"
   ctest --test-dir build-ci/tsan --output-on-failure -j "$JOBS" \
-        -R "concurrency_test|differential_test"
+        -R "concurrency_test|differential_test|snapshot_isolation_test"
+}
+
+run_crash_recovery() {
+  step "WAL kill-point sweep (ASan/UBSan build)"
+  # Crash (via fault injection) at every file op and every fsync of a
+  # WAL-backed update, including partial-writeback crashes that drop a
+  # random subset of unsynced writes; every reopen must either replay
+  # the committed txn or restore the pre-update state -- zero Corruption
+  # aborts, verified against a never-crashed oracle.
+  cmake -S . -B build-ci/sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DNOK_SANITIZE=address,undefined
+  cmake --build build-ci/sanitize -j "$JOBS" \
+        --target fault_injection_test wal_test
+  build-ci/sanitize/tests/fault_injection_test \
+      --gtest_filter='WalKillPointSweep.*'
+  build-ci/sanitize/tests/wal_test
 }
 
 run_werror() {
@@ -146,24 +166,27 @@ EOF
 }
 
 case "${1:-all}" in
-  lint)        run_lint ;;
-  release)     run_release ;;
-  sanitize)    run_sanitize ;;
-  tsan)        run_tsan ;;
-  werror)      run_werror ;;
-  bench-smoke) run_bench_smoke ;;
+  lint)           run_lint ;;
+  release)        run_release ;;
+  sanitize)       run_sanitize ;;
+  tsan)           run_tsan ;;
+  crash-recovery) run_crash_recovery ;;
+  werror)         run_werror ;;
+  bench-smoke)    run_bench_smoke ;;
   all)
     run_lint
     run_release
     run_sanitize
     run_tsan
+    run_crash_recovery
     run_werror
     run_bench_smoke
     step "all checks passed"
     ;;
   *)
     echo "unknown check: $1" \
-         "(expected lint|release|sanitize|tsan|werror|bench-smoke|all)" >&2
+         "(expected lint|release|sanitize|tsan|crash-recovery|werror|" \
+         "bench-smoke|all)" >&2
     exit 2
     ;;
 esac

@@ -84,16 +84,22 @@ Result<std::unique_ptr<File>> DocumentStore::OpenComponent(
     const char* name, bool create) const {
   const std::string path =
       options_.dir.empty() ? std::string(name) : options_.dir + "/" + name;
+  std::unique_ptr<File> file;
   if (options_.file_factory) {
-    return options_.file_factory(path, create);
-  }
-  if (options_.dir.empty()) {
-    return NewMemFile();
-  }
-  if (options_.read_only && !create) {
+    NOK_ASSIGN_OR_RETURN(file, options_.file_factory(path, create));
+  } else if (options_.dir.empty()) {
+    file = NewMemFile();
+  } else if (options_.read_only && !create) {
     return OpenPosixFileReadOnly(path);
+  } else {
+    NOK_ASSIGN_OR_RETURN(file, OpenPosixFile(path, create));
   }
-  return OpenPosixFile(path, create);
+  if (wal_writer_ != nullptr) {
+    // WAL mode: capture every mutation of this component in the open
+    // transaction instead of writing through.
+    return wal_writer_->Wrap(name, std::move(file));
+  }
+  return file;
 }
 
 Status DocumentStore::InitFiles(const Options& options) {
@@ -110,6 +116,11 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Build(
     return Status::InvalidArgument(
         "Build writes every component; open the finished store with "
         "OpenDir(read_only) instead");
+  }
+  if (options.wal.enabled) {
+    return Status::InvalidArgument(
+        "Build already commits atomically via the tree meta page; reopen "
+        "the finished store with OpenDir to enable the WAL");
   }
   std::unique_ptr<DocumentStore> store(new DocumentStore());
   NOK_RETURN_IF_ERROR(store->InitFiles(options));
@@ -296,6 +307,42 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::OpenDir(
   std::unique_ptr<DocumentStore> store(new DocumentStore());
   NOK_RETURN_IF_ERROR(store->InitFiles(options));
 
+  if (options.wal.enabled) {
+    if (options.read_only) {
+      return Status::InvalidArgument(
+          "WAL mode needs a writable open; readers open read_only "
+          "without wal.enabled");
+    }
+    // Recovery must run before any component is opened: a crash during a
+    // commit apply leaves the components at mixed epochs, which the
+    // generation cross-check below would reject.
+    WalFileFactory factory = options.file_factory;
+    NOK_RETURN_IF_ERROR(RecoverStoreDir(options.dir, factory,
+                                        &store->recovery_report_));
+    const std::string wal_path = options.dir + "/" + kWalFileName;
+    std::unique_ptr<File> wal_file;
+    if (factory) {
+      NOK_ASSIGN_OR_RETURN(wal_file, factory(wal_path, true));
+    } else {
+      NOK_ASSIGN_OR_RETURN(wal_file, OpenPosixFile(wal_path, true));
+    }
+    NOK_ASSIGN_OR_RETURN(
+        store->wal_writer_,
+        WalWriter::Open(options.dir, std::move(wal_file)));
+  } else {
+    // A WAL with committed-but-unapplied transactions means the store
+    // crashed mid-commit; opening past it would serve the old epoch and
+    // then lose the durable transactions on the next Flush.
+    NOK_ASSIGN_OR_RETURN(const uint64_t pending,
+                         PendingWalTransactions(options.dir));
+    if (pending > 0) {
+      return Status::InvalidArgument(
+          "store has " + std::to_string(pending) +
+          " committed but unapplied write-ahead-log transaction(s); run "
+          "`nokq recover` or reopen with wal.enabled");
+    }
+  }
+
   NOK_ASSIGN_OR_RETURN(auto tree_file,
                        store->OpenComponent(kTreeFile, false));
   // The tree meta page records whether the store was built with
@@ -405,8 +452,14 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::OpenDir(
 
 Status DocumentStore::SaveDictionary() {
   if (options_.dir.empty()) return Status::OK();
-  return WriteStringToFile(options_.dir + "/" + kDictFile,
-                           Slice(tags_.Serialize(epoch_)));
+  std::string data = tags_.Serialize(epoch_);
+  if (wal_writer_ != nullptr && wal_writer_->in_transaction()) {
+    // The dictionary bypasses the File interface, so it is staged as a
+    // whole-file WAL record instead of captured by a TxnFile.
+    wal_writer_->StageReplace(kDictFile, std::move(data));
+    return Status::OK();
+  }
+  return WriteStringToFile(options_.dir + "/" + kDictFile, Slice(data));
 }
 
 void DocumentStore::RefreshSizeStats() {
@@ -418,9 +471,74 @@ void DocumentStore::RefreshSizeStats() {
   stats_.data_bytes = values_->SizeBytes();
 }
 
+Status DocumentStore::BeginWalTxn() {
+  if (wal_writer_ == nullptr) return Status::OK();
+  if (wal_poisoned_) {
+    return Status::InvalidArgument(
+        "store handle was poisoned by a failed update; reopen to recover");
+  }
+  wal_writer_->Begin();
+  return Status::OK();
+}
+
+Status DocumentStore::FinishWalOp(Status op_status,
+                                  uint64_t ticks_before) {
+  if (wal_writer_ == nullptr) return op_status;
+  if (!op_status.ok()) {
+    if (wal_writer_->capture_ticks() != ticks_before) {
+      // The failed op captured partial writes; discard the whole open
+      // transaction (disk keeps the last committed state) and refuse
+      // further mutation through this handle — its in-memory component
+      // state has diverged from what will be on disk.
+      NOK_IGNORE_STATUS(wal_writer_->Abort(),
+                        "aborting an in-memory transaction cannot fail");
+      wal_poisoned_ = true;
+    }
+    return op_status;
+  }
+  ++wal_ops_pending_;
+  if (options_.wal.group_commit_ops != 0 &&
+      wal_ops_pending_ >= options_.wal.group_commit_ops) {
+    return Flush();
+  }
+  return Status::OK();
+}
+
 Status DocumentStore::Flush() {
   if (options_.read_only) {
     return Status::InvalidArgument("Flush on a store opened read-only");
+  }
+  if (wal_writer_ != nullptr) {
+    if (wal_poisoned_) {
+      return Status::InvalidArgument(
+          "store handle was poisoned by a failed update; reopen to "
+          "recover");
+    }
+    // Nothing captured, nothing to commit: keep the epoch stable so
+    // snapshot readers and the plan cache see no phantom generation.
+    if (!wal_writer_->in_transaction()) return Status::OK();
+    // Run the legacy flush sequence against the TxnFile wrappers: every
+    // page and meta write lands in the overlay (component Syncs are
+    // deferred), then Commit makes the batch durable with one WAL fsync
+    // before any base file is touched.
+    ++epoch_;
+    NOK_RETURN_IF_ERROR(values_->Sync());
+    for (BTree* index :
+         {tag_index_.get(), value_index_.get(), id_index_.get(),
+          path_index_.get()}) {
+      index->set_epoch(epoch_);
+      NOK_RETURN_IF_ERROR(index->Flush());
+    }
+    NOK_RETURN_IF_ERROR(SaveDictionary());
+    tree_->set_epoch(epoch_);
+    NOK_RETURN_IF_ERROR(tree_->Flush());
+    Status commit = wal_writer_->Commit(epoch_);
+    if (!commit.ok()) {
+      wal_poisoned_ = true;
+      return commit;
+    }
+    wal_ops_pending_ = 0;
+    return Status::OK();
   }
   // One new generation.  Order: value file and indexes (data synced before
   // each component's own meta), then the dictionary, then the tree string
@@ -597,6 +715,10 @@ Status DocumentStore::MarkPositionsStale() {
   positions_fresh_ = false;
   ++structure_version_;
   if (!options_.dir.empty()) {
+    if (wal_writer_ != nullptr && wal_writer_->in_transaction()) {
+      wal_writer_->StageReplace(kStaleFile, "1");
+      return Status::OK();
+    }
     return WriteStringToFile(options_.dir + "/" + kStaleFile, Slice("1"));
   }
   return Status::OK();

@@ -31,6 +31,8 @@
 #include "encoding/string_store.h"
 #include "encoding/tag_dictionary.h"
 #include "encoding/value_store.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
 
 namespace nok {
 
@@ -90,6 +92,20 @@ struct DocumentStoreOptions {
   std::function<Result<std::unique_ptr<File>>(const std::string& path,
                                               bool create)>
       file_factory;
+  /// Write-ahead-log knobs (storage/wal.h).  With the WAL enabled,
+  /// OpenDir first runs crash recovery on the directory, then captures
+  /// every update in memory until Flush commits the batch: one WAL fsync
+  /// makes the whole batch durable before any base file is touched, so a
+  /// crash anywhere either replays the batch or restores the pre-update
+  /// state — never a half-applied mix.  Requires a non-empty dir and a
+  /// writable open; only meaningful for OpenDir.
+  struct WalOptions {
+    bool enabled = false;
+    /// Auto-commit (Flush) after this many update operations;
+    /// 0 = only an explicit Flush commits.
+    uint64_t group_commit_ops = 0;
+  };
+  WalOptions wal;
 };
 
 /// Document-level statistics (the columns of Table 1).
@@ -221,6 +237,19 @@ class DocumentStore {
   /// Current store generation (see Flush).
   uint64_t epoch() const { return epoch_; }
 
+  /// True when this handle commits through the write-ahead log.
+  bool wal_enabled() const { return wal_writer_ != nullptr; }
+  /// What crash recovery did when this handle opened (WAL mode only).
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
+  /// WAL commit counters (WAL mode only; empty stats otherwise).
+  WalWriter::Stats wal_stats() const {
+    return wal_writer_ != nullptr ? wal_writer_->stats()
+                                  : WalWriter::Stats();
+  }
+  /// The writer's WAL (null unless wal_enabled); the snapshot layer hooks
+  /// pre-image retention into it.
+  WalWriter* wal_writer() { return wal_writer_.get(); }
+
   /// Monotonic count of structural/index mutations in this process:
   /// bumped by every InsertSubtree/DeleteSubtree and by
   /// RefreshPositions.  epoch() only advances on Flush, so plan caches
@@ -238,9 +267,27 @@ class DocumentStore {
   Status InitFiles(const Options& options);
   Status SaveDictionary();
 
-  /// Opens one component file, honoring options_.file_factory.
+  /// Opens one component file, honoring options_.file_factory and, in
+  /// WAL mode, wrapping it for transactional capture.
   Result<std::unique_ptr<File>> OpenComponent(const char* name,
                                               bool create) const;
+
+  /// WAL mode: opens the transaction covering the next update batch.
+  /// Rejects a poisoned handle (a previous update failed half-captured).
+  Status BeginWalTxn();
+  /// WAL mode: called after an update op.  On success, counts the op
+  /// toward the group-commit threshold.  On failure, compares the
+  /// writer's capture counter with `ticks_before`: an op that failed
+  /// after capturing writes aborts the transaction and poisons the
+  /// handle; a validation failure that captured nothing passes through.
+  Status FinishWalOp(Status op_status, uint64_t ticks_before);
+
+  /// The update-op bodies (updater.cc); the public entry points wrap
+  /// them in WAL transaction bookkeeping.
+  Status InsertSubtreeImpl(const DeweyId& parent, uint32_t child_index,
+                           const std::string& xml_fragment);
+  Status DeleteSubtreeImpl(const DeweyId& node);
+  Status RefreshPositionsImpl();
 
   /// Moves a node's B+i/B+t/B+v entries from old_dewey to new_dewey
   /// (sibling-shift maintenance during updates; updater.cc).
@@ -255,6 +302,17 @@ class DocumentStore {
   Status MarkPositionsStale();
 
   Options options_;
+  /// Declared before the components: members destroy in reverse order,
+  /// and every TxnFile handed to a component must unregister from the
+  /// writer before the writer dies.
+  std::unique_ptr<WalWriter> wal_writer_;
+  RecoveryReport recovery_report_;
+  uint64_t wal_ops_pending_ = 0;
+  /// Set when an update op failed after capturing partial writes: the
+  /// transaction was aborted, but the in-memory component state has
+  /// diverged from disk, so every further mutation is rejected until the
+  /// store is reopened.
+  bool wal_poisoned_ = false;
   std::unique_ptr<StringStore> tree_;
   TagDictionary tags_;
   std::unique_ptr<ValueStore> values_;

@@ -379,13 +379,22 @@ DeweyId ShiftComponent(const DeweyId& dewey, size_t depth, int64_t delta) {
 Status DocumentStore::InsertSubtree(const DeweyId& parent,
                                     uint32_t child_index,
                                     const std::string& xml_fragment) {
+  NOK_RETURN_IF_ERROR(BeginWalTxn());
+  const uint64_t ticks =
+      wal_writer_ != nullptr ? wal_writer_->capture_ticks() : 0;
+  return FinishWalOp(InsertSubtreeImpl(parent, child_index, xml_fragment),
+                     ticks);
+}
+
+Status DocumentStore::InsertSubtreeImpl(const DeweyId& parent,
+                                        uint32_t child_index,
+                                        const std::string& xml_fragment) {
   if (options_.read_only) {
     return Status::InvalidArgument(
         "InsertSubtree on a store opened read-only");
   }
   NOK_ASSIGN_OR_RETURN(auto fragment, DomTree::Parse(xml_fragment));
   NOK_ASSIGN_OR_RETURN(StorePos parent_pos, Locate(parent));
-  NOK_RETURN_IF_ERROR(MarkPositionsStale());
 
   // Enumerate the parent's existing children (positions + count).
   std::vector<StorePos> children;
@@ -402,6 +411,10 @@ Status DocumentStore::InsertSubtree(const DeweyId& parent,
         "child index " + std::to_string(child_index) + " > child count " +
         std::to_string(children.size()));
   }
+  // Every argument is validated; from here on the op mutates state, so
+  // the staleness marker (the first captured write in WAL mode) comes
+  // only after the checks above can no longer reject the call.
+  NOK_RETURN_IF_ERROR(MarkPositionsStale());
 
   // Physical insertion point: before child child_index, or before the
   // parent's close symbol when appending.
@@ -506,6 +519,13 @@ Status DocumentStore::InsertSubtree(const DeweyId& parent,
 }
 
 Status DocumentStore::DeleteSubtree(const DeweyId& node) {
+  NOK_RETURN_IF_ERROR(BeginWalTxn());
+  const uint64_t ticks =
+      wal_writer_ != nullptr ? wal_writer_->capture_ticks() : 0;
+  return FinishWalOp(DeleteSubtreeImpl(node), ticks);
+}
+
+Status DocumentStore::DeleteSubtreeImpl(const DeweyId& node) {
   if (options_.read_only) {
     return Status::InvalidArgument(
         "DeleteSubtree on a store opened read-only");
@@ -638,6 +658,13 @@ Status DocumentStore::RefreshPositions() {
         "RefreshPositions on a store opened read-only");
   }
   if (positions_fresh_) return Status::OK();
+  NOK_RETURN_IF_ERROR(BeginWalTxn());
+  const uint64_t ticks =
+      wal_writer_ != nullptr ? wal_writer_->capture_ticks() : 0;
+  return FinishWalOp(RefreshPositionsImpl(), ticks);
+}
+
+Status DocumentStore::RefreshPositionsImpl() {
 
   // The path index is rebuilt wholesale: updates do not maintain it (its
   // keys are whole root paths), so recreate it on a fresh file.
@@ -726,7 +753,11 @@ Status DocumentStore::RefreshPositions() {
   positions_fresh_ = true;
   ++structure_version_;
   if (!options_.dir.empty()) {
-    NOK_RETURN_IF_ERROR(RemoveFile(options_.dir + "/positions.stale"));
+    if (wal_writer_ != nullptr && wal_writer_->in_transaction()) {
+      wal_writer_->StageRemove(store_files::kStale);
+    } else {
+      NOK_RETURN_IF_ERROR(RemoveFile(options_.dir + "/positions.stale"));
+    }
   }
   return Status::OK();
 }

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -63,6 +64,27 @@ class PlanCache {
   std::list<Entry> entries_;  ///< Most recently used at the front.
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   Stats stats_;
+};
+
+/// Thread-safe plan cache shared by reader threads in the single-writer /
+/// multi-reader mode (encoding/swmr_store.h): one mutex around a
+/// PlanCache.  Cross-thread invalidation needs no broadcast — the key
+/// carries the epoch and structure version of the snapshot the plan was
+/// built against, so a commit simply changes every reader's keys and the
+/// old generation's entries age out of the LRU.
+class SharedPlanCache {
+ public:
+  explicit SharedPlanCache(size_t capacity = PlanCache::kDefaultCapacity)
+      : cache_(capacity) {}
+
+  std::shared_ptr<const QueryPlan> Lookup(const std::string& key);
+  void Insert(const std::string& key,
+              std::shared_ptr<const QueryPlan> plan);
+  PlanCache::Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  PlanCache cache_;
 };
 
 }  // namespace nok

@@ -41,7 +41,8 @@ Result<std::vector<DeweyId>> QueryEngine::EvaluatePattern(
   if (options.use_plan_cache) {
     key = PlanCache::Key(pattern.ToString(), options, store_->epoch(),
                          store_->structure_version());
-    plan = plan_cache_.Lookup(key);
+    plan = shared_plan_cache_ != nullptr ? shared_plan_cache_->Lookup(key)
+                                         : plan_cache_.Lookup(key);
     cache_hit = plan != nullptr;
   }
   double plan_seconds = 0;
@@ -54,7 +55,13 @@ Result<std::vector<DeweyId>> QueryEngine::EvaluatePattern(
                        std::chrono::steady_clock::now() - start)
                        .count();
     auto shared = std::make_shared<const QueryPlan>(std::move(fresh));
-    if (options.use_plan_cache) plan_cache_.Insert(key, shared);
+    if (options.use_plan_cache) {
+      if (shared_plan_cache_ != nullptr) {
+        shared_plan_cache_->Insert(key, shared);
+      } else {
+        plan_cache_.Insert(key, shared);
+      }
+    }
     plan = std::move(shared);
   }
 

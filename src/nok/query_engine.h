@@ -60,10 +60,19 @@ class QueryEngine {
   /// The plan cache (see QueryOptions::use_plan_cache).
   const PlanCache& plan_cache() const { return plan_cache_; }
 
+  /// Routes plan caching through a cache shared across threads instead
+  /// of the per-engine one (single-writer / multi-reader serving; see
+  /// SharedPlanCache).  The cache must outlive the engine.  Null
+  /// restores the private cache.
+  void set_shared_plan_cache(SharedPlanCache* cache) {
+    shared_plan_cache_ = cache;
+  }
+
  private:
   DocumentStore* store_;
   QueryStats stats_;
   PlanCache plan_cache_;
+  SharedPlanCache* shared_plan_cache_ = nullptr;
   std::shared_ptr<const QueryPlan> last_plan_;
   std::string last_plan_text_;
   ExecutionTrace last_trace_;

@@ -8,16 +8,25 @@ namespace nok {
 void FaultInjector::FailAtOp(uint64_t index, FaultKind kind, bool sticky) {
   armed_ = true;
   probabilistic_ = false;
+  kind_filtered_ = false;
   tripped_ = false;
   fail_index_ = index;
   kind_ = kind;
   sticky_ = sticky;
 }
 
+void FaultInjector::FailAtOpOfKind(FaultOpKind op, uint64_t index,
+                                   FaultKind kind, bool sticky) {
+  FailAtOp(index, kind, sticky);
+  kind_filtered_ = true;
+  filter_op_ = op;
+}
+
 void FaultInjector::FailWithProbability(uint64_t seed, double p,
                                         FaultKind kind) {
   armed_ = true;
   probabilistic_ = true;
+  kind_filtered_ = false;
   tripped_ = false;
   sticky_ = false;
   kind_ = kind;
@@ -25,27 +34,43 @@ void FaultInjector::FailWithProbability(uint64_t seed, double p,
   rng_ = std::make_unique<Random>(seed);
 }
 
+void FaultInjector::EnablePartialCrash(uint64_t seed,
+                                       double keep_probability) {
+  partial_crash_ = true;
+  keep_probability_ = keep_probability;
+  crash_rng_ = std::make_unique<Random>(seed);
+}
+
 void FaultInjector::Reset() {
   Disarm();
   ops_seen_ = 0;
+  ops_seen_by_kind_.fill(0);
   faults_injected_ = 0;
+  partial_crash_ = false;
+  crash_rng_.reset();
 }
 
 void FaultInjector::Disarm() {
   armed_ = false;
   probabilistic_ = false;
+  kind_filtered_ = false;
   tripped_ = false;
   rng_.reset();
 }
 
-bool FaultInjector::NextOpFaults(FaultKind* kind) {
+bool FaultInjector::NextOpFaults(FaultOpKind op, FaultKind* kind) {
   const uint64_t index = ops_seen_++;
+  const uint64_t kind_index =
+      ops_seen_by_kind_[static_cast<size_t>(op)]++;
   if (!armed_) return false;
   bool fault;
   if (tripped_) {
     fault = true;
   } else if (probabilistic_) {
     fault = rng_->Bernoulli(probability_);
+  } else if (kind_filtered_) {
+    fault = op == filter_op_ && kind_index == fail_index_;
+    if (fault && sticky_) tripped_ = true;
   } else {
     fault = index == fail_index_;
     if (fault && sticky_) tripped_ = true;
@@ -59,7 +84,8 @@ bool FaultInjector::NextOpFaults(FaultKind* kind) {
 
 Status FaultInjector::DropAllUnsyncedData() {
   for (FaultInjectionFile* file : files_) {
-    NOK_RETURN_IF_ERROR(file->DropUnsyncedData());
+    NOK_RETURN_IF_ERROR(file->DropUnsyncedData(
+        partial_crash_ ? crash_rng_.get() : nullptr, keep_probability_));
   }
   return Status::OK();
 }
@@ -91,21 +117,24 @@ FaultInjectionFile::FaultInjectionFile(
 
 FaultInjectionFile::~FaultInjectionFile() { injector_->Unregister(this); }
 
-Status FaultInjectionFile::CheckFault(bool is_write, uint64_t offset,
+Status FaultInjectionFile::CheckFault(FaultOpKind op, uint64_t offset,
                                       const Slice* data) {
   FaultKind kind;
-  if (!injector_->NextOpFaults(&kind)) return Status::OK();
+  if (!injector_->NextOpFaults(op, &kind)) return Status::OK();
   switch (kind) {
     case FaultKind::kError:
       break;
     case FaultKind::kTorn: {
       // Apply the first half of the faulting write, then fail.  Reads and
       // other operations cannot tear; they just fail.
-      if (is_write && data != nullptr && data->size() > 1) {
+      if (op == FaultOpKind::kWrite && data != nullptr &&
+          data->size() > 1) {
+        const Slice half(data->data(), data->size() / 2);
         NOK_IGNORE_STATUS(
-            base_->WriteAt(offset, Slice(data->data(), data->size() / 2)),
+            base_->WriteAt(offset, half),
             "the torn half-write is the injected damage itself; the caller "
             "sees the IOError below regardless");
+        RecordWrite(offset, half);
       }
       break;
     }
@@ -120,35 +149,54 @@ Status FaultInjectionFile::CheckFault(bool is_write, uint64_t offset,
                          std::to_string(injector_->ops_seen() - 1) + ")");
 }
 
+void FaultInjectionFile::RecordWrite(uint64_t offset, const Slice& data) {
+  PendingOp op;
+  op.offset = offset;
+  op.data.assign(data.data(), data.size());
+  unsynced_ops_.push_back(std::move(op));
+}
+
 Status FaultInjectionFile::ReadAt(uint64_t offset, size_t n, char* scratch,
                                   Slice* out) const {
   NOK_RETURN_IF_ERROR(const_cast<FaultInjectionFile*>(this)->CheckFault(
-      /*is_write=*/false, offset, nullptr));
+      FaultOpKind::kRead, offset, nullptr));
   return base_->ReadAt(offset, n, scratch, out);
 }
 
 Status FaultInjectionFile::WriteAt(uint64_t offset, const Slice& data) {
-  NOK_RETURN_IF_ERROR(CheckFault(/*is_write=*/true, offset, &data));
-  return base_->WriteAt(offset, data);
+  NOK_RETURN_IF_ERROR(CheckFault(FaultOpKind::kWrite, offset, &data));
+  NOK_RETURN_IF_ERROR(base_->WriteAt(offset, data));
+  RecordWrite(offset, data);
+  return Status::OK();
 }
 
 Status FaultInjectionFile::Append(const Slice& data, uint64_t* offset) {
-  NOK_RETURN_IF_ERROR(CheckFault(/*is_write=*/true, base_->Size(), &data));
-  return base_->Append(data, offset);
+  NOK_RETURN_IF_ERROR(
+      CheckFault(FaultOpKind::kWrite, base_->Size(), &data));
+  const uint64_t at = base_->Size();
+  NOK_RETURN_IF_ERROR(base_->Append(data, offset));
+  RecordWrite(at, data);
+  return Status::OK();
 }
 
 Status FaultInjectionFile::Truncate(uint64_t size) {
-  NOK_RETURN_IF_ERROR(CheckFault(/*is_write=*/true, size, nullptr));
-  return base_->Truncate(size);
+  NOK_RETURN_IF_ERROR(CheckFault(FaultOpKind::kTruncate, size, nullptr));
+  NOK_RETURN_IF_ERROR(base_->Truncate(size));
+  PendingOp op;
+  op.is_truncate = true;
+  op.offset = size;
+  unsynced_ops_.push_back(std::move(op));
+  return Status::OK();
 }
 
 Status FaultInjectionFile::Sync() {
-  NOK_RETURN_IF_ERROR(CheckFault(/*is_write=*/true, 0, nullptr));
+  NOK_RETURN_IF_ERROR(CheckFault(FaultOpKind::kSync, 0, nullptr));
   NOK_RETURN_IF_ERROR(base_->Sync());
   return CaptureDurableImage();
 }
 
 Status FaultInjectionFile::CaptureDurableImage() {
+  unsynced_ops_.clear();
   durable_image_.resize(base_->Size());
   if (durable_image_.empty()) return Status::OK();
   Slice unused;
@@ -156,10 +204,27 @@ Status FaultInjectionFile::CaptureDurableImage() {
                        &unused);
 }
 
-Status FaultInjectionFile::DropUnsyncedData() {
+Status FaultInjectionFile::DropUnsyncedData(Random* survivors,
+                                            double keep_probability) {
   NOK_RETURN_IF_ERROR(base_->Truncate(durable_image_.size()));
-  if (durable_image_.empty()) return Status::OK();
-  return base_->WriteAt(0, Slice(durable_image_));
+  if (!durable_image_.empty()) {
+    NOK_RETURN_IF_ERROR(base_->WriteAt(0, Slice(durable_image_)));
+  }
+  if (survivors != nullptr) {
+    // Out-of-order writeback: each unsynced op independently survives
+    // the crash.  Replay survivors in issue order — the subset, not the
+    // order, is what the kernel scrambles at page granularity.
+    for (const PendingOp& op : unsynced_ops_) {
+      if (!survivors->Bernoulli(keep_probability)) continue;
+      if (op.is_truncate) {
+        NOK_RETURN_IF_ERROR(base_->Truncate(op.offset));
+      } else {
+        NOK_RETURN_IF_ERROR(base_->WriteAt(op.offset, Slice(op.data)));
+      }
+    }
+  }
+  unsynced_ops_.clear();
+  return Status::OK();
 }
 
 }  // namespace nok

@@ -7,11 +7,20 @@
 //   * fail the k-th operation deterministically (the LevelDB-style sweep:
 //     run a workload once to count its operations, then re-run it once per
 //     k asserting clean Status propagation and post-fault consistency);
+//   * fail the k-th operation *of a given kind* — in particular the k-th
+//     fsync, which is how the WAL's commit protocol (sync-the-log before
+//     touching data files) is swept point by point;
 //   * fail operations probabilistically with a seeded, reproducible RNG;
 //   * tear the faulting write (apply a prefix of the data before failing),
 //     which is what page checksums exist to catch;
 //   * simulate a machine crash: drop every byte written since the last
-//     Sync() in every live wrapped file, then fail all further I/O.
+//     Sync() in every live wrapped file, then fail all further I/O.  In
+//     partial-persistence mode the crash instead keeps a seeded-random
+//     subset of the individual unsynced writes — the kernel's freedom to
+//     write back dirty pages in any order — which is what makes
+//     data-before-meta fsync-ordering bugs observable at all: an
+//     all-or-nothing drop can never persist the meta write while losing
+//     the data write it was supposed to follow.
 //
 // Faults are "sticky" by default: once the scheduled operation fails, every
 // later operation fails too, modelling a dead disk — which is what makes
@@ -21,6 +30,7 @@
 #ifndef NOKXML_STORAGE_FAULT_INJECTION_FILE_H_
 #define NOKXML_STORAGE_FAULT_INJECTION_FILE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -40,9 +50,20 @@ class FaultInjectionFile;
 enum class FaultKind : uint8_t {
   kError,  ///< The operation fails with IOError; data is untouched.
   kTorn,   ///< A write applies a prefix of its data, then fails.
-  kCrash,  ///< All unsynced data in every live wrapped file is dropped,
-           ///< then the operation fails.
+  kCrash,  ///< All unsynced data in every live wrapped file is dropped
+           ///< (or partially kept, see EnablePartialCrash), then the
+           ///< operation fails.
 };
+
+/// Classification of a file operation, for kind-targeted faults and
+/// per-kind counters.
+enum class FaultOpKind : uint8_t {
+  kRead = 0,
+  kWrite = 1,     ///< WriteAt and Append
+  kTruncate = 2,
+  kSync = 3,
+};
+inline constexpr size_t kNumFaultOpKinds = 4;
 
 /// Shared fault controller.  Not thread-safe (the library is
 /// single-threaded per store).  One injector is typically shared by every
@@ -59,10 +80,24 @@ class FaultInjector {
   void FailAtOp(uint64_t index, FaultKind kind = FaultKind::kError,
                 bool sticky = true);
 
+  /// Arms a deterministic fault on the `index`-th operation *of kind
+  /// `op`* (0-based, per-kind counter).  FailAtOpOfKind(kSync, 2, ...)
+  /// fails the third fsync the workload issues, wherever it falls in the
+  /// global operation stream.
+  void FailAtOpOfKind(FaultOpKind op, uint64_t index,
+                      FaultKind kind = FaultKind::kError,
+                      bool sticky = true);
+
   /// Arms seeded probabilistic faults: each operation independently fails
   /// with probability p (non-sticky).
   void FailWithProbability(uint64_t seed, double p,
                            FaultKind kind = FaultKind::kError);
+
+  /// Makes kCrash faults persist each individual unsynced write with
+  /// probability `keep_probability` (seeded, reproducible) instead of
+  /// dropping everything — modelling out-of-order page writeback.
+  /// Cleared by Reset, not by Disarm.
+  void EnablePartialCrash(uint64_t seed, double keep_probability = 0.5);
 
   /// Disarms all faults and clears counters.
   void Reset();
@@ -73,11 +108,17 @@ class FaultInjector {
 
   /// Operations observed since the last Reset.
   uint64_t ops_seen() const { return ops_seen_; }
+  /// Operations of one kind observed since the last Reset.
+  uint64_t ops_seen_of(FaultOpKind op) const {
+    return ops_seen_by_kind_[static_cast<size_t>(op)];
+  }
   /// Faults injected since the last Reset.
   uint64_t faults_injected() const { return faults_injected_; }
 
   /// Drops unsynced data in every live wrapped file (the crash
-  /// simulation, also invoked automatically by a kCrash fault).
+  /// simulation, also invoked automatically by a kCrash fault).  In
+  /// partial-crash mode a seeded-random subset of the unsynced writes
+  /// survives instead.
   Status DropAllUnsyncedData();
 
  private:
@@ -85,17 +126,20 @@ class FaultInjector {
 
   /// Called by wrapped files before each operation; returns the fault to
   /// inject for this operation, or kError-free OK via `fault == false`.
-  bool NextOpFaults(FaultKind* kind);
+  bool NextOpFaults(FaultOpKind op, FaultKind* kind);
 
   void Register(FaultInjectionFile* file);
   void Unregister(FaultInjectionFile* file);
 
   uint64_t ops_seen_ = 0;
+  std::array<uint64_t, kNumFaultOpKinds> ops_seen_by_kind_ = {};
   uint64_t faults_injected_ = 0;
 
   bool armed_ = false;
   bool sticky_ = true;
   bool tripped_ = false;  ///< A sticky fault has fired; everything fails.
+  bool kind_filtered_ = false;     ///< fail_index_ counts only filter_op_
+  FaultOpKind filter_op_ = FaultOpKind::kRead;
   uint64_t fail_index_ = 0;
   FaultKind kind_ = FaultKind::kError;
 
@@ -103,12 +147,18 @@ class FaultInjector {
   double probability_ = 0;
   std::unique_ptr<Random> rng_;
 
+  bool partial_crash_ = false;
+  double keep_probability_ = 0.5;
+  std::unique_ptr<Random> crash_rng_;
+
   std::vector<FaultInjectionFile*> files_;  ///< Live wrapped files.
 };
 
 /// File wrapper that consults a FaultInjector before every operation and
-/// tracks a "durable image" (the contents as of the last Sync) so crashes
-/// can be simulated by restoring it.
+/// tracks a "durable image" (the contents as of the last Sync) plus the
+/// individual unsynced operations since, so crashes can be simulated by
+/// restoring the image and optionally re-playing a subset of the
+/// unsynced writes.
 class FaultInjectionFile final : public File {
  public:
   /// Takes ownership of base.  The injector must outlive this file.
@@ -126,16 +176,28 @@ class FaultInjectionFile final : public File {
 
   /// Restores the file to its durable image (contents at the last
   /// successful Sync; empty if never synced).  Simulates losing the page
-  /// cache in a machine crash.
-  Status DropUnsyncedData();
+  /// cache in a machine crash.  `survivors` (may be null) selects which
+  /// unsynced operations get re-applied on top — the injector passes its
+  /// seeded RNG in partial-crash mode.
+  Status DropUnsyncedData(Random* survivors = nullptr,
+                          double keep_probability = 0.5);
 
  private:
-  Status CheckFault(bool is_write, uint64_t offset, const Slice* data);
+  /// An unsynced mutation, replayable during a partial crash.
+  struct PendingOp {
+    bool is_truncate = false;
+    uint64_t offset = 0;  ///< write offset, or truncate size
+    std::string data;     ///< empty for truncates
+  };
+
+  Status CheckFault(FaultOpKind op, uint64_t offset, const Slice* data);
   Status CaptureDurableImage();
+  void RecordWrite(uint64_t offset, const Slice& data);
 
   std::unique_ptr<File> base_;
   std::shared_ptr<FaultInjector> injector_;
   std::string durable_image_;
+  std::vector<PendingOp> unsynced_ops_;
 };
 
 }  // namespace nok

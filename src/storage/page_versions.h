@@ -1,0 +1,133 @@
+// Epoch-keyed pre-image retention for snapshot reads.
+//
+// The single-writer / multi-reader mode lets readers keep serving a
+// committed epoch while the writer applies later commits in place.  At
+// commit time, before a base byte range is overwritten or truncated away,
+// its pre-image is retained here tagged with the last epoch it was valid
+// for.  A reader pinned to epoch E reads the base file and then overlays
+// any retained version with valid_through >= E — the writer inserts the
+// version *before* touching the base bytes, so a reader that finds no
+// version is guaranteed its base read predated the overwrite (see
+// SnapshotFile::ReadAt for the double-check).
+//
+// Reclamation is epoch-based: once the oldest live snapshot has drained,
+// every version whose valid_through is below the new minimum can never be
+// read again and is dropped.
+//
+// Thread safety: PageVersionStore and SnapshotTracker are fully
+// thread-safe; SnapshotFile is read-only and safe for concurrent readers.
+
+#ifndef NOKXML_STORAGE_PAGE_VERSIONS_H_
+#define NOKXML_STORAGE_PAGE_VERSIONS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/file.h"
+
+namespace nok {
+
+/// Retained pre-images for one component file, keyed by byte offset.
+/// Offsets match the writer's write granularity (page slots for paged
+/// components), but lookup is by range intersection, so readers with a
+/// different read granularity still assemble correct bytes.
+class PageVersionStore {
+ public:
+  /// Retains a pre-image of [offset, offset+preimage.size()) that was
+  /// valid through `valid_through` (i.e. the overwrite commits epoch
+  /// valid_through + 1).
+  void Retain(uint64_t offset, std::string preimage,
+              uint64_t valid_through);
+
+  /// Overlays every retained version visible at `epoch` that intersects
+  /// [offset, offset+n) onto dst (dst holds the base bytes for that
+  /// range).  Returns true if any bytes were overlaid.
+  bool OverlayForEpoch(uint64_t epoch, uint64_t offset, char* dst,
+                       size_t n) const;
+
+  /// Drops versions that no snapshot at or above `min_epoch` can read
+  /// (valid_through < min_epoch).
+  void ReclaimBelow(uint64_t min_epoch);
+
+  uint64_t entry_count() const;
+  uint64_t byte_count() const;
+
+ private:
+  struct Version {
+    uint64_t valid_through;
+    std::string data;
+  };
+
+  mutable std::mutex mu_;
+  /// offset -> versions, oldest first (ascending valid_through).
+  std::map<uint64_t, std::vector<Version>> by_offset_;
+  uint64_t bytes_ = 0;
+};
+
+/// Registry of live snapshot epochs plus the version stores to reclaim
+/// from when the oldest drains.
+class SnapshotTracker {
+ public:
+  /// Adds a component version store to the reclaim set.
+  void Track(std::shared_ptr<PageVersionStore> store);
+
+  /// A snapshot at `epoch` is now live.
+  void Register(uint64_t epoch);
+  /// A snapshot at `epoch` drained; reclaims newly dead versions.
+  void Release(uint64_t epoch);
+
+  /// Called by the writer after committing `epoch`: reclaims versions no
+  /// live snapshot can read.
+  void AdvanceEpoch(uint64_t epoch);
+
+  /// Oldest live snapshot epoch, or `fallback` when none are live.
+  uint64_t MinActiveEpoch(uint64_t fallback) const;
+
+  uint64_t retained_entries() const;
+  uint64_t retained_bytes() const;
+
+ private:
+  void ReclaimLocked();  ///< caller holds mu_
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, uint32_t> active_;  ///< epoch -> live snapshot count
+  uint64_t latest_epoch_ = 0;            ///< last committed epoch
+  std::vector<std::shared_ptr<PageVersionStore>> stores_;
+};
+
+/// Read-only File pinned to a snapshot epoch: serves the base file with
+/// retained pre-images overlaid.  Safe against a concurrent writer
+/// mutating the base, because the writer retains pre-images before
+/// touching base bytes.
+class SnapshotFile final : public File {
+ public:
+  /// `versions` may be null (component never versioned — e.g. a file the
+  /// writer only ever appends to is safe to read directly below the
+  /// snapshot size).
+  SnapshotFile(std::unique_ptr<File> base,
+               std::shared_ptr<PageVersionStore> versions, uint64_t epoch);
+
+  Status ReadAt(uint64_t offset, size_t n, char* scratch,
+                Slice* out) const override;
+  Status WriteAt(uint64_t offset, const Slice& data) override;
+  Status Append(const Slice& data, uint64_t* offset) override;
+  uint64_t Size() const override { return size_at_snapshot_; }
+  Status Truncate(uint64_t size) override;
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  std::unique_ptr<File> base_;
+  std::shared_ptr<PageVersionStore> versions_;
+  uint64_t epoch_;
+  uint64_t size_at_snapshot_;
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_STORAGE_PAGE_VERSIONS_H_

@@ -1,0 +1,187 @@
+#include "storage/recovery.h"
+
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nok {
+
+namespace {
+
+Result<std::unique_ptr<File>> OpenViaFactory(const WalFileFactory& factory,
+                                             const std::string& path,
+                                             bool create) {
+  if (factory) return factory(path, create);
+  return OpenPosixFile(path, create);
+}
+
+}  // namespace
+
+WalScan ScanWal(const Slice& wal_bytes) {
+  WalScan scan;
+  if (wal_bytes.size() < kWalHeaderSize ||
+      std::memcmp(wal_bytes.data(), kWalMagic, kWalHeaderSize) != 0) {
+    // No trusted prefix at all; treat everything as torn.
+    scan.torn_bytes = wal_bytes.size();
+    return scan;
+  }
+  size_t pos = kWalHeaderSize;
+  scan.valid_bytes = pos;
+  // Transaction being assembled; discarded if its commit never appears.
+  bool open = false;
+  WalTransaction txn;
+  while (true) {
+    WalRecord rec;
+    Result<bool> more = ReadWalFrame(wal_bytes, &pos, &rec);
+    if (!more.ok() || !*more) break;
+    switch (rec.type) {
+      case WalRecordType::kTxnBegin:
+        // A begin while a txn is open means the previous txn lost its
+        // commit (crash between append batches); discard it.
+        open = true;
+        txn = WalTransaction();
+        txn.epoch = rec.epoch;
+        break;
+      case WalRecordType::kTxnCommit:
+        if (open && rec.epoch == txn.epoch &&
+            rec.record_count == txn.records.size()) {
+          scan.committed.push_back(std::move(txn));
+        }
+        open = false;
+        txn = WalTransaction();
+        break;
+      case WalRecordType::kCheckpoint:
+        scan.checkpoint_epoch =
+            std::max(scan.checkpoint_epoch, rec.epoch);
+        break;
+      default:
+        if (open) txn.records.push_back(std::move(rec));
+        break;
+    }
+    // Only a fully parsed frame advances the trusted prefix; a torn
+    // frame leaves valid_bytes at the last good boundary.
+    scan.valid_bytes = pos;
+  }
+  scan.torn_bytes = wal_bytes.size() - scan.valid_bytes;
+  return scan;
+}
+
+Status RecoverStoreDir(const std::string& dir,
+                       const WalFileFactory& factory,
+                       RecoveryReport* report) {
+  RecoveryReport local;
+  RecoveryReport* rep = report != nullptr ? report : &local;
+  *rep = RecoveryReport();
+
+  const std::string wal_path = dir + "/" + kWalFileName;
+  if (!FileExists(wal_path)) return Status::OK();
+  rep->wal_present = true;
+
+  NOK_ASSIGN_OR_RETURN(auto wal, OpenViaFactory(factory, wal_path, false));
+  std::string bytes(wal->Size(), '\0');
+  if (!bytes.empty()) {
+    Slice got;
+    NOK_RETURN_IF_ERROR(wal->ReadAt(0, bytes.size(), bytes.data(), &got));
+    if (got.data() != bytes.data()) bytes.assign(got.data(), got.size());
+  }
+  if (bytes.empty()) return Status::OK();
+
+  WalScan scan = ScanWal(Slice(bytes));
+  rep->checkpoint_epoch = scan.checkpoint_epoch;
+  rep->transactions_committed = scan.committed.size();
+  if (!scan.committed.empty()) {
+    rep->last_epoch = scan.committed.back().epoch;
+  }
+
+  // Drop the torn tail so later appends cannot resurrect garbage.
+  if (scan.torn_bytes > 0) {
+    NOK_RETURN_IF_ERROR(wal->Truncate(scan.valid_bytes));
+    NOK_RETURN_IF_ERROR(wal->Sync());
+    rep->torn_bytes_discarded = scan.torn_bytes;
+  }
+
+  // Replay committed transactions past the last checkpoint, in log order.
+  // Physical redo is idempotent, so a transaction that was in fact fully
+  // applied (crash after apply, before its checkpoint frame) is simply
+  // rewritten byte-for-byte.
+  std::map<std::string, std::unique_ptr<File>> files;
+  auto component = [&](const std::string& name)
+      -> Result<File*> {
+    auto it = files.find(name);
+    if (it == files.end()) {
+      NOK_ASSIGN_OR_RETURN(
+          auto f, OpenViaFactory(factory, dir + "/" + name, true));
+      it = files.emplace(name, std::move(f)).first;
+    }
+    return it->second.get();
+  };
+  uint64_t replayed_epoch = scan.checkpoint_epoch;
+  for (const WalTransaction& txn : scan.committed) {
+    if (txn.epoch <= scan.checkpoint_epoch) continue;
+    for (const WalRecord& rec : txn.records) {
+      switch (rec.type) {
+        case WalRecordType::kFileWrite: {
+          NOK_ASSIGN_OR_RETURN(File * f, component(rec.name));
+          NOK_RETURN_IF_ERROR(f->WriteAt(rec.offset, Slice(rec.data)));
+          break;
+        }
+        case WalRecordType::kFileTruncate: {
+          NOK_ASSIGN_OR_RETURN(File * f, component(rec.name));
+          NOK_RETURN_IF_ERROR(f->Truncate(rec.size));
+          break;
+        }
+        case WalRecordType::kFileReplace: {
+          NOK_ASSIGN_OR_RETURN(File * f, component(rec.name));
+          NOK_RETURN_IF_ERROR(f->Truncate(0));
+          NOK_RETURN_IF_ERROR(f->WriteAt(0, Slice(rec.data)));
+          break;
+        }
+        case WalRecordType::kFileRemove:
+          // Close our handle first so the replay below cannot resurrect
+          // the file through a stale descriptor's writes.
+          files.erase(rec.name);
+          NOK_RETURN_IF_ERROR(RemoveFile(dir + "/" + rec.name));
+          break;
+        default:
+          return Status::Corruption(
+              "WAL replay: unexpected record type inside transaction");
+      }
+      ++rep->records_replayed;
+    }
+    ++rep->transactions_replayed;
+    replayed_epoch = txn.epoch;
+  }
+
+  // Make the repair durable, then mark it with a checkpoint.
+  for (auto& [name, f] : files) {
+    NOK_RETURN_IF_ERROR(f->Sync());
+  }
+  if (rep->transactions_replayed > 0) {
+    std::string tail;
+    WalRecord rec;
+    rec.type = WalRecordType::kCheckpoint;
+    rec.epoch = replayed_epoch;
+    AppendWalFrame(&tail, rec);
+    uint64_t unused;
+    NOK_RETURN_IF_ERROR(wal->Append(Slice(tail), &unused));
+    NOK_RETURN_IF_ERROR(wal->Sync());
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> PendingWalTransactions(const std::string& dir) {
+  const std::string wal_path = dir + "/" + kWalFileName;
+  if (!FileExists(wal_path)) return uint64_t{0};
+  std::string bytes;
+  NOK_RETURN_IF_ERROR(ReadFileToString(wal_path, &bytes));
+  WalScan scan = ScanWal(Slice(bytes));
+  uint64_t pending = 0;
+  for (const WalTransaction& txn : scan.committed) {
+    if (txn.epoch > scan.checkpoint_epoch) ++pending;
+  }
+  return pending;
+}
+
+}  // namespace nok

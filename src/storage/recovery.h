@@ -1,0 +1,91 @@
+// Crash recovery for WAL-backed store directories.
+//
+// Recovery runs before the document store opens its components — a crash
+// during commit apply leaves the component files at mixed epochs, which
+// the store's open-time cross-check would reject as corruption.  The
+// protocol:
+//
+//   1. Read the WAL and scan frame by frame.  A torn tail (short frame or
+//      CRC mismatch) ends the scan; everything before it is trusted, the
+//      tail is physically truncated away.
+//   2. Collect committed transactions (kTxnBegin .. kTxnCommit with a
+//      matching record count) and the highest kCheckpoint epoch.  A
+//      transaction without its commit record was never durable: its
+//      records are discarded (the base files were never touched for it).
+//   3. Replay every committed transaction past the last checkpoint, in
+//      log order, into the component files — pure physical redo (byte
+//      writes, truncates, whole-file replaces), idempotent, so replaying
+//      an already-applied transaction or crashing during recovery and
+//      re-running it is harmless.
+//   4. Sync the repaired files and append a fresh checkpoint.
+//
+// A directory without a WAL file (or with an empty one) needs no recovery
+// and is left untouched.
+
+#ifndef NOKXML_STORAGE_RECOVERY_H_
+#define NOKXML_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/file.h"
+#include "storage/wal.h"
+
+namespace nok {
+
+/// Opens component files during recovery; matches
+/// DocumentStoreOptions::file_factory so fault-injection harnesses can
+/// intercept recovery I/O too.  Null uses OpenPosixFile.
+using WalFileFactory = std::function<Result<std::unique_ptr<File>>(
+    const std::string& path, bool create)>;
+
+/// One committed transaction from a WAL scan.
+struct WalTransaction {
+  uint64_t epoch = 0;
+  std::vector<WalRecord> records;
+};
+
+/// Result of scanning (not replaying) a WAL file.
+struct WalScan {
+  std::vector<WalTransaction> committed;  ///< log order
+  uint64_t checkpoint_epoch = 0;          ///< highest checkpoint, 0 if none
+  uint64_t valid_bytes = 0;    ///< offset where the trusted prefix ends
+  uint64_t torn_bytes = 0;     ///< bytes after valid_bytes (torn tail)
+};
+
+/// What recovery did; informational (nokq recover prints it).
+struct RecoveryReport {
+  bool wal_present = false;
+  uint64_t transactions_committed = 0;  ///< committed txns in the WAL
+  uint64_t transactions_replayed = 0;   ///< of those, replayed now
+  uint64_t records_replayed = 0;
+  uint64_t torn_bytes_discarded = 0;
+  uint64_t checkpoint_epoch = 0;  ///< highest checkpoint before recovery
+  uint64_t last_epoch = 0;        ///< epoch of the last committed txn
+};
+
+/// Scans a WAL file's bytes.  Returns the committed transactions and
+/// tail-truncation info; never fails on torn data (that is the expected
+/// crash shape), only reports it.
+WalScan ScanWal(const Slice& wal_bytes);
+
+/// Recovers the store directory at `dir`: scan the WAL, truncate any torn
+/// tail, replay committed-but-unapplied transactions, checkpoint.
+/// Idempotent; a no-op (OK) when no WAL exists.  `report` may be null.
+Status RecoverStoreDir(const std::string& dir,
+                       const WalFileFactory& factory = nullptr,
+                       RecoveryReport* report = nullptr);
+
+/// Number of committed transactions past the last checkpoint — i.e. how
+/// many RecoverStoreDir would replay.  0 means the directory is clean.
+/// Reads the WAL directly (no factory); missing WAL is 0.
+Result<uint64_t> PendingWalTransactions(const std::string& dir);
+
+}  // namespace nok
+
+#endif  // NOKXML_STORAGE_RECOVERY_H_

@@ -128,6 +128,73 @@ TEST(FaultInjectorTest, CrashOnNeverSyncedFileEmptiesIt) {
   EXPECT_EQ(raw->Size(), 0u);
 }
 
+TEST(FaultInjectorTest, KindTargetedFaultHitsExactlyTheKthSync) {
+  auto injector = std::make_shared<FaultInjector>();
+  FaultInjectionFile file(NewMemFile(), injector);
+  injector->FailAtOpOfKind(FaultOpKind::kSync, 1, FaultKind::kError,
+                           /*sticky=*/false);
+
+  // Writes are not counted by the sync-kind filter.
+  EXPECT_TRUE(file.WriteAt(0, Slice("aa")).ok());
+  EXPECT_TRUE(file.Sync().ok());                  // Sync 0.
+  EXPECT_TRUE(file.WriteAt(2, Slice("bb")).ok());
+  Status s = file.Sync();                         // Sync 1: fails.
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_TRUE(file.Sync().ok());                  // Non-sticky: recovers.
+  EXPECT_EQ(injector->ops_seen_of(FaultOpKind::kSync), 3u);
+  EXPECT_EQ(injector->ops_seen_of(FaultOpKind::kWrite), 2u);
+}
+
+TEST(FaultInjectorTest, PartialCrashKeepsASeededSubsetOfUnsyncedOps) {
+  auto run = [](uint64_t seed, double keep_p) {
+    auto injector = std::make_shared<FaultInjector>();
+    auto base = NewMemFile();
+    File* raw = base.get();
+    FaultInjectionFile file(std::move(base), injector);
+    EXPECT_TRUE(file.WriteAt(0, Slice("DDDDDDDD")).ok());
+    EXPECT_TRUE(file.Sync().ok());  // Durable image: 8 D's.
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE(file.WriteAt(i, Slice(std::string(1, 'a' + i))).ok());
+    }
+    injector->EnablePartialCrash(seed, keep_p);
+    EXPECT_TRUE(injector->DropAllUnsyncedData().ok());
+    std::string got(8, '\0');
+    Slice out;
+    EXPECT_TRUE(raw->ReadAt(0, 8, got.data(), &out).ok());
+    return out.ToString();
+  };
+
+  // keep_p = 1 keeps every unsynced write, keep_p = 0 drops them all.
+  EXPECT_EQ(run(1, 1.0), "abcdefgh");
+  EXPECT_EQ(run(1, 0.0), "DDDDDDDD");
+  // In between: reproducible per seed, and genuinely partial — the
+  // out-of-order-writeback shape an all-or-nothing drop cannot produce.
+  const std::string a = run(7, 0.5), b = run(7, 0.5), c = run(8, 0.5);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, "abcdefgh");
+  EXPECT_NE(a, "DDDDDDDD");
+  EXPECT_NE(a, c);  // Different seed, different surviving subset.
+}
+
+TEST(FaultInjectorTest, PartialCrashReplaysTruncatesInOrder) {
+  auto injector = std::make_shared<FaultInjector>();
+  auto base = NewMemFile();
+  File* raw = base.get();
+  FaultInjectionFile file(std::move(base), injector);
+  ASSERT_TRUE(file.WriteAt(0, Slice("12345678")).ok());
+  ASSERT_TRUE(file.Sync().ok());
+  ASSERT_TRUE(file.Truncate(4).ok());
+  ASSERT_TRUE(file.WriteAt(4, Slice("ZZ")).ok());
+
+  injector->EnablePartialCrash(3, 1.0);  // Keep all: pure replay.
+  ASSERT_TRUE(injector->DropAllUnsyncedData().ok());
+  EXPECT_EQ(raw->Size(), 6u);
+  std::string got(6, '\0');
+  Slice out;
+  ASSERT_TRUE(raw->ReadAt(0, 6, got.data(), &out).ok());
+  EXPECT_EQ(out.ToString(), "1234ZZ");
+}
+
 TEST(FaultInjectorTest, ProbabilisticFaultsAreReproducible) {
   auto run = [](uint64_t seed) {
     auto injector = std::make_shared<FaultInjector>();
@@ -454,6 +521,240 @@ TEST_P(FaultSweep, UpdateKeepsOldOrNewStateAtEveryOp) {
 INSTANTIATE_TEST_SUITE_P(ErrorAndCrash, FaultSweep,
                          ::testing::Values(FaultKind::kError,
                                            FaultKind::kCrash));
+
+// ---------------------------------------------------------------------------
+// WAL kill-point sweep.
+//
+// With the write-ahead log enabled, a crash at ANY operation of an update
+// workload must leave a store that (a) reopens cleanly through recovery —
+// never Corruption — and (b) reads back as exactly the pre-update or the
+// post-update document, verified against never-crashed oracles and the
+// offline scrubber.
+
+/// InjectedOptions with the WAL turned on.
+DocumentStoreOptions InjectedWalOptions(
+    const std::string& dir, std::shared_ptr<FaultInjector> injector) {
+  DocumentStoreOptions options = InjectedOptions(dir, injector);
+  options.wal.enabled = true;
+  return options;
+}
+
+/// The swept workload: open with WAL (runs recovery), insert, commit.
+/// *commit_ops / *commit_syncs (optional) receive the operation counts at
+/// the moment the commit returned -- destructor-phase syncs after that
+/// point fail softly, so the sweeps must not count them.
+Status WalUpdate(const std::string& dir,
+                 std::shared_ptr<FaultInjector> injector,
+                 uint64_t* commit_ops = nullptr,
+                 uint64_t* commit_syncs = nullptr) {
+  auto store = DocumentStore::OpenDir(InjectedWalOptions(dir, injector));
+  NOK_RETURN_IF_ERROR(store.status());
+  NOK_RETURN_IF_ERROR((*store)->InsertSubtree(
+      DeweyId({0}), 2, "<book><title>New</title></book>"));
+  Status s = (*store)->Flush();
+  if (commit_ops != nullptr) *commit_ops = injector->ops_seen();
+  if (commit_syncs != nullptr) {
+    *commit_syncs = injector->ops_seen_of(FaultOpKind::kSync);
+  }
+  return s;
+}
+
+/// Reopen through WAL recovery (uninjected) and read the document back.
+struct WalReopenOutcome {
+  Status status = Status::OK();
+  uint64_t node_count = 0;
+  size_t stevens_hits = 0;
+  size_t new_hits = 0;
+};
+
+WalReopenOutcome WalReopen(const std::string& dir) {
+  WalReopenOutcome outcome;
+  DocumentStoreOptions options;
+  options.dir = dir;
+  options.wal.enabled = true;
+  auto store = DocumentStore::OpenDir(options);
+  if (!store.ok()) {
+    outcome.status = store.status();
+    return outcome;
+  }
+  outcome.node_count = (*store)->stats().node_count;
+  auto stevens = (*store)->NodesWithValue(Slice("Stevens"));
+  auto added = (*store)->NodesWithValue(Slice("New"));
+  if (!stevens.ok() || !added.ok()) {
+    outcome.status = stevens.ok() ? added.status() : stevens.status();
+    return outcome;
+  }
+  outcome.stevens_hits = stevens->size();
+  outcome.new_hits = added->size();
+  return outcome;
+}
+
+/// Asserts the crash-recovered store at `dir` reads as exactly the old or
+/// the new document and passes the offline scrub.
+void ExpectOldOrNew(const std::string& dir, const WalReopenOutcome& oldst,
+                    const WalReopenOutcome& newst, const std::string& what) {
+  const WalReopenOutcome outcome = WalReopen(dir);
+  // The zero-Corruption criterion: recovery must always yield an
+  // openable store.
+  ASSERT_TRUE(outcome.status.ok())
+      << what << ": reopen after recovery failed: "
+      << outcome.status.ToString();
+  const bool is_old = outcome.node_count == oldst.node_count &&
+                      outcome.new_hits == 0;
+  const bool is_new = outcome.node_count == newst.node_count &&
+                      outcome.new_hits == 1;
+  EXPECT_TRUE(is_old || is_new)
+      << what << ": node_count " << outcome.node_count << ", new_hits "
+      << outcome.new_hits << " is neither the pre-update state ("
+      << oldst.node_count << ", 0) nor the post-update state ("
+      << newst.node_count << ", 1)";
+  EXPECT_EQ(outcome.stevens_hits, 1u) << what;
+
+  auto scrub = VerifyStoreDir(dir);
+  ASSERT_TRUE(scrub.ok()) << what << ": " << scrub.status().ToString();
+  EXPECT_TRUE(scrub->ok()) << what << ": scrub found "
+                           << scrub->issues.size() << " issue(s), first: "
+                           << (scrub->issues.empty()
+                                   ? ""
+                                   : scrub->issues[0].detail);
+}
+
+class WalKillPointSweep : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = TempDir("wal_sweep_base");
+    scratch_ = TempDir("wal_sweep_scratch");
+    injector_ = std::make_shared<FaultInjector>();
+
+    // Clean pre-update store, and oracles for both sides of the update.
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(BuildWorkload(dir_, injector_).ok());
+    old_state_ = WalReopen(dir_);
+    ASSERT_TRUE(old_state_.status.ok()) << old_state_.status.ToString();
+
+    std::filesystem::remove_all(scratch_);
+    std::filesystem::copy(dir_, scratch_);
+    injector_->Reset();
+    ASSERT_TRUE(
+        WalUpdate(scratch_, injector_, &total_ops_, &total_syncs_).ok());
+    ASSERT_GT(total_ops_, 0u);
+    ASSERT_GT(total_syncs_, 0u);
+    new_state_ = WalReopen(scratch_);
+    ASSERT_TRUE(new_state_.status.ok()) << new_state_.status.ToString();
+    ASSERT_GT(new_state_.node_count, old_state_.node_count);
+    ASSERT_EQ(new_state_.new_hits, 1u);
+  }
+
+  void TearDown() override {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::remove_all(scratch_);
+  }
+
+  /// Fresh pre-update copy in scratch_, injector reset.
+  void ResetScratch() {
+    std::filesystem::remove_all(scratch_);
+    std::filesystem::copy(dir_, scratch_);
+    injector_->Reset();
+  }
+
+  std::string dir_;
+  std::string scratch_;
+  std::shared_ptr<FaultInjector> injector_;
+  uint64_t total_ops_ = 0;
+  uint64_t total_syncs_ = 0;
+  WalReopenOutcome old_state_;
+  WalReopenOutcome new_state_;
+};
+
+TEST_F(WalKillPointSweep, CrashAtEveryOpReplaysOrRestores) {
+  const uint64_t stride = total_ops_ / 200 + 1;
+  for (uint64_t k = 0; k < total_ops_; k += stride) {
+    ResetScratch();
+    injector_->FailAtOp(k, FaultKind::kCrash, /*sticky=*/true);
+    Status s = WalUpdate(scratch_, injector_);
+    EXPECT_FALSE(s.ok()) << "op " << k << " did not propagate";
+    injector_->Disarm();
+    ExpectOldOrNew(scratch_, old_state_, new_state_,
+                   "crash at op " + std::to_string(k));
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_F(WalKillPointSweep, CrashAtEveryFsyncReplaysOrRestores) {
+  // Every fsync the workload issues, hit precisely: the commit protocol's
+  // ordering (WAL sync before base writes, base syncs before checkpoint)
+  // is what this pins down.
+  for (uint64_t j = 0; j < total_syncs_; ++j) {
+    ResetScratch();
+    injector_->FailAtOpOfKind(FaultOpKind::kSync, j, FaultKind::kCrash,
+                              /*sticky=*/true);
+    Status s = WalUpdate(scratch_, injector_);
+    EXPECT_FALSE(s.ok()) << "sync " << j << " did not propagate";
+    injector_->Disarm();
+    ExpectOldOrNew(scratch_, old_state_, new_state_,
+                   "crash at fsync " + std::to_string(j));
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_F(WalKillPointSweep, PartialWritebackCrashesStillRecover) {
+  // Out-of-order page writeback: the crash persists a seeded-random
+  // subset of the unsynced writes instead of dropping them all.  This is
+  // the shape that catches data-before-meta sync-ordering bugs.
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    for (uint64_t j = 0; j < total_syncs_; ++j) {
+      ResetScratch();
+      injector_->EnablePartialCrash(seed, 0.5);
+      injector_->FailAtOpOfKind(FaultOpKind::kSync, j, FaultKind::kCrash,
+                                /*sticky=*/true);
+      Status s = WalUpdate(scratch_, injector_);
+      EXPECT_FALSE(s.ok()) << "seed " << seed << " sync " << j;
+      injector_->Disarm();
+      ExpectOldOrNew(scratch_, old_state_, new_state_,
+                     "partial crash seed " + std::to_string(seed) +
+                         " at fsync " + std::to_string(j));
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST_F(WalKillPointSweep, PlainOpenRefusesAPendingWal) {
+  // Crash right after the WAL became durable but before any apply: the
+  // log holds a committed-but-unapplied transaction.  A plain (non-WAL)
+  // open must refuse it and point at recovery, not silently serve the old
+  // epoch.
+  uint64_t pending_point = 0;
+  bool found = false;
+  for (uint64_t j = 0; j < total_syncs_ && !found; ++j) {
+    ResetScratch();
+    injector_->FailAtOpOfKind(FaultOpKind::kSync, j, FaultKind::kCrash,
+                              /*sticky=*/true);
+    (void)WalUpdate(scratch_, injector_);
+    injector_->Disarm();
+    auto pending = PendingWalTransactions(scratch_);
+    ASSERT_TRUE(pending.ok());
+    if (*pending > 0) {
+      pending_point = j;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no crash point left a committed-but-unapplied "
+                        "transaction; the sweep lost its teeth";
+
+  DocumentStoreOptions plain;
+  plain.dir = scratch_;
+  auto refused = DocumentStore::OpenDir(plain);
+  ASSERT_FALSE(refused.ok())
+      << "plain open served a store with a pending WAL (crash at fsync "
+      << pending_point << ")";
+  EXPECT_TRUE(refused.status().IsInvalidArgument())
+      << refused.status().ToString();
+
+  // Recovery repairs it; after that a plain open is fine again.
+  ASSERT_TRUE(RecoverStoreDir(scratch_).ok());
+  auto repaired = DocumentStore::OpenDir(plain);
+  EXPECT_TRUE(repaired.ok()) << repaired.status().ToString();
+}
 
 TEST(FaultSweepTest, RandomFaultsNeverCrashTheBuilder) {
   const std::string dir = TempDir("random");

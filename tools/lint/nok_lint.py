@@ -41,6 +41,13 @@ NOK006  nok sub-layering: inside src/nok/, only the planner/executor
         encoding facade.  (The reverse edges — encoding or btree
         including nok/planner.h / nok/executor.h — are already NOK001
         violations.)
+NOK007  raw file-I/O syscalls: fsync/fdatasync/sync_file_range/pwrite/
+        pread anywhere outside src/storage/ bypass the File abstraction.
+        The WAL's crash-safety argument rests on one ordering (log
+        fsync before base writes) that only holds for I/O the storage
+        layer issues — and the fault-injection harness can only crash
+        what it can see.  Use File::Sync/WriteAt/ReadAt from
+        storage/file.h.
 
 Format checks (advisory by default; --format-fatal makes them errors)
 ---------------------------------------------------------------------
@@ -105,6 +112,10 @@ ABORT_ALLOWED = {os.path.join("src", "common", "logging.h"),
 
 STATUS_DECL_RE = re.compile(
     r"^\s*(?:const\s+)?(?:nok::)?Status\s+([a-z_][A-Za-z0-9_]*)\s*=")
+
+# NOK007: raw file-I/O syscalls outside src/storage/.
+RAW_IO_RE = re.compile(
+    r"(?:::\s*)?\b(fsync|fdatasync|sync_file_range|pwrite|pread)\s*\(")
 
 # NOK005: thread/mutex discipline.  Only src/ is checked — tests and
 # benches may drive threads however the scenario demands.
@@ -360,6 +371,22 @@ def check_threading(path, root, code_text, findings):
                     f"std::scoped_lock, or std::unique_lock"))
 
 
+# --- NOK007: raw file-I/O syscalls outside src/storage/ -------------------
+
+def check_raw_io(path, root, code_text, findings):
+    r = rel(path, root)
+    if r.startswith(os.path.join("src", "storage") + os.sep):
+        return
+    for lineno, line in enumerate(code_text.splitlines(), 1):
+        for m in RAW_IO_RE.finditer(line):
+            findings.append(Finding(
+                "NOK007", r, lineno,
+                f"raw {m.group(1)}() bypasses the storage File layer; "
+                f"the WAL durability ordering and the fault-injection "
+                f"harness only cover I/O issued through storage/file.h "
+                f"(File::Sync / WriteAt / ReadAt)"))
+
+
 # --- Format checks --------------------------------------------------------
 
 def check_format(path, root, raw_text, findings):
@@ -412,6 +439,7 @@ def lint_file(path, root, with_format):
     check_include_guard(path, root, raw, findings)
     check_unchecked_status(path, root, code, findings)
     check_threading(path, root, code, findings)
+    check_raw_io(path, root, code, findings)
     if with_format:
         check_format(path, root, raw, findings)
     return findings

@@ -1,0 +1,17 @@
+// NOK007 fixture: durability syscalls issued outside src/storage/.
+#include <unistd.h>
+
+namespace nok {
+
+int FlushDescriptor(int fd, const char* buf) {
+  if (::fsync(fd) != 0) return -1;             // EXPECT-LINT: NOK007
+  if (fdatasync(fd) != 0) return -1;           // EXPECT-LINT: NOK007
+  if (::pwrite(fd, buf, 4, 0) != 4) return -1; // EXPECT-LINT: NOK007
+  char out[4];
+  if (pread(fd, out, 4, 0) != 4) return -1;    // EXPECT-LINT: NOK007
+  // Mentioning fsync in a comment or a "fsync(" string is fine:
+  const char* msg = "fsync() failed";
+  return msg[0];
+}
+
+}  // namespace nok

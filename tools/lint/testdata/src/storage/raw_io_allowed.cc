@@ -1,0 +1,12 @@
+// NOK007 fixture: src/storage/ is the one layer allowed to issue the
+// raw syscalls (this is where the File abstraction lives).
+#include <unistd.h>
+
+namespace nok {
+
+int SyncDescriptor(int fd) {
+  if (::fdatasync(fd) != 0) return -1;
+  return ::fsync(fd);
+}
+
+}  // namespace nok

@@ -8,10 +8,11 @@
 //               [--plan-cache]     print the query plan + operator trace
 //   nokq stream <file.xml> <xpath>              single-pass evaluation
 //   nokq stats  <store-dir>                     Table-1 style statistics
-//   nokq insert <store-dir> <parent-dewey> <index> <fragment.xml>
-//   nokq delete <store-dir> <dewey>
-//   nokq refresh <store-dir>                    rebuild cached positions
+//   nokq insert <store-dir> <parent-dewey> <index> <fragment.xml> [--wal]
+//   nokq delete <store-dir> <dewey> [--wal]
+//   nokq refresh <store-dir> [--wal]            rebuild cached positions
 //   nokq verify <store-dir>                     offline integrity scrub
+//   nokq recover <store-dir>                    WAL crash recovery + verify
 //   nokq gen    <dataset> <store-dir>           generate + build + queries
 //   nokq bench  <store-dir> [--threads N] [--repeat K]
 //               [--queries file] [--json path]  parallel query driver
@@ -47,9 +48,11 @@ int Usage() {
           "  nokq stream <file.xml> <xpath>\n"
           "  nokq stats  <store-dir>\n"
           "  nokq insert <store-dir> <parent-dewey> <index> <frag.xml>\n"
-          "  nokq delete <store-dir> <dewey>\n"
-          "  nokq refresh <store-dir>\n"
+          "              [--wal]\n"
+          "  nokq delete <store-dir> <dewey> [--wal]\n"
+          "  nokq refresh <store-dir> [--wal]\n"
           "  nokq verify <store-dir>\n"
+          "  nokq recover <store-dir>\n"
           "  nokq gen    <dataset> <store-dir> [--scale S] [--seed N]\n"
           "              (datasets: author address catalog treebank dblp)\n"
           "  nokq bench  <store-dir> [--threads N] [--repeat K]\n"
@@ -108,11 +111,12 @@ nok::Result<nok::DeweyId> ParseDewey(const std::string& text) {
 
 nok::Result<std::unique_ptr<nok::DocumentStore>> OpenStore(
     const std::string& dir, bool use_header_skip = true,
-    bool use_tag_summaries = true) {
+    bool use_tag_summaries = true, bool wal = false) {
   nok::DocumentStore::Options options;
   options.dir = dir;
   options.use_header_skip = use_header_skip;
   options.use_tag_summaries = use_tag_summaries;
+  options.wal.enabled = wal;
   return nok::DocumentStore::OpenDir(options);
 }
 
@@ -276,8 +280,8 @@ int CmdStats(const std::string& dir) {
 
 int CmdInsert(const std::string& dir, const std::string& dewey_text,
               const std::string& index_text,
-              const std::string& fragment_path) {
-  auto store = OpenStore(dir);
+              const std::string& fragment_path, bool wal) {
+  auto store = OpenStore(dir, true, true, wal);
   if (!store.ok()) return Fail(store.status());
   auto dewey = ParseDewey(dewey_text);
   if (!dewey.ok()) return Fail(dewey.status());
@@ -293,8 +297,9 @@ int CmdInsert(const std::string& dir, const std::string& dewey_text,
   return FinishFlush(store->get());
 }
 
-int CmdDelete(const std::string& dir, const std::string& dewey_text) {
-  auto store = OpenStore(dir);
+int CmdDelete(const std::string& dir, const std::string& dewey_text,
+              bool wal) {
+  auto store = OpenStore(dir, true, true, wal);
   if (!store.ok()) return Fail(store.status());
   auto dewey = ParseDewey(dewey_text);
   if (!dewey.ok()) return Fail(dewey.status());
@@ -305,8 +310,8 @@ int CmdDelete(const std::string& dir, const std::string& dewey_text) {
   return FinishFlush(store->get());
 }
 
-int CmdRefresh(const std::string& dir) {
-  auto store = OpenStore(dir);
+int CmdRefresh(const std::string& dir, bool wal) {
+  auto store = OpenStore(dir, true, true, wal);
   if (!store.ok()) return Fail(store.status());
   nok::Timer timer;
   nok::Status s = (*store)->RefreshPositions();
@@ -332,6 +337,31 @@ int CmdVerify(const std::string& dir) {
          timer.ElapsedSeconds(),
          report->ok() ? "clean" : "DAMAGED");
   return report->ok() ? 0 : 1;
+}
+
+/// Runs WAL crash recovery on a store directory (replays committed but
+/// unapplied transactions, discards torn tails), then scrubs the repaired
+/// store with the offline verifier.
+int CmdRecover(const std::string& dir) {
+  nok::Timer timer;
+  nok::RecoveryReport report;
+  nok::Status s = nok::RecoverStoreDir(dir, nullptr, &report);
+  if (!s.ok()) return Fail(s);
+  if (!report.wal_present) {
+    printf("%s: no write-ahead log; nothing to recover\n", dir.c_str());
+  } else {
+    printf("%s: recovered in %.2fs\n", dir.c_str(),
+           timer.ElapsedSeconds());
+    printf("  committed transactions in log: %llu (last epoch %llu)\n",
+           static_cast<unsigned long long>(report.transactions_committed),
+           static_cast<unsigned long long>(report.last_epoch));
+    printf("  replayed now: %llu transaction(s), %llu record(s)\n",
+           static_cast<unsigned long long>(report.transactions_replayed),
+           static_cast<unsigned long long>(report.records_replayed));
+    printf("  torn tail discarded: %llu byte(s)\n",
+           static_cast<unsigned long long>(report.torn_bytes_discarded));
+  }
+  return CmdVerify(dir);
 }
 
 int CmdGen(int argc, char** argv) {
@@ -594,12 +624,20 @@ int main(int argc, char** argv) {
   if (command == "explain" && argc >= 4) return CmdExplain(argc, argv);
   if (command == "stream" && argc == 4) return CmdStream(argv[2], argv[3]);
   if (command == "stats" && argc == 3) return CmdStats(argv[2]);
-  if (command == "insert" && argc == 6) {
-    return CmdInsert(argv[2], argv[3], argv[4], argv[5]);
+  // Mutating commands accept a trailing --wal (commit through the
+  // write-ahead log: crash-atomic, recoverable with `nokq recover`).
+  const bool wal =
+      argc >= 3 && strcmp(argv[argc - 1], "--wal") == 0;
+  const int eff_argc = wal ? argc - 1 : argc;
+  if (command == "insert" && eff_argc == 6) {
+    return CmdInsert(argv[2], argv[3], argv[4], argv[5], wal);
   }
-  if (command == "delete" && argc == 4) return CmdDelete(argv[2], argv[3]);
-  if (command == "refresh" && argc == 3) return CmdRefresh(argv[2]);
+  if (command == "delete" && eff_argc == 4) {
+    return CmdDelete(argv[2], argv[3], wal);
+  }
+  if (command == "refresh" && eff_argc == 3) return CmdRefresh(argv[2], wal);
   if (command == "verify" && argc == 3) return CmdVerify(argv[2]);
+  if (command == "recover" && argc == 3) return CmdRecover(argv[2]);
   if (command == "gen" && argc >= 4) return CmdGen(argc, argv);
   if (command == "bench" && argc >= 3) return CmdBench(argc, argv);
   return Usage();
