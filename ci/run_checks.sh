@@ -11,6 +11,9 @@
 #                               # crash at every write/fsync, reopen,
 #                               # expect replay or clean restore
 #   ci/run_checks.sh werror     # strict-warning build (NOK_WERROR=ON)
+#   ci/run_checks.sh thread-safety # clang -Werror=thread-safety build of
+#                               # the whole tree + negative-compile of
+#                               # the committed broken fixture
 #   ci/run_checks.sh bench-smoke # page-skip ablation bench on a tiny
 #                                # dataset + JSON report validation
 #
@@ -88,6 +91,40 @@ run_werror() {
   else
     echo "clang++ not found; skipping the Clang strict-warning build"
   fi
+}
+
+run_thread_safety() {
+  step "Thread-safety gate (clang -Werror=thread-safety)"
+  # Clang-only: GCC parses the annotations as no-op macros, so a GCC
+  # "pass" would prove nothing.  The CMake mode itself re-verifies the
+  # gate has teeth by negative-compiling the committed broken fixture
+  # (tests/fixtures/thread_safety_broken.cc); see DESIGN.md section 12.
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "clang++ not found; skipping the thread-safety gate" \
+         "(CI runs it; locally: install clang, then re-run)"
+    return 0
+  fi
+  cmake -S . -B build-ci/thread-safety -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_CXX_COMPILER=clang++ -DNOK_THREAD_SAFETY=ON
+  cmake --build build-ci/thread-safety -j "$JOBS"
+
+  step "Thread-safety fixture negative-compile (direct clang++)"
+  # Belt and braces beyond the CMake try_compile: invoke clang++ directly
+  # on the broken fixture and demand both a failure and a thread-safety
+  # diagnostic, so the gate cannot silently rot into a no-op.
+  local log=build-ci/thread-safety/fixture_negative_compile.log
+  if clang++ -std=c++20 -Isrc -Wthread-safety -Werror=thread-safety \
+       -fsyntax-only tests/fixtures/thread_safety_broken.cc \
+       >"$log" 2>&1; then
+    echo "FAIL: the broken fixture compiled under -Werror=thread-safety" >&2
+    exit 1
+  fi
+  if ! grep -Eq 'thread-safety|thread safety' "$log"; then
+    echo "FAIL: fixture rejected for the wrong reason:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  echo "broken fixture rejected with a thread-safety diagnostic, as intended"
 }
 
 run_bench_smoke() {
@@ -172,6 +209,7 @@ case "${1:-all}" in
   tsan)           run_tsan ;;
   crash-recovery) run_crash_recovery ;;
   werror)         run_werror ;;
+  thread-safety)  run_thread_safety ;;
   bench-smoke)    run_bench_smoke ;;
   all)
     run_lint
@@ -180,13 +218,14 @@ case "${1:-all}" in
     run_tsan
     run_crash_recovery
     run_werror
+    run_thread_safety
     run_bench_smoke
     step "all checks passed"
     ;;
   *)
     echo "unknown check: $1" \
          "(expected lint|release|sanitize|tsan|crash-recovery|werror|" \
-         "bench-smoke|all)" >&2
+         "thread-safety|bench-smoke|all)" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,94 @@
+// Annotated mutex wrappers: the only locking primitives allowed in
+// src/ (lint rule NOK009 bans the raw std:: family elsewhere).
+//
+// nok::Mutex is std::mutex with Clang Thread Safety Analysis
+// attributes (common/thread_annotations.h); nok::MutexLock is the RAII
+// holder the analysis understands; nok::CondVar pairs with Mutex the
+// way LevelDB's port::CondVar does.  Under GCC the attributes expand
+// to nothing and the wrappers compile to the std types they hold
+// (tests/thread_annotations_test.cc asserts zero size overhead).
+//
+// Conventions (DESIGN.md section 12):
+//  * every member a Mutex guards carries GUARDED_BY(mu_);
+//  * private helpers that expect the lock held carry REQUIRES(mu_)
+//    and are named *Locked();
+//  * public entry points that take the lock carry EXCLUDES(mu_) so
+//    accidental re-entry is a compile error under clang.
+
+#ifndef NOKXML_COMMON_MUTEX_H_
+#define NOKXML_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace nok {
+
+class CondVar;
+
+// A std::mutex wearing capability attributes.  Not copyable, not
+// movable; lock/unlock through MutexLock wherever possible.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  ~Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // For documenting lock invariants the analysis cannot follow (e.g.
+  // the lock was acquired through an alias).  No runtime effect.
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock holder, the SCOPED_CAPABILITY shape the analysis tracks.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// Condition variable bound to nok::Mutex.  Wait() must be called with
+// the mutex held (enforced by the REQUIRES annotation) and returns
+// with it held again, so the usual predicate loop applies:
+//
+//   MutexLock lock(&mu_);
+//   while (!ready_) cv_.Wait(&mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still owns the mutex
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_COMMON_MUTEX_H_

@@ -1,0 +1,89 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// The macros below attach compile-time concurrency contracts to mutexes
+// and the data they guard: `GUARDED_BY(mu_)` on a member makes any
+// access without `mu_` held a -Wthread-safety diagnostic, `REQUIRES` on
+// a function documents (and enforces) a must-hold-on-entry contract,
+// and `SCOPED_CAPABILITY` teaches the analysis about RAII holders.
+// This is the LevelDB / RocksDB / Abseil scheme; the analysis itself is
+// documented at https://clang.llvm.org/docs/ThreadSafetyAnalysis.html.
+//
+// On compilers without the attributes (GCC) every macro expands to
+// nothing, so the annotations are zero-overhead documentation.  Clang
+// checks them when -Wthread-safety is on; the NOK_THREAD_SAFETY CMake
+// mode promotes the warnings to errors and CI gates merges on it (see
+// ci/run_checks.sh thread-safety and DESIGN.md section 12).
+//
+// Use these through the nok::Mutex / nok::MutexLock / nok::CondVar
+// wrappers in common/mutex.h — lint rule NOK009 bans the raw std::mutex
+// family outside src/common/ precisely so that every lock in the tree
+// is visible to the analysis.
+
+#ifndef NOKXML_COMMON_THREAD_ANNOTATIONS_H_
+#define NOKXML_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define NOK_TSA_ATTR__(x) __attribute__((x))
+#else
+#define NOK_TSA_ATTR__(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a lockable capability (argument names the kind,
+/// e.g. "mutex", for diagnostics).
+#define CAPABILITY(x) NOK_TSA_ATTR__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define SCOPED_CAPABILITY NOK_TSA_ATTR__(scoped_lockable)
+
+/// Data members: reads and writes require the given capability held.
+#define GUARDED_BY(x) NOK_TSA_ATTR__(guarded_by(x))
+
+/// Pointer members: dereferences require the capability (the pointer
+/// itself is unguarded).
+#define PT_GUARDED_BY(x) NOK_TSA_ATTR__(pt_guarded_by(x))
+
+/// Lock-ordering declarations between capabilities.
+#define ACQUIRED_BEFORE(...) NOK_TSA_ATTR__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) NOK_TSA_ATTR__(acquired_after(__VA_ARGS__))
+
+/// Functions: the listed capabilities must be held on entry (and are
+/// still held on exit).
+#define REQUIRES(...) NOK_TSA_ATTR__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  NOK_TSA_ATTR__(requires_shared_capability(__VA_ARGS__))
+
+/// Functions: acquire / release the listed capabilities.
+#define ACQUIRE(...) NOK_TSA_ATTR__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  NOK_TSA_ATTR__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) NOK_TSA_ATTR__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  NOK_TSA_ATTR__(release_shared_capability(__VA_ARGS__))
+
+/// Functions that acquire only on a given boolean result (TryLock).
+#define TRY_ACQUIRE(...) \
+  NOK_TSA_ATTR__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  NOK_TSA_ATTR__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Functions: the listed capabilities must NOT be held on entry (guards
+/// against self-deadlock on non-reentrant mutexes).
+#define EXCLUDES(...) NOK_TSA_ATTR__(locks_excluded(__VA_ARGS__))
+
+/// Tells the analysis a capability is held on paths it cannot follow
+/// (e.g. the lock was taken through an aliased pointer).
+#define ASSERT_CAPABILITY(...) \
+  NOK_TSA_ATTR__(assert_capability(__VA_ARGS__))
+#define ASSERT_SHARED_CAPABILITY(...) \
+  NOK_TSA_ATTR__(assert_shared_capability(__VA_ARGS__))
+
+/// Functions returning a reference to a capability.
+#define RETURN_CAPABILITY(x) NOK_TSA_ATTR__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function.  Every use
+/// must carry a comment explaining why the contract cannot be stated.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  NOK_TSA_ATTR__(no_thread_safety_analysis)
+
+#endif  // NOKXML_COMMON_THREAD_ANNOTATIONS_H_

@@ -117,7 +117,7 @@ Status SwmrStore::PublishSnapshot() {
       });
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     current_ = std::move(snap);
     ++snapshots_published_;
   }
@@ -142,21 +142,21 @@ Status SwmrStore::Commit() {
   NOK_RETURN_IF_ERROR(writer_->Flush());
   NOK_RETURN_IF_ERROR(PublishSnapshot());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++commits_;
   }
   return Status::OK();
 }
 
 std::shared_ptr<SwmrStore::Snapshot> SwmrStore::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return current_;
 }
 
 SwmrStore::Stats SwmrStore::stats() const {
   Stats out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     out.commits = commits_;
     out.snapshots_published = snapshots_published_;
     out.current_epoch = current_ != nullptr ? current_->epoch() : 0;

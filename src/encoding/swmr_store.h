@@ -36,11 +36,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "encoding/document_store.h"
 #include "storage/page_versions.h"
 
@@ -109,27 +110,39 @@ class SwmrStore {
 
   // -- reader side (any thread) -----------------------------------------
   /// The current committed snapshot.  Never null after Open succeeds.
-  std::shared_ptr<Snapshot> snapshot() const;
+  std::shared_ptr<Snapshot> snapshot() const EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mu_);
 
  private:
   explicit SwmrStore(Options options) : options_(std::move(options)) {}
 
   Result<std::unique_ptr<DocumentStore>> OpenSnapshotStore(uint64_t epoch);
-  Status PublishSnapshot();
+  Status PublishSnapshot() EXCLUDES(mu_);
 
-  Options options_;
-  std::string dir_;
-  std::unique_ptr<DocumentStore> writer_;
-  std::shared_ptr<SnapshotTracker> tracker_;
+  // The members below are written once inside Open() before the store
+  // is reachable from any other thread, then only read — no mutex
+  // needed (the retain hook and snapshot file factories read them from
+  // reader threads).
+  Options options_;   // NOK008-OK: immutable after Open()
+  std::string dir_;   // NOK008-OK: immutable after Open()
+  std::unique_ptr<DocumentStore> writer_;  // NOK008-OK: set in Open();
+  // writer methods are single-thread by contract (see file comment).
+  std::shared_ptr<SnapshotTracker> tracker_;  // NOK008-OK: immutable
+  // after Open(); SnapshotTracker is internally synchronized.
   /// Component name -> shadow-page store consulted by its snapshots.
+  /// NOK008-OK: the map is immutable after Open(); the pointed-to
+  /// PageVersionStores are internally synchronized.
   std::map<std::string, std::shared_ptr<PageVersionStore>> versions_;
 
-  mutable std::mutex mu_;  ///< guards current_ and the counters below
-  std::shared_ptr<Snapshot> current_;
-  uint64_t commits_ = 0;
-  uint64_t snapshots_published_ = 0;
+  /// Guards the published snapshot and the commit counters.  Note the
+  /// swap in PublishSnapshot can run the previous snapshot's deleter
+  /// while holding mu_, which takes SnapshotTracker::mu_ — lock order
+  /// SwmrStore::mu_ before SnapshotTracker::mu_ (DESIGN.md section 12).
+  mutable Mutex mu_;
+  std::shared_ptr<Snapshot> current_ GUARDED_BY(mu_);
+  uint64_t commits_ GUARDED_BY(mu_) = 0;
+  uint64_t snapshots_published_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace nok

@@ -53,18 +53,18 @@ std::string PlanCache::Key(const std::string& canonical_pattern,
 
 std::shared_ptr<const QueryPlan> SharedPlanCache::Lookup(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return cache_.Lookup(key);
 }
 
 void SharedPlanCache::Insert(const std::string& key,
                              std::shared_ptr<const QueryPlan> plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   cache_.Insert(key, std::move(plan));
 }
 
 PlanCache::Stats SharedPlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return cache_.stats();
 }
 

@@ -17,11 +17,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "nok/planner.h"
 
 namespace nok {
@@ -77,14 +78,15 @@ class SharedPlanCache {
   explicit SharedPlanCache(size_t capacity = PlanCache::kDefaultCapacity)
       : cache_(capacity) {}
 
-  std::shared_ptr<const QueryPlan> Lookup(const std::string& key);
+  std::shared_ptr<const QueryPlan> Lookup(const std::string& key)
+      EXCLUDES(mu_);
   void Insert(const std::string& key,
-              std::shared_ptr<const QueryPlan> plan);
-  PlanCache::Stats stats() const;
+              std::shared_ptr<const QueryPlan> plan) EXCLUDES(mu_);
+  PlanCache::Stats stats() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  PlanCache cache_;
+  mutable Mutex mu_;
+  PlanCache cache_ GUARDED_BY(mu_);
 };
 
 }  // namespace nok

@@ -36,7 +36,7 @@ BufferPool::Shard& BufferPool::ShardFor(PageId id) {
 
 Result<PageHandle> BufferPool::Fetch(PageId id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   ++shard.stats.fetches;
   auto it = shard.frames.find(id);
   if (it != shard.frames.end()) {
@@ -73,7 +73,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
 
 void BufferPool::Unpin(Frame* frame) {
   Shard& shard = *frame->home;
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   NOK_CHECK(frame->pin_count > 0);
   if (--frame->pin_count == 0) {
     shard.lru.push_front(frame);
@@ -83,12 +83,12 @@ void BufferPool::Unpin(Frame* frame) {
 }
 
 std::shared_ptr<void> BufferPool::Decoration(const Frame* frame) const {
-  std::lock_guard<std::mutex> lock(frame->home->mu);
+  MutexLock lock(&frame->home->mu);
   return frame->decoration;
 }
 
 void BufferPool::SetDecoration(Frame* frame, std::shared_ptr<void> d) {
-  std::lock_guard<std::mutex> lock(frame->home->mu);
+  MutexLock lock(&frame->home->mu);
   frame->decoration = std::move(d);
 }
 
@@ -129,7 +129,7 @@ Status BufferPool::FlushShardLocked(Shard& shard) {
 
 Status BufferPool::FlushAll() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     NOK_RETURN_IF_ERROR(FlushShardLocked(*shard));
   }
   return Status::OK();
@@ -137,7 +137,7 @@ Status BufferPool::FlushAll() {
 
 Status BufferPool::DropAll() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     NOK_RETURN_IF_ERROR(FlushShardLocked(*shard));
     while (!shard->lru.empty()) {
       Frame* victim = shard->lru.back();
@@ -151,7 +151,7 @@ Status BufferPool::DropAll() {
 BufferPool::Stats BufferPool::stats() const {
   Stats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     total.fetches += shard->stats.fetches;
     total.hits += shard->stats.hits;
     total.misses += shard->stats.misses;
@@ -164,7 +164,7 @@ BufferPool::Stats BufferPool::stats() const {
 
 void BufferPool::ResetStats() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->stats = Stats{};
   }
 }

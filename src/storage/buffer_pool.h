@@ -25,12 +25,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/pager.h"
 
 namespace nok {
@@ -91,6 +92,14 @@ class BufferPool {
 
   struct Shard;
 
+  // Frames are reached through Shard::frames and mutated only with
+  // home->mu held (except the atomic dirty flag and the immutable
+  // id/data/home set before publication).  The members are not
+  // GUARDED_BY-annotated because the guarding mutex is named through
+  // the aliasing home pointer, which the analysis cannot relate to a
+  // specific Shard instance — the same trade LevelDB makes for
+  // LRUHandle.  The shard-level annotations below still cover every
+  // path that can reach a Frame.
   struct Frame {
     PageId id = kInvalidPage;
     std::unique_ptr<char[]> data;
@@ -105,16 +114,17 @@ class BufferPool {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    Stats stats;
-    std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
+    mutable Mutex mu;
+    Stats stats GUARDED_BY(mu);
+    std::unordered_map<PageId, std::unique_ptr<Frame>> frames
+        GUARDED_BY(mu);
     // Front = most recently used unpinned frame; back = eviction victim.
-    std::list<Frame*> lru;
+    std::list<Frame*> lru GUARDED_BY(mu);
   };
 
   Shard& ShardFor(PageId id);
-  Status EvictOneLocked(Shard& shard);
-  Status FlushShardLocked(Shard& shard);
+  Status EvictOneLocked(Shard& shard) REQUIRES(shard.mu);
+  Status FlushShardLocked(Shard& shard) REQUIRES(shard.mu);
   void Unpin(Frame* frame);
   std::shared_ptr<void> Decoration(const Frame* frame) const;
   void SetDecoration(Frame* frame, std::shared_ptr<void> d);

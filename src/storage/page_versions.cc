@@ -11,7 +11,7 @@ namespace nok {
 void PageVersionStore::Retain(uint64_t offset, std::string preimage,
                               uint64_t valid_through) {
   if (preimage.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   bytes_ += preimage.size();
   auto& chain = by_offset_[offset];
   // Retentions arrive in commit order, so chains stay sorted by
@@ -30,7 +30,7 @@ bool PageVersionStore::OverlayForEpoch(uint64_t epoch, uint64_t offset,
                                        char* dst, size_t n) const {
   if (n == 0) return false;
   const uint64_t end = offset + n;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Collect every version intersecting [offset, end) that is visible at
   // `epoch`, then apply in descending valid_through order so that, per
   // byte, the *oldest still-visible* version (smallest valid_through >=
@@ -66,7 +66,7 @@ bool PageVersionStore::OverlayForEpoch(uint64_t epoch, uint64_t offset,
 }
 
 void PageVersionStore::ReclaimBelow(uint64_t min_epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto it = by_offset_.begin(); it != by_offset_.end();) {
     auto& chain = it->second;
     auto keep = chain.begin();
@@ -84,32 +84,32 @@ void PageVersionStore::ReclaimBelow(uint64_t min_epoch) {
 }
 
 uint64_t PageVersionStore::entry_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t count = 0;
   for (const auto& [offset, chain] : by_offset_) count += chain.size();
   return count;
 }
 
 uint64_t PageVersionStore::byte_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return bytes_;
 }
 
 // --- SnapshotTracker ------------------------------------------------------
 
 void SnapshotTracker::Track(std::shared_ptr<PageVersionStore> store) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stores_.push_back(std::move(store));
 }
 
 void SnapshotTracker::Register(uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   latest_epoch_ = std::max(latest_epoch_, epoch);
   ++active_[epoch];
 }
 
 void SnapshotTracker::Release(uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = active_.find(epoch);
   if (it == active_.end()) return;
   if (--it->second == 0) active_.erase(it);
@@ -117,13 +117,13 @@ void SnapshotTracker::Release(uint64_t epoch) {
 }
 
 void SnapshotTracker::AdvanceEpoch(uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   latest_epoch_ = std::max(latest_epoch_, epoch);
   ReclaimLocked();
 }
 
 uint64_t SnapshotTracker::MinActiveEpoch(uint64_t fallback) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return active_.empty() ? fallback : active_.begin()->first;
 }
 
@@ -136,14 +136,14 @@ void SnapshotTracker::ReclaimLocked() {
 }
 
 uint64_t SnapshotTracker::retained_entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t count = 0;
   for (const auto& store : stores_) count += store->entry_count();
   return count;
 }
 
 uint64_t SnapshotTracker::retained_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t count = 0;
   for (const auto& store : stores_) count += store->byte_count();
   return count;

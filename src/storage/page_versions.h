@@ -23,12 +23,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/file.h"
 
 namespace nok {
@@ -43,20 +44,20 @@ class PageVersionStore {
   /// valid through `valid_through` (i.e. the overwrite commits epoch
   /// valid_through + 1).
   void Retain(uint64_t offset, std::string preimage,
-              uint64_t valid_through);
+              uint64_t valid_through) EXCLUDES(mu_);
 
   /// Overlays every retained version visible at `epoch` that intersects
   /// [offset, offset+n) onto dst (dst holds the base bytes for that
   /// range).  Returns true if any bytes were overlaid.
   bool OverlayForEpoch(uint64_t epoch, uint64_t offset, char* dst,
-                       size_t n) const;
+                       size_t n) const EXCLUDES(mu_);
 
   /// Drops versions that no snapshot at or above `min_epoch` can read
   /// (valid_through < min_epoch).
-  void ReclaimBelow(uint64_t min_epoch);
+  void ReclaimBelow(uint64_t min_epoch) EXCLUDES(mu_);
 
-  uint64_t entry_count() const;
-  uint64_t byte_count() const;
+  uint64_t entry_count() const EXCLUDES(mu_);
+  uint64_t byte_count() const EXCLUDES(mu_);
 
  private:
   struct Version {
@@ -64,10 +65,10 @@ class PageVersionStore {
     std::string data;
   };
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// offset -> versions, oldest first (ascending valid_through).
-  std::map<uint64_t, std::vector<Version>> by_offset_;
-  uint64_t bytes_ = 0;
+  std::map<uint64_t, std::vector<Version>> by_offset_ GUARDED_BY(mu_);
+  uint64_t bytes_ GUARDED_BY(mu_) = 0;
 };
 
 /// Registry of live snapshot epochs plus the version stores to reclaim
@@ -75,30 +76,34 @@ class PageVersionStore {
 class SnapshotTracker {
  public:
   /// Adds a component version store to the reclaim set.
-  void Track(std::shared_ptr<PageVersionStore> store);
+  void Track(std::shared_ptr<PageVersionStore> store) EXCLUDES(mu_);
 
   /// A snapshot at `epoch` is now live.
-  void Register(uint64_t epoch);
+  void Register(uint64_t epoch) EXCLUDES(mu_);
   /// A snapshot at `epoch` drained; reclaims newly dead versions.
-  void Release(uint64_t epoch);
+  void Release(uint64_t epoch) EXCLUDES(mu_);
 
   /// Called by the writer after committing `epoch`: reclaims versions no
   /// live snapshot can read.
-  void AdvanceEpoch(uint64_t epoch);
+  void AdvanceEpoch(uint64_t epoch) EXCLUDES(mu_);
 
   /// Oldest live snapshot epoch, or `fallback` when none are live.
-  uint64_t MinActiveEpoch(uint64_t fallback) const;
+  uint64_t MinActiveEpoch(uint64_t fallback) const EXCLUDES(mu_);
 
-  uint64_t retained_entries() const;
-  uint64_t retained_bytes() const;
+  uint64_t retained_entries() const EXCLUDES(mu_);
+  uint64_t retained_bytes() const EXCLUDES(mu_);
 
  private:
-  void ReclaimLocked();  ///< caller holds mu_
+  // Reclaims into the tracked stores; each PageVersionStore takes its
+  // own mutex, nested inside this one (lock order: SnapshotTracker::mu_
+  // before PageVersionStore::mu_, see DESIGN.md section 12).
+  void ReclaimLocked() REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<uint64_t, uint32_t> active_;  ///< epoch -> live snapshot count
-  uint64_t latest_epoch_ = 0;            ///< last committed epoch
-  std::vector<std::shared_ptr<PageVersionStore>> stores_;
+  mutable Mutex mu_;
+  /// epoch -> live snapshot count
+  std::map<uint64_t, uint32_t> active_ GUARDED_BY(mu_);
+  uint64_t latest_epoch_ GUARDED_BY(mu_) = 0;  ///< last committed epoch
+  std::vector<std::shared_ptr<PageVersionStore>> stores_ GUARDED_BY(mu_);
 };
 
 /// Read-only File pinned to a snapshot epoch: serves the base file with

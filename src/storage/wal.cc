@@ -423,17 +423,50 @@ std::unique_ptr<File> WalWriter::Wrap(std::string name,
   return std::make_unique<TxnFile>(std::move(name), std::move(base), this);
 }
 
-void WalWriter::Register(TxnFile* file) { files_.push_back(file); }
+void WalWriter::Register(TxnFile* file) {
+  MutexLock lock(&mu_);
+  files_.push_back(file);
+}
 
 void WalWriter::Unregister(TxnFile* file) {
+  MutexLock lock(&mu_);
   files_.erase(std::remove(files_.begin(), files_.end(), file),
                files_.end());
 }
 
-void WalWriter::Begin() { in_transaction_ = true; }
+void WalWriter::NoteCapture() {
+  MutexLock lock(&mu_);
+  ++capture_ticks_;
+}
+
+void WalWriter::Begin() {
+  MutexLock lock(&mu_);
+  in_transaction_ = true;
+}
+
+bool WalWriter::in_transaction() const {
+  MutexLock lock(&mu_);
+  return in_transaction_;
+}
+
+void WalWriter::set_retain_hook(RetainHook hook) {
+  MutexLock lock(&mu_);
+  retain_ = std::move(hook);
+}
+
+uint64_t WalWriter::capture_ticks() const {
+  MutexLock lock(&mu_);
+  return capture_ticks_;
+}
+
+WalWriter::Stats WalWriter::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
 
 void WalWriter::StageReplace(std::string name, std::string contents) {
-  NoteCapture();
+  MutexLock lock(&mu_);
+  ++capture_ticks_;  // NoteCapture would retake mu_
   StagedOp op;
   op.name = std::move(name);
   op.contents = std::move(contents);
@@ -441,7 +474,8 @@ void WalWriter::StageReplace(std::string name, std::string contents) {
 }
 
 void WalWriter::StageRemove(std::string name) {
-  NoteCapture();
+  MutexLock lock(&mu_);
+  ++capture_ticks_;  // NoteCapture would retake mu_
   StagedOp op;
   op.name = std::move(name);
   op.remove = true;
@@ -449,6 +483,7 @@ void WalWriter::StageRemove(std::string name) {
 }
 
 Status WalWriter::Abort() {
+  MutexLock lock(&mu_);
   for (TxnFile* file : files_) file->DiscardOverlay();
   staged_.clear();
   in_transaction_ = false;
@@ -456,6 +491,11 @@ Status WalWriter::Abort() {
 }
 
 Status WalWriter::Commit(uint64_t epoch) {
+  // Held for the whole commit, base-file I/O included: the commit path
+  // never calls back into WalWriter (TxnFile overlay methods and raw
+  // File ops only), and the retain hook takes only mutexes ordered
+  // after mu_ (SnapshotTracker, PageVersionStore).
+  MutexLock lock(&mu_);
   if (!in_transaction_) return Status::OK();
   // 1. Serialize the whole transaction into one blob: begin, every
   //    overlay and staged op, commit.  One Append + one Sync makes the
@@ -499,9 +539,13 @@ Status WalWriter::Commit(uint64_t epoch) {
   //    recoverable store.
   std::function<void(const std::string&, uint64_t, std::string)> retain;
   if (retain_) {
-    retain = [this, epoch](const std::string& name, uint64_t offset,
+    // The lambda runs inside ApplyOverlayToBase below, still under mu_,
+    // but captures a copy of the hook rather than reading the guarded
+    // retain_ member (a lambda body is analyzed as its own function).
+    RetainHook hook = retain_;
+    retain = [hook, epoch](const std::string& name, uint64_t offset,
                            std::string preimage) {
-      retain_(name, offset, std::move(preimage), epoch - 1);
+      hook(name, offset, std::move(preimage), epoch - 1);
     };
   }
   for (TxnFile* file : files_) {

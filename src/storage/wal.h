@@ -29,9 +29,13 @@
 // preceded once per file by an 8-byte magic header.  A torn tail (short or
 // CRC-invalid frame) ends the scan; everything before it is trusted.
 //
-// Thread safety: none.  One WalWriter belongs to one writer thread; the
-// snapshot machinery for concurrent readers lives in
-// storage/page_versions.h.
+// Thread safety: WalWriter's transaction state (overlay registry, staged
+// ops, counters) is guarded by an internal mutex, so stats() and
+// in_transaction() may be polled from any thread.  The commit protocol
+// itself is still single-writer: only one thread may run Begin/
+// mutations/Commit at a time (the document store enforces this — it owns
+// the writer).  TxnFile is confined to the writer thread; the snapshot
+// machinery for concurrent readers lives in storage/page_versions.h.
 
 #ifndef NOKXML_STORAGE_WAL_H_
 #define NOKXML_STORAGE_WAL_H_
@@ -44,9 +48,11 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/file.h"
 
 namespace nok {
@@ -192,14 +198,14 @@ class WalWriter {
 
   /// Opens a transaction; no-op if one is already open.  Mutations of
   /// wrapped files are captured until Commit or Abort.
-  void Begin();
-  bool in_transaction() const { return in_transaction_; }
+  void Begin() EXCLUDES(mu_);
+  bool in_transaction() const EXCLUDES(mu_);
 
   /// Stages a whole-file replace (applied at commit; used for the
   /// dictionary and the stale-positions marker, which bypass File).
-  void StageReplace(std::string name, std::string contents);
+  void StageReplace(std::string name, std::string contents) EXCLUDES(mu_);
   /// Stages a file removal (applied at commit).
-  void StageRemove(std::string name);
+  void StageRemove(std::string name) EXCLUDES(mu_);
 
   /// Commits the open transaction as `epoch`: serialize + fsync the WAL
   /// (durability point), apply the overlays and staged ops to the base
@@ -207,22 +213,24 @@ class WalWriter {
   /// is open.  On error the transaction stays open and the base files may
   /// be half-applied; the caller must treat the handle as poisoned and
   /// reopen the store (recovery replays the durable transaction).
-  Status Commit(uint64_t epoch);
+  Status Commit(uint64_t epoch) EXCLUDES(mu_);
 
   /// Discards the open transaction without touching the WAL or the base
   /// files.  The caller must discard any in-memory state derived from the
   /// aborted mutations (the document store poisons itself and requires a
   /// reopen).
-  Status Abort();
+  Status Abort() EXCLUDES(mu_);
 
-  void set_retain_hook(RetainHook hook) { retain_ = std::move(hook); }
+  void set_retain_hook(RetainHook hook) EXCLUDES(mu_);
 
   /// Monotonic count of captured mutations (overlay writes/truncates and
   /// staged ops).  An update op that fails without moving this counter
   /// left the transaction exactly as it found it.
-  uint64_t capture_ticks() const { return capture_ticks_; }
+  uint64_t capture_ticks() const EXCLUDES(mu_);
 
-  const Stats& stats() const { return stats_; }
+  /// Counter snapshot (by value: the counters move under mu_ and a
+  /// reference would be read unguarded by the caller).
+  Stats stats() const EXCLUDES(mu_);
 
  private:
   friend class TxnFile;
@@ -233,27 +241,36 @@ class WalWriter {
         wal_(std::move(wal_file)),
         options_(options) {}
 
-  void Register(TxnFile* file);
-  void Unregister(TxnFile* file);
-  void NoteCapture() { ++capture_ticks_; }
+  void Register(TxnFile* file) EXCLUDES(mu_);
+  void Unregister(TxnFile* file) EXCLUDES(mu_);
+  void NoteCapture() EXCLUDES(mu_);
 
-  std::string dir_;
-  std::unique_ptr<File> wal_;
-  WalWriterOptions options_;
-  RetainHook retain_;
+  /// Guards the transaction and commit state.  Held across the whole of
+  /// Commit — including base-file I/O and the retain hook, which takes
+  /// SnapshotTracker / PageVersionStore mutexes; the lock order is
+  /// WalWriter::mu_ before both (DESIGN.md section 12).  Never re-enters:
+  /// commit-path callees (TxnFile::EncodeOverlay / ApplyOverlayToBase /
+  /// DiscardOverlay, File ops on base_) make no WalWriter calls.
+  mutable Mutex mu_;
 
-  bool in_transaction_ = false;
-  std::vector<TxnFile*> files_;  ///< live wrapped files, registration order
+  std::string dir_;          // NOK008-OK: immutable after construction
+  std::unique_ptr<File> wal_ GUARDED_BY(mu_);
+  WalWriterOptions options_; // NOK008-OK: immutable after construction
+  RetainHook retain_ GUARDED_BY(mu_);
+
+  bool in_transaction_ GUARDED_BY(mu_) = false;
+  /// Live wrapped files, registration order.
+  std::vector<TxnFile*> files_ GUARDED_BY(mu_);
   /// Staged whole-file ops, in order: replace (has contents) or remove.
   struct StagedOp {
     std::string name;
     bool remove = false;
     std::string contents;
   };
-  std::vector<StagedOp> staged_;
+  std::vector<StagedOp> staged_ GUARDED_BY(mu_);
 
-  uint64_t capture_ticks_ = 0;
-  Stats stats_;
+  uint64_t capture_ticks_ GUARDED_BY(mu_) = 0;
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace nok

@@ -1,0 +1,39 @@
+// Deliberately-broken thread-safety fixture.  NOT part of any build
+// target: CMake's NOK_THREAD_SAFETY mode and `ci/run_checks.sh
+// thread-safety` negative-compile this file to prove the gate has
+// teeth.  It must compile cleanly WITHOUT -Wthread-safety (plain C++)
+// and FAIL under clang with -Werror=thread-safety: Get() reads a
+// GUARDED_BY member without holding the mutex.
+//
+// If you are here because the gate went red on this file: that is the
+// gate working.  Do not "fix" the missing lock.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class BrokenCounter {
+ public:
+  void Add(int n) {
+    nok::MutexLock lock(&mu_);
+    value_ += n;
+  }
+
+  // BROKEN ON PURPOSE: reads value_ without mu_ held.  Under clang
+  // -Werror=thread-safety this is the expected compile error.
+  int Get() const { return value_; }
+
+ private:
+  mutable nok::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  BrokenCounter counter;
+  counter.Add(41);
+  counter.Add(1);
+  return counter.Get() == 42 ? 0 : 1;
+}

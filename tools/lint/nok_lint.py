@@ -23,16 +23,14 @@ NOK003  include guards: every header uses
         is the path relative to src/ (or the repo root for tests/, bench/,
         tools/), uppercased, with separators mapped to '_'.
 NOK004  unchecked Status: in tests, a local `Status name = ...;` (or
-        nok::Status) whose name is never mentioned again before the end of
-        the enclosing block silently drops an error the test meant to
-        observe.
+        nok::Status, or `auto name = Call();` with a status-ish name —
+        s, st, status, possibly prefixed/suffixed) whose name is never
+        mentioned again before the end of the enclosing block silently
+        drops an error the test meant to observe.
 NOK005  threading discipline (src/ only): `.detach()` orphans a thread
-        no sanitizer or shutdown path can see — join it instead; and a
-        naked `.lock()` on a mutex-named receiver (mu, mutex, mtx, with
-        optional underscores) leaks the lock on early return or throw —
-        use std::lock_guard / std::scoped_lock / std::unique_lock.
-        Receivers that do not look like mutexes (e.g. a
-        std::weak_ptr named `wp`) are not flagged.
+        no sanitizer or shutdown path can see — join it instead.  (The
+        former naked-`.lock()` half of this rule is retired: NOK009 now
+        bans the raw std::mutex family outright, which subsumes it.)
 NOK006  nok sub-layering: inside src/nok/, only the planner/executor
         pair (the storage-facing halves of the query engine) may include
         "btree/..." headers directly.  query_engine and the matchers
@@ -48,6 +46,22 @@ NOK007  raw file-I/O syscalls: fsync/fdatasync/sync_file_range/pwrite/
         layer issues — and the fault-injection harness can only crash
         what it can see.  Use File::Sync/WriteAt/ReadAt from
         storage/file.h.
+NOK008  guarded members: in a class that owns a nok::Mutex member,
+        every non-atomic, non-const data member must carry GUARDED_BY /
+        PT_GUARDED_BY (common/thread_annotations.h), so the Clang
+        Thread Safety Analysis contracts cannot rot as members are
+        added.  Members that are genuinely lock-free (immutable after
+        construction, internally synchronized, ...) are exempted with a
+        `// NOK008-OK: <reason>` comment on their line.  The locking
+        model itself is documented in DESIGN.md section 12.
+NOK009  raw std synchronization (src/ only, src/common/ exempt):
+        std::mutex / std::lock_guard / std::unique_lock /
+        std::condition_variable and friends (and their headers) are
+        invisible to the Clang Thread Safety Analysis.  Use nok::Mutex /
+        nok::MutexLock / nok::CondVar from common/mutex.h — the
+        annotated wrappers are the only locking entry point (DESIGN.md
+        section 12).  src/common/ is exempt because the wrappers
+        themselves live there.
 
 Format checks (advisory by default; --format-fatal makes them errors)
 ---------------------------------------------------------------------
@@ -113,18 +127,43 @@ ABORT_ALLOWED = {os.path.join("src", "common", "logging.h"),
 STATUS_DECL_RE = re.compile(
     r"^\s*(?:const\s+)?(?:nok::)?Status\s+([a-z_][A-Za-z0-9_]*)\s*=")
 
+# NOK004's auto form: `auto st = SomeCall();`.  `auto&`/`auto*` bindings
+# alias an object someone else owns (and checks); structured bindings do
+# not match the identifier shape.  Only names that denote a status (s,
+# st, status — optionally prefixed like open_st or numbered like st2)
+# are considered, so `auto stats = ...` stays out of scope.
+AUTO_STATUS_DECL_RE = re.compile(
+    r"^\s*(?:const\s+)?auto\s+([a-z_][A-Za-z0-9_]*)\s*=")
+STATUSISH_NAME_RE = re.compile(r"(?:^|_)(s|st|status)\d*$")
+
 # NOK007: raw file-I/O syscalls outside src/storage/.
 RAW_IO_RE = re.compile(
     r"(?:::\s*)?\b(fsync|fdatasync|sync_file_range|pwrite|pread)\s*\(")
 
-# NOK005: thread/mutex discipline.  Only src/ is checked — tests and
-# benches may drive threads however the scenario demands.
+# NOK005: thread discipline.  Only src/ is checked — tests and benches
+# may drive threads however the scenario demands.
 DETACH_RE = re.compile(r"(?:\.|->)\s*detach\s*\(\s*\)")
-LOCK_CALL_RE = re.compile(
-    r"\b([A-Za-z_][A-Za-z0-9_]*)\s*(?:\.|->)\s*lock\s*\(\s*\)")
-# Receiver names that denote a mutex: mu, mu_, shard_mu, mutex_, mtx...
-# Anything else (weak_ptr `wp`, a file named `lockfile`) is left alone.
-MUTEXISH_RE = re.compile(r"(?:^|_)(mu|mutex|mtx)_?$")
+
+# NOK009: the raw std synchronization vocabulary (types and headers).
+STD_SYNC_RE = re.compile(
+    r"\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|"
+    r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock|"
+    r"condition_variable|condition_variable_any)\b")
+SYNC_INCLUDE_RE = re.compile(
+    r"^\s*#\s*include\s+<(mutex|shared_mutex|condition_variable)>")
+
+# NOK008: ownership of an annotated mutex.  Matches a by-value
+# nok::Mutex member declaration ("Mutex mu_;", "mutable Mutex mu;") but
+# not pointers/references to one and not std::mutex (case-sensitive).
+MUTEX_MEMBER_RE = re.compile(r"\b(?:nok\s*::\s*)?Mutex\s+[A-Za-z_]")
+GUARD_ANNOTATION_RE = re.compile(r"\b(?:PT_)?GUARDED_BY\s*\(")
+# Statements that are not plain data members.
+NON_MEMBER_KEYWORD_RE = re.compile(
+    r"^\s*(?:using\b|typedef\b|friend\b|static\b|constexpr\b|"
+    r"template\b|class\b|struct\b|enum\b|public\s*:|private\s*:|"
+    r"protected\s*:|explicit\b|virtual\b|operator\b|~)")
+ACCESS_LABEL_RE = re.compile(r"^\s*(?:public|private|protected)\s*:")
 
 
 class Finding:
@@ -321,8 +360,15 @@ def check_unchecked_status(path, root, code_text, findings):
     lines = code_text.splitlines()
     for idx, line in enumerate(lines):
         m = STATUS_DECL_RE.match(line)
-        if not m:
-            continue
+        if m is None:
+            # The auto form only fires for status-ish names bound to a
+            # call result — `auto st = SomeStatusCall();`.  Other auto
+            # locals (iterators, sizes, stats snapshots) stay out.
+            m = AUTO_STATUS_DECL_RE.match(line)
+            if not m or not STATUSISH_NAME_RE.search(m.group(1)):
+                continue
+            if "(" not in line[m.end():]:
+                continue  # not a call result (e.g. `auto st = other;`)
         # Initializing to OK (e.g. a struct member default) drops nothing.
         if "Status::OK()" in line[m.end():]:
             continue
@@ -362,13 +408,158 @@ def check_threading(path, root, code_text, findings):
                 "thread detach() orphans the thread past shutdown and "
                 "sanitizer visibility; join it (std::jthread or an owner "
                 "that joins in its destructor)"))
-        for m in LOCK_CALL_RE.finditer(line):
-            if MUTEXISH_RE.search(m.group(1)):
-                findings.append(Finding(
-                    "NOK005", r, lineno,
-                    f"naked {m.group(1)}.lock() leaks the lock on early "
-                    f"return or exception; use std::lock_guard, "
-                    f"std::scoped_lock, or std::unique_lock"))
+
+
+# --- NOK008: GUARDED_BY coverage in Mutex-owning classes ------------------
+
+def split_class_bodies(code_text):
+    """Yields (body_start_line, body_text) for every class/struct body in
+    code_text (nested ones included, each reported separately)."""
+    seen = set()  # `template <class T> struct S` reaches S's body twice
+    for m in re.finditer(r"\b(class|struct)\b", code_text):
+        # Walk from the keyword to the body-opening '{' — or a ';' or
+        # ')' first, meaning a forward declaration, an `enum class`
+        # value, or a parameter like `(struct stat*)`.
+        i = m.end()
+        n = len(code_text)
+        while i < n and code_text[i] not in "{;)":
+            i += 1
+        if i >= n or code_text[i] != "{":
+            continue
+        depth = 0
+        start = i
+        while i < n:
+            if code_text[i] == "{":
+                depth += 1
+            elif code_text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        if depth != 0:
+            continue  # unbalanced (macro soup); skip rather than guess
+        if start in seen:
+            continue
+        seen.add(start)
+        body_line = code_text.count("\n", 0, start) + 1
+        yield body_line, code_text[start + 1:i]
+
+
+def split_member_statements(body_text, body_start_line):
+    """Splits a class body into top-level statements, skipping nested
+    {...} blocks (function bodies, nested classes, brace initializers).
+    Yields (line_of_statement_start, statement_text)."""
+    statements = []
+    depth = 0
+    stmt = []
+    line = body_start_line
+    stmt_line = None
+    for c in body_text:
+        if c == "\n":
+            line += 1
+        if depth == 0:
+            if c == "{":
+                depth = 1
+                continue
+            if c == ";":
+                if stmt_line is not None:
+                    statements.append((stmt_line, "".join(stmt)))
+                stmt = []
+                stmt_line = None
+                continue
+            if stmt_line is None and not c.isspace():
+                stmt_line = line
+            stmt.append(c)
+        else:
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+    return statements
+
+
+def check_guarded_members(path, root, code_text, raw_text, findings):
+    r = rel(path, root)
+    if not r.startswith("src" + os.sep):
+        return
+    raw_lines = raw_text.splitlines()
+    for body_line, body in split_class_bodies(code_text):
+        statements = split_member_statements(body, body_line)
+        owns_mutex = any(
+            MUTEX_MEMBER_RE.search(ACCESS_LABEL_RE.sub("", text))
+            for _, text in statements)
+        if not owns_mutex:
+            continue
+        for lineno, text in statements:
+            text = ACCESS_LABEL_RE.sub("", text)
+            if NON_MEMBER_KEYWORD_RE.match(text):
+                continue
+            if GUARD_ANNOTATION_RE.search(text):
+                continue  # annotated — compliant
+            stripped = GUARD_ANNOTATION_RE.sub("", text)
+            if "(" in stripped:
+                continue  # function declaration / member with call init
+            stripped = re.sub(r"=.*$", "", stripped, flags=re.S)
+            if not re.search(r"[A-Za-z_][A-Za-z0-9_]*\s*$", stripped):
+                continue  # does not end in a declarator name
+            if not re.match(r"\s*\S+\s+\S", stripped):
+                continue  # no type + name shape (e.g. stray token)
+            if re.search(r"\b(?:Mutex|CondVar)\b"
+                         r"|std\s*::\s*(?:\w*mutex|condition_variable)",
+                         stripped):
+                continue  # locks themselves need no guard
+            if "std::atomic" in stripped or "atomic<" in stripped:
+                continue  # atomics synchronize themselves
+            if re.match(r"\s*(?:mutable\s+)?const\b", stripped):
+                continue  # const members are immutable
+            # Audited exemption: `// NOK008-OK: <reason>` on the
+            # declaration lines or in the comment block directly above
+            # (comments are stripped from code_text, so look at the raw
+            # source).
+            decl_lines = list(range(lineno, lineno + text.count("\n") + 1))
+            k = lineno - 1
+            while k >= 1 and raw_lines[k - 1].lstrip().startswith("//"):
+                decl_lines.append(k)
+                k -= 1
+            if any("NOK008-OK:" in raw_lines[k - 1] for k in decl_lines
+                   if k - 1 < len(raw_lines)):
+                continue
+            name = re.search(r"([A-Za-z_][A-Za-z0-9_]*)\s*$", stripped)
+            member = name.group(1) if name else "member"
+            findings.append(Finding(
+                "NOK008", r, lineno,
+                f'member "{member}" of a Mutex-owning class has no '
+                f"GUARDED_BY annotation; guard it, make it atomic/const, "
+                f"or exempt it with // NOK008-OK: <reason> "
+                f"(locking model: DESIGN.md section 12)"))
+
+
+# --- NOK009: raw std synchronization outside src/common/ ------------------
+
+def check_raw_sync(path, root, code_text, findings):
+    r = rel(path, root)
+    if not r.startswith("src" + os.sep):
+        return
+    if r.startswith(os.path.join("src", "common") + os.sep):
+        return  # the annotated wrappers themselves live here
+    for lineno, line in enumerate(code_text.splitlines(), 1):
+        m = STD_SYNC_RE.search(line)
+        if m is None:
+            inc = SYNC_INCLUDE_RE.match(line)
+            if inc is None:
+                continue
+            findings.append(Finding(
+                "NOK009", r, lineno,
+                f"#include <{inc.group(1)}> outside src/common/: use "
+                f'"common/mutex.h" (nok::Mutex/MutexLock/CondVar) so '
+                f"Clang Thread Safety Analysis sees the lock "
+                f"(DESIGN.md section 12)"))
+            continue
+        findings.append(Finding(
+            "NOK009", r, lineno,
+            f"std::{m.group(1)} is invisible to Clang Thread Safety "
+            f"Analysis; use nok::Mutex/MutexLock/CondVar from "
+            f"common/mutex.h (DESIGN.md section 12)"))
 
 
 # --- NOK007: raw file-I/O syscalls outside src/storage/ -------------------
@@ -439,6 +630,8 @@ def lint_file(path, root, with_format):
     check_include_guard(path, root, raw, findings)
     check_unchecked_status(path, root, code, findings)
     check_threading(path, root, code, findings)
+    check_guarded_members(path, root, code, raw, findings)
+    check_raw_sync(path, root, code, findings)
     check_raw_io(path, root, code, findings)
     if with_format:
         check_format(path, root, raw, findings)

@@ -1,0 +1,29 @@
+// NOK009 exemption fixture: src/common/ may use the raw std:: mutex
+// family — the annotated wrappers (common/mutex.h) are implemented
+// here, so nothing in this file may fire.
+
+#ifndef NOKXML_COMMON_RAW_STD_MUTEX_OK_H_
+#define NOKXML_COMMON_RAW_STD_MUTEX_OK_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace nok {
+
+class WrapperInternals {
+ public:
+  void Poke() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pokes_;
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int pokes_ = 0;
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_COMMON_RAW_STD_MUTEX_OK_H_

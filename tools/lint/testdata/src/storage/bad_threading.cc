@@ -1,47 +1,47 @@
-// NOK005 fixture: thread detach() and naked mutex lock() fire in src/;
-// scoped holders and non-mutex receivers named like smart pointers do
+// NOK005 fixture: thread detach() fires in src/; joined threads and
+// weak_ptr::lock() do not.  NOK009 fixture: the raw std:: mutex family
+// (types and headers) fires outside src/common/; the nok:: wrappers do
 // not.
 
+#include <mutex>               // EXPECT-LINT: NOK009
+#include <condition_variable>  // EXPECT-LINT: NOK009
 #include <memory>
-#include <mutex>
 #include <thread>
+
+#include "common/mutex.h"
 
 namespace nok {
 
 struct Shard {
-  std::mutex mu;
+  std::mutex mu;  // EXPECT-LINT: NOK009
   int value = 0;
 };
 
 class ThreadingFixture {
  public:
   void Bad(Shard* shard) {
+    (void)shard;
     std::thread worker([] {});
-    worker.detach();                   // EXPECT-LINT: NOK005
-    mu_.lock();                        // EXPECT-LINT: NOK005
-    shard->mu.lock();                  // EXPECT-LINT: NOK005
-    shard_mtx_.lock();                 // EXPECT-LINT: NOK005
-    mutex_.lock();                     // EXPECT-LINT: NOK005
-    mutex_.unlock();
-    shard_mtx_.unlock();
-    shard->mu.unlock();
-    mu_.unlock();
+    worker.detach();                             // EXPECT-LINT: NOK005
+    std::lock_guard<std::mutex> guard(raw_mu_);  // EXPECT-LINT: NOK009
+    std::unique_lock<std::mutex> ul(raw_mu_);    // EXPECT-LINT: NOK009
+    cv_.wait(ul);                                // the decl above fired
   }
 
   int Good(Shard* shard, std::weak_ptr<int> wp) {
-    std::lock_guard<std::mutex> guard(mu_);      // scoped: fine
-    std::scoped_lock both(shard->mu, mutex_);    // scoped: fine
+    MutexLock lock(&mu_);  // annotated wrapper: fine
     // wp is a weak_ptr, not a mutex: lock() here must not fire.
     if (auto strong = wp.lock()) return *strong + shard->value;
     std::thread worker([] {});
-    worker.join();                               // joined: fine
+    worker.join();         // joined: fine
     return shard->value;
   }
 
  private:
-  std::mutex mu_;
-  std::mutex mutex_;
-  std::mutex shard_mtx_;
+  Mutex mu_;
+  int guarded_value_ GUARDED_BY(mu_) = 0;
+  std::mutex raw_mu_;               // EXPECT-LINT: NOK009
+  std::condition_variable cv_;      // EXPECT-LINT: NOK009
 };
 
 }  // namespace nok

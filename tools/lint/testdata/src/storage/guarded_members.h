@@ -1,0 +1,53 @@
+// NOK008 fixture: a class owning a nok::Mutex must GUARDED_BY-annotate
+// every non-atomic mutable data member.  Atomics, const members, the
+// lock itself, functions, and NOK008-OK-exempted members do not fire;
+// classes without a Mutex are out of scope entirely.
+
+#ifndef NOKXML_STORAGE_GUARDED_MEMBERS_H_
+#define NOKXML_STORAGE_GUARDED_MEMBERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace nok {
+
+class LeakyCounters {
+ public:
+  void Add(uint64_t n) EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  uint64_t guarded_total_ GUARDED_BY(mu_) = 0;
+  uint64_t naked_total_ = 0;       // EXPECT-LINT: NOK008
+  std::vector<int> naked_items_;   // EXPECT-LINT: NOK008
+  std::atomic<uint64_t> ticks_{0};           // atomic: fine
+  const std::string name_ = "counters";      // const: fine
+  static constexpr int kLimit = 8;           // not instance state: fine
+  std::string dir_;  // NOK008-OK: immutable after construction
+  // NOK008-OK: written once before the object is shared.
+  std::string tag_;
+};
+
+// A nested Mutex-owning struct is checked on its own; the outer class
+// (which owns no Mutex) is not.
+class ShardedThing {
+ public:
+  struct Shard {
+    mutable Mutex mu;
+    uint64_t hits GUARDED_BY(mu) = 0;
+    uint64_t naked_misses = 0;  // EXPECT-LINT: NOK008
+  };
+
+ private:
+  std::vector<Shard> shards_;  // outer class owns no Mutex: fine
+  uint64_t unguarded_ok_ = 0;  // outer class owns no Mutex: fine
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_STORAGE_GUARDED_MEMBERS_H_

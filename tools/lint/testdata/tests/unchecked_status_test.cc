@@ -1,19 +1,55 @@
 // NOK004 fixture: a Status assigned and then forgotten fires; a checked
-// one and an OK-initialized struct member do not.
+// one and an OK-initialized struct member do not.  The auto form fires
+// too — `auto st = Call();` with a status-ish name hides the same
+// dropped error — while auto locals with other names, references, and
+// non-call initializers stay out of scope.
 
 #include "common/status.h"
 
 namespace nok {
 
 Status Fallible();
+Status& FallibleRef();
+
+struct FakeStats {
+  int fetches = 0;
+};
+FakeStats CollectStats();
 
 void DropsTheError() {
   Status s = Fallible();  // EXPECT-LINT: NOK004
 }
 
+void DropsTheErrorViaAuto() {
+  auto st = Fallible();  // EXPECT-LINT: NOK004
+}
+
+void DropsTheErrorViaConstAuto() {
+  const auto open_status = Fallible();  // EXPECT-LINT: NOK004
+}
+
 void ChecksTheError() {
   Status checked = Fallible();
   if (!checked.ok()) return;
+}
+
+void ChecksTheAutoError() {
+  auto st = Fallible();
+  if (!st.ok()) return;
+}
+
+void AutoButNotAStatusName() {
+  auto stats = CollectStats();  // "stats" is not status-ish: fine
+}
+
+void AutoReferenceAliasesCheckedStatus() {
+  // A reference does not own the error; the owner checks it.
+  auto& st = FallibleRef();
+}
+
+void AutoNonCallInitializer() {
+  int zero = 0;
+  auto s = zero;  // not a call result: fine
 }
 
 struct Outcome {
