@@ -16,6 +16,10 @@
 #                               # the committed broken fixture
 #   ci/run_checks.sh bench-smoke # page-skip ablation bench on a tiny
 #                                # dataset + JSON report validation
+#   ci/run_checks.sh fuzz-smoke  # seeded differential fuzzer under ASan:
+#                                # 500 iterations across all engines x
+#                                # planner strategies + corpus replay +
+#                                # the broken-engine tooth check
 #
 # Build trees live under build-ci/ so they never collide with a local
 # build/ directory.
@@ -202,6 +206,21 @@ print("BENCH_planner.json: schema ok,",
 EOF
 }
 
+run_fuzz_smoke() {
+  step "Differential fuzzer (ASan/UBSan build, fixed seeds)"
+  # Fixed seeds keep the run reproducible: a CI failure replays locally
+  # with the same NOK_FUZZ_SEED.  The test itself shrinks any mismatch
+  # and writes a self-contained .repro next to the binary.
+  cmake -S . -B build-ci/sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DNOK_SANITIZE=address,undefined
+  cmake --build build-ci/sanitize -j "$JOBS" \
+        --target fuzz_differential_test
+  # 500 seeded iterations, the committed-corpus replay, and the
+  # broken-engine tooth check all live in one gtest binary.
+  NOK_FUZZ_ITERATIONS=500 NOK_FUZZ_SEED=1 \
+      build-ci/sanitize/tests/fuzz_differential_test
+}
+
 case "${1:-all}" in
   lint)           run_lint ;;
   release)        run_release ;;
@@ -211,6 +230,7 @@ case "${1:-all}" in
   werror)         run_werror ;;
   thread-safety)  run_thread_safety ;;
   bench-smoke)    run_bench_smoke ;;
+  fuzz-smoke)     run_fuzz_smoke ;;
   all)
     run_lint
     run_release
@@ -220,12 +240,13 @@ case "${1:-all}" in
     run_werror
     run_thread_safety
     run_bench_smoke
+    run_fuzz_smoke
     step "all checks passed"
     ;;
   *)
     echo "unknown check: $1" \
          "(expected lint|release|sanitize|tsan|crash-recovery|werror|" \
-         "thread-safety|bench-smoke|all)" >&2
+         "thread-safety|bench-smoke|fuzz-smoke|all)" >&2
     exit 2
     ;;
 esac

@@ -197,6 +197,11 @@ Result<std::vector<uint32_t>> DiEngine::Evaluate(
     const PatternTree& pattern) {
   stats_ = Stats{};
 
+  if (HasPositionalPredicate(pattern)) {
+    return Status::NotSupported(
+        "DI baseline does not evaluate positional predicates");
+  }
+
   // Reject constructs outside DI's supported fragment.
   bool has_order = false;
   std::vector<const PatternNode*> todo{pattern.root()};

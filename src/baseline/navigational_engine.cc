@@ -165,6 +165,11 @@ Result<std::vector<const DomNode*>> NavigationalEngine::Evaluate(
   stats_ = Stats{};
   match_memo_.clear();
 
+  if (HasPositionalPredicate(pattern)) {
+    return Status::NotSupported(
+        "navigational baseline does not evaluate positional predicates");
+  }
+
   // Sibling-order constraints at the document root (a first-step
   // following-/preceding-sibling) are unsatisfiable: the root element has
   // no siblings.

@@ -1,0 +1,328 @@
+#include "baseline/region_engine.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace nok {
+
+RegionEngine::RegionEngine(const IntervalDocument* doc) : doc_(doc) {
+  // Derive the parent index with one stack pass over the label table:
+  // labels arrive in pre order, and a node is the parent of everything
+  // that opens before it closes.
+  const std::vector<IntervalNode>& nodes = doc_->nodes();
+  parents_.assign(nodes.size(), -1);
+  children_.assign(nodes.size(), {});
+  std::vector<uint32_t> stack;
+  for (uint32_t i = 0; i < nodes.size(); ++i) {
+    while (!stack.empty() && nodes[stack.back()].end < nodes[i].start) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      parents_[i] = static_cast<int32_t>(stack.back());
+      children_[stack.back()].push_back(i);
+    }
+    stack.push_back(i);
+  }
+}
+
+int RegionEngine::SiblingPosition(uint32_t x, const PatternNode& pattern) {
+  const int32_t parent = parents_[x];
+  if (parent < 0) return 1;  // The root element has no siblings.
+  const std::vector<IntervalNode>& nodes = doc_->nodes();
+  int position = 1;
+  for (uint32_t sibling : children_[static_cast<uint32_t>(parent)]) {
+    if (sibling == x) break;
+    if (pattern.wildcard || nodes[sibling].tag == nodes[x].tag) {
+      ++position;
+    }
+  }
+  return position;
+}
+
+std::vector<uint32_t> RegionEngine::Candidates(const PatternNode& pattern) {
+  std::vector<uint32_t> pool;
+  ++stats_.index_probes;
+  if (pattern.predicate.op == ValueOp::kEq) {
+    // Value posting list first (the XISS value index), tag-filtered.
+    pool = doc_->NodesWithValue(pattern.predicate.operand);
+    if (!pattern.wildcard) {
+      auto tag = doc_->tags().Lookup(pattern.tag);
+      if (!tag.has_value()) return {};
+      std::erase_if(pool, [&](uint32_t i) {
+        return doc_->nodes()[i].tag != *tag;
+      });
+    }
+  } else if (pattern.wildcard) {
+    pool.resize(doc_->nodes().size());
+    for (uint32_t i = 0; i < pool.size(); ++i) pool[i] = i;
+  } else {
+    auto tag = doc_->tags().Lookup(pattern.tag);
+    if (!tag.has_value()) return {};
+    pool = doc_->NodesWithTag(*tag);
+  }
+  stats_.candidates += pool.size();
+
+  std::vector<uint32_t> out;
+  out.reserve(pool.size());
+  for (uint32_t i : pool) {
+    if (pattern.predicate.active()) {
+      const std::string& value = doc_->ValueOfNode(i);
+      if (value.empty() ||
+          !EvalValuePredicate(pattern.predicate, value)) {
+        continue;
+      }
+    }
+    if (pattern.position > 0 &&
+        SiblingPosition(i, pattern) != pattern.position) {
+      continue;
+    }
+    out.push_back(i);
+  }
+  std::sort(out.begin(), out.end());  // Pre order (value lists may mix).
+  return out;
+}
+
+namespace {
+
+/// Is x related to y along axis?  Shared by the existence probe and the
+/// joint assignment; x == kVirtualRoot handled by the callers.
+bool RelatedReal(const std::vector<IntervalNode>& nodes,
+                 const std::vector<int32_t>& parents, uint32_t x,
+                 uint32_t y, Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+    case Axis::kFollowingSibling:  // Tree edge; order arcs checked apart.
+      return parents[y] == static_cast<int32_t>(x);
+    case Axis::kDescendant:
+      return nodes[x].start < nodes[y].start &&
+             nodes[y].end < nodes[x].end;
+    case Axis::kFollowing:
+      return nodes[y].start > nodes[x].end;
+    case Axis::kPreceding:
+      return nodes[y].end < nodes[x].start;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool RegionEngine::ExistsRelated(uint32_t x,
+                                 const std::vector<uint32_t>& witnesses,
+                                 Axis axis) {
+  ++stats_.join_checks;
+  const std::vector<IntervalNode>& nodes = doc_->nodes();
+  if (x == kVirtualRoot) {
+    switch (axis) {
+      case Axis::kChild:
+      case Axis::kFollowingSibling:
+        // The only "child of the document" is the root element, which
+        // is pre-order label 0.
+        return !witnesses.empty() && witnesses.front() == 0;
+      case Axis::kDescendant:
+        return !witnesses.empty();
+      case Axis::kFollowing:
+      case Axis::kPreceding:
+        return false;
+    }
+  }
+  switch (axis) {
+    case Axis::kChild:
+    case Axis::kFollowingSibling:
+      // A witness child of x must carry a pre label inside x's region;
+      // regions nest, so the candidates are the pre-sorted subrange
+      // (x.start, x.end) — probe it and confirm parenthood.
+      for (auto it = std::upper_bound(witnesses.begin(), witnesses.end(),
+                                      x);
+           it != witnesses.end() && nodes[*it].start < nodes[x].end;
+           ++it) {
+        ++stats_.join_checks;
+        if (parents_[*it] == static_cast<int32_t>(x)) return true;
+      }
+      return false;
+    case Axis::kDescendant: {
+      // Nesting: any pre label strictly inside (x.start, x.end) is a
+      // descendant — one binary search decides existence.
+      auto it = std::upper_bound(witnesses.begin(), witnesses.end(), x);
+      return it != witnesses.end() && nodes[*it].start < nodes[x].end;
+    }
+    case Axis::kFollowing:
+      // Pre labels ascend with the index, so the last witness has the
+      // largest pre; following(x, w) iff w.start > x.end.
+      return !witnesses.empty() &&
+             nodes[witnesses.back()].start > nodes[x].end;
+    case Axis::kPreceding:
+      for (uint32_t w : witnesses) {
+        if (w >= x) break;  // Pre >= x's pre: not preceding.
+        ++stats_.join_checks;
+        if (nodes[w].end < nodes[x].start) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+std::vector<uint32_t> RegionEngine::RelatedSubset(
+    uint32_t x, const std::vector<uint32_t>& witnesses, Axis axis) {
+  const std::vector<IntervalNode>& nodes = doc_->nodes();
+  std::vector<uint32_t> out;
+  if (x == kVirtualRoot) {
+    switch (axis) {
+      case Axis::kChild:
+      case Axis::kFollowingSibling:
+        if (!witnesses.empty() && witnesses.front() == 0) out.push_back(0);
+        return out;
+      case Axis::kDescendant:
+        return witnesses;
+      case Axis::kFollowing:
+      case Axis::kPreceding:
+        return out;
+    }
+  }
+  for (uint32_t w : witnesses) {
+    ++stats_.join_checks;
+    if (RelatedReal(nodes, parents_, x, w, axis)) out.push_back(w);
+  }
+  return out;
+}
+
+bool RegionEngine::AssignChildren(
+    uint32_t x, const PatternNode& pattern,
+    const std::vector<std::vector<uint32_t>>& sat, int pinned_child,
+    uint32_t pinned_witness) {
+  const size_t n = pattern.children.size();
+  // Per-child witness pools, restricted to x's region up front.
+  std::vector<std::vector<uint32_t>> pools(n);
+  for (size_t c = 0; c < n; ++c) {
+    const PatternNode& child = *pattern.children[c];
+    if (static_cast<int>(c) == pinned_child) {
+      pools[c] = {pinned_witness};
+      continue;
+    }
+    pools[c] = RelatedSubset(
+        x, sat[static_cast<size_t>(child.id)], child.incoming);
+    if (pools[c].empty()) return false;
+  }
+  const std::vector<IntervalNode>& nodes = doc_->nodes();
+  std::vector<uint32_t> chosen(n, 0);
+  // Backtracking over the (small) sibling group; the order arcs are
+  // verified once a full assignment is reached, exactly as the oracle
+  // does.
+  std::function<bool(size_t)> assign = [&](size_t index) {
+    if (index == n) {
+      for (auto [a, b] : pattern.sibling_order) {
+        const uint32_t wa = chosen[static_cast<size_t>(a)];
+        const uint32_t wb = chosen[static_cast<size_t>(b)];
+        ++stats_.join_checks;
+        if (parents_[wa] != parents_[wb] ||
+            nodes[wa].start >= nodes[wb].start) {
+          return false;
+        }
+      }
+      return true;
+    }
+    for (uint32_t w : pools[index]) {
+      chosen[index] = w;
+      if (assign(index + 1)) return true;
+    }
+    return false;
+  };
+  return assign(0);
+}
+
+bool RegionEngine::SatisfiesDown(
+    uint32_t x, const PatternNode& pattern,
+    const std::vector<std::vector<uint32_t>>& sat) {
+  if (!pattern.sibling_order.empty()) {
+    return AssignChildren(x, pattern, sat, /*pinned_child=*/-1,
+                          /*pinned_witness=*/0);
+  }
+  for (const auto& child : pattern.children) {
+    if (!ExistsRelated(x, sat[static_cast<size_t>(child->id)],
+                       child->incoming)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<uint32_t>> RegionEngine::Evaluate(
+    const PatternTree& pattern) {
+  stats_ = Stats{};
+
+  // Pattern nodes by dense pre-order id (parents before children).
+  std::vector<const PatternNode*> by_id(
+      static_cast<size_t>(pattern.size()), nullptr);
+  std::vector<const PatternNode*> todo{pattern.root()};
+  while (!todo.empty()) {
+    const PatternNode* node = todo.back();
+    todo.pop_back();
+    by_id[static_cast<size_t>(node->id)] = node;
+    for (const auto& child : node->children) todo.push_back(child.get());
+  }
+
+  // Pass 1, bottom-up: satisfying sets per pattern node.  Pre-order ids
+  // put children after parents, so a reverse sweep sees every child's
+  // set before its parent needs it.
+  std::vector<std::vector<uint32_t>> sat(by_id.size());
+  for (size_t id = by_id.size(); id-- > 1;) {
+    const PatternNode& p = *by_id[id];
+    std::vector<uint32_t> set;
+    for (uint32_t x : Candidates(p)) {
+      if (SatisfiesDown(x, p, sat)) set.push_back(x);
+    }
+    sat[id] = std::move(set);
+  }
+
+  // Pass 2, top-down along the chain virtual root -> returning node:
+  // keep only nodes with an upward witness, re-checking the parent's
+  // sibling-order arcs with the chain child pinned.
+  std::vector<const PatternNode*> chain;
+  for (const PatternNode* p = pattern.returning(); p != nullptr;
+       p = p->parent) {
+    chain.push_back(p);
+  }
+  std::reverse(chain.begin(), chain.end());
+  NOK_CHECK(!chain.empty() && chain.front()->is_doc_root);
+
+  std::vector<uint32_t> up{kVirtualRoot};
+  for (size_t i = 1; i < chain.size(); ++i) {
+    const PatternNode& p = *chain[i];
+    const PatternNode& parent = *chain[i - 1];
+    int child_index = -1;
+    for (size_t c = 0; c < parent.children.size(); ++c) {
+      if (parent.children[c].get() == &p) {
+        child_index = static_cast<int>(c);
+        break;
+      }
+    }
+    NOK_CHECK(child_index >= 0);
+    const bool ordered = !parent.sibling_order.empty();
+    std::vector<uint32_t> next;
+    for (uint32_t y : sat[static_cast<size_t>(p.id)]) {
+      for (uint32_t x : up) {
+        const bool related =
+            x == kVirtualRoot
+                ? (p.incoming == Axis::kDescendant ||
+                   ((p.incoming == Axis::kChild ||
+                     p.incoming == Axis::kFollowingSibling) &&
+                    parents_[y] == -1))
+                : RelatedReal(doc_->nodes(), parents_, x, y, p.incoming);
+        ++stats_.join_checks;
+        if (!related) continue;
+        if (ordered && !AssignChildren(x, parent, sat, child_index, y)) {
+          continue;
+        }
+        next.push_back(y);
+        break;
+      }
+    }
+    up = std::move(next);
+    if (up.empty()) break;
+  }
+  if (!up.empty() && up.front() == kVirtualRoot) up.clear();
+  return up;
+}
+
+}  // namespace nok

@@ -1,0 +1,108 @@
+// Region-encoded baseline à la XISS/R (Li & Moon, VLDB 2001): every
+// element carries a (pre, post, level) region label and structural
+// relationships are decided by pure interval arithmetic over per-tag
+// posting lists — the canonical alternative physical scheme to the
+// paper's succinct string storage, and the design killteck's
+// indexing-xml implements over an RDBMS.
+//
+// The engine reuses IntervalDocument (baseline/interval_encoding.h) as
+// its label table: `start`/`end` are the pre/post counters, so
+//   descendant(a, d)  iff  a.start < d.start && d.end < a.end
+//   following(a, f)   iff  f.start > a.end
+// and — because regions are properly nested — any node whose pre lands
+// strictly inside (a.start, a.end) is a descendant of a, which turns
+// the ancestor-existence probe into one binary search on a pre-sorted
+// list.  Parent/child adds a derived parent[] table (one stack pass
+// over the label table, the XISS "parent index").
+//
+// Evaluation is a two-pass interval join:
+//   1. bottom-up: for each pattern node, its satisfying set = the
+//      tag/value posting list filtered by each child's satisfying set
+//      through the axis predicate (joint backtracking over the small
+//      sibling group when following-sibling order arcs are present);
+//   2. top-down: walk the chain root -> returning node and keep only
+//      nodes with an upward witness, re-checking sibling order with the
+//      chain child pinned.
+//
+// Unlike every other engine, the region engine evaluates positional
+// predicates [n] (position = rank among like-tagged siblings, derived
+// from the parent table), so the fuzzer can exercise them end-to-end
+// against the oracle.
+
+#ifndef NOKXML_BASELINE_REGION_ENGINE_H_
+#define NOKXML_BASELINE_REGION_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/interval_encoding.h"
+#include "common/result.h"
+#include "nok/pattern_tree.h"
+
+namespace nok {
+
+/// (pre, post, level) interval-join evaluator.
+class RegionEngine {
+ public:
+  /// Work counters for one evaluation.
+  struct Stats {
+    uint64_t index_probes = 0;   ///< Posting-list fetches.
+    uint64_t candidates = 0;     ///< Candidate labels considered.
+    uint64_t join_checks = 0;    ///< Region-arithmetic comparisons.
+  };
+
+  /// Derives the parent/children tables from the label table (the doc
+  /// must outlive the engine).
+  explicit RegionEngine(const IntervalDocument* doc);
+
+  /// Evaluates a pattern tree; returns document-order node indexes
+  /// matching the returning node.
+  Result<std::vector<uint32_t>> Evaluate(const PatternTree& pattern);
+
+  const Stats& last_stats() const { return stats_; }
+
+  /// The derived parent table (document-order index -> parent index,
+  /// -1 for the root); exposed for tests.
+  const std::vector<int32_t>& parents() const { return parents_; }
+
+ private:
+  /// Candidate labels for one pattern node: tag/value posting list
+  /// filtered by the value and positional predicates, pre-sorted.
+  std::vector<uint32_t> Candidates(const PatternNode& pattern);
+
+  /// True iff `witnesses` (pre-sorted) contains a node related to x by
+  /// `axis` (x = kVirtualRoot stands for the virtual document root).
+  bool ExistsRelated(uint32_t x, const std::vector<uint32_t>& witnesses,
+                     Axis axis);
+
+  /// The subset of `witnesses` related to x by `axis`, pre-sorted.
+  std::vector<uint32_t> RelatedSubset(uint32_t x,
+                                      const std::vector<uint32_t>& witnesses,
+                                      Axis axis);
+
+  /// Joint witness assignment for x's pattern children when sibling
+  /// order arcs are present; `pinned_child` (or -1) must bind exactly
+  /// `pinned_witness`.
+  bool AssignChildren(uint32_t x, const PatternNode& pattern,
+                      const std::vector<std::vector<uint32_t>>& sat,
+                      int pinned_child, uint32_t pinned_witness);
+
+  /// One bottom-up acceptance check: does x satisfy `pattern`'s subtree
+  /// given the children's satisfying sets?
+  bool SatisfiesDown(uint32_t x, const PatternNode& pattern,
+                     const std::vector<std::vector<uint32_t>>& sat);
+
+  /// 1-based rank of x among its siblings passing `pattern`'s name test.
+  int SiblingPosition(uint32_t x, const PatternNode& pattern);
+
+  static constexpr uint32_t kVirtualRoot = 0xffffffffu;
+
+  const IntervalDocument* doc_;
+  std::vector<int32_t> parents_;
+  std::vector<std::vector<uint32_t>> children_;
+  Stats stats_;
+};
+
+}  // namespace nok
+
+#endif  // NOKXML_BASELINE_REGION_ENGINE_H_

@@ -170,6 +170,10 @@ Status Flatten(const PatternNode* pattern, int parent,
 Result<std::vector<uint32_t>> TwigStackEngine::Evaluate(
     const PatternTree& pattern) {
   stats_ = Stats{};
+  if (HasPositionalPredicate(pattern)) {
+    return Status::NotSupported(
+        "TwigStack baseline does not evaluate positional predicates");
+  }
   if (pattern.root()->children.size() != 1) {
     return Status::NotSupported(
         "TwigStack baseline expects a single step below the document "

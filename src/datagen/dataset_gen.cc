@@ -25,6 +25,8 @@ std::string_view DatasetName(Dataset dataset) {
       return "treebank";
     case Dataset::kDblp:
       return "dblp";
+    case Dataset::kParts:
+      return "parts";
   }
   return "?";
 }
@@ -508,6 +510,77 @@ GeneratedDataset GenDblp(const GenOptions& options) {
 
 }  // namespace
 
+GeneratedDataset GenerateRecursiveDataset(
+    const RecursiveGenOptions& options) {
+  GeneratedDataset ds;
+  ds.dataset = Dataset::kParts;
+  ds.name = "parts";
+  ds.entry_path = "/parts/part";
+  ds.detail_a = "pname";
+  ds.detail_b = "serial";
+  ds.needle_tag_a = "material";
+  ds.needle_tag_b = "vendor";
+  ds.marker_extra = "option";
+  ds.marker_rare = "variant";
+  ds.marker_gem = "custom";
+  ds.recursive_tag = "assembly";
+
+  Random rng(options.seed + 5);
+  const size_t entries = std::max<size_t>(1, options.entries);
+  Planted planted = InitPlanted(&ds, entries, &rng);
+
+  XmlWriter w;
+  w.Open("parts");
+  w.Newline();
+
+  // Recursive part emitter.  Bushy assemblies burn two depth units per
+  // level while spines burn one, so skew trades breadth for depth while
+  // max_depth bounds the whole subtree.  Needles and markers are planted
+  // only at the top level, keeping the ClassAssigner counts exact.
+  struct Gen {
+    Random* rng;
+    XmlWriter* w;
+    const RecursiveGenOptions* opt;
+
+    void SubPart(int depth) {
+      w->Open("part");
+      w->Leaf("pname", "sub-" + rng->NextString(6));
+      w->Leaf("serial", std::to_string(rng->Uniform(1u << 30)));
+      MaybeAssembly(depth);
+      w->Close("part");
+    }
+
+    void MaybeAssembly(int depth) {
+      if (depth >= opt->max_depth || !rng->Bernoulli(0.85)) return;
+      w->Open("assembly");
+      if (rng->NextDouble() < opt->skew) {
+        SubPart(depth + 1);  // Deep spine: one child, cheap depth.
+      } else {
+        const size_t kids =
+            1 + rng->Uniform(static_cast<uint64_t>(
+                    std::max(1, opt->fanout)));
+        for (size_t k = 0; k < kids; ++k) SubPart(depth + 2);
+      }
+      w->Close("assembly");
+    }
+  };
+
+  for (size_t i = 0; i < entries; ++i) {
+    w.Open("part");
+    w.Leaf("pname", "part-" + std::to_string(i));
+    w.Leaf("serial", std::to_string(rng.Uniform(1u << 30)));
+    planted.EmitNeedles(&w, &rng);
+    planted.EmitMarkers(&w);
+    Gen gen{&rng, &w, &options};
+    gen.MaybeAssembly(0);
+    w.Close("part");
+    w.Newline();
+  }
+  w.Close("parts");
+  ds.xml = w.Take();
+  return ds;
+}
+
 GeneratedDataset GenerateDataset(Dataset dataset,
                                  const GenOptions& options) {
   switch (dataset) {
@@ -521,6 +594,13 @@ GeneratedDataset GenerateDataset(Dataset dataset,
       return GenTreebank(options);
     case Dataset::kDblp:
       return GenDblp(options);
+    case Dataset::kParts: {
+      RecursiveGenOptions recursive;
+      recursive.seed = options.seed;
+      recursive.entries = std::max<size_t>(
+          8, static_cast<size_t>(2000 * options.scale));
+      return GenerateRecursiveDataset(recursive);
+    }
   }
   NOK_CHECK(false) << "unknown dataset";
   return GeneratedDataset{};

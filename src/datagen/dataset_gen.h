@@ -29,10 +29,12 @@
 
 namespace nok {
 
-/// The five datasets of Table 1.
-enum class Dataset { kAuthor, kAddress, kCatalog, kTreebank, kDblp };
+/// The five datasets of Table 1, plus the recursive parts document
+/// (kParts) used by the fuzzer for deeply nested tag paths.
+enum class Dataset { kAuthor, kAddress, kCatalog, kTreebank, kDblp, kParts };
 
-/// All dataset identifiers, in Table 1 order.
+/// The Table 1 dataset identifiers, in Table 1 order (kParts is not a
+/// Table 1 document and is excluded).
 std::vector<Dataset> AllDatasets();
 
 /// Display name ("author", "address", ...).
@@ -44,6 +46,21 @@ struct GenOptions {
   /// (scale 1.0 reproduces Table 1's node counts within a few percent).
   double scale = 1.0;
   uint64_t seed = 42;
+};
+
+/// Knobs for the deep-recursion generator (Dataset::kParts): nested
+/// part/assembly trees whose tag paths repeat at every level — the shape
+/// none of the Table 1 documents has.  Every knob is deterministic in
+/// the seed; identical options produce bit-identical XML on every
+/// platform (the generator draws only from nok::Random).
+struct RecursiveGenOptions {
+  uint64_t seed = 42;
+  size_t entries = 48;  ///< Top-level parts.
+  int max_depth = 12;   ///< Maximum assembly nesting below an entry.
+  int fanout = 3;       ///< Maximum subparts per assembly.
+  /// Chance that a nesting step continues as a single-child deep spine
+  /// rather than a bushy assembly (higher skew -> deeper documents).
+  double skew = 0.5;
 };
 
 /// A generated document plus the schema facts query_gen needs.
@@ -61,6 +78,7 @@ struct GeneratedDataset {
   std::string marker_extra; ///< Present in ~`low` entries.
   std::string marker_rare;  ///< Nested under extra, ~`mod` entries.
   std::string marker_gem;   ///< Nested under rare, ~`hi` entries.
+  std::string recursive_tag; ///< Recursion container tag (kParts only).
 
   // Planted needle values ("<class>-a" / "<class>-b").
   std::string needle_hi_a, needle_hi_b;
@@ -72,8 +90,12 @@ struct GeneratedDataset {
   size_t entries = 0;
 };
 
-/// Generates one dataset.
+/// Generates one dataset.  Dataset::kParts maps GenOptions onto default
+/// RecursiveGenOptions (entries scaled, depth/fanout/skew defaulted).
 GeneratedDataset GenerateDataset(Dataset dataset, const GenOptions& options);
+
+/// Generates the recursive parts dataset with explicit shape knobs.
+GeneratedDataset GenerateRecursiveDataset(const RecursiveGenOptions& options);
 
 }  // namespace nok
 

@@ -1,5 +1,7 @@
 #include "datagen/query_gen.h"
 
+#include <algorithm>
+
 #include "common/random.h"
 
 namespace nok {
@@ -76,6 +78,117 @@ std::vector<CategoryQuery> DescendantVariants(
       variant.xpath.insert(pos, "/");
     }
     out.push_back(std::move(variant));
+  }
+  return out;
+}
+
+namespace {
+
+/// Sampler state for one RandomQueries call.
+struct Sampler {
+  Random* rng;
+  const RandomQueryOptions* opt;
+  std::vector<std::string> pool;    ///< Schema tag names.
+  std::vector<std::string> values;  ///< Planted needle values.
+
+  std::string Tag() {
+    if (rng->Bernoulli(0.08)) return "*";
+    return pool[rng->Uniform(pool.size())];
+  }
+
+  /// A short relative path for use inside a structural branch.
+  std::string RelPath(int depth) {
+    std::string path = Tag();
+    if (depth > 0 && rng->Bernoulli(0.35)) {
+      path += rng->Bernoulli(0.3) ? "//" : "/";
+      path += RelPath(depth - 1);
+    }
+    return path;
+  }
+
+  /// One predicate.  *used_value / *used_position enforce the
+  /// one-value-predicate / one-positional-per-step grammar limits.
+  std::string Predicate(bool* used_value, bool* used_position) {
+    const double r = rng->NextDouble();
+    if (!*used_position && r < opt->positional_bias) {
+      *used_position = true;
+      return "[" + std::to_string(1 + rng->Uniform(3)) + "]";
+    }
+    if (r < opt->positional_bias + 0.35) {
+      // Value comparison on a (possibly nested) branch leaf; each branch
+      // is its own pattern node, so the one-predicate limit is per
+      // branch, not per step.
+      static const char* const kOps[] = {"=", "=", "=", "!=",
+                                         "<", "<=", ">", ">="};
+      const std::string op = kOps[rng->Uniform(8)];
+      const std::string value = values[rng->Uniform(values.size())];
+      std::string lhs = rng->Bernoulli(0.25) ? Tag() + "/" + Tag() : Tag();
+      return "[" + lhs + op + "\"" + value + "\"]";
+    }
+    if (r < opt->positional_bias + 0.5) {
+      // Sibling-order arc.
+      return "[" + Tag() + "/following-sibling::" + Tag() + "]";
+    }
+    (void)used_value;
+    return "[" + RelPath(2) + "]";  // Structural branch.
+  }
+
+  std::string Query() {
+    std::string q = rng->Bernoulli(0.6) ? "/" : "//";
+    const int steps =
+        1 + static_cast<int>(rng->Uniform(
+                static_cast<uint64_t>(std::max(1, opt->max_steps))));
+    for (int s = 0; s < steps; ++s) {
+      if (s > 0) q += rng->Bernoulli(0.35) ? "//" : "/";
+      // Anchor absolute single-slash queries at the document root tag so
+      // a useful fraction of samples actually match.
+      q += (s == 0 && q == "/") ? pool.front() : Tag();
+      bool used_value = false, used_position = false;
+      if (rng->NextDouble() < opt->bushy_bias) {
+        const int branches =
+            1 + static_cast<int>(rng->Uniform(static_cast<uint64_t>(
+                    std::max(1, opt->max_branches))));
+        for (int b = 0; b < branches; ++b) {
+          q += Predicate(&used_value, &used_position);
+        }
+      }
+    }
+    return q;
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> RandomQueries(const GeneratedDataset& ds,
+                                       const RandomQueryOptions& options) {
+  Random rng(options.seed);
+  Sampler sampler{&rng, &options, {}, {}};
+
+  // Tag pool: the entry path segments followed by every schema handle.
+  size_t start = 0;
+  while (start < ds.entry_path.size()) {
+    const size_t slash = ds.entry_path.find('/', start + 1);
+    const size_t end =
+        slash == std::string::npos ? ds.entry_path.size() : slash;
+    if (end > start + 1) {
+      sampler.pool.push_back(ds.entry_path.substr(start + 1,
+                                                  end - start - 1));
+    }
+    start = end;
+  }
+  for (const std::string* tag :
+       {&ds.detail_a, &ds.detail_b, &ds.needle_tag_a, &ds.needle_tag_b,
+        &ds.marker_extra, &ds.marker_rare, &ds.marker_gem,
+        &ds.recursive_tag}) {
+    if (!tag->empty()) sampler.pool.push_back(*tag);
+  }
+  sampler.values = {ds.needle_hi_a,  ds.needle_hi_b, ds.needle_mod_a,
+                    ds.needle_mod_b, ds.needle_low_a, ds.needle_low_b};
+
+  std::vector<std::string> out;
+  out.reserve(options.count);
+  for (size_t i = 0; i < options.count; ++i) {
+    out.push_back(sampler.Query());
   }
   return out;
 }

@@ -31,6 +31,26 @@ std::vector<CategoryQuery> QueriesForDataset(const GeneratedDataset& ds);
 std::vector<CategoryQuery> DescendantVariants(
     const std::vector<CategoryQuery>& queries, uint64_t seed);
 
+/// Knobs for the seeded grammar sampler (QueryGen v2).  The sampler
+/// covers the full supported XPath fragment — child/descendant arcs,
+/// structural branches, value comparisons against the dataset's planted
+/// needles, sibling-order arcs and positional predicates — weighted
+/// toward bushy shapes.  Identical options yield identical queries on
+/// every platform (only nok::Random is consulted).
+struct RandomQueryOptions {
+  uint64_t seed = 42;
+  size_t count = 16;
+  int max_steps = 4;             ///< Trunk steps beyond the entry tag.
+  int max_branches = 2;          ///< Predicates allowed per step.
+  double bushy_bias = 0.55;      ///< Chance a step grows predicates.
+  double positional_bias = 0.1;  ///< Chance a predicate is [n].
+};
+
+/// Samples `count` syntactically valid queries over the dataset's schema
+/// tags.  Every returned string parses under ParseXPath.
+std::vector<std::string> RandomQueries(const GeneratedDataset& ds,
+                                       const RandomQueryOptions& options);
+
 }  // namespace nok
 
 #endif  // NOKXML_DATAGEN_QUERY_GEN_H_

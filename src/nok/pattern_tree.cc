@@ -132,6 +132,9 @@ void ToStringRec(const PatternNode* node, std::string* out, int depth) {
       out->append(node->predicate.operand);
       out->push_back(']');
     }
+    if (node->position > 0) {
+      out->append("[" + std::to_string(node->position) + "]");
+    }
     if (node->is_returning) out->append(" <-- returning");
   }
   out->push_back('\n');
@@ -154,6 +157,17 @@ std::string PatternTree::ToString() const {
   std::string out;
   ToStringRec(root_.get(), &out, 0);
   return out;
+}
+
+bool HasPositionalPredicate(const PatternTree& tree) {
+  std::vector<const PatternNode*> todo{tree.root()};
+  while (!todo.empty()) {
+    const PatternNode* node = todo.back();
+    todo.pop_back();
+    if (node->position > 0) return true;
+    for (const auto& child : node->children) todo.push_back(child.get());
+  }
+  return false;
 }
 
 }  // namespace nok

@@ -60,6 +60,12 @@ struct PatternNode {
   bool wildcard = false;   ///< '*' name test.
   bool is_doc_root = false;///< The virtual document-root node.
   ValuePredicate predicate;
+  /// Positional predicate [n] (1-based); 0 means none.  The matched node
+  /// must be the n-th child of its subject-tree parent among the siblings
+  /// passing this node's name test (all siblings for a wildcard).  Only
+  /// the oracle and the region engine evaluate it; every other engine
+  /// rejects positional patterns with a NotSupported Status.
+  int position = 0;
   bool is_returning = false;
 
   PatternNode* parent = nullptr;
@@ -102,6 +108,11 @@ class PatternTree {
 
 /// Name of an axis for diagnostics.
 std::string_view AxisName(Axis axis);
+
+/// True iff any node of the tree carries a positional predicate [n].
+/// Engines without positional support call this up front and return
+/// NotSupported instead of silently computing a wrong answer.
+bool HasPositionalPredicate(const PatternTree& tree);
 
 }  // namespace nok
 

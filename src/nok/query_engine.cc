@@ -28,6 +28,12 @@ Result<std::vector<DeweyId>> QueryEngine::EvaluatePattern(
   last_plan_.reset();
   last_plan_text_.clear();
 
+  if (HasPositionalPredicate(pattern)) {
+    return Status::NotSupported(
+        "positional predicates [n] are not evaluated by the NoK engine; "
+        "use the region baseline");
+  }
+
   const NokPartition partition = PartitionPattern(pattern);
 
   // Resolve every pattern tag against the dictionary once; the table is

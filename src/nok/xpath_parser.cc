@@ -1,6 +1,7 @@
 #include "nok/xpath_parser.h"
 
 #include <cctype>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/logging.h"
@@ -320,6 +321,32 @@ class Parser {
   /// Parses the inside of one predicate applied to node.
   Status ParsePredicate(PatternNode* node) {
     SkipWs();
+    if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      // Positional predicate [n]: the context node must be the n-th
+      // sibling passing this step's name test.
+      const size_t start = pos_;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+      SkipWs();
+      if (Peek() != ']') {
+        return Error("expected ']' after a positional predicate");
+      }
+      char* end = nullptr;
+      const std::string digits = input_.substr(start, pos_ - start);
+      const long n = strtol(digits.c_str(), &end, 10);
+      if (end != digits.c_str() + digits.size() || n < 1 ||
+          n > 1 << 20) {
+        return Error("positional predicate out of range");
+      }
+      if (node->position > 0) {
+        return Status::NotSupported(
+            "multiple positional predicates on one step");
+      }
+      node->position = static_cast<int>(n);
+      return Status::OK();
+    }
     if (Peek() == '.') {
       // Either a self value test [. = lit] or a relative path [.//a].
       const size_t dot = pos_;

@@ -9,6 +9,7 @@
 //   NameTest   := Name | '*' | '@' Name
 //   Predicate  := '[' RelPath (CmpOp Literal)? ']'
 //               | '[' '.' CmpOp Literal ']'
+//               | '[' Integer ']'          (positional, 1-based)
 //   RelPath    := Step ( ('/' | '//') Step )*
 //   CmpOp      := '=' | '!=' | '<' | '<=' | '>' | '>='
 //   Literal    := '"' chars '"' | '\'' chars '\'' | Number

@@ -364,6 +364,10 @@ Result<std::vector<DeweyId>> EvaluateStreaming(const std::string& xpath,
   *stats = StreamRunStats{};
 
   NOK_ASSIGN_OR_RETURN(auto pattern, ParseXPath(xpath));
+  if (HasPositionalPredicate(pattern)) {
+    return Status::NotSupported(
+        "streaming evaluation does not cover positional predicates");
+  }
   const NokPartition partition = PartitionPattern(pattern);
 
   if (partition.trees.size() == 1) {

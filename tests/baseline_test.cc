@@ -5,6 +5,7 @@
 #include "baseline/di_engine.h"
 #include "baseline/interval_encoding.h"
 #include "baseline/navigational_engine.h"
+#include "baseline/region_engine.h"
 #include "baseline/twigstack_engine.h"
 #include "common/random.h"
 #include "nok/xpath_parser.h"
@@ -88,6 +89,7 @@ struct Baselines {
   std::unique_ptr<DiEngine> di;
   std::unique_ptr<TwigStackEngine> twig;
   std::unique_ptr<NavigationalEngine> nav;
+  std::unique_ptr<RegionEngine> region;
 };
 
 std::unique_ptr<Baselines> MakeBaselines(const std::string& xml) {
@@ -101,6 +103,7 @@ std::unique_ptr<Baselines> MakeBaselines(const std::string& xml) {
   out->di = std::make_unique<DiEngine>(&out->interval);
   out->twig = std::make_unique<TwigStackEngine>(&out->interval);
   out->nav = std::make_unique<NavigationalEngine>(&out->dom);
+  out->region = std::make_unique<RegionEngine>(&out->interval);
   return out;
 }
 
@@ -127,6 +130,10 @@ void ExpectAllEnginesMatchOracle(Baselines* b, const std::string& query) {
   } else {
     EXPECT_TRUE(nav.status().IsNotSupported()) << "Navigational: " << query;
   }
+  // The region engine covers the full fragment: never NotSupported.
+  auto region = b->region->Evaluate(*pattern);
+  ASSERT_TRUE(region.ok()) << "Region: " << query;
+  EXPECT_EQ(CanonIndexes(b->dom, *region), want) << "Region: " << query;
 }
 
 class BaselineBibQueries : public ::testing::TestWithParam<const char*> {};
@@ -192,6 +199,93 @@ TEST(NavigationalEngineTest, UsesValueIndexForAnchors) {
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->size(), 2u);
   EXPECT_EQ(b->nav->last_stats().candidates, 2u);  // Two "Stevens" nodes.
+}
+
+TEST(RegionEngineTest, DerivesParentTable) {
+  auto doc = IntervalDocument::Build("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(doc.ok());
+  RegionEngine region(&*doc);
+  // Doc order: a=0, b=1, c=2, d=3.
+  EXPECT_EQ(region.parents(),
+            (std::vector<int32_t>{-1, 0, 1, 0}));
+}
+
+TEST(RegionEngineTest, EvaluatesStructuralAndValueQueries) {
+  auto b = MakeBaselines(kBibXml);
+  auto pattern = ParseXPath("//book[author/last=\"Stevens\"]/title");
+  ASSERT_TRUE(pattern.ok());
+  auto r = b->region->Evaluate(*pattern);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  const auto& stats = b->region->last_stats();
+  EXPECT_GT(stats.index_probes, 0u);
+  EXPECT_GT(stats.candidates, 0u);
+  EXPECT_GT(stats.join_checks, 0u);
+}
+
+TEST(RegionEngineTest, EvaluatesOrderConstraints) {
+  // Sibling order: title before price holds; price before title fails.
+  auto b = MakeBaselines(kBibXml);
+  auto ordered = ParseXPath("//book[title/following-sibling::price]");
+  ASSERT_TRUE(ordered.ok()) << ordered.status().ToString();
+  auto r = b->region->Evaluate(*ordered);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);  // Every book lists title before price.
+  auto reversed = ParseXPath("//book[price/following-sibling::title]");
+  ASSERT_TRUE(reversed.ok());
+  auto r2 = b->region->Evaluate(*reversed);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->empty());
+}
+
+TEST(RegionEngineTest, EvaluatesPositionalPredicates) {
+  auto b = MakeBaselines(kBibXml);
+  auto second = ParseXPath("/bib/book[2]/title");
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  auto r = b->region->Evaluate(*second);
+  ASSERT_TRUE(r.ok());
+  // The second book's title is "Unix".
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ(b->interval.ValueOfNode((*r)[0]), "Unix");
+  // Out-of-range position selects nothing.
+  auto fourth = ParseXPath("/bib/book[4]");
+  ASSERT_TRUE(fourth.ok());
+  auto r2 = b->region->Evaluate(*fourth);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->empty());
+}
+
+TEST(RegionEngineTest, PositionCountsOnlyLikeNamedSiblings) {
+  auto b = MakeBaselines(
+      "<r><x/><y/><x/><y/><x/></r>");
+  // y[2] is the fourth child but the second y.
+  auto pattern = ParseXPath("/r/y[2]");
+  ASSERT_TRUE(pattern.ok());
+  auto r = b->region->Evaluate(*pattern);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  // Doc order: r=0, x=1, y=2, x=3, y=4, x=5.
+  EXPECT_EQ((*r)[0], 4u);
+  // The wildcard counts every sibling: *[4] is that same y.
+  auto wild = ParseXPath("/r/*[4]");
+  ASSERT_TRUE(wild.ok());
+  auto rw = b->region->Evaluate(*wild);
+  ASSERT_TRUE(rw.ok());
+  EXPECT_EQ(*rw, (std::vector<uint32_t>{4}));
+}
+
+TEST(RegionEngineTest, EvaluatesFollowingAndPrecedingAxes) {
+  auto b = MakeBaselines(kBibXml);
+  auto following = ParseXPath("//book[following::book]");
+  ASSERT_TRUE(following.ok());
+  auto r = b->region->Evaluate(*following);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);  // First two books have a following book.
+  auto preceding = ParseXPath("//book[preceding::book]");
+  ASSERT_TRUE(preceding.ok());
+  auto r2 = b->region->Evaluate(*preceding);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->size(), 2u);  // Last two books have a preceding book.
 }
 
 // Differential fuzz across all three baselines.

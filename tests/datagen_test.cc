@@ -1,0 +1,175 @@
+// DatasetGen / QueryGen determinism and shape tests.
+//
+// The golden-seed hashes below lock bit-reproducibility: the generators
+// draw exclusively from nok::Random (xorshift128+, platform-independent)
+// and never iterate unordered containers, so a fixed seed must produce
+// the identical byte stream on every platform and toolchain.  If a
+// deliberate generator change breaks a hash, regenerate it with the
+// printed actual value.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "datagen/dataset_gen.h"
+#include "datagen/query_gen.h"
+#include "nok/pattern_tree.h"
+#include "nok/xpath_parser.h"
+#include "xml/dom.h"
+
+namespace nok {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Recursive parts generator.
+
+RecursiveGenOptions SmallRecursive() {
+  RecursiveGenOptions options;
+  options.seed = 11;
+  options.entries = 16;
+  options.max_depth = 12;
+  options.fanout = 3;
+  options.skew = 0.6;
+  return options;
+}
+
+TEST(RecursiveDatasetTest, ProducesNestedAssemblies) {
+  auto ds = GenerateRecursiveDataset(SmallRecursive());
+  EXPECT_EQ(ds.dataset, Dataset::kParts);
+  EXPECT_EQ(ds.entry_path, "/parts/part");
+  EXPECT_EQ(ds.recursive_tag, "assembly");
+  auto tree = DomTree::Parse(ds.xml);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  // parts/part/assembly/part/... : recursion gives real depth.
+  EXPECT_GT(tree->max_depth(), 6);
+  // Tag paths repeat: assemblies contain parts that open new assemblies.
+  EXPECT_NE(ds.xml.find("<assembly><part>"), std::string::npos);
+  EXPECT_NE(ds.xml.find("sub-"), std::string::npos);
+}
+
+TEST(RecursiveDatasetTest, MaxDepthBoundsNesting) {
+  RecursiveGenOptions shallow = SmallRecursive();
+  shallow.max_depth = 2;
+  auto ds = GenerateRecursiveDataset(shallow);
+  auto tree = DomTree::Parse(ds.xml);
+  ASSERT_TRUE(tree.ok());
+  // parts -> part -> (assembly -> part -> assembly -> part) -> leaf:
+  // each nesting level adds two element levels below the entry.
+  EXPECT_LE(tree->max_depth(), 2 + 2 * (shallow.max_depth + 1));
+
+  RecursiveGenOptions deep = SmallRecursive();
+  deep.max_depth = 24;
+  deep.skew = 0.95;
+  auto ds2 = GenerateRecursiveDataset(deep);
+  auto tree2 = DomTree::Parse(ds2.xml);
+  ASSERT_TRUE(tree2.ok());
+  EXPECT_GT(tree2->max_depth(), tree->max_depth());
+}
+
+TEST(RecursiveDatasetTest, PlantedNeedleCountsAreExact) {
+  auto ds = GenerateRecursiveDataset(SmallRecursive());
+  auto tree = DomTree::Parse(ds.xml);
+  ASSERT_TRUE(tree.ok());
+  size_t hi = 0, mod = 0, low = 0;
+  ForEachNode(tree->root(), [&](const DomNode* n) {
+    if (n->value == ds.needle_hi_a) ++hi;
+    if (n->value == ds.needle_mod_a) ++mod;
+    if (n->value == ds.needle_low_a) ++low;
+  });
+  EXPECT_EQ(hi, ds.count_hi);
+  EXPECT_EQ(mod, ds.count_mod - ds.count_hi);
+  EXPECT_EQ(low, ds.count_low - ds.count_mod);
+}
+
+TEST(RecursiveDatasetTest, GenerateDatasetDispatchesParts) {
+  GenOptions options;
+  options.scale = 0.004;  // 8 entries.
+  options.seed = 3;
+  auto ds = GenerateDataset(Dataset::kParts, options);
+  EXPECT_EQ(ds.name, "parts");
+  EXPECT_EQ(ds.entries, 8u);
+  EXPECT_EQ(DatasetName(Dataset::kParts), "parts");
+}
+
+// ---------------------------------------------------------------------------
+// QueryGen v2 grammar sampler.
+
+TEST(RandomQueriesTest, AllSamplesParse) {
+  auto ds = GenerateRecursiveDataset(SmallRecursive());
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    RandomQueryOptions options;
+    options.seed = seed;
+    options.count = 40;
+    auto queries = RandomQueries(ds, options);
+    ASSERT_EQ(queries.size(), 40u);
+    for (const std::string& q : queries) {
+      auto pattern = ParseXPath(q);
+      EXPECT_TRUE(pattern.ok())
+          << q << ": " << pattern.status().ToString();
+    }
+  }
+}
+
+TEST(RandomQueriesTest, WeightedTowardBushyShapes) {
+  auto ds = GenerateDataset(Dataset::kAuthor, GenOptions{.scale = 0.0,
+                                                         .seed = 1});
+  RandomQueryOptions options;
+  options.seed = 9;
+  options.count = 200;
+  auto queries = RandomQueries(ds, options);
+  size_t bushy = 0, positional = 0;
+  for (const std::string& q : queries) {
+    if (q.find('[') != std::string::npos) ++bushy;
+    auto pattern = ParseXPath(q);
+    if (pattern.ok() && HasPositionalPredicate(*pattern)) ++positional;
+  }
+  EXPECT_GT(bushy, queries.size() / 2);  // The bushy bias dominates.
+  EXPECT_GT(positional, 0u);             // [n] is part of the grammar.
+}
+
+TEST(RandomQueriesTest, SeedsAreDeterministic) {
+  auto ds = GenerateRecursiveDataset(SmallRecursive());
+  RandomQueryOptions options;
+  options.seed = 77;
+  auto a = RandomQueries(ds, options);
+  auto b = RandomQueries(ds, options);
+  EXPECT_EQ(a, b);
+  options.seed = 78;
+  auto c = RandomQueries(ds, options);
+  EXPECT_NE(a, c);
+}
+
+// ---------------------------------------------------------------------------
+// Golden-seed regression: fixed seeds hash to fixed values forever.
+
+TEST(GoldenSeedTest, DatasetBytesAreBitReproducible) {
+  const GenOptions small{.scale = 0.0, .seed = 2024};
+  const auto author = GenerateDataset(Dataset::kAuthor, small);
+  const auto treebank = GenerateDataset(Dataset::kTreebank, small);
+  const auto parts = GenerateRecursiveDataset(SmallRecursive());
+
+  EXPECT_EQ(Hash64(author.xml), UINT64_C(17764501294698744350))
+      << "author seed drifted";
+  EXPECT_EQ(Hash64(treebank.xml), UINT64_C(9824479103589106354))
+      << "treebank seed drifted";
+  EXPECT_EQ(Hash64(parts.xml), UINT64_C(6117828529636065005))
+      << "parts seed drifted";
+}
+
+TEST(GoldenSeedTest, QueryStreamIsBitReproducible) {
+  const auto parts = GenerateRecursiveDataset(SmallRecursive());
+  RandomQueryOptions options;
+  options.seed = 2024;
+  options.count = 32;
+  std::string joined;
+  for (const std::string& q : RandomQueries(parts, options)) {
+    joined += q;
+    joined += '\n';
+  }
+  EXPECT_EQ(Hash64(joined), UINT64_C(2528606273890361984))
+      << "query stream drifted";
+}
+
+}  // namespace
+}  // namespace nok

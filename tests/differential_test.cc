@@ -1,8 +1,9 @@
 // Randomized differential harness over the generated Table 2 workload:
 // for several dataset seeds, every category query (and its descendant-
 // axis variant) runs through the NoK QueryEngine, the DI and TwigStack
-// structural-join baselines, and the navigational baseline, and each
-// engine's Dewey-ID result set must equal the brute-force oracle's.
+// structural-join baselines, the navigational baseline, and the region
+// (pre,post,level) engine, and each engine's Dewey-ID result set must
+// equal the brute-force oracle's.
 //
 // Documents are generated at the minimum dataset size (the generators
 // floor at 8 entries) because the oracle is exponential by design.
@@ -17,6 +18,7 @@
 #include "baseline/di_engine.h"
 #include "baseline/interval_encoding.h"
 #include "baseline/navigational_engine.h"
+#include "baseline/region_engine.h"
 #include "baseline/twigstack_engine.h"
 #include "datagen/dataset_gen.h"
 #include "datagen/query_gen.h"
@@ -81,6 +83,7 @@ void RunDataset(Dataset dataset, uint64_t seed) {
   DiEngine di(&*interval);
   TwigStackEngine twig(&*interval);
   NavigationalEngine nav(&*dom);
+  RegionEngine region(&*interval);
 
   DocumentStore::Options options;
   options.page_size = 512;  // Small pages: the store actually pages.
@@ -114,6 +117,96 @@ void RunDataset(Dataset dataset, uint64_t seed) {
     auto nav_result = nav.Evaluate(*pattern);
     ASSERT_TRUE(nav_result.ok()) << nav_result.status().ToString();
     EXPECT_EQ(CanonNodes(*nav_result), want) << "engine: navigational";
+
+    auto region_result = region.Evaluate(*pattern);
+    ASSERT_TRUE(region_result.ok()) << region_result.status().ToString();
+    EXPECT_EQ(CanonIndexesOrDie(*dom, *region_result), want)
+        << "engine: region";
+  }
+}
+
+/// Deep-recursion sweep: the kParts generator nests part/assembly to a
+/// configurable depth, which is where region-interval reasoning (and the
+/// positional predicate) earn their keep.  Queries come from QueryGen v2
+/// so the mix includes positional and sibling-order shapes; any query an
+/// engine rejects as NotSupported is skipped for that engine, everything
+/// else must match the oracle.
+void RunRecursiveParts(uint64_t seed) {
+  RecursiveGenOptions gen;
+  gen.seed = seed;
+  gen.entries = 6;
+  gen.max_depth = 8;
+  const GeneratedDataset ds = GenerateRecursiveDataset(gen);
+
+  RandomQueryOptions qopt;
+  qopt.seed = seed;
+  qopt.count = 24;
+  std::vector<std::string> queries = RandomQueries(ds, qopt);
+  queries.push_back("//part[2]/pname");
+  queries.push_back("/parts/part/assembly//part[pname]");
+
+  auto dom = DomTree::Parse(ds.xml);
+  ASSERT_TRUE(dom.ok()) << dom.status().ToString();
+  auto interval = IntervalDocument::Build(ds.xml);
+  ASSERT_TRUE(interval.ok()) << interval.status().ToString();
+  DiEngine di(&*interval);
+  TwigStackEngine twig(&*interval);
+  NavigationalEngine nav(&*dom);
+  RegionEngine region(&*interval);
+
+  DocumentStore::Options options;
+  options.page_size = 512;
+  auto store = DocumentStore::Build(ds.xml, options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  QueryEngine engine(store->get());
+
+  for (const std::string& xpath : queries) {
+    SCOPED_TRACE("parts seed " + std::to_string(seed) + ": " + xpath);
+    auto oracle = OracleEvaluateDewey(xpath, *dom);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    const std::vector<std::string> want = CanonDewey(*oracle);
+
+    auto pattern = ParseXPath(xpath);
+    ASSERT_TRUE(pattern.ok()) << pattern.status().ToString();
+
+    auto region_result = region.Evaluate(*pattern);
+    ASSERT_TRUE(region_result.ok()) << region_result.status().ToString();
+    EXPECT_EQ(CanonIndexesOrDie(*dom, *region_result), want)
+        << "engine: region";
+
+    auto nav_result = nav.Evaluate(*pattern);
+    if (nav_result.ok()) {
+      EXPECT_EQ(CanonNodes(*nav_result), want) << "engine: navigational";
+    } else {
+      EXPECT_TRUE(nav_result.status().IsNotSupported())
+          << nav_result.status().ToString();
+    }
+
+    auto di_result = di.Evaluate(*pattern);
+    if (di_result.ok()) {
+      EXPECT_EQ(CanonIndexesOrDie(*dom, *di_result), want)
+          << "engine: DI";
+    } else {
+      EXPECT_TRUE(di_result.status().IsNotSupported())
+          << di_result.status().ToString();
+    }
+
+    auto twig_result = twig.Evaluate(*pattern);
+    if (twig_result.ok()) {
+      EXPECT_EQ(CanonIndexesOrDie(*dom, *twig_result), want)
+          << "engine: TwigStack";
+    } else {
+      EXPECT_TRUE(twig_result.status().IsNotSupported())
+          << twig_result.status().ToString();
+    }
+
+    auto nok_result = engine.Evaluate(xpath);
+    if (nok_result.ok()) {
+      EXPECT_EQ(CanonDewey(*nok_result), want) << "engine: NoK";
+    } else {
+      EXPECT_TRUE(nok_result.status().IsNotSupported())
+          << nok_result.status().ToString();
+    }
   }
 }
 
@@ -275,6 +368,10 @@ TEST(DifferentialTest, TreebankAcrossSeeds) {
 
 TEST(DifferentialTest, DblpAcrossSeeds) {
   for (uint64_t seed : {2u, 13u}) RunDataset(Dataset::kDblp, seed);
+}
+
+TEST(DifferentialTest, RecursivePartsAcrossSeeds) {
+  for (uint64_t seed : {4u, 19u}) RunRecursiveParts(seed);
 }
 
 }  // namespace

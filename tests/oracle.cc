@@ -40,6 +40,21 @@ class SatChecker {
            !EvalValuePredicate(pattern->predicate, node->value))) {
         return false;
       }
+      // Positional predicate [n]: n-th among the parent's children that
+      // pass this pattern node's name test (all children for '*'; the
+      // root element is position 1).
+      if (pattern->position > 0) {
+        int position = 1;
+        if (node->parent != nullptr) {
+          for (const auto& sibling : node->parent->children) {
+            if (sibling.get() == node) break;
+            if (pattern->wildcard || sibling->name == pattern->tag) {
+              ++position;
+            }
+          }
+        }
+        if (position != pattern->position) return false;
+      }
     }
     // Backtracking assignment of witnesses to children.
     return AssignChildren(node, pattern, is_virtual, 0,

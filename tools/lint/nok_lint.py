@@ -54,6 +54,10 @@ NOK008  guarded members: in a class that owns a nok::Mutex member,
         construction, internally synchronized, ...) are exempted with a
         `// NOK008-OK: <reason>` comment on their line.  The locking
         model itself is documented in DESIGN.md section 12.
+NOK010  test-code leakage: files under src/, bench/, or tools/ must not
+        include "tests/..." headers.  The fuzz harness and the oracle are
+        test infrastructure; shipping code that depends on them inverts
+        the layering and drags gtest-adjacent code into the library.
 NOK009  raw std synchronization (src/ only, src/common/ exempt):
         std::mutex / std::lock_guard / std::unique_lock /
         std::condition_variable and friends (and their headers) are
@@ -562,6 +566,23 @@ def check_raw_sync(path, root, code_text, findings):
             f"common/mutex.h (DESIGN.md section 12)"))
 
 
+# --- NOK010: test-code leakage into shipping code -------------------------
+
+def check_test_includes(path, root, raw_text, findings):
+    r = rel(path, root)
+    top = r.split(os.sep)[0]
+    if top not in ("src", "bench", "tools"):
+        return
+    for lineno, line in enumerate(raw_text.splitlines(), 1):
+        m = INCLUDE_RE.match(line)
+        if m and m.group(1).split("/")[0] == "tests":
+            findings.append(Finding(
+                "NOK010", r, lineno,
+                f'shipping code under {top}/ must not include test '
+                f'infrastructure ("{m.group(1)}"); move the shared piece '
+                f"into src/ or keep the dependency inside tests/"))
+
+
 # --- NOK007: raw file-I/O syscalls outside src/storage/ -------------------
 
 def check_raw_io(path, root, code_text, findings):
@@ -626,6 +647,7 @@ def lint_file(path, root, with_format):
     # quotes — run it on the raw text.
     check_layering(path, root, raw, findings)
     check_nok_sublayering(path, root, raw, findings)
+    check_test_includes(path, root, raw, findings)
     check_banned_apis(path, root, code, findings)
     check_include_guard(path, root, raw, findings)
     check_unchecked_status(path, root, code, findings)

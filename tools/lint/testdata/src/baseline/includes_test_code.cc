@@ -1,0 +1,14 @@
+// NOK010 fixture: shipping code (src/, bench/, tools/) must never pull
+// in test infrastructure.  The oracle and the fuzz harness live under
+// tests/ on purpose — an engine that "validates itself" against them at
+// runtime drags gtest-adjacent code into the library.
+
+#include "common/status.h"
+#include "tests/oracle.h"              // EXPECT-LINT: NOK010
+#include "tests/fuzz/fuzz_harness.h"   // EXPECT-LINT: NOK010
+
+namespace nok {
+
+int TestLeakFixture() { return 0; }
+
+}  // namespace nok

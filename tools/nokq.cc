@@ -15,17 +15,29 @@
 //   nokq recover <store-dir>                    WAL crash recovery + verify
 //   nokq gen    <dataset> <store-dir>           generate + build + queries
 //   nokq bench  <store-dir> [--threads N] [--repeat K]
-//               [--queries file] [--json path]  parallel query driver
+//               [--queries file] [--json path]
+//               [--engine nok|di|twigstack|nav|region]
+//                                               parallel query driver
+//
+// `bench --engine` other than nok replays the workload through one of the
+// in-memory baseline engines; it needs the dataset.xml that `nokq gen`
+// drops next to the store.
 
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "baseline/di_engine.h"
+#include "baseline/interval_encoding.h"
+#include "baseline/navigational_engine.h"
+#include "baseline/region_engine.h"
+#include "baseline/twigstack_engine.h"
 #include "common/timer.h"
 #include "datagen/dataset_gen.h"
 #include "datagen/query_gen.h"
@@ -54,9 +66,11 @@ int Usage() {
           "  nokq verify <store-dir>\n"
           "  nokq recover <store-dir>\n"
           "  nokq gen    <dataset> <store-dir> [--scale S] [--seed N]\n"
-          "              (datasets: author address catalog treebank dblp)\n"
+          "              (datasets: author address catalog treebank dblp\n"
+          "               parts)\n"
           "  nokq bench  <store-dir> [--threads N] [--repeat K]\n"
-          "              [--queries file] [--json path]\n");
+          "              [--queries file] [--json path]\n"
+          "              [--engine nok|di|twigstack|nav|region]\n");
   return 2;
 }
 
@@ -386,6 +400,12 @@ int CmdGen(int argc, char** argv) {
       found = true;
     }
   }
+  // The deep-recursion dataset sits outside the Table 1 list (so the
+  // Table-ordered benches stay stable) but is generatable by name.
+  if (!found && name == nok::DatasetName(nok::Dataset::kParts)) {
+    dataset = nok::Dataset::kParts;
+    found = true;
+  }
   if (!found) {
     fprintf(stderr, "unknown dataset: %s\n", name.c_str());
     return Usage();
@@ -409,6 +429,10 @@ int CmdGen(int argc, char** argv) {
   }
   nok::Status s = nok::WriteStringToFile(dir + "/queries.txt",
                                          nok::Slice(listing));
+  if (!s.ok()) return Fail(s);
+  // The raw document rides along so `bench --engine` can rebuild the
+  // in-memory baseline encodings from the exact same bytes.
+  s = nok::WriteStringToFile(dir + "/dataset.xml", nok::Slice(ds.xml));
   if (!s.ok()) return Fail(s);
 
   printf("generated %s (%llu nodes, %zu entries), %zu queries in %.2fs\n",
@@ -455,6 +479,71 @@ void BenchWorker(nok::DocumentStore* store,
   out->max_latency_us = max_us;
 }
 
+/// One thread's share of a baseline-engine bench run.  Engines are cheap
+/// per-thread constructions over the shared read-only encodings (mirrors
+/// BenchWorker, which builds one QueryEngine per thread over the store).
+void BaselineBenchWorker(const std::string* engine_name,
+                         const nok::IntervalDocument* interval,
+                         const nok::DomTree* dom,
+                         const std::vector<nok::PatternTree>* patterns,
+                         int repeat, BenchThreadResult* out) {
+  std::unique_ptr<nok::DiEngine> di;
+  std::unique_ptr<nok::TwigStackEngine> twig;
+  std::unique_ptr<nok::NavigationalEngine> nav;
+  std::unique_ptr<nok::RegionEngine> region;
+  if (*engine_name == "di") {
+    di = std::make_unique<nok::DiEngine>(interval);
+  } else if (*engine_name == "twigstack") {
+    twig = std::make_unique<nok::TwigStackEngine>(interval);
+  } else if (*engine_name == "nav") {
+    nav = std::make_unique<nok::NavigationalEngine>(dom);
+  } else {
+    region = std::make_unique<nok::RegionEngine>(interval);
+  }
+  auto eval = [&](const nok::PatternTree& pt) -> nok::Result<size_t> {
+    if (di) {
+      auto r = di->Evaluate(pt);
+      if (!r.ok()) return r.status();
+      return r->size();
+    }
+    if (twig) {
+      auto r = twig->Evaluate(pt);
+      if (!r.ok()) return r.status();
+      return r->size();
+    }
+    if (nav) {
+      auto r = nav->Evaluate(pt);
+      if (!r.ok()) return r.status();
+      return r->size();
+    }
+    auto r = region->Evaluate(pt);
+    if (!r.ok()) return r.status();
+    return r->size();
+  };
+
+  double total_us = 0, max_us = 0;
+  nok::Timer thread_timer;
+  for (int r = 0; r < repeat; ++r) {
+    for (const nok::PatternTree& pt : *patterns) {
+      nok::Timer timer;
+      auto result = eval(pt);
+      const double us = static_cast<double>(timer.ElapsedMicros());
+      if (!result.ok()) {
+        out->status = result.status();
+        return;
+      }
+      ++out->queries;
+      out->results += *result;
+      total_us += us;
+      if (us > max_us) max_us = us;
+    }
+  }
+  out->seconds = thread_timer.ElapsedSeconds();
+  out->mean_latency_us =
+      out->queries == 0 ? 0 : total_us / static_cast<double>(out->queries);
+  out->max_latency_us = max_us;
+}
+
 void AppendPoolJson(std::string* json, const char* name,
                     const nok::BufferPool::Stats& s) {
   char buf[256];
@@ -477,6 +566,7 @@ int CmdBench(int argc, char** argv) {
   int threads = 1, repeat = 1;
   std::string queries_path = dir + "/queries.txt";
   std::string json_path = "BENCH_concurrency.json";
+  std::string engine_name = "nok";
   for (int i = 3; i < argc; ++i) {
     if (strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       char* end = nullptr;
@@ -490,11 +580,19 @@ int CmdBench(int argc, char** argv) {
       queries_path = argv[++i];
     } else if (strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      engine_name = argv[++i];
     } else {
       return Usage();
     }
   }
   if (threads < 1 || repeat < 1) return Usage();
+  if (engine_name != "nok" && engine_name != "di" &&
+      engine_name != "twigstack" && engine_name != "nav" &&
+      engine_name != "region") {
+    fprintf(stderr, "unknown engine: %s\n", engine_name.c_str());
+    return Usage();
+  }
 
   // The workload: one xpath per line; '#' comments and blanks skipped.
   std::string listing;
@@ -514,6 +612,40 @@ int CmdBench(int argc, char** argv) {
                                              queries_path));
   }
 
+  // Baseline engines rebuild the in-memory encodings from the raw
+  // document that `nokq gen` wrote next to the store; the NoK engine
+  // reads the paged store itself.
+  const bool baseline = engine_name != "nok";
+  std::unique_ptr<nok::IntervalDocument> interval;
+  std::unique_ptr<nok::DomTree> dom;
+  std::vector<nok::PatternTree> patterns;
+  if (baseline) {
+    std::string xml;
+    s = nok::ReadFileToString(dir + "/dataset.xml", &xml);
+    if (!s.ok()) {
+      fprintf(stderr,
+              "bench --engine %s needs %s/dataset.xml "
+              "(re-run `nokq gen`)\n",
+              engine_name.c_str(), dir.c_str());
+      return Fail(s);
+    }
+    for (const std::string& xpath : xpaths) {
+      auto pattern = nok::ParseXPath(xpath);
+      if (!pattern.ok()) return Fail(pattern.status());
+      patterns.push_back(std::move(pattern).ValueOrDie());
+    }
+    if (engine_name == "nav") {
+      auto tree = nok::DomTree::Parse(xml);
+      if (!tree.ok()) return Fail(tree.status());
+      dom = std::make_unique<nok::DomTree>(std::move(tree).ValueOrDie());
+    } else {
+      auto doc = nok::IntervalDocument::Build(xml);
+      if (!doc.ok()) return Fail(doc.status());
+      interval = std::make_unique<nok::IntervalDocument>(
+          std::move(doc).ValueOrDie());
+    }
+  }
+
   // One read-only store handle shared by every thread; sharded pools so
   // reader threads do not contend on one LRU mutex.
   nok::DocumentStore::Options options;
@@ -521,10 +653,14 @@ int CmdBench(int argc, char** argv) {
   options.read_only = true;
   options.pool_shards = 16;
   options.index_pool_shards = 8;
-  auto store = nok::DocumentStore::OpenDir(options);
-  if (!store.ok()) return Fail(store.status());
-  s = (*store)->DropCaches();
-  if (!s.ok()) return Fail(s);
+  std::unique_ptr<nok::DocumentStore> store;
+  if (!baseline) {
+    auto opened = nok::DocumentStore::OpenDir(options);
+    if (!opened.ok()) return Fail(opened.status());
+    store = std::move(opened).ValueOrDie();
+    s = store->DropCaches();
+    if (!s.ok()) return Fail(s);
+  }
 
   std::vector<BenchThreadResult> results(
       static_cast<size_t>(threads));
@@ -533,8 +669,14 @@ int CmdBench(int argc, char** argv) {
     std::vector<std::thread> workers;
     workers.reserve(static_cast<size_t>(threads));
     for (int t = 0; t < threads; ++t) {
-      workers.emplace_back(BenchWorker, store->get(), &xpaths, repeat,
-                           &results[static_cast<size_t>(t)]);
+      if (baseline) {
+        workers.emplace_back(BaselineBenchWorker, &engine_name,
+                             interval.get(), dom.get(), &patterns, repeat,
+                             &results[static_cast<size_t>(t)]);
+      } else {
+        workers.emplace_back(BenchWorker, store.get(), &xpaths, repeat,
+                             &results[static_cast<size_t>(t)]);
+      }
     }
     for (std::thread& w : workers) w.join();
   }
@@ -561,33 +703,40 @@ int CmdBench(int argc, char** argv) {
   std::string json = "{\n";
   char buf[512];
   snprintf(buf, sizeof(buf),
-           "  \"store\": \"%s\",\n  \"threads\": %d,\n"
+           "  \"store\": \"%s\",\n  \"engine\": \"%s\",\n"
+           "  \"threads\": %d,\n"
            "  \"repeat\": %d,\n  \"distinct_queries\": %zu,\n"
            "  \"wall_seconds\": %.6f,\n  \"aggregate\": {\n"
            "    \"total_queries\": %llu,\n"
            "    \"throughput_qps\": %.2f,\n"
            "    \"mean_latency_us\": %.2f,\n"
            "    \"max_latency_us\": %.2f\n  },\n",
-           dir.c_str(), threads, repeat, xpaths.size(), wall_seconds,
+           dir.c_str(), engine_name.c_str(), threads, repeat,
+           xpaths.size(), wall_seconds,
            static_cast<unsigned long long>(total_queries), throughput,
            mean_sum / static_cast<double>(threads), max_us);
   json += buf;
 
-  json += "  \"buffer_pools\": {\n";
-  AppendPoolJson(&json, "tree", (*store)->tree()->buffer_pool()->stats());
-  json += ",\n";
-  AppendPoolJson(&json, "tag_index",
-                 (*store)->tag_index()->buffer_pool()->stats());
-  json += ",\n";
-  AppendPoolJson(&json, "value_index",
-                 (*store)->value_index()->buffer_pool()->stats());
-  json += ",\n";
-  AppendPoolJson(&json, "id_index",
-                 (*store)->id_index()->buffer_pool()->stats());
-  json += ",\n";
-  AppendPoolJson(&json, "path_index",
-                 (*store)->path_index()->buffer_pool()->stats());
-  json += "\n  },\n  \"per_thread\": [\n";
+  // Buffer pools only exist on the paged-store path; baseline engines
+  // run fully in memory.
+  if (!baseline) {
+    json += "  \"buffer_pools\": {\n";
+    AppendPoolJson(&json, "tree", store->tree()->buffer_pool()->stats());
+    json += ",\n";
+    AppendPoolJson(&json, "tag_index",
+                   store->tag_index()->buffer_pool()->stats());
+    json += ",\n";
+    AppendPoolJson(&json, "value_index",
+                   store->value_index()->buffer_pool()->stats());
+    json += ",\n";
+    AppendPoolJson(&json, "id_index",
+                   store->id_index()->buffer_pool()->stats());
+    json += ",\n";
+    AppendPoolJson(&json, "path_index",
+                   store->path_index()->buffer_pool()->stats());
+    json += "\n  },\n";
+  }
+  json += "  \"per_thread\": [\n";
   for (size_t t = 0; t < results.size(); ++t) {
     const BenchThreadResult& r = results[t];
     snprintf(buf, sizeof(buf),
@@ -603,10 +752,11 @@ int CmdBench(int argc, char** argv) {
 
   s = nok::WriteStringToFile(json_path, nok::Slice(json));
   if (!s.ok()) return Fail(s);
-  printf("%llu queries on %d threads in %.3fs: %.1f q/s "
+  printf("%llu queries (engine %s) on %d threads in %.3fs: %.1f q/s "
          "(report: %s)\n",
-         static_cast<unsigned long long>(total_queries), threads,
-         wall_seconds, throughput, json_path.c_str());
+         static_cast<unsigned long long>(total_queries),
+         engine_name.c_str(), threads, wall_seconds, throughput,
+         json_path.c_str());
   return 0;
 }
 
