@@ -204,6 +204,47 @@ assert report["checks"]["results_identical"] is True
 print("BENCH_planner.json: schema ok,",
       len(report["measurements"]), "measurements")
 EOF
+
+  step "BP navigation-tier ablation bench (tiny dataset)"
+  cmake --build build-ci/bench -j "$JOBS" --target bench_bp
+  # The bench itself fails if any navigation tier disagrees on results,
+  # if bp mode touches any subject-tree page, or if bp misses the 5x
+  # wall-time target on every navigation-bound cell.
+  build-ci/bench/bench/bench_bp --scale 0.02 --runs 2 \
+      --json build-ci/bench/BENCH_bp.json
+
+  step "BENCH_bp.json schema check"
+  python3 - build-ci/bench/BENCH_bp.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+for key in ("datasets", "scale", "seed", "page_size", "runs",
+            "target_speedup", "best_speedup", "measurements", "checks"):
+    assert key in report, f"missing key: {key}"
+assert report["measurements"], "no measurements"
+modes = set()
+for m in report["measurements"]:
+    for key in ("dataset", "mode", "nav_mode", "tag", "tag_count",
+                "results", "best_seconds", "mean_seconds",
+                "pages_scanned", "pages_skipped_by_tag", "bp_steps",
+                "bp_tag_blocks_skipped", "speedup_vs_paged"):
+        assert key in m, f"measurement missing key: {key}"
+    modes.add(m["mode"])
+    if m["nav_mode"] == "bp":
+        assert m["pages_scanned"] == 0, f"bp touched pages: {m}"
+        assert m["bp_steps"] > 0, f"bp took no steps: {m}"
+    else:
+        assert m["bp_steps"] == 0, f"bp steps without bp mode: {m}"
+assert modes == {"paged", "fused", "bp"}, f"bad mode set: {modes}"
+assert report["checks"]["results_identical"] is True
+assert report["checks"]["bp_zero_pages"] is True
+assert report["checks"]["bp_speedup_achieved"] is True
+print("BENCH_bp.json: schema ok,",
+      len(report["measurements"]), "measurements,",
+      f"best speedup {report['best_speedup']:.2f}x")
+EOF
 }
 
 run_fuzz_smoke() {

@@ -1,0 +1,382 @@
+#include "encoding/bp_index.h"
+
+#include <bit>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/slice.h"
+#include "encoding/string_store.h"
+
+namespace nok {
+namespace {
+
+constexpr uint64_t kBpMagic = 0x4e4f4b4250494458ull;  // "NOKBPIDX"
+constexpr uint32_t kBpFormatVersion = 1;
+constexpr size_t kBpHeaderSize = 32;
+
+// SWAR lane constants for 4x16-bit equality probing (the classic
+// zero-halfword detector: (x - kLaneLow) & ~x & kLaneHigh).
+constexpr uint64_t kLaneLow = 0x0001000100010001ull;
+constexpr uint64_t kLaneHigh = 0x8000800080008000ull;
+
+}  // namespace
+
+Result<std::unique_ptr<BpIndex>> BpIndex::Build(StringStore* tree,
+                                                uint64_t epoch) {
+  auto index = std::unique_ptr<BpIndex>(new BpIndex());
+  index->epoch_ = epoch;
+  index->node_count_ = tree->node_count();
+  index->n_bits_ = 2 * index->node_count_;
+  index->bits_.assign(static_cast<size_t>((index->n_bits_ + 63) / 64), 0);
+  index->tags_.reserve(static_cast<size_t>(index->node_count_));
+  uint64_t pos = 0;
+  NOK_RETURN_IF_ERROR(tree->VisitSymbols([&](bool is_open, TagId tag) {
+    if (is_open) {
+      if (pos < index->n_bits_) {
+        index->bits_[pos >> 6] |= uint64_t{1} << (pos & 63);
+      }
+      index->tags_.push_back(tag);
+    }
+    ++pos;
+  }));
+  if (pos != index->n_bits_ || index->tags_.size() != index->node_count_) {
+    return Status::Corruption(
+        "bp index: page chain disagrees with the meta node count (" +
+        std::to_string(index->tags_.size()) + " opens, " +
+        std::to_string(pos) + " symbols, expected " +
+        std::to_string(index->node_count_) + " nodes)");
+  }
+  NOK_RETURN_IF_ERROR(index->BuildSupport());
+  return index;
+}
+
+Result<std::unique_ptr<BpIndex>> BpIndex::FromParens(std::string_view parens,
+                                                     std::vector<TagId> tags,
+                                                     uint64_t epoch) {
+  auto index = std::unique_ptr<BpIndex>(new BpIndex());
+  index->epoch_ = epoch;
+  index->n_bits_ = parens.size();
+  if (index->n_bits_ % 2 != 0) {
+    return Status::InvalidArgument("bp index: odd parenthesis count");
+  }
+  index->node_count_ = index->n_bits_ / 2;
+  index->bits_.assign(static_cast<size_t>((index->n_bits_ + 63) / 64), 0);
+  for (uint64_t i = 0; i < index->n_bits_; ++i) {
+    const char c = parens[static_cast<size_t>(i)];
+    if (c == '(') {
+      index->bits_[i >> 6] |= uint64_t{1} << (i & 63);
+    } else if (c != ')') {
+      return Status::InvalidArgument("bp index: expected '(' or ')'");
+    }
+  }
+  if (tags.empty()) {
+    tags.assign(static_cast<size_t>(index->node_count_), TagId{1});
+  }
+  if (tags.size() != index->node_count_) {
+    return Status::InvalidArgument("bp index: tag count != node count");
+  }
+  index->tags_ = std::move(tags);
+  NOK_RETURN_IF_ERROR(index->BuildSupport());
+  return index;
+}
+
+Status BpIndex::BuildSupport() {
+  const size_t nwords = bits_.size();
+  // Any garbage bit past bit_count() would poison the popcount-based
+  // rank/select answers.
+  if (n_bits_ % 64 != 0 && nwords > 0 &&
+      (bits_.back() & (~uint64_t{0} << (n_bits_ % 64))) != 0) {
+    return Status::Corruption("bp index: nonzero bits past the bit count");
+  }
+  word_excess_.assign(nwords + 1, 0);
+  tree_leaves_ = 1;
+  while (tree_leaves_ < (nwords == 0 ? size_t{1} : nwords)) tree_leaves_ <<= 1;
+  tree_min_.assign(2 * tree_leaves_, kMinSentinel);
+  select_sample_.clear();
+  select_sample_.reserve(static_cast<size_t>(node_count_ / 64) + 1);
+  int64_t e = 0;
+  uint64_t ones = 0;
+  for (size_t w = 0; w < nwords; ++w) {
+    word_excess_[w] = e;
+    int64_t wmin = kMinSentinel;
+    const uint64_t word = bits_[w];
+    const uint32_t nb = WordBits(w);
+    for (uint32_t i = 0; i < nb; ++i) {
+      if ((word >> i) & 1u) {
+        if (ones % 64 == 0) select_sample_.push_back((w << 6) + i);
+        ++ones;
+        ++e;
+      } else {
+        --e;
+      }
+      if (e < 0) {
+        return Status::Corruption("bp index: unbalanced parentheses");
+      }
+      if (e < wmin) wmin = e;
+    }
+    tree_min_[tree_leaves_ + w] = wmin;
+  }
+  word_excess_[nwords] = e;
+  if (e != 0) {
+    return Status::Corruption("bp index: unbalanced parentheses");
+  }
+  if (ones != node_count_) {
+    return Status::Corruption("bp index: open count != node count");
+  }
+  for (size_t i = tree_leaves_ - 1; i >= 1; --i) {
+    const int64_t left = tree_min_[2 * i];
+    const int64_t right = tree_min_[2 * i + 1];
+    tree_min_[i] = left < right ? left : right;
+  }
+  return Status::OK();
+}
+
+uint64_t BpIndex::Rank1(uint64_t pos) const {
+  const uint64_t w = pos >> 6;
+  uint64_t rank = static_cast<uint64_t>(
+      (word_excess_[static_cast<size_t>(w)] + static_cast<int64_t>(w << 6)) /
+      2);
+  const uint32_t r = static_cast<uint32_t>(pos & 63);
+  if (r != 0) {
+    rank += static_cast<uint64_t>(std::popcount(
+        bits_[static_cast<size_t>(w)] & (~uint64_t{0} >> (64 - r))));
+  }
+  return rank;
+}
+
+uint64_t BpIndex::Select1(uint64_t rank) const {
+  const uint64_t p = select_sample_[static_cast<size_t>(rank >> 6)];
+  uint64_t need = rank & 63;  // Opens to skip strictly after p.
+  if (need == 0) return p;
+  size_t w = static_cast<size_t>(p >> 6);
+  const uint32_t sh = static_cast<uint32_t>(p & 63) + 1;
+  uint64_t word = sh == 64 ? 0 : (bits_[w] & (~uint64_t{0} << sh));
+  for (;;) {
+    const uint64_t c = static_cast<uint64_t>(std::popcount(word));
+    if (c >= need) break;
+    need -= c;
+    ++w;
+    word = bits_[w];
+  }
+  for (uint64_t i = 1; i < need; ++i) word &= word - 1;
+  return (static_cast<uint64_t>(w) << 6) +
+         static_cast<uint64_t>(std::countr_zero(word));
+}
+
+uint64_t BpIndex::FindClose(uint64_t pos) const {
+  if (!IsOpen(pos)) return kNpos;
+  int64_t e = Excess(pos);
+  const int64_t target = e - 1;
+  const size_t w = static_cast<size_t>(pos >> 6);
+  {
+    const uint64_t word = bits_[w];
+    const uint32_t nb = WordBits(w);
+    for (uint32_t i = static_cast<uint32_t>(pos & 63) + 1; i < nb; ++i) {
+      e += ((word >> i) & 1u) ? 1 : -1;
+      if (e == target) return (static_cast<uint64_t>(w) << 6) + i;
+    }
+  }
+  const size_t fw = FwdMinSearch(w, target);
+  if (fw == kNoWord) return kNpos;  // Unreachable on validated bits.
+  int64_t e2 = word_excess_[fw];
+  const uint64_t word = bits_[fw];
+  const uint32_t nb = WordBits(fw);
+  for (uint32_t i = 0; i < nb; ++i) {
+    e2 += ((word >> i) & 1u) ? 1 : -1;
+    if (e2 == target) return (static_cast<uint64_t>(fw) << 6) + i;
+  }
+  return kNpos;  // Unreachable: fw's min excess covers the target.
+}
+
+std::optional<uint64_t> BpIndex::Enclose(uint64_t pos) const {
+  if (!IsOpen(pos)) return std::nullopt;
+  const int64_t depth = Excess(pos);
+  if (depth <= 1) return std::nullopt;
+  const int64_t target = depth - 2;
+  const size_t w = static_cast<size_t>(pos >> 6);
+  {
+    // Walk the start word backwards: E(j) = E(j+1) - step(j+1).
+    int64_t e = depth;
+    uint64_t jp1 = pos;
+    const uint64_t wstart = static_cast<uint64_t>(w) << 6;
+    const uint64_t word = bits_[w];
+    while (jp1 > wstart) {
+      e -= ((word >> (jp1 & 63)) & 1u) ? 1 : -1;
+      --jp1;
+      if (e == target) return jp1 + 1;
+    }
+  }
+  const size_t bw = w == 0 ? kNoWord : BwdMinSearch(w, target);
+  if (bw == kNoWord) {
+    // Only the virtual position -1 (excess 0) matches: the parent is the
+    // root open at position 0.
+    if (target == 0) return uint64_t{0};
+    return std::nullopt;  // Unreachable on validated bits.
+  }
+  int64_t e2 = word_excess_[bw];
+  int64_t best = -1;
+  const uint64_t word = bits_[bw];
+  const uint32_t nb = WordBits(bw);
+  for (uint32_t i = 0; i < nb; ++i) {
+    e2 += ((word >> i) & 1u) ? 1 : -1;
+    if (e2 == target) best = static_cast<int64_t>((static_cast<uint64_t>(bw) << 6) + i);
+  }
+  if (best < 0) return std::nullopt;  // Unreachable: bw's min covers target.
+  return static_cast<uint64_t>(best) + 1;
+}
+
+std::optional<uint64_t> BpIndex::NextOpenWithTag(
+    uint64_t pos, TagId tag, uint64_t* blocks_skipped) const {
+  uint64_t r = Rank1(pos + 1);  // Preorder rank of the next open, if any.
+  while (r < node_count_) {
+    if ((r & 63) == 0 && r + 64 <= node_count_ && !BlockHasTag(r, tag)) {
+      r += 64;
+      if (blocks_skipped != nullptr) ++*blocks_skipped;
+      continue;
+    }
+    uint64_t stop = (r | 63) + 1;
+    if (stop > node_count_) stop = node_count_;
+    for (; r < stop; ++r) {
+      if (tags_[static_cast<size_t>(r)] == tag) return Select1(r);
+    }
+  }
+  return std::nullopt;
+}
+
+size_t BpIndex::FwdMinSearch(size_t from_word, int64_t target) const {
+  size_t node = tree_leaves_ + from_word;
+  for (;;) {
+    while ((node & 1u) != 0) {
+      if (node == 1) return kNoWord;
+      node >>= 1;
+    }
+    ++node;  // Right sibling: covers words strictly after the current span.
+    if (tree_min_[node] <= target) break;
+  }
+  while (node < tree_leaves_) {
+    node <<= 1;
+    if (tree_min_[node] > target) ++node;
+  }
+  return node - tree_leaves_;
+}
+
+size_t BpIndex::BwdMinSearch(size_t from_word, int64_t target) const {
+  size_t node = tree_leaves_ + from_word;
+  for (;;) {
+    while (node > 1 && (node & 1u) == 0) node >>= 1;
+    if (node <= 1) return kNoWord;
+    --node;  // Left sibling: covers words strictly before the current span.
+    if (tree_min_[node] <= target) break;
+  }
+  while (node < tree_leaves_) {
+    node = 2 * node + 1;
+    if (tree_min_[node] > target) --node;
+  }
+  return node - tree_leaves_;
+}
+
+bool BpIndex::BlockHasTag(uint64_t rank, TagId tag) const {
+  const uint64_t pattern = kLaneLow * static_cast<uint64_t>(tag);
+  const TagId* base = tags_.data() + rank;
+  for (int k = 0; k < 16; ++k) {
+    uint64_t chunk;
+    std::memcpy(&chunk, base + 4 * k, sizeof(chunk));
+    const uint64_t x = chunk ^ pattern;
+    if (((x - kLaneLow) & ~x & kLaneHigh) != 0) return true;
+  }
+  return false;
+}
+
+std::string BpIndex::Serialize() const {
+  std::string payload;
+  payload.reserve(bits_.size() * 8 + tags_.size() * 2);
+  for (const uint64_t word : bits_) PutFixed64(&payload, word);
+  for (const TagId tag : tags_) PutFixed16(&payload, tag);
+  // The CRC covers the epoch and node-count header fields too: a flipped
+  // epoch byte would otherwise deserialize cleanly and masquerade as a
+  // (stale or, worse, current) generation stamp.
+  std::string stamped;
+  PutFixed64(&stamped, epoch_);
+  PutFixed64(&stamped, node_count_);
+  uint32_t crc = Crc32c(Slice(stamped));
+  crc = Crc32cExtend(crc, payload.data(), payload.size());
+  std::string out;
+  out.reserve(kBpHeaderSize + payload.size());
+  PutFixed64(&out, kBpMagic);
+  PutFixed32(&out, kBpFormatVersion);
+  out += stamped;
+  PutFixed32(&out, crc);
+  out += payload;
+  return out;
+}
+
+Result<std::unique_ptr<BpIndex>> BpIndex::Deserialize(std::string_view bytes) {
+  if (bytes.size() < kBpHeaderSize) {
+    return Status::Corruption("bp sidecar: truncated header");
+  }
+  const char* p = bytes.data();
+  if (DecodeFixed64(p) != kBpMagic) {
+    return Status::Corruption("bp sidecar: bad magic");
+  }
+  const uint32_t version = DecodeFixed32(p + 8);
+  if (version != kBpFormatVersion) {
+    return Status::Corruption("bp sidecar: unsupported format version " +
+                              std::to_string(version));
+  }
+  auto index = std::unique_ptr<BpIndex>(new BpIndex());
+  index->epoch_ = DecodeFixed64(p + 12);
+  index->node_count_ = DecodeFixed64(p + 20);
+  const uint32_t crc = DecodeFixed32(p + 28);
+  index->n_bits_ = 2 * index->node_count_;
+  const size_t nwords = static_cast<size_t>((index->n_bits_ + 63) / 64);
+  const size_t payload_size =
+      nwords * 8 + static_cast<size_t>(index->node_count_) * 2;
+  if (bytes.size() != kBpHeaderSize + payload_size) {
+    return Status::Corruption("bp sidecar: payload size mismatch");
+  }
+  const char* payload = p + kBpHeaderSize;
+  uint32_t want_crc = Crc32c(Slice(p + 12, 16));  // epoch + node count.
+  want_crc = Crc32cExtend(want_crc, payload, payload_size);
+  if (want_crc != crc) {
+    return Status::Corruption("bp sidecar: payload checksum mismatch");
+  }
+  index->bits_.resize(nwords);
+  for (size_t i = 0; i < nwords; ++i) {
+    index->bits_[i] = DecodeFixed64(payload + 8 * i);
+  }
+  index->tags_.resize(static_cast<size_t>(index->node_count_));
+  const char* tag_bytes = payload + nwords * 8;
+  for (size_t i = 0; i < index->tags_.size(); ++i) {
+    index->tags_[i] = DecodeFixed16(tag_bytes + 2 * i);
+  }
+  NOK_RETURN_IF_ERROR(index->BuildSupport());
+  return index;
+}
+
+Status BpIndex::SaveTo(File* file) const {
+  const std::string bytes = Serialize();
+  NOK_RETURN_IF_ERROR(file->Truncate(0));
+  NOK_RETURN_IF_ERROR(file->WriteAt(0, Slice(bytes)));
+  return file->Sync();
+}
+
+Result<std::unique_ptr<BpIndex>> BpIndex::LoadFrom(File* file) {
+  const uint64_t size = file->Size();
+  std::string bytes(static_cast<size_t>(size), '\0');
+  Slice out;
+  NOK_RETURN_IF_ERROR(
+      file->ReadAt(0, static_cast<size_t>(size), bytes.data(), &out));
+  return Deserialize(out.ToStringView());
+}
+
+uint64_t BpIndex::MemoryBytes() const {
+  return bits_.size() * sizeof(uint64_t) + tags_.size() * sizeof(TagId) +
+         word_excess_.size() * sizeof(int64_t) +
+         tree_min_.size() * sizeof(int64_t) +
+         select_sample_.size() * sizeof(uint64_t);
+}
+
+}  // namespace nok

@@ -77,8 +77,13 @@ constexpr const char* kValIdxFile = store_files::kValIdx;
 constexpr const char* kIdIdxFile = store_files::kIdIdx;
 constexpr const char* kPathIdxFile = store_files::kPathIdx;
 constexpr const char* kStaleFile = store_files::kStale;
+constexpr const char* kBpFile = store_files::kBpIndex;
 
 }  // namespace
+
+const char* NavModeName(NavMode mode) {
+  return mode == NavMode::kBp ? "bp" : "paged";
+}
 
 Result<std::unique_ptr<File>> DocumentStore::OpenComponent(
     const char* name, bool create) const {
@@ -296,6 +301,12 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Build(
                             static_cast<double>(leaf_count);
   store->stats_.distinct_tags = store->tags_.size();
   store->RefreshSizeStats();
+  if (store->options_.nav_mode == NavMode::kBp) {
+    // Materialize the BP tier eagerly so the first query pays nothing,
+    // and persist the sidecar next to the freshly committed generation.
+    NOK_RETURN_IF_ERROR(store->EnsureBpIndex());
+    NOK_RETURN_IF_ERROR(store->PersistBpSidecar());
+  }
   return store;
 }
 
@@ -447,6 +458,16 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::OpenDir(
   store->stats_.distinct_tags = store->tags_.size();
   store->positions_fresh_ = !FileExists(options.dir + "/" + kStaleFile);
   store->RefreshSizeStats();
+  if (options.nav_mode == NavMode::kBp) {
+    // Eager so that concurrent readers of a read-only handle never race
+    // an on-demand build; loads the sidecar when its epoch matches.
+    NOK_RETURN_IF_ERROR(store->EnsureBpIndex());
+    if (!store->bp_from_sidecar_) {
+      // Missing/stale/damaged sidecar was rebuilt from the page chain;
+      // re-persist for the next open (no-op for read-only/WAL handles).
+      NOK_RETURN_IF_ERROR(store->PersistBpSidecar());
+    }
+  }
   return store;
 }
 
@@ -554,6 +575,14 @@ Status DocumentStore::Flush() {
   NOK_RETURN_IF_ERROR(SaveDictionary());
   tree_->set_epoch(epoch_);
   NOK_RETURN_IF_ERROR(tree_->Flush());
+  if (options_.nav_mode == NavMode::kBp) {
+    // Keep the sidecar in lockstep with the generation it describes: a
+    // structural update dropped the in-memory index, so rebuild from the
+    // just-flushed pages, stamp the new epoch, persist.
+    NOK_RETURN_IF_ERROR(EnsureBpIndex());
+    bp_index_->set_epoch(epoch_);
+    NOK_RETURN_IF_ERROR(PersistBpSidecar());
+  }
   return Status::OK();
 }
 
@@ -714,6 +743,10 @@ Status DocumentStore::MarkPositionsStale() {
   }
   positions_fresh_ = false;
   ++structure_version_;
+  // The topology changed: the BP bitvector is invalid from here on.  It
+  // is rebuilt lazily on the next bp_index() call (or at Flush).
+  bp_index_.reset();
+  bp_from_sidecar_ = false;
   if (!options_.dir.empty()) {
     if (wal_writer_ != nullptr && wal_writer_->in_transaction()) {
       wal_writer_->StageReplace(kStaleFile, "1");
@@ -722,6 +755,53 @@ Status DocumentStore::MarkPositionsStale() {
     return WriteStringToFile(options_.dir + "/" + kStaleFile, Slice("1"));
   }
   return Status::OK();
+}
+
+Result<const BpIndex*> DocumentStore::bp_index() {
+  NOK_RETURN_IF_ERROR(EnsureBpIndex());
+  return bp_index_.get();
+}
+
+Status DocumentStore::EnsureBpIndex() {
+  if (bp_index_ != nullptr && bp_version_ == structure_version_) {
+    return Status::OK();
+  }
+  bp_index_.reset();
+  bp_from_sidecar_ = false;
+  // Prefer the persisted sidecar.  It only counts as current before any
+  // in-process structural update (structure_version_ is in-memory and
+  // resets on open) and when its stamped epoch matches the generation
+  // the components were opened at.
+  if (!options_.dir.empty() && structure_version_ == 0 &&
+      FileExists(options_.dir + "/" + kBpFile)) {
+    auto file = OpenComponent(kBpFile, /*create=*/false);
+    if (file.ok()) {
+      auto loaded = BpIndex::LoadFrom(file.ValueOrDie().get());
+      if (loaded.ok() && loaded.ValueOrDie()->epoch() == epoch_ &&
+          loaded.ValueOrDie()->node_count() == tree_->node_count()) {
+        bp_index_ = std::move(loaded).ValueOrDie();
+        bp_version_ = structure_version_;
+        bp_from_sidecar_ = true;
+        return Status::OK();
+      }
+      // Stale or damaged sidecar (the CRC rejects torn writes): fall
+      // through to a rebuild; `nokq verify` reports the details.
+    }
+  }
+  NOK_ASSIGN_OR_RETURN(bp_index_, BpIndex::Build(tree_.get(), epoch_));
+  bp_version_ = structure_version_;
+  return Status::OK();
+}
+
+Status DocumentStore::PersistBpSidecar() {
+  if (options_.dir.empty() || options_.read_only ||
+      wal_writer_ != nullptr || bp_index_ == nullptr) {
+    // WAL handles keep the BP tier in-memory only: the sidecar write is
+    // not transaction-captured, so it must not join a WAL commit.
+    return Status::OK();
+  }
+  NOK_ASSIGN_OR_RETURN(auto file, OpenComponent(kBpFile, /*create=*/true));
+  return bp_index_->SaveTo(file.get());
 }
 
 Result<size_t> DocumentStore::EstimateValueCount(const Slice& value,

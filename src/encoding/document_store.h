@@ -27,6 +27,7 @@
 #include "btree/btree.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "encoding/bp_index.h"
 #include "encoding/dewey.h"
 #include "encoding/string_store.h"
 #include "encoding/tag_dictionary.h"
@@ -47,7 +48,23 @@ inline constexpr const char* kValIdx = "val.idx";
 inline constexpr const char* kIdIdx = "id.idx";
 inline constexpr const char* kPathIdx = "path.idx";
 inline constexpr const char* kStale = "positions.stale";
+inline constexpr const char* kBpIndex = "tree.bpx";
 }  // namespace store_files
+
+/// How tree steps are answered at query time.
+enum class NavMode {
+  /// The paper's paged string cursor (BufferPool page decodes, header /
+  /// tag-summary skips).  The durability story; always available.
+  kPaged,
+  /// The in-memory balanced-parentheses index (bp_index.h): O(1)
+  /// FIRST-CHILD / FOLLOWING-SIBLING / PARENT with zero page traffic,
+  /// loaded from the checksummed tree.bpx sidecar or rebuilt in one
+  /// sequential scan at open time.
+  kBp,
+};
+
+/// Short name for explain output / CLI flags ("paged" / "bp").
+const char* NavModeName(NavMode mode);
 
 /// Build/open knobs.
 struct DocumentStoreOptions {
@@ -84,6 +101,12 @@ struct DocumentStoreOptions {
   /// value file.  Recorded in the tree meta page, so OpenDir detects the
   /// format automatically; this flag only matters at Build time.
   bool checksum_pages = false;
+  /// Navigation tier used by query evaluation (see NavMode).  With kBp,
+  /// Build/OpenDir materialize the balanced-parentheses index (from the
+  /// tree.bpx sidecar when its epoch matches, else one sequential scan)
+  /// and persist the sidecar on commit; the paged cursor remains
+  /// available for verification and updates.
+  NavMode nav_mode = NavMode::kPaged;
   /// Directory for the store files; empty = fully in-memory.
   std::string dir;
   /// Hook for wrapping component files (fault injection in tests).  When
@@ -150,6 +173,23 @@ class DocumentStore {
   BTree* value_index() { return value_index_.get(); }
   BTree* id_index() { return id_index_.get(); }
   BTree* path_index() { return path_index_.get(); }
+
+  /// Navigation tier this store was opened with.
+  NavMode nav_mode() const { return options_.nav_mode; }
+
+  /// The balanced-parentheses index for the current structure, built or
+  /// rebuilt on demand (never returns null on OK).  The pointer stays
+  /// valid until the next structural update (structure_version() bump).
+  ///
+  /// Thread safety: with Options::nav_mode == kBp the index is
+  /// materialized eagerly by Build/OpenDir, so concurrent readers of a
+  /// read-only store only ever hit the already-built fast path; on-demand
+  /// (re)building only happens on writable — single-threaded — handles.
+  Result<const BpIndex*> bp_index();
+
+  /// Whether the current in-memory BP index came from a matching
+  /// tree.bpx sidecar (vs a rebuild scan of the page chain).
+  bool bp_loaded_from_sidecar() const { return bp_from_sidecar_; }
 
   // -- navigation helpers ----------------------------------------------
   /// Physical position of the node with the given Dewey ID: a B+i lookup
@@ -299,7 +339,17 @@ class DocumentStore {
   friend class TreeUpdater;
 
   /// Marks stored positions stale (persisted); called by the updaters.
+  /// Also drops the in-memory BP index: the topology changed, so the
+  /// bitvector is rebuilt lazily (or at the next Flush).
   Status MarkPositionsStale();
+
+  /// Makes bp_index_ match the current structure: loads the sidecar when
+  /// its epoch and shape agree, else rebuilds by one sequential scan.
+  Status EnsureBpIndex();
+
+  /// Writes the tree.bpx sidecar (dir-backed, non-WAL stores only; the
+  /// CRC-32C payload checksum makes a torn write detectable).
+  Status PersistBpSidecar();
 
   Options options_;
   /// Declared before the components: members destroy in reverse order,
@@ -324,6 +374,11 @@ class DocumentStore {
   uint64_t epoch_ = 0;
   uint64_t structure_version_ = 0;
   bool positions_fresh_ = true;
+  /// Balanced-parentheses navigation tier (bp_index.h).  Immutable once
+  /// built; valid while bp_version_ == structure_version_.
+  std::unique_ptr<BpIndex> bp_index_;
+  uint64_t bp_version_ = 0;
+  bool bp_from_sidecar_ = false;
 };
 
 /// Encoding helpers shared by the builder, the query engine and tests.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "btree/btree.h"
+#include "encoding/bp_index.h"
 #include "encoding/dewey.h"
 #include "encoding/string_store.h"
 #include "storage/file.h"
@@ -210,6 +211,65 @@ Result<VerifyReport> VerifyStoreDir(const std::string& dir,
       if (report.issues.size() >= kMaxIssues) {
         report.truncated = true;
         break;
+      }
+    }
+  }
+
+  // Pass 5: the balanced-parentheses sidecar, when one was persisted.
+  // LoadFrom validates the envelope (magic, format version, shape,
+  // CRC-32C) — a flipped payload byte surfaces here as Corruption.  The
+  // CRC only vouches that the bytes match what was written; the compare
+  // below checks what was written against the current tree string.
+  const std::string bpx_path =
+      dir + "/" + store_files::kBpIndex;
+  if (FileExists(bpx_path)) {
+    auto bpx_file = OpenPosixFile(bpx_path, /*create=*/false);
+    if (!bpx_file.ok()) {
+      AddIssue(&report, store_files::kBpIndex,
+               bpx_file.status().ToString());
+      return report;
+    }
+    auto side_or = BpIndex::LoadFrom(bpx_file.ValueOrDie().get());
+    if (!side_or.ok()) {
+      AddIssue(&report, store_files::kBpIndex,
+               side_or.status().ToString());
+      return report;
+    }
+    const BpIndex& side = *side_or.ValueOrDie();
+    if (side.epoch() != store->epoch()) {
+      AddIssue(&report, store_files::kBpIndex,
+               "sidecar epoch " + std::to_string(side.epoch()) +
+                   " does not match the store epoch " +
+                   std::to_string(store->epoch()) +
+                   " (stale; a Flush in bp mode rewrites it)");
+    }
+    auto fresh_or = BpIndex::Build(store->tree(), side.epoch());
+    if (!fresh_or.ok()) {
+      AddIssue(&report, store_files::kBpIndex,
+               "cannot recompute the bitvector from the page chain: " +
+                   fresh_or.status().ToString());
+      return report;
+    }
+    const BpIndex& fresh = *fresh_or.ValueOrDie();
+    if (side.node_count() != fresh.node_count()) {
+      AddIssue(&report, store_files::kBpIndex,
+               "sidecar holds " + std::to_string(side.node_count()) +
+                   " nodes but the tree string holds " +
+                   std::to_string(fresh.node_count()));
+    } else {
+      uint64_t bad_bits = 0;
+      for (uint64_t pos = 0; pos < fresh.bit_count(); ++pos) {
+        if (side.IsOpen(pos) != fresh.IsOpen(pos)) ++bad_bits;
+      }
+      uint64_t bad_tags = 0;
+      for (uint64_t rank = 0; rank < fresh.node_count(); ++rank) {
+        if (side.TagAtRank(rank) != fresh.TagAtRank(rank)) ++bad_tags;
+      }
+      if (bad_bits != 0 || bad_tags != 0) {
+        AddIssue(&report, store_files::kBpIndex,
+                 "sidecar disagrees with the tree string: " +
+                     std::to_string(bad_bits) + " parenthesis bit(s), " +
+                     std::to_string(bad_tags) + " preorder tag(s)");
       }
     }
   }

@@ -1,6 +1,6 @@
 // Offline integrity scrub for a document store directory (`nokq verify`).
 //
-// Four passes, each independent of the machinery it checks:
+// Five passes, each independent of the machinery it checks:
 //
 //   1. Page scrub: every page of every paged component file (the tree
 //      string and the four B+ tree indexes) is read raw through a Pager in
@@ -16,6 +16,12 @@
 //      summaries, every chain page's summary is recomputed from the page
 //      body and compared against the word the scans consult, so a stale
 //      or corrupted summary cannot silently cause skipped matches.
+//   5. BP-sidecar cross-check: when a tree.bpx balanced-parentheses
+//      sidecar is present, it is parsed (magic, version, CRC-32C) and its
+//      parenthesis bits and preorder tags are compared against a fresh
+//      recompute from the page chain; a stale epoch is also flagged,
+//      since bp-mode navigation built from a diverged sidecar would
+//      answer queries from the wrong topology.
 //
 // The scrub never repairs anything; it reports.  Repair is rebuilding
 // from the source document or restoring from a copy.

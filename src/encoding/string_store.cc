@@ -734,4 +734,17 @@ Result<std::optional<StorePos>> StringStore::NextOpenWithTag(StorePos pos,
       /*tag_stop_level=*/std::numeric_limits<int>::min());
 }
 
+Status StringStore::VisitSymbols(
+    const std::function<void(bool, TagId)>& visit) {
+  for (const PageId page : chain_) {
+    NOK_ASSIGN_OR_RETURN(auto vh, FetchView(page));
+    const PageView& view = *vh.view;
+    for (size_t i = 0; i < view.size(); ++i) {
+      const TagId tag = view.tag[i];
+      visit(tag != kInvalidTag, tag);
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace nok

@@ -38,6 +38,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -228,6 +229,12 @@ class StringStore {
   /// NavStats::pages_skipped_by_tag.
   Result<std::optional<StorePos>> NextOpenWithTag(StorePos pos, TagId tag);
 
+  /// Visits every symbol in document order — one sequential chain scan
+  /// through the BufferPool.  `visit(is_open, tag)` receives kInvalidTag
+  /// for close symbols.  Feeds BP-index construction (bp_index.h) and the
+  /// verifier's independent bitvector recompute.
+  Status VisitSymbols(const std::function<void(bool, TagId)>& visit);
+
   // -------------------------------------------------------------------
   // Positions.
 
@@ -275,6 +282,11 @@ class StringStore {
     /// FetchView calls answered by an already-decoded frame decoration
     /// (no symbol re-decode; a subset of pages_scanned).
     uint64_t decode_cache_hits = 0;
+    /// O(1) BP-index tree steps taken (FirstChild / FollowingSibling /
+    /// Parent / NodeAt navigation in bp mode; zero page traffic).
+    uint64_t bp_steps = 0;
+    /// 64-node tag blocks dismissed by the BP index's SWAR tag scan.
+    uint64_t bp_tag_blocks_skipped = 0;
   };
   NavStats nav_stats() const {
     NavStats snap;
@@ -286,6 +298,9 @@ class StringStore {
         nav_pages_tag_skipped_.load(std::memory_order_relaxed);
     snap.decode_cache_hits =
         nav_decode_cache_hits_.load(std::memory_order_relaxed);
+    snap.bp_steps = nav_bp_steps_.load(std::memory_order_relaxed);
+    snap.bp_tag_blocks_skipped =
+        nav_bp_tag_blocks_.load(std::memory_order_relaxed);
     return snap;
   }
   void ResetNavStats() {
@@ -293,6 +308,18 @@ class StringStore {
     nav_pages_skipped_.store(0, std::memory_order_relaxed);
     nav_pages_tag_skipped_.store(0, std::memory_order_relaxed);
     nav_decode_cache_hits_.store(0, std::memory_order_relaxed);
+    nav_bp_steps_.store(0, std::memory_order_relaxed);
+    nav_bp_tag_blocks_.store(0, std::memory_order_relaxed);
+  }
+
+  /// BP-index navigation counters.  The index itself is immutable and
+  /// counter-free; the cursor layer attributes its work here so a single
+  /// NavStats snapshot covers all three navigation tiers.
+  void BumpBpSteps(uint64_t n) {
+    nav_bp_steps_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void BumpBpTagBlocksSkipped(uint64_t n) {
+    nav_bp_tag_blocks_.fetch_add(n, std::memory_order_relaxed);
   }
 
   BufferPool* buffer_pool() { return pool_.get(); }
@@ -382,6 +409,8 @@ class StringStore {
   std::atomic<uint64_t> nav_pages_skipped_{0};
   std::atomic<uint64_t> nav_pages_tag_skipped_{0};
   std::atomic<uint64_t> nav_decode_cache_hits_{0};
+  std::atomic<uint64_t> nav_bp_steps_{0};
+  std::atomic<uint64_t> nav_bp_tag_blocks_{0};
   bool summaries_persisted_ = false;
   bool meta_dirty_ = false;
 };

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
+#include "nok/bp_cursor.h"
 #include "nok/logical_matcher.h"
+#include "nok/physical_matcher.h"
 
 namespace nok {
 
@@ -41,21 +45,24 @@ bool AnyRelated(const NodeMatch& outer, const std::vector<NodeMatch>& inners,
   return false;
 }
 
-/// StoreCursor wrapper that additionally enforces global-arc constraints:
-/// a pattern node with an outgoing arc only matches subject nodes that
+/// Cursor wrapper that additionally enforces global-arc constraints: a
+/// pattern node with an outgoing arc only matches subject nodes that
 /// have a qualified child-tree root in the arc's relation.  Injecting the
 /// arcs into the NoK match keeps witness selection sound (Algorithm 1
 /// picks per-node witnesses; a binding-level post-filter could not).
-class ConstrainedCursor {
+/// Templated over the base cursor so both navigation tiers (paged
+/// StoreCursor and balanced-parentheses BpCursor) share it.
+template <typename BaseCursor>
+class ConstrainedCursorT {
  public:
-  using NodeT = StoreCursor::NodeT;
+  using NodeT = typename BaseCursor::NodeT;
 
   struct ArcConstraint {
     Axis axis;
     const std::vector<NodeMatch>* qualified_roots;  // Sorted.
   };
 
-  explicit ConstrainedCursor(StoreCursor* base) : base_(base) {}
+  explicit ConstrainedCursorT(BaseCursor* base) : base_(base) {}
 
   void AddConstraint(const PatternNode* pattern, ArcConstraint constraint) {
     constraints_[pattern].push_back(constraint);
@@ -86,28 +93,10 @@ class ConstrainedCursor {
   }
 
  private:
-  StoreCursor* base_;
+  BaseCursor* base_;
   std::unordered_map<const PatternNode*, std::vector<ArcConstraint>>
       constraints_;
 };
-
-/// NodeT -> NodeMatch (interval endpoints only in kInterval mode).
-Result<NodeMatch> NodeToMatch(DocumentStore* store,
-                              const StoreCursor::NodeT& node,
-                              JoinMode mode) {
-  NodeMatch match;
-  if (node.virtual_root) {
-    match.virtual_root = true;
-    return match;
-  }
-  match.dewey = node.dewey;
-  if (mode == JoinMode::kInterval) {
-    match.start = store->tree()->GlobalPos(node.pos);
-    NOK_ASSIGN_OR_RETURN(match.end,
-                         store->tree()->SubtreeEndGlobal(node.pos));
-  }
-  return match;
-}
 
 /// A standalone sub-NoK-tree with its index mapping and designations.
 struct SubMatcherData {
@@ -171,7 +160,7 @@ class OpTimer {
 /// trunk: the source's subject Dewey ID is a fixed prefix of the anchor
 /// candidate's, so the arc can be checked per candidate with a sorted
 /// merge before any page is fetched — the SemiJoinFilter operator.  The
-/// same AnyRelated test runs again inside ConstrainedCursor::Matches
+/// same AnyRelated test runs again inside ConstrainedCursorT::Matches
 /// during NokMatch, so pruning here never changes results, only cost.
 struct TrunkArcCheck {
   size_t trunk_index = 0;  ///< Position of the source node on the trunk.
@@ -275,18 +264,623 @@ bool PassesRootChecks(const DeweyId& dewey,
   return true;
 }
 
+/// Index hits for one access path (the probe operators' body; shared by
+/// both navigation backends — index probes never touch tree pages).
+Result<std::vector<DocumentStore::IndexedNode>> FetchHits(
+    DocumentStore* store, const AccessPath& access) {
+  std::vector<DocumentStore::IndexedNode> hits;
+  switch (access.strategy) {
+    case StartStrategy::kValueIndex:
+      return store->NodesWithValue(Slice(access.value_operand));
+    case StartStrategy::kTagIndex:
+      if (access.tag == kInvalidTag) return hits;  // Absent tag: empty.
+      return store->NodesWithTag(access.tag);
+    case StartStrategy::kPathIndex:
+      if (access.tag_path.empty()) return hits;  // Unknown path: empty.
+      return store->NodesWithPath(access.tag_path);
+    case StartStrategy::kAuto:
+    case StartStrategy::kScan:
+      break;
+  }
+  return Status::Internal("access path has no index probe");
+}
+
+// ---------------------------------------------------------------------
+// Navigation backends.  A backend bundles one physical cursor with the
+// executor's candidate-production primitives, all expressed against that
+// cursor's node handle:
+//
+//   ToMatch        NodeT -> NodeMatch (interval endpoints in kInterval
+//                  mode come from the backend's own numbering);
+//   NodeAt         Dewey ID -> NodeT (trunk verification);
+//   ScanCandidates the AnchorScan operator's body;
+//   LocateAll      candidate Dewey IDs -> NodeTs;
+//   ResolveHits    index hits -> NodeTs.
+//
+// PagedNav navigates the paged string store (BufferPool traffic, counted
+// in NavStats::pages_scanned); BpNav navigates the in-memory balanced-
+// parentheses index (no page access at all, counted in bp_steps).
+
+/// Paged-string backend: the original navigation tier.
+class PagedNav {
+ public:
+  using Cursor = StoreCursor;
+  using NodeT = StoreCursor::NodeT;
+
+  explicit PagedNav(DocumentStore* store) : store_(store), cursor_(store) {}
+
+  Cursor* cursor() { return &cursor_; }
+
+  /// NodeT -> NodeMatch (interval endpoints are global byte positions).
+  Result<NodeMatch> ToMatch(const NodeT& node, JoinMode mode) {
+    NodeMatch match;
+    if (node.virtual_root) {
+      match.virtual_root = true;
+      return match;
+    }
+    match.dewey = node.dewey;
+    if (mode == JoinMode::kInterval) {
+      match.start = store_->tree()->GlobalPos(node.pos);
+      NOK_ASSIGN_OR_RETURN(match.end,
+                           store_->tree()->SubtreeEndGlobal(node.pos));
+    }
+    return match;
+  }
+
+  /// Physical node for one Dewey ID via the B+i index.
+  Result<NodeT> NodeAt(const DeweyId& dewey) {
+    NOK_ASSIGN_OR_RETURN(StorePos pos, store_->Locate(dewey));
+    return NodeT{pos, dewey, false};
+  }
+
+  /// All document nodes whose tag satisfies the NoK root's name test,
+  /// via a sequential scan of the string store (the "naive" strategy).
+  /// `want` is the root pattern's resolved tag (kInvalidTag for a name
+  /// absent from the document).  Selective tags take the fused
+  /// NextOpenWithTag path: the scan consults the per-page tag summaries
+  /// and Dewey IDs are derived only for the hits.
+  Result<std::vector<NodeT>> ScanCandidates(const PatternNode& root_pattern,
+                                            TagId want) {
+    std::vector<NodeT> out;
+    StringStore* tree = store_->tree();
+    if (!root_pattern.wildcard && want == kInvalidTag) {
+      return out;  // Tag absent: no matches anywhere.
+    }
+
+    // Fused path for a selective tag test: phase A enumerates hit
+    // positions with NextOpenWithTag, a single tag-filtered chain scan
+    // that skips pages via the per-page summaries (no child counting, so
+    // skipping is sound); phase B derives Dewey IDs only for the hits.
+    // A frequent tag would gain nothing from the filter while phase B
+    // re-navigates per hit, so it keeps the counter scan below, as do
+    // wildcards.
+    if (!root_pattern.wildcard &&
+        store_->CountTag(want) * 2 <= store_->stats().node_count) {
+      std::vector<StorePos> hits;
+      StorePos pos = tree->RootPos();
+      NOK_ASSIGN_OR_RETURN(TagId root_tag, tree->TagAt(pos));
+      if (root_tag == want) hits.push_back(pos);
+      for (;;) {
+        NOK_ASSIGN_OR_RETURN(auto next, tree->NextOpenWithTag(pos, want));
+        if (!next.has_value()) break;
+        pos = *next;
+        hits.push_back(pos);
+      }
+      return DeweysForHits(hits);
+    }
+
+    // Single forward scan; Dewey IDs are derived from the level sequence.
+    std::vector<uint32_t> child_counter(
+        static_cast<size_t>(tree->max_level()) + 2, 0);
+    std::vector<uint32_t> path;
+    std::optional<StorePos> pos = tree->RootPos();
+    while (pos.has_value()) {
+      NOK_ASSIGN_OR_RETURN(int level, tree->LevelAt(*pos));
+      NOK_ASSIGN_OR_RETURN(TagId tag, tree->TagAt(*pos));
+      const size_t l = static_cast<size_t>(level);
+      path.resize(l);
+      path[l - 1] = child_counter[l]++;
+      child_counter[l + 1] = 0;
+      if (root_pattern.wildcard || tag == want) {
+        out.push_back(NodeT{*pos, DeweyId(std::vector<uint32_t>(path)),
+                            false});
+      }
+      NOK_ASSIGN_OR_RETURN(auto next, tree->NextOpen(*pos));
+      pos = next;
+    }
+    return out;
+  }
+
+  /// Converts sorted candidate Dewey IDs to physical nodes, reusing the
+  /// navigation path across consecutive candidates (the slow path used
+  /// when stored positions are stale).
+  Result<std::vector<NodeT>> LocateAll(std::vector<DeweyId> deweys) {
+    std::sort(deweys.begin(), deweys.end(),
+              [](const DeweyId& a, const DeweyId& b) {
+                return a.Compare(b) < 0;
+              });
+    deweys.erase(std::unique(deweys.begin(), deweys.end()), deweys.end());
+
+    std::vector<NodeT> out;
+    out.reserve(deweys.size());
+    StringStore* tree = store_->tree();
+
+    // Navigation cache: path[i] = (component value, position) of the node
+    // currently reached at depth i+1.  Consecutive sorted Dewey IDs share
+    // long prefixes, so most steps resume from the cached path.
+    struct PathEntry {
+      uint32_t component;
+      StorePos pos;
+    };
+    std::vector<PathEntry> cached;
+
+    for (const DeweyId& dewey : deweys) {
+      const auto& comp = dewey.components();
+      if (comp.empty() || comp[0] != 0) {
+        return Status::InvalidArgument("bad Dewey ID " + dewey.ToString());
+      }
+      // Longest usable prefix of the cached path: components equal,
+      // except the last reusable level may be <= (we can walk right, not
+      // left).
+      size_t keep = 0;
+      while (keep < cached.size() && keep < comp.size() &&
+             cached[keep].component == comp[keep]) {
+        ++keep;
+      }
+      bool resume_sideways = false;
+      if (keep < cached.size() && keep < comp.size() && keep > 0 &&
+          cached[keep].component < comp[keep]) {
+        resume_sideways = true;  // Continue right from cached[keep].
+      }
+      cached.resize(keep + (resume_sideways ? 1 : 0));
+
+      bool missing = false;
+      if (cached.empty()) {
+        cached.push_back(PathEntry{0, tree->RootPos()});
+      }
+      for (;;) {
+        PathEntry& last = cached.back();
+        const size_t level = cached.size();  // 1-based depth reached.
+        if (last.component < comp[level - 1]) {
+          // Walk right to the desired sibling.
+          NOK_ASSIGN_OR_RETURN(auto sibling,
+                               tree->FollowingSibling(last.pos));
+          if (!sibling.has_value()) {
+            missing = true;
+            break;
+          }
+          last.pos = *sibling;
+          ++last.component;
+          continue;
+        }
+        if (level == comp.size()) break;  // Arrived.
+        // Descend.
+        NOK_ASSIGN_OR_RETURN(auto child, tree->FirstChild(last.pos));
+        if (!child.has_value()) {
+          missing = true;
+          break;
+        }
+        cached.push_back(PathEntry{0, *child});
+      }
+      if (missing) {
+        return Status::Corruption("index references missing node " +
+                                  dewey.ToString());
+      }
+      out.push_back(NodeT{cached.back().pos, dewey, false});
+    }
+    return out;
+  }
+
+  /// Index hits -> physical nodes (positions when fresh, else LocateAll).
+  Result<std::vector<NodeT>> ResolveHits(
+      const std::vector<DocumentStore::IndexedNode>& hits) {
+    if (!store_->positions_fresh()) {
+      std::vector<DeweyId> deweys;
+      deweys.reserve(hits.size());
+      for (const auto& hit : hits) deweys.push_back(hit.dewey);
+      return LocateAll(std::move(deweys));
+    }
+    std::vector<NodeT> out;
+    out.reserve(hits.size());
+    for (const auto& hit : hits) {
+      NOK_ASSIGN_OR_RETURN(StorePos pos,
+                           store_->tree()->PosForGlobal(hit.pos));
+      out.push_back(NodeT{pos, hit.dewey, false});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const NodeT& a, const NodeT& b) {
+                return a.dewey.Compare(b.dewey) < 0;
+              });
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const NodeT& a, const NodeT& b) {
+                            return a.dewey == b.dewey;
+                          }),
+              out.end());
+    return out;
+  }
+
+ private:
+  /// Dewey IDs for tag-scan hit positions (ascending): an interval-
+  /// guided descent that reuses the navigation path across consecutive
+  /// hits.
+  Result<std::vector<NodeT>> DeweysForHits(
+      const std::vector<StorePos>& hits) {
+    std::vector<NodeT> out;
+    out.reserve(hits.size());
+    StringStore* tree = store_->tree();
+
+    // Interval-guided descent.  The stack holds the path from the root
+    // to the node most recently visited: (child index, position,
+    // subtree-end global).  For each hit (ascending), entries whose
+    // subtree ends before the hit are popped, and the walk resumes from
+    // the shallowest popped sibling — so each level's sibling chain is
+    // traversed at most once across all hits.
+    struct PathEntry {
+      uint32_t component;
+      StorePos pos;
+      uint64_t end;
+    };
+    std::vector<PathEntry> stack;
+    std::vector<uint32_t> components;
+
+    for (const StorePos& hit : hits) {
+      const uint64_t g = tree->GlobalPos(hit);
+      std::optional<PathEntry> resume;
+      while (!stack.empty() && stack.back().end < g) {
+        resume = stack.back();
+        stack.pop_back();
+      }
+      if (stack.empty()) {
+        const StorePos root = tree->RootPos();
+        NOK_ASSIGN_OR_RETURN(uint64_t root_end,
+                             tree->SubtreeEndGlobal(root));
+        stack.push_back(PathEntry{0, root, root_end});
+        resume.reset();  // The root has no siblings to resume from.
+      }
+      while (tree->GlobalPos(stack.back().pos) != g) {
+        // Step down one level to the child whose interval contains g.
+        PathEntry child{0, StorePos{}, 0};
+        if (resume.has_value()) {
+          NOK_ASSIGN_OR_RETURN(auto sib,
+                               tree->FollowingSibling(resume->pos));
+          if (!sib.has_value()) {
+            return Status::Corruption("scan hit outside every sibling");
+          }
+          child.component = resume->component + 1;
+          child.pos = *sib;
+          resume.reset();
+        } else {
+          NOK_ASSIGN_OR_RETURN(auto first,
+                               tree->FirstChild(stack.back().pos));
+          if (!first.has_value()) {
+            return Status::Corruption("scan hit below a leaf");
+          }
+          child.pos = *first;
+        }
+        for (;;) {
+          if (tree->GlobalPos(child.pos) > g) {
+            return Status::Corruption("scan hit between sibling subtrees");
+          }
+          NOK_ASSIGN_OR_RETURN(child.end,
+                               tree->SubtreeEndGlobal(child.pos));
+          if (g <= child.end) break;
+          NOK_ASSIGN_OR_RETURN(auto sib,
+                               tree->FollowingSibling(child.pos));
+          if (!sib.has_value()) {
+            return Status::Corruption("scan hit outside every sibling");
+          }
+          child.pos = *sib;
+          ++child.component;
+        }
+        stack.push_back(child);
+      }
+      components.clear();
+      components.reserve(stack.size());
+      for (const PathEntry& entry : stack) {
+        components.push_back(entry.component);
+      }
+      out.push_back(NodeT{hit, DeweyId(std::vector<uint32_t>(components)),
+                          false});
+    }
+    return out;
+  }
+
+  DocumentStore* store_;
+  StoreCursor cursor_;
+};
+
+/// Balanced-parentheses backend: every primitive runs on the in-memory
+/// BpIndex — candidate scans over the SWAR tag array, Dewey derivation
+/// and trunk verification over the bitvector — so the access path
+/// touches zero subject-tree pages.  Navigation work is counted into
+/// NavStats::bp_steps / bp_tag_blocks_skipped.
+class BpNav {
+ public:
+  using Cursor = BpCursor;
+  using NodeT = BpCursor::NodeT;
+
+  BpNav(DocumentStore* store, const BpIndex* bp)
+      : store_(store), bp_(bp), cursor_(store, bp) {}
+
+  Cursor* cursor() { return &cursor_; }
+
+  /// NodeT -> NodeMatch.  In kInterval mode the endpoints are BP bit
+  /// positions: a document-order numbering with subtree containment,
+  /// which is all the interval containment test needs — and both
+  /// endpoints come straight from the bitvector (FindClose).
+  Result<NodeMatch> ToMatch(const NodeT& node, JoinMode mode) {
+    NodeMatch match;
+    if (node.virtual_root) {
+      match.virtual_root = true;
+      return match;
+    }
+    match.dewey = node.dewey;
+    if (mode == JoinMode::kInterval) {
+      match.start = node.pos;
+      match.end = bp_->FindClose(node.pos);
+    }
+    return match;
+  }
+
+  /// Node handle for one Dewey ID: a prefix-cached BP walk (candidates
+  /// arrive sorted, so consecutive trunk ancestors share the path).
+  Result<NodeT> NodeAt(const DeweyId& dewey) {
+    NOK_ASSIGN_OR_RETURN(auto pos, WalkTo(dewey));
+    if (!pos.has_value()) {
+      return Status::Corruption("index references missing node " +
+                                dewey.ToString());
+    }
+    return NodeT{*pos, dewey, false};
+  }
+
+  /// AnchorScan over the BP index.  Mirrors the paged heuristic: a
+  /// selective tag takes the fused SWAR path (64-node blocks without the
+  /// tag dismissed in 16 word compares, Dewey IDs derived only for the
+  /// hits); frequent tags and wildcards take one sequential pass over
+  /// the raw bits, which yields every open's Dewey ID inline.
+  Result<std::vector<NodeT>> ScanCandidates(const PatternNode& root_pattern,
+                                            TagId want) {
+    std::vector<NodeT> out;
+    if (!root_pattern.wildcard && want == kInvalidTag) {
+      return out;  // Tag absent: no matches anywhere.
+    }
+    if (bp_->node_count() == 0) return out;
+    StringStore* tree = store_->tree();
+
+    if (!root_pattern.wildcard &&
+        store_->CountTag(want) * 2 <= store_->stats().node_count) {
+      std::vector<uint64_t> hits;
+      uint64_t blocks_skipped = 0;
+      if (bp_->TagAt(0) == want) hits.push_back(0);
+      uint64_t pos = 0;
+      for (;;) {
+        const auto next = bp_->NextOpenWithTag(pos, want, &blocks_skipped);
+        if (!next.has_value()) break;
+        pos = *next;
+        hits.push_back(pos);
+      }
+      tree->BumpBpSteps(hits.size());
+      tree->BumpBpTagBlocksSkipped(blocks_skipped);
+      return DeweysForHits(hits);
+    }
+
+    // One pass over the raw bits: the running depth and per-level child
+    // counters give every open's Dewey ID with no rank/select calls.
+    std::vector<uint32_t> child_counter(
+        static_cast<size_t>(tree->max_level()) + 2, 0);
+    std::vector<uint32_t> path;
+    uint64_t rank = 0;
+    size_t level = 0;
+    const uint64_t n_bits = bp_->bit_count();
+    for (uint64_t pos = 0; pos < n_bits; ++pos) {
+      if (!bp_->IsOpen(pos)) {
+        --level;
+        continue;
+      }
+      ++level;
+      path.resize(level);
+      path[level - 1] = child_counter[level]++;
+      child_counter[level + 1] = 0;
+      const TagId tag = bp_->TagAtRank(rank++);
+      if (root_pattern.wildcard || tag == want) {
+        out.push_back(NodeT{pos, DeweyId(std::vector<uint32_t>(path)),
+                            false});
+      }
+    }
+    tree->BumpBpSteps(bp_->node_count());
+    return out;
+  }
+
+  /// Candidate Dewey IDs -> BP nodes via the prefix-cached walk.
+  Result<std::vector<NodeT>> LocateAll(std::vector<DeweyId> deweys) {
+    std::sort(deweys.begin(), deweys.end(),
+              [](const DeweyId& a, const DeweyId& b) {
+                return a.Compare(b) < 0;
+              });
+    deweys.erase(std::unique(deweys.begin(), deweys.end()), deweys.end());
+    std::vector<NodeT> out;
+    out.reserve(deweys.size());
+    for (DeweyId& dewey : deweys) {
+      NOK_ASSIGN_OR_RETURN(auto pos, WalkTo(dewey));
+      if (!pos.has_value()) {
+        return Status::Corruption("index references missing node " +
+                                  dewey.ToString());
+      }
+      out.push_back(NodeT{*pos, std::move(dewey), false});
+    }
+    return out;
+  }
+
+  /// Index hits -> BP nodes.  Hit positions are byte offsets into the
+  /// paged string, meaningless to the BP numbering, so resolution always
+  /// goes through the Dewey IDs (sorted + deduplicated by LocateAll) —
+  /// still zero page access.
+  Result<std::vector<NodeT>> ResolveHits(
+      const std::vector<DocumentStore::IndexedNode>& hits) {
+    std::vector<DeweyId> deweys;
+    deweys.reserve(hits.size());
+    for (const auto& hit : hits) deweys.push_back(hit.dewey);
+    return LocateAll(std::move(deweys));
+  }
+
+ private:
+  struct PathEntry {
+    uint32_t component;
+    uint64_t pos;
+  };
+
+  /// Open position for one Dewey ID, or nullopt when the document has no
+  /// such node.  The cached root..current path persists across calls;
+  /// the reuse logic matches PagedNav::LocateAll (equal prefix, resume
+  /// rightward at the first divergence when possible).
+  Result<std::optional<uint64_t>> WalkTo(const DeweyId& dewey) {
+    const auto& comp = dewey.components();
+    if (comp.empty() || comp[0] != 0) {
+      return Status::InvalidArgument("bad Dewey ID " + dewey.ToString());
+    }
+    if (bp_->node_count() == 0) return std::optional<uint64_t>();
+    size_t keep = 0;
+    while (keep < cached_.size() && keep < comp.size() &&
+           cached_[keep].component == comp[keep]) {
+      ++keep;
+    }
+    bool resume_sideways = false;
+    if (keep < cached_.size() && keep < comp.size() && keep > 0 &&
+        cached_[keep].component < comp[keep]) {
+      resume_sideways = true;  // Continue right from cached_[keep].
+    }
+    cached_.resize(keep + (resume_sideways ? 1 : 0));
+
+    uint64_t steps = 0;
+    if (cached_.empty()) {
+      cached_.push_back(PathEntry{0, 0});
+      ++steps;
+    }
+    bool missing = false;
+    for (;;) {
+      PathEntry& last = cached_.back();
+      const size_t level = cached_.size();  // 1-based depth reached.
+      if (last.component < comp[level - 1]) {
+        ++steps;
+        const auto sibling = bp_->FollowingSibling(last.pos);
+        if (!sibling.has_value()) {
+          missing = true;
+          break;
+        }
+        last.pos = *sibling;
+        ++last.component;
+        continue;
+      }
+      if (level == comp.size()) break;  // Arrived.
+      ++steps;
+      const auto child = bp_->FirstChild(last.pos);
+      if (!child.has_value()) {
+        missing = true;
+        break;
+      }
+      cached_.push_back(PathEntry{0, *child});
+    }
+    store_->tree()->BumpBpSteps(steps);
+    if (missing) return std::optional<uint64_t>();
+    return std::optional<uint64_t>(cached_.back().pos);
+  }
+
+  /// Dewey IDs for SWAR-scan hit positions (ascending): the interval-
+  /// guided descent of PagedNav::DeweysForHits, with subtree-end globals
+  /// replaced by FindClose — one bitvector probe instead of a page read.
+  Result<std::vector<NodeT>> DeweysForHits(const std::vector<uint64_t>& hits) {
+    std::vector<NodeT> out;
+    out.reserve(hits.size());
+    struct StackEntry {
+      uint32_t component;
+      uint64_t pos;
+      uint64_t end;
+    };
+    std::vector<StackEntry> stack;
+    std::vector<uint32_t> components;
+    uint64_t steps = 0;
+
+    for (const uint64_t hit : hits) {
+      std::optional<StackEntry> resume;
+      while (!stack.empty() && stack.back().end < hit) {
+        resume = stack.back();
+        stack.pop_back();
+      }
+      if (stack.empty()) {
+        stack.push_back(StackEntry{0, 0, bp_->FindClose(0)});
+        resume.reset();  // The root has no siblings to resume from.
+      }
+      while (stack.back().pos != hit) {
+        StackEntry child{0, 0, 0};
+        if (resume.has_value()) {
+          ++steps;
+          const auto sib = bp_->FollowingSibling(resume->pos);
+          if (!sib.has_value()) {
+            return Status::Corruption("scan hit outside every sibling");
+          }
+          child.component = resume->component + 1;
+          child.pos = *sib;
+          resume.reset();
+        } else {
+          ++steps;
+          const auto first = bp_->FirstChild(stack.back().pos);
+          if (!first.has_value()) {
+            return Status::Corruption("scan hit below a leaf");
+          }
+          child.pos = *first;
+        }
+        for (;;) {
+          if (child.pos > hit) {
+            return Status::Corruption("scan hit between sibling subtrees");
+          }
+          child.end = bp_->FindClose(child.pos);
+          if (hit <= child.end) break;
+          ++steps;
+          const auto sib = bp_->FollowingSibling(child.pos);
+          if (!sib.has_value()) {
+            return Status::Corruption("scan hit outside every sibling");
+          }
+          child.pos = *sib;
+          ++child.component;
+        }
+        stack.push_back(child);
+      }
+      components.clear();
+      components.reserve(stack.size());
+      for (const StackEntry& entry : stack) {
+        components.push_back(entry.component);
+      }
+      out.push_back(NodeT{hit, DeweyId(std::vector<uint32_t>(components)),
+                          false});
+    }
+    store_->tree()->BumpBpSteps(steps);
+    return out;
+  }
+
+  DocumentStore* store_;
+  const BpIndex* bp_;
+  BpCursor cursor_;
+  std::vector<PathEntry> cached_;
+};
+
 /// Anchored evaluation of one NoK tree (Section 6.2 realized): the index
 /// supplies candidate matches of the anchor node; the trunk (anchor ->
 /// tree root) is verified upward via Dewey prefixes; branch subtrees hang
 /// off trunk nodes and are matched one level down; the anchor's own
 /// subtree is matched in full.  Every trunk edge is a child axis, so the
 /// subject ancestors are exactly the Dewey prefixes -- no search needed.
-class AnchoredMatcher {
+/// Templated over the navigation backend: trunk nodes come from
+/// Nav::NodeAt (B+i lookups in paged mode, BP walks in bp mode).
+template <typename Nav>
+class AnchoredMatcherT {
  public:
-  AnchoredMatcher(DocumentStore* store, ConstrainedCursor* cursor,
-                  const NokTree& tree, const std::vector<bool>& designated,
-                  int anchor, JoinMode join_mode)
-      : store_(store),
+  using NodeT = typename Nav::NodeT;
+  using CCursor = ConstrainedCursorT<typename Nav::Cursor>;
+
+  AnchoredMatcherT(Nav* nav, CCursor* cursor, const NokTree& tree,
+                   const std::vector<bool>& designated, int anchor,
+                   JoinMode join_mode)
+      : nav_(nav),
         cursor_(cursor),
         tree_(tree),
         designated_(designated),
@@ -342,14 +936,13 @@ class AnchoredMatcher {
           doc_root ? j : hit.dewey.depth() - (trunk_len - 1) + j;
       auto dewey = hit.dewey.Ancestor(hit.dewey.depth() - subject_depth);
       NOK_CHECK(dewey.has_value());
-      NOK_ASSIGN_OR_RETURN(StorePos pos, store_->Locate(*dewey));
-      StoreCursor::NodeT node{pos, *dewey, false};
+      NOK_ASSIGN_OR_RETURN(NodeT node, nav_->NodeAt(*dewey));
 
       if (j + 1 == trunk_len) {
         // The anchor: match its whole pattern subtree.
-        NokMatcher<ConstrainedCursor> matcher(&anchor_sub_.sub, cursor_,
-                                              anchor_sub_.designated);
-        NokMatcher<ConstrainedCursor>::MatchLists lists(
+        NokMatcher<CCursor> matcher(&anchor_sub_.sub, cursor_,
+                                    anchor_sub_.designated);
+        typename NokMatcher<CCursor>::MatchLists lists(
             anchor_sub_.sub.nodes.size());
         NOK_ASSIGN_OR_RETURN(bool ok, matcher.Match(node, &lists));
         if (!ok) return std::optional<NokBinding>();
@@ -362,7 +955,7 @@ class AnchoredMatcher {
       if (!ok) return std::optional<NokBinding>();
       if (designated_[static_cast<size_t>(local)]) {
         NOK_ASSIGN_OR_RETURN(NodeMatch match,
-                             NodeToMatch(store_, node, join_mode_));
+                             nav_->ToMatch(node, join_mode_));
         binding.matches[static_cast<size_t>(local)].push_back(
             std::move(match));
       }
@@ -379,12 +972,12 @@ class AnchoredMatcher {
  private:
   /// Merges a sub-matcher's lists into the binding via the index map.
   Status Merge(const SubMatcherData& sub,
-               const NokMatcher<ConstrainedCursor>::MatchLists& lists,
+               const typename NokMatcher<CCursor>::MatchLists& lists,
                NokBinding* binding) {
     for (size_t i = 0; i < lists.size(); ++i) {
-      for (const StoreCursor::NodeT& node : lists[i]) {
+      for (const NodeT& node : lists[i]) {
         NOK_ASSIGN_OR_RETURN(NodeMatch match,
-                             NodeToMatch(store_, node, join_mode_));
+                             nav_->ToMatch(node, join_mode_));
         binding->matches[static_cast<size_t>(sub.map[i])].push_back(
             std::move(match));
       }
@@ -395,7 +988,7 @@ class AnchoredMatcher {
   /// One level of Algorithm 1: every branch must match some child of
   /// `parent`; branches that collect designated matches keep matching all
   /// children.
-  Result<bool> MatchBranches(const StoreCursor::NodeT& parent,
+  Result<bool> MatchBranches(const NodeT& parent,
                              std::vector<SubMatcherData>& branches,
                              NokBinding* binding) {
     const size_t n = branches.size();
@@ -408,9 +1001,9 @@ class AnchoredMatcher {
     while (u.has_value() && (remaining > 0 || collecting > 0)) {
       for (size_t i = 0; i < n; ++i) {
         if (satisfied[i] && !branches[i].collects) continue;
-        NokMatcher<ConstrainedCursor> matcher(&branches[i].sub, cursor_,
-                                              branches[i].designated);
-        NokMatcher<ConstrainedCursor>::MatchLists lists(
+        NokMatcher<CCursor> matcher(&branches[i].sub, cursor_,
+                                    branches[i].designated);
+        typename NokMatcher<CCursor>::MatchLists lists(
             branches[i].sub.nodes.size());
         NOK_ASSIGN_OR_RETURN(bool ok, matcher.Match(*u, &lists));
         if (!ok) continue;
@@ -426,8 +1019,8 @@ class AnchoredMatcher {
     return remaining == 0;
   }
 
-  DocumentStore* store_;
-  ConstrainedCursor* cursor_;
+  Nav* nav_;
+  CCursor* cursor_;
   const NokTree& tree_;
   const std::vector<bool>& designated_;
   JoinMode join_mode_;
@@ -451,268 +1044,19 @@ const char* ProbeOpName(StartStrategy strategy) {
   return "AnchorScan";
 }
 
-}  // namespace
+/// The plan-execution body, templated over the navigation backend; the
+/// control flow is identical across backends, so results are too.
+template <typename Nav>
+Result<std::vector<DeweyId>> RunImpl(DocumentStore* store, Nav* nav,
+                                     const QueryPlan& plan,
+                                     const NokPartition& partition,
+                                     const std::vector<TagId>& tag_table,
+                                     const QueryOptions& options,
+                                     QueryStats* stats,
+                                     ExecutionTrace* trace) {
+  using NodeT = typename Nav::NodeT;
+  using CCursor = ConstrainedCursorT<typename Nav::Cursor>;
 
-Result<std::vector<DocumentStore::IndexedNode>> Executor::FetchHits(
-    const AccessPath& access) {
-  std::vector<DocumentStore::IndexedNode> hits;
-  switch (access.strategy) {
-    case StartStrategy::kValueIndex:
-      return store_->NodesWithValue(Slice(access.value_operand));
-    case StartStrategy::kTagIndex:
-      if (access.tag == kInvalidTag) return hits;  // Absent tag: empty.
-      return store_->NodesWithTag(access.tag);
-    case StartStrategy::kPathIndex:
-      if (access.tag_path.empty()) return hits;  // Unknown path: empty.
-      return store_->NodesWithPath(access.tag_path);
-    case StartStrategy::kAuto:
-    case StartStrategy::kScan:
-      break;
-  }
-  return Status::Internal("access path has no index probe");
-}
-
-Result<std::vector<StoreCursor::NodeT>> Executor::ScanCandidates(
-    const PatternNode& root_pattern, TagId want) {
-  std::vector<StoreCursor::NodeT> out;
-  StringStore* tree = store_->tree();
-  if (!root_pattern.wildcard && want == kInvalidTag) {
-    return out;  // Tag absent: no matches anywhere.
-  }
-
-  // Fused path for a selective tag test: phase A enumerates hit positions
-  // with NextOpenWithTag, a single tag-filtered chain scan that skips
-  // pages via the per-page summaries (no child counting, so skipping is
-  // sound); phase B derives Dewey IDs only for the hits.  A frequent tag
-  // would gain nothing from the filter while phase B re-navigates per
-  // hit, so it keeps the counter scan below, as do wildcards.
-  if (!root_pattern.wildcard &&
-      store_->CountTag(want) * 2 <= store_->stats().node_count) {
-    std::vector<StorePos> hits;
-    StorePos pos = tree->RootPos();
-    NOK_ASSIGN_OR_RETURN(TagId root_tag, tree->TagAt(pos));
-    if (root_tag == want) hits.push_back(pos);
-    for (;;) {
-      NOK_ASSIGN_OR_RETURN(auto next, tree->NextOpenWithTag(pos, want));
-      if (!next.has_value()) break;
-      pos = *next;
-      hits.push_back(pos);
-    }
-    return DeweysForHits(hits);
-  }
-
-  // Single forward scan; Dewey IDs are derived from the level sequence.
-  std::vector<uint32_t> child_counter(
-      static_cast<size_t>(tree->max_level()) + 2, 0);
-  std::vector<uint32_t> path;
-  std::optional<StorePos> pos = tree->RootPos();
-  while (pos.has_value()) {
-    NOK_ASSIGN_OR_RETURN(int level, tree->LevelAt(*pos));
-    NOK_ASSIGN_OR_RETURN(TagId tag, tree->TagAt(*pos));
-    const size_t l = static_cast<size_t>(level);
-    path.resize(l);
-    path[l - 1] = child_counter[l]++;
-    child_counter[l + 1] = 0;
-    if (root_pattern.wildcard || tag == want) {
-      out.push_back(StoreCursor::NodeT{
-          *pos, DeweyId(std::vector<uint32_t>(path)), false});
-    }
-    NOK_ASSIGN_OR_RETURN(auto next, tree->NextOpen(*pos));
-    pos = next;
-  }
-  return out;
-}
-
-Result<std::vector<StoreCursor::NodeT>> Executor::DeweysForHits(
-    const std::vector<StorePos>& hits) {
-  std::vector<StoreCursor::NodeT> out;
-  out.reserve(hits.size());
-  StringStore* tree = store_->tree();
-
-  // Interval-guided descent.  The stack holds the path from the root to
-  // the node most recently visited: (child index, position, subtree-end
-  // global).  For each hit (ascending), entries whose subtree ends before
-  // the hit are popped, and the walk resumes from the shallowest popped
-  // sibling — so each level's sibling chain is traversed at most once
-  // across all hits.
-  struct PathEntry {
-    uint32_t component;
-    StorePos pos;
-    uint64_t end;
-  };
-  std::vector<PathEntry> stack;
-  std::vector<uint32_t> components;
-
-  for (const StorePos& hit : hits) {
-    const uint64_t g = tree->GlobalPos(hit);
-    std::optional<PathEntry> resume;
-    while (!stack.empty() && stack.back().end < g) {
-      resume = stack.back();
-      stack.pop_back();
-    }
-    if (stack.empty()) {
-      const StorePos root = tree->RootPos();
-      NOK_ASSIGN_OR_RETURN(uint64_t root_end,
-                           tree->SubtreeEndGlobal(root));
-      stack.push_back(PathEntry{0, root, root_end});
-      resume.reset();  // The root has no siblings to resume from.
-    }
-    while (tree->GlobalPos(stack.back().pos) != g) {
-      // Step down one level to the child whose interval contains g.
-      PathEntry child{0, StorePos{}, 0};
-      if (resume.has_value()) {
-        NOK_ASSIGN_OR_RETURN(auto sib,
-                             tree->FollowingSibling(resume->pos));
-        if (!sib.has_value()) {
-          return Status::Corruption("scan hit outside every sibling");
-        }
-        child.component = resume->component + 1;
-        child.pos = *sib;
-        resume.reset();
-      } else {
-        NOK_ASSIGN_OR_RETURN(auto first,
-                             tree->FirstChild(stack.back().pos));
-        if (!first.has_value()) {
-          return Status::Corruption("scan hit below a leaf");
-        }
-        child.pos = *first;
-      }
-      for (;;) {
-        if (tree->GlobalPos(child.pos) > g) {
-          return Status::Corruption("scan hit between sibling subtrees");
-        }
-        NOK_ASSIGN_OR_RETURN(child.end,
-                             tree->SubtreeEndGlobal(child.pos));
-        if (g <= child.end) break;
-        NOK_ASSIGN_OR_RETURN(auto sib,
-                             tree->FollowingSibling(child.pos));
-        if (!sib.has_value()) {
-          return Status::Corruption("scan hit outside every sibling");
-        }
-        child.pos = *sib;
-        ++child.component;
-      }
-      stack.push_back(child);
-    }
-    components.clear();
-    components.reserve(stack.size());
-    for (const PathEntry& entry : stack) {
-      components.push_back(entry.component);
-    }
-    out.push_back(StoreCursor::NodeT{
-        hit, DeweyId(std::vector<uint32_t>(components)), false});
-  }
-  return out;
-}
-
-Result<std::vector<StoreCursor::NodeT>> Executor::LocateAll(
-    std::vector<DeweyId> deweys) {
-  std::sort(deweys.begin(), deweys.end(),
-            [](const DeweyId& a, const DeweyId& b) {
-              return a.Compare(b) < 0;
-            });
-  deweys.erase(std::unique(deweys.begin(), deweys.end()), deweys.end());
-
-  std::vector<StoreCursor::NodeT> out;
-  out.reserve(deweys.size());
-  StringStore* tree = store_->tree();
-
-  // Navigation cache: path[i] = (component value, position) of the node
-  // currently reached at depth i+1.  Consecutive sorted Dewey IDs share
-  // long prefixes, so most steps resume from the cached path.
-  struct PathEntry {
-    uint32_t component;
-    StorePos pos;
-  };
-  std::vector<PathEntry> cached;
-
-  for (const DeweyId& dewey : deweys) {
-    const auto& comp = dewey.components();
-    if (comp.empty() || comp[0] != 0) {
-      return Status::InvalidArgument("bad Dewey ID " + dewey.ToString());
-    }
-    // Longest usable prefix of the cached path: components equal, except
-    // the last reusable level may be <= (we can walk right, not left).
-    size_t keep = 0;
-    while (keep < cached.size() && keep < comp.size() &&
-           cached[keep].component == comp[keep]) {
-      ++keep;
-    }
-    bool resume_sideways = false;
-    if (keep < cached.size() && keep < comp.size() && keep > 0 &&
-        cached[keep].component < comp[keep]) {
-      resume_sideways = true;  // Continue right from cached[keep].
-    }
-    cached.resize(keep + (resume_sideways ? 1 : 0));
-
-    bool missing = false;
-    if (cached.empty()) {
-      cached.push_back(PathEntry{0, tree->RootPos()});
-    }
-    for (;;) {
-      PathEntry& last = cached.back();
-      const size_t level = cached.size();  // 1-based depth reached.
-      if (last.component < comp[level - 1]) {
-        // Walk right to the desired sibling.
-        NOK_ASSIGN_OR_RETURN(auto sibling,
-                             tree->FollowingSibling(last.pos));
-        if (!sibling.has_value()) {
-          missing = true;
-          break;
-        }
-        last.pos = *sibling;
-        ++last.component;
-        continue;
-      }
-      if (level == comp.size()) break;  // Arrived.
-      // Descend.
-      NOK_ASSIGN_OR_RETURN(auto child, tree->FirstChild(last.pos));
-      if (!child.has_value()) {
-        missing = true;
-        break;
-      }
-      cached.push_back(PathEntry{0, *child});
-    }
-    if (missing) {
-      return Status::Corruption("index references missing node " +
-                                dewey.ToString());
-    }
-    out.push_back(StoreCursor::NodeT{cached.back().pos, dewey, false});
-  }
-  return out;
-}
-
-Result<std::vector<StoreCursor::NodeT>> Executor::ResolveHits(
-    const std::vector<DocumentStore::IndexedNode>& hits) {
-  if (!store_->positions_fresh()) {
-    std::vector<DeweyId> deweys;
-    deweys.reserve(hits.size());
-    for (const auto& hit : hits) deweys.push_back(hit.dewey);
-    return LocateAll(std::move(deweys));
-  }
-  std::vector<StoreCursor::NodeT> out;
-  out.reserve(hits.size());
-  for (const auto& hit : hits) {
-    NOK_ASSIGN_OR_RETURN(StorePos pos, store_->tree()->PosForGlobal(hit.pos));
-    out.push_back(StoreCursor::NodeT{pos, hit.dewey, false});
-  }
-  std::sort(out.begin(), out.end(),
-            [](const StoreCursor::NodeT& a, const StoreCursor::NodeT& b) {
-              return a.dewey.Compare(b.dewey) < 0;
-            });
-  out.erase(std::unique(out.begin(), out.end(),
-                        [](const StoreCursor::NodeT& a,
-                           const StoreCursor::NodeT& b) {
-                          return a.dewey == b.dewey;
-                        }),
-            out.end());
-  return out;
-}
-
-Result<std::vector<DeweyId>> Executor::Run(
-    const QueryPlan& plan, const NokPartition& partition,
-    const std::vector<TagId>& tag_table, const QueryOptions& options,
-    QueryStats* stats, ExecutionTrace* trace) {
   NOK_CHECK(stats != nullptr && trace != nullptr);
   const size_t n_trees = partition.trees.size();
   NOK_CHECK(plan.trees.size() == n_trees &&
@@ -722,9 +1066,8 @@ Result<std::vector<DeweyId>> Executor::Run(
   stats->trees.resize(n_trees);
   trace->operators.clear();
 
-  StoreCursor base_cursor(store_);
-  base_cursor.set_tag_table(&tag_table);
-  ConstrainedCursor cursor(&base_cursor);
+  nav->cursor()->set_tag_table(&tag_table);
+  CCursor cursor(nav->cursor());
 
   // NoK matching per tree in plan order — always children before parents
   // (checked below), with each evaluated arc injected into the parent's
@@ -756,8 +1099,8 @@ Result<std::vector<DeweyId>> Executor::Run(
       probe.detail = access.display;
       probe.has_estimate = true;
       probe.estimated = access.estimated_candidates;
-      OpTimer probe_timer(store_);
-      NOK_ASSIGN_OR_RETURN(auto anchor_hits, FetchHits(access));
+      OpTimer probe_timer(store);
+      NOK_ASSIGN_OR_RETURN(auto anchor_hits, FetchHits(store, access));
       probe.rows_out = anchor_hits.size();
       probe_timer.Finish(&probe);
       trace->operators.push_back(std::move(probe));
@@ -773,7 +1116,7 @@ Result<std::vector<DeweyId>> Executor::Run(
           filter.tree = tree_id;
           filter.detail = "arcs=" + std::to_string(checks.size());
           filter.rows_in = anchor_hits.size();
-          OpTimer filter_timer(store_);
+          OpTimer filter_timer(store);
           PrefilterAnchorHits(tree, trunk_len, checks, &anchor_hits);
           filter.rows_out = anchor_hits.size();
           filter_timer.Finish(&filter);
@@ -800,9 +1143,9 @@ Result<std::vector<DeweyId>> Executor::Run(
       match.tree = tree_id;
       match.detail = "anchored";
       match.rows_in = anchor_hits.size();
-      OpTimer match_timer(store_);
-      AnchoredMatcher matcher(store_, &cursor, tree, designated,
-                              access.anchor, options.join_mode);
+      OpTimer match_timer(store);
+      AnchoredMatcherT<Nav> matcher(nav, &cursor, tree, designated,
+                                    access.anchor, options.join_mode);
       for (const auto& hit : anchor_hits) {
         NOK_ASSIGN_OR_RETURN(auto binding, matcher.MatchCandidate(hit));
         if (!binding.has_value()) continue;
@@ -814,7 +1157,7 @@ Result<std::vector<DeweyId>> Executor::Run(
       trace->operators.push_back(std::move(match));
     } else {
       // Whole-tree matching from root candidates.
-      std::vector<StoreCursor::NodeT> candidates;
+      std::vector<NodeT> candidates;
       const std::vector<RootArcCheck> root_checks =
           plan.cost_based && !tree.root_is_doc_root
               ? RootArcChecks(partition, tree_id, qualified_roots)
@@ -827,7 +1170,7 @@ Result<std::vector<DeweyId>> Executor::Run(
         scan.has_estimate = true;
         scan.estimated = 1;
         scan.rows_out = 1;
-        candidates.push_back(base_cursor.VirtualRoot());
+        candidates.push_back(nav->cursor()->VirtualRoot());
         trace->operators.push_back(std::move(scan));
       } else if (access.strategy == StartStrategy::kScan) {
         OperatorStats scan;
@@ -836,11 +1179,12 @@ Result<std::vector<DeweyId>> Executor::Run(
         scan.detail = access.display;
         scan.has_estimate = true;
         scan.estimated = access.estimated_candidates;
-        OpTimer scan_timer(store_);
+        OpTimer scan_timer(store);
         NOK_ASSIGN_OR_RETURN(
             candidates,
-            ScanCandidates(*tree.nodes[0].pattern,
-                           ResolvedTag(tag_table, tree.nodes[0].pattern)));
+            nav->ScanCandidates(
+                *tree.nodes[0].pattern,
+                ResolvedTag(tag_table, tree.nodes[0].pattern)));
         scan.rows_out = candidates.size();
         scan_timer.Finish(&scan);
         trace->operators.push_back(std::move(scan));
@@ -850,10 +1194,10 @@ Result<std::vector<DeweyId>> Executor::Run(
           filter.tree = tree_id;
           filter.detail = "arcs=" + std::to_string(root_checks.size());
           filter.rows_in = candidates.size();
-          OpTimer filter_timer(store_);
+          OpTimer filter_timer(store);
           candidates.erase(
               std::remove_if(candidates.begin(), candidates.end(),
-                             [&](const StoreCursor::NodeT& node) {
+                             [&](const NodeT& node) {
                                return !PassesRootChecks(node.dewey,
                                                         root_checks);
                              }),
@@ -869,8 +1213,8 @@ Result<std::vector<DeweyId>> Executor::Run(
         probe.detail = access.display;
         probe.has_estimate = true;
         probe.estimated = access.estimated_candidates;
-        OpTimer probe_timer(store_);
-        NOK_ASSIGN_OR_RETURN(auto anchor_hits, FetchHits(access));
+        OpTimer probe_timer(store);
+        NOK_ASSIGN_OR_RETURN(auto anchor_hits, FetchHits(store, access));
         probe.rows_out = anchor_hits.size();
         probe_timer.Finish(&probe);
         trace->operators.push_back(std::move(probe));
@@ -882,7 +1226,7 @@ Result<std::vector<DeweyId>> Executor::Run(
             filter.tree = tree_id;
             filter.detail = "arcs=" + std::to_string(root_checks.size());
             filter.rows_in = anchor_hits.size();
-            OpTimer filter_timer(store_);
+            OpTimer filter_timer(store);
             anchor_hits.erase(
                 std::remove_if(
                     anchor_hits.begin(), anchor_hits.end(),
@@ -894,7 +1238,7 @@ Result<std::vector<DeweyId>> Executor::Run(
             filter_timer.Finish(&filter);
             trace->operators.push_back(std::move(filter));
           }
-          NOK_ASSIGN_OR_RETURN(candidates, ResolveHits(anchor_hits));
+          NOK_ASSIGN_OR_RETURN(candidates, nav->ResolveHits(anchor_hits));
         } else {
           // Index hits below the root but ordering constraints force a
           // whole-tree match: map the hits up to candidate roots.
@@ -904,7 +1248,8 @@ Result<std::vector<DeweyId>> Executor::Run(
             auto up = hit.dewey.Ancestor(static_cast<size_t>(depth - 1));
             if (up.has_value()) roots.push_back(std::move(*up));
           }
-          NOK_ASSIGN_OR_RETURN(candidates, LocateAll(std::move(roots)));
+          NOK_ASSIGN_OR_RETURN(candidates,
+                               nav->LocateAll(std::move(roots)));
         }
       }
       tree_stats.candidates = candidates.size();
@@ -914,19 +1259,18 @@ Result<std::vector<DeweyId>> Executor::Run(
       match.tree = tree_id;
       match.detail = "whole-tree";
       match.rows_in = candidates.size();
-      OpTimer match_timer(store_);
-      NokMatcher<ConstrainedCursor> matcher(&tree, &cursor, designated);
-      for (const StoreCursor::NodeT& start : candidates) {
-        NokMatcher<ConstrainedCursor>::MatchLists lists(tree.nodes.size());
+      OpTimer match_timer(store);
+      NokMatcher<CCursor> matcher(&tree, &cursor, designated);
+      for (const NodeT& start : candidates) {
+        typename NokMatcher<CCursor>::MatchLists lists(tree.nodes.size());
         NOK_ASSIGN_OR_RETURN(bool ok, matcher.Match(start, &lists));
         if (!ok) continue;
         NokBinding binding;
         binding.matches.resize(tree.nodes.size());
         for (size_t i = 0; i < lists.size(); ++i) {
-          for (const StoreCursor::NodeT& node : lists[i]) {
-            NOK_ASSIGN_OR_RETURN(
-                NodeMatch node_match,
-                NodeToMatch(store_, node, options.join_mode));
+          for (const NodeT& node : lists[i]) {
+            NOK_ASSIGN_OR_RETURN(NodeMatch node_match,
+                                 nav->ToMatch(node, options.join_mode));
             binding.matches[i].push_back(std::move(node_match));
           }
           SortUnique(&binding.matches[i]);
@@ -951,8 +1295,8 @@ Result<std::vector<DeweyId>> Executor::Run(
       const PatternNode* source =
           parent_tree.nodes[static_cast<size_t>(arc->from_node)].pattern;
       cursor.AddConstraint(
-          source, ConstrainedCursor::ArcConstraint{arc->axis,
-                                                   &qualified_roots[t]});
+          source, typename CCursor::ArcConstraint{arc->axis,
+                                                  &qualified_roots[t]});
     }
   }
 
@@ -976,7 +1320,7 @@ Result<std::vector<DeweyId>> Executor::Run(
     join.has_estimate = true;
     join.estimated = plan.trees[t].access.estimated_candidates;
     join.rows_in = bindings[t].size();
-    OpTimer join_timer(store_);
+    OpTimer join_timer(store);
 
     const size_t parent = static_cast<size_t>(arc->from_tree);
     std::vector<NodeMatch> parent_sources;
@@ -1034,6 +1378,31 @@ Result<std::vector<DeweyId>> Executor::Run(
   output.rows_out = out.size();
   trace->operators.push_back(std::move(output));
   return out;
+}
+
+}  // namespace
+
+Result<std::vector<DeweyId>> Executor::Run(
+    const QueryPlan& plan, const NokPartition& partition,
+    const std::vector<TagId>& tag_table, const QueryOptions& options,
+    QueryStats* stats, ExecutionTrace* trace) {
+  if (store_->nav_mode() == NavMode::kBp) {
+    NOK_ASSIGN_OR_RETURN(const BpIndex* bp, store_->bp_index());
+    const StringStore::NavStats before = store_->tree()->nav_stats();
+    BpNav nav(store_, bp);
+    NOK_ASSIGN_OR_RETURN(
+        auto out, RunImpl(store_, &nav, plan, partition, tag_table,
+                          options, stats, trace));
+    const StringStore::NavStats after = store_->tree()->nav_stats();
+    trace->nav_mode = NavMode::kBp;
+    trace->bp_steps = after.bp_steps - before.bp_steps;
+    trace->bp_tag_blocks_skipped =
+        after.bp_tag_blocks_skipped - before.bp_tag_blocks_skipped;
+    return out;
+  }
+  PagedNav nav(store_);
+  return RunImpl(store_, &nav, plan, partition, tag_table, options, stats,
+                 trace);
 }
 
 }  // namespace nok

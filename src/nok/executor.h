@@ -33,7 +33,6 @@
 #include "common/result.h"
 #include "encoding/document_store.h"
 #include "nok/nok_partition.h"
-#include "nok/physical_matcher.h"
 #include "nok/planner.h"
 #include "nok/structural_join.h"
 
@@ -75,6 +74,11 @@ struct ExecutionTrace {
   std::vector<OperatorStats> operators;
   bool plan_cache_hit = false;  ///< Filled by QueryEngine.
   double plan_seconds = 0;      ///< Planning wall time (0 on cache hit).
+  /// Navigation tier the run used, plus the BP-index work it did
+  /// (NavStats deltas; both zero in paged mode).
+  NavMode nav_mode = NavMode::kPaged;
+  uint64_t bp_steps = 0;
+  uint64_t bp_tag_blocks_skipped = 0;
 };
 
 /// Executes query plans.  Like QueryEngine, an executor is a cheap
@@ -87,6 +91,12 @@ class Executor {
   /// document order.  `stats` and `trace` must be non-null; both are
   /// overwritten.  The plan must have been built for this partition (and
   /// for the store's current structural state).
+  /// Runs the plan against the store's selected navigation tier: paged
+  /// (StoreCursor) or balanced-parentheses (BpCursor), per
+  /// DocumentStoreOptions::nav_mode.  Candidate production, Dewey
+  /// resolution and interval derivation all go through the chosen
+  /// backend, so a BP run touches no subject-tree pages; results are
+  /// identical across modes.
   Result<std::vector<DeweyId>> Run(const QueryPlan& plan,
                                    const NokPartition& partition,
                                    const std::vector<TagId>& tag_table,
@@ -95,34 +105,6 @@ class Executor {
                                    ExecutionTrace* trace);
 
  private:
-  /// All document nodes whose tag satisfies the NoK root's name test, via
-  /// a sequential scan of the string store (the "naive" strategy).
-  /// `want` is the root pattern's resolved tag (kInvalidTag for a name
-  /// absent from the document).  Selective tags take the fused
-  /// NextOpenWithTag path: the scan consults the per-page tag summaries
-  /// and Dewey IDs are derived only for the hits.
-  Result<std::vector<StoreCursor::NodeT>> ScanCandidates(
-      const PatternNode& root_pattern, TagId want);
-
-  /// Dewey IDs for tag-scan hit positions (ascending): an interval-guided
-  /// descent that reuses the navigation path across consecutive hits.
-  Result<std::vector<StoreCursor::NodeT>> DeweysForHits(
-      const std::vector<StorePos>& hits);
-
-  /// Converts sorted candidate Dewey IDs to physical nodes, reusing the
-  /// navigation path across consecutive candidates (the slow path used
-  /// when stored positions are stale).
-  Result<std::vector<StoreCursor::NodeT>> LocateAll(
-      std::vector<DeweyId> deweys);
-
-  /// Index hits -> physical nodes (positions when fresh, else LocateAll).
-  Result<std::vector<StoreCursor::NodeT>> ResolveHits(
-      const std::vector<DocumentStore::IndexedNode>& hits);
-
-  /// Index hits for one access path (the probe operators' body).
-  Result<std::vector<DocumentStore::IndexedNode>> FetchHits(
-      const AccessPath& access);
-
   DocumentStore* store_;
 };
 

@@ -34,7 +34,7 @@ void PlanCache::Insert(const std::string& key,
 
 std::string PlanCache::Key(const std::string& canonical_pattern,
                            const QueryOptions& options, uint64_t epoch,
-                           uint64_t structure_version) {
+                           uint64_t structure_version, NavMode nav_mode) {
   std::string key = canonical_pattern;
   key += "|s=";
   key += StrategyName(options.strategy);
@@ -46,6 +46,8 @@ std::string PlanCache::Key(const std::string& canonical_pattern,
   key += options.use_path_index ? "1" : "0";
   key += "|o=";
   key += options.cost_based_join_order ? "1" : "0";
+  key += "|n=";
+  key += NavModeName(nav_mode);
   key += "|e=" + std::to_string(epoch);
   key += "|v=" + std::to_string(structure_version);
   return key;

@@ -54,9 +54,13 @@ class PlanCache {
   size_t capacity() const { return capacity_; }
 
   /// Cache key for one (pattern, options, store state) combination.
+  /// `nav_mode` is part of the key: a plan records the navigation tier
+  /// it was built for, so stores opened in different modes never share
+  /// entries.
   static std::string Key(const std::string& canonical_pattern,
                          const QueryOptions& options, uint64_t epoch,
-                         uint64_t structure_version);
+                         uint64_t structure_version,
+                         NavMode nav_mode = NavMode::kPaged);
 
  private:
   using Entry = std::pair<std::string, std::shared_ptr<const QueryPlan>>;

@@ -318,6 +318,7 @@ Result<QueryPlan> Planner::Plan(const NokPartition& partition,
                                 const QueryOptions& options) {
   QueryPlan plan;
   plan.cost_based = options.cost_based_join_order;
+  plan.nav_mode = store_->nav_mode();
   plan.trees.resize(partition.trees.size());
   for (size_t t = 0; t < partition.trees.size(); ++t) {
     plan.trees[t].tree = static_cast<int>(t);
@@ -334,6 +335,8 @@ Result<QueryPlan> Planner::Plan(const NokPartition& partition,
 std::string QueryPlan::ToString(const NokPartition& partition) const {
   std::string out = "plan: ";
   out += cost_based ? "cost-based join order" : "fixed join order";
+  out += ", nav=";
+  out += NavModeName(nav_mode);
   out += "\n  schedule:";
   for (int t : schedule) {
     out += " " + std::to_string(t);

@@ -104,6 +104,11 @@ struct QueryPlan {
   /// pre-filter (mirrors QueryOptions::cost_based_join_order at plan
   /// time so a cached plan replays identically).
   bool cost_based = true;
+  /// Navigation tier the plan was built for (the store's nav_mode at
+  /// plan time; the cache key carries it too).  In kBp mode scans and
+  /// Dewey resolution run on the in-memory balanced-parentheses index —
+  /// a zero-page access path — instead of the paged string.
+  NavMode nav_mode = NavMode::kPaged;
 
   /// Serialized human-readable form (stable; `nokq explain` prints it).
   std::string ToString(const NokPartition& partition) const;

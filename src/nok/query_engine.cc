@@ -46,7 +46,7 @@ Result<std::vector<DeweyId>> QueryEngine::EvaluatePattern(
   std::string key;
   if (options.use_plan_cache) {
     key = PlanCache::Key(pattern.ToString(), options, store_->epoch(),
-                         store_->structure_version());
+                         store_->structure_version(), store_->nav_mode());
     plan = shared_plan_cache_ != nullptr ? shared_plan_cache_->Lookup(key)
                                          : plan_cache_.Lookup(key);
     cache_hit = plan != nullptr;
@@ -92,6 +92,14 @@ std::string QueryEngine::ExplainLast() const {
                                            : "plan cache miss",
                 last_trace_.plan_seconds * 1e3);
   out += line;
+  if (last_trace_.nav_mode == NavMode::kBp) {
+    std::snprintf(line, sizeof(line),
+                  "  nav: bp bp_steps=%llu blocks_skipped=%llu\n",
+                  static_cast<unsigned long long>(last_trace_.bp_steps),
+                  static_cast<unsigned long long>(
+                      last_trace_.bp_tag_blocks_skipped));
+    out += line;
+  }
   out += "  operators:\n";
   for (const OperatorStats& op : last_trace_.operators) {
     std::string row = "    [";

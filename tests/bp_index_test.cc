@@ -1,0 +1,423 @@
+#include "encoding/bp_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/random.h"
+#include "encoding/document_store.h"
+#include "nok/query_engine.h"
+#include "tests/test_util.h"
+
+namespace nok {
+namespace {
+
+// ---------------------------------------------------------------------
+// Naive O(n) reference implementations over a parenthesis string.
+
+uint64_t NaiveRank1(const std::string& parens, uint64_t pos) {
+  uint64_t rank = 0;
+  for (uint64_t i = 0; i < pos; ++i) {
+    if (parens[i] == '(') ++rank;
+  }
+  return rank;
+}
+
+uint64_t NaiveSelect1(const std::string& parens, uint64_t rank) {
+  uint64_t seen = 0;
+  for (uint64_t i = 0; i < parens.size(); ++i) {
+    if (parens[i] == '(' && seen++ == rank) return i;
+  }
+  return ~uint64_t{0};
+}
+
+int64_t NaiveExcess(const std::string& parens, uint64_t pos) {
+  int64_t e = 0;
+  for (uint64_t i = 0; i <= pos; ++i) {
+    e += parens[i] == '(' ? 1 : -1;
+  }
+  return e;
+}
+
+uint64_t NaiveFindClose(const std::string& parens, uint64_t pos) {
+  int64_t depth = 0;
+  for (uint64_t i = pos; i < parens.size(); ++i) {
+    depth += parens[i] == '(' ? 1 : -1;
+    if (depth == 0) return i;
+  }
+  return ~uint64_t{0};
+}
+
+std::optional<uint64_t> NaiveEnclose(const std::string& parens,
+                                     uint64_t pos) {
+  int64_t depth = 0;
+  for (uint64_t i = pos; i-- > 0;) {
+    depth += parens[i] == '(' ? 1 : -1;
+    if (parens[i] == '(' && depth > 0) return i;
+  }
+  return std::nullopt;
+}
+
+/// A random balanced parenthesis string with `nodes` node pairs: a
+/// depth-bounded random walk that spends its opens with probability
+/// proportional to the remaining budget.
+std::string RandomParens(Random* rng, uint64_t nodes) {
+  std::string out = "(";
+  uint64_t opened = 1, closed = 0;
+  int64_t depth = 1;
+  while (out.size() < 2 * nodes) {
+    const bool can_open = opened < nodes;
+    // The root close is emitted last: never drop to depth 0 early.
+    const bool can_close = depth > 1;
+    if (can_open && (!can_close || rng->Uniform(2) == 0)) {
+      out += '(';
+      ++opened;
+      ++depth;
+    } else if (can_close) {
+      out += ')';
+      ++closed;
+      --depth;
+    } else {
+      break;
+    }
+  }
+  while (depth > 0) {
+    out += ')';
+    ++closed;
+    --depth;
+  }
+  EXPECT_EQ(out.size(), 2 * opened);
+  return out;
+}
+
+std::vector<TagId> RandomTags(Random* rng, uint64_t nodes, int pool) {
+  std::vector<TagId> tags;
+  tags.reserve(nodes);
+  for (uint64_t i = 0; i < nodes; ++i) {
+    tags.push_back(static_cast<TagId>(1 + rng->Uniform(
+                                              static_cast<uint64_t>(pool))));
+  }
+  return tags;
+}
+
+// ---------------------------------------------------------------------
+// Golden tests on a hand-built string.
+//
+//   pos:   0123456789
+//   bits:  (()(()()))
+//
+// A root with two children; the second child has two leaf children.
+
+std::unique_ptr<BpIndex> Golden() {
+  auto bp = BpIndex::FromParens("(()(()()))", {10, 20, 30, 40, 50}, 7);
+  EXPECT_TRUE(bp.ok()) << bp.status().ToString();
+  return std::move(bp).ValueOrDie();
+}
+
+TEST(BpIndexTest, GoldenShape) {
+  auto bp = Golden();
+  EXPECT_EQ(bp->node_count(), 5u);
+  EXPECT_EQ(bp->bit_count(), 10u);
+  EXPECT_EQ(bp->epoch(), 7u);
+  EXPECT_GT(bp->MemoryBytes(), 0u);
+}
+
+TEST(BpIndexTest, GoldenRankSelectExcess) {
+  auto bp = Golden();
+  EXPECT_TRUE(bp->IsOpen(0));
+  EXPECT_FALSE(bp->IsOpen(2));
+  EXPECT_EQ(bp->Rank1(0), 0u);
+  EXPECT_EQ(bp->Rank1(4), 3u);
+  EXPECT_EQ(bp->Rank1(10), 5u);
+  EXPECT_EQ(bp->Select1(0), 0u);
+  EXPECT_EQ(bp->Select1(1), 1u);
+  EXPECT_EQ(bp->Select1(2), 3u);
+  EXPECT_EQ(bp->Select1(3), 4u);
+  EXPECT_EQ(bp->Select1(4), 6u);
+  EXPECT_EQ(bp->Excess(0), 1);
+  EXPECT_EQ(bp->Excess(3), 2);
+  EXPECT_EQ(bp->Excess(4), 3);
+  EXPECT_EQ(bp->Excess(9), 0);
+}
+
+TEST(BpIndexTest, GoldenFindCloseEnclose) {
+  auto bp = Golden();
+  EXPECT_EQ(bp->FindClose(0), 9u);
+  EXPECT_EQ(bp->FindClose(1), 2u);
+  EXPECT_EQ(bp->FindClose(3), 8u);
+  EXPECT_EQ(bp->FindClose(4), 5u);
+  EXPECT_EQ(bp->FindClose(6), 7u);
+  EXPECT_FALSE(bp->Enclose(0).has_value());
+  EXPECT_EQ(bp->Enclose(1), std::optional<uint64_t>(0));
+  EXPECT_EQ(bp->Enclose(3), std::optional<uint64_t>(0));
+  EXPECT_EQ(bp->Enclose(4), std::optional<uint64_t>(3));
+  EXPECT_EQ(bp->Enclose(6), std::optional<uint64_t>(3));
+}
+
+TEST(BpIndexTest, GoldenTreeSteps) {
+  auto bp = Golden();
+  EXPECT_EQ(bp->Depth(0), 1);
+  EXPECT_EQ(bp->Depth(4), 3);
+  EXPECT_EQ(bp->FirstChild(0), std::optional<uint64_t>(1));
+  EXPECT_FALSE(bp->FirstChild(1).has_value());
+  EXPECT_EQ(bp->FirstChild(3), std::optional<uint64_t>(4));
+  EXPECT_EQ(bp->FollowingSibling(1), std::optional<uint64_t>(3));
+  EXPECT_FALSE(bp->FollowingSibling(3).has_value());
+  EXPECT_EQ(bp->FollowingSibling(4), std::optional<uint64_t>(6));
+  EXPECT_EQ(bp->Parent(4), std::optional<uint64_t>(3));
+  EXPECT_FALSE(bp->Parent(0).has_value());
+}
+
+TEST(BpIndexTest, GoldenTagsAndFusedScan) {
+  auto bp = Golden();
+  EXPECT_EQ(bp->TagAt(0), 10);
+  EXPECT_EQ(bp->TagAt(3), 30);
+  EXPECT_EQ(bp->TagAt(6), 50);
+  EXPECT_EQ(bp->TagAtRank(4), 50);
+  uint64_t skipped = 0;
+  // Starting *after* pos 0: the next node tagged 30 is at pos 3.
+  EXPECT_EQ(bp->NextOpenWithTag(0, 30, &skipped),
+            std::optional<uint64_t>(3));
+  // No node after pos 3 carries tag 20.
+  EXPECT_FALSE(bp->NextOpenWithTag(3, 20, &skipped).has_value());
+  EXPECT_EQ(bp->NextOpen(0), std::optional<uint64_t>(1));
+  EXPECT_EQ(bp->NextOpen(1), std::optional<uint64_t>(3));
+  EXPECT_FALSE(bp->NextOpen(6).has_value());
+}
+
+TEST(BpIndexTest, RejectsUnbalancedParens) {
+  EXPECT_FALSE(BpIndex::FromParens("(()", {}, 0).ok());
+  EXPECT_FALSE(BpIndex::FromParens("())(", {}, 0).ok());
+  EXPECT_FALSE(BpIndex::FromParens(")(", {}, 0).ok());
+}
+
+// ---------------------------------------------------------------------
+// Randomized cross-check against the naive references.  Sizes straddle
+// the support-structure boundaries: sub-word, one word, many words (the
+// segment tree and the select samples only matter past 64 bits / 64
+// opens).  Seeded, so failures are bit-reproducible.
+
+TEST(BpIndexTest, RandomizedMatchesNaiveReference) {
+  Random rng(20260808);
+  for (const uint64_t nodes : {1u, 3u, 17u, 64u, 65u, 333u, 2500u}) {
+    for (int round = 0; round < 3; ++round) {
+      const std::string parens = RandomParens(&rng, nodes);
+      auto bp_or = BpIndex::FromParens(
+          parens, RandomTags(&rng, nodes, 4), 0);
+      ASSERT_TRUE(bp_or.ok()) << bp_or.status().ToString();
+      const BpIndex& bp = *bp_or.ValueOrDie();
+      ASSERT_EQ(bp.node_count(), nodes);
+      ASSERT_EQ(bp.bit_count(), parens.size());
+
+      for (uint64_t pos = 0; pos < parens.size(); ++pos) {
+        ASSERT_EQ(bp.IsOpen(pos), parens[pos] == '(')
+            << "seedpos " << pos << " n=" << nodes;
+        ASSERT_EQ(bp.Rank1(pos), NaiveRank1(parens, pos)) << pos;
+        ASSERT_EQ(bp.Excess(pos), NaiveExcess(parens, pos)) << pos;
+        if (parens[pos] == '(') {
+          ASSERT_EQ(bp.FindClose(pos), NaiveFindClose(parens, pos)) << pos;
+          ASSERT_EQ(bp.Enclose(pos), NaiveEnclose(parens, pos)) << pos;
+        }
+      }
+      ASSERT_EQ(bp.Rank1(parens.size()), nodes);
+      for (uint64_t rank = 0; rank < nodes; ++rank) {
+        ASSERT_EQ(bp.Select1(rank), NaiveSelect1(parens, rank)) << rank;
+      }
+    }
+  }
+}
+
+TEST(BpIndexTest, RandomizedFusedTagScanMatchesNaive) {
+  Random rng(424242);
+  const uint64_t nodes = 700;  // > 10 SWAR blocks.
+  const std::string parens = RandomParens(&rng, nodes);
+  // A rare tag (99) sprinkled over a common filler tag, so whole blocks
+  // actually get skipped.
+  std::vector<TagId> tags(nodes, 1);
+  for (int i = 0; i < 5; ++i) {
+    tags[rng.Uniform(nodes)] = 99;
+  }
+  auto bp_or = BpIndex::FromParens(parens, tags, 0);
+  ASSERT_TRUE(bp_or.ok());
+  const BpIndex& bp = *bp_or.ValueOrDie();
+
+  for (const TagId want : {TagId{99}, TagId{1}, TagId{7}}) {
+    uint64_t pos = 0;
+    uint64_t naive_rank = 1;
+    for (;;) {
+      uint64_t skipped = 0;
+      const auto got = bp.NextOpenWithTag(pos, want, &skipped);
+      // Naive: next open strictly after pos with the wanted tag.
+      std::optional<uint64_t> expect;
+      for (uint64_t r = naive_rank; r < nodes; ++r) {
+        if (tags[r] == want) {
+          expect = NaiveSelect1(parens, r);
+          break;
+        }
+      }
+      ASSERT_EQ(got, expect) << "tag " << want << " from " << pos;
+      if (!got.has_value()) break;
+      pos = *got;
+      naive_rank = bp.Rank1(pos + 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Serialization.
+
+TEST(BpIndexTest, SerializeDeserializeRoundTrip) {
+  Random rng(99);
+  const uint64_t nodes = 300;
+  const std::string parens = RandomParens(&rng, nodes);
+  auto bp_or =
+      BpIndex::FromParens(parens, RandomTags(&rng, nodes, 6), 41);
+  ASSERT_TRUE(bp_or.ok());
+  const BpIndex& bp = *bp_or.ValueOrDie();
+
+  const std::string bytes = bp.Serialize();
+  auto back_or = BpIndex::Deserialize(bytes);
+  ASSERT_TRUE(back_or.ok()) << back_or.status().ToString();
+  const BpIndex& back = *back_or.ValueOrDie();
+  EXPECT_EQ(back.node_count(), bp.node_count());
+  EXPECT_EQ(back.bit_count(), bp.bit_count());
+  EXPECT_EQ(back.epoch(), 41u);
+  for (uint64_t pos = 0; pos < bp.bit_count(); ++pos) {
+    ASSERT_EQ(back.IsOpen(pos), bp.IsOpen(pos)) << pos;
+    if (bp.IsOpen(pos)) {
+      ASSERT_EQ(back.TagAt(pos), bp.TagAt(pos)) << pos;
+      ASSERT_EQ(back.FindClose(pos), bp.FindClose(pos)) << pos;
+    }
+  }
+  // Deterministic encode: a round-tripped index re-serializes
+  // byte-identically.
+  EXPECT_EQ(back.Serialize(), bytes);
+}
+
+TEST(BpIndexTest, DeserializeRejectsCorruption) {
+  auto bp = Golden();
+  const std::string bytes = bp->Serialize();
+  // Any single flipped byte must be rejected: header bytes break the
+  // magic/version/shape checks, payload bytes break the CRC.
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string bad = bytes;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    EXPECT_FALSE(BpIndex::Deserialize(bad).ok()) << "byte " << i;
+  }
+  EXPECT_FALSE(BpIndex::Deserialize(bytes.substr(0, 10)).ok());
+  EXPECT_FALSE(BpIndex::Deserialize(bytes + "x").ok());
+}
+
+// ---------------------------------------------------------------------
+// Store-level: bp navigation must answer every query exactly like the
+// paged tier, and the sidecar must persist and invalidate correctly.
+
+TEST(BpIndexTest, BpModeMatchesPagedOnRandomDocuments) {
+  Random rng(777);
+  for (int doc = 0; doc < 6; ++doc) {
+    testutil::RandomDocOptions doc_options;
+    doc_options.max_nodes = 150;
+    const std::string xml = testutil::RandomXml(&rng, doc_options);
+
+    DocumentStore::Options paged_options;
+    paged_options.page_size = 512;
+    auto paged = DocumentStore::Build(xml, paged_options);
+    ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+
+    DocumentStore::Options bp_options = paged_options;
+    bp_options.nav_mode = NavMode::kBp;
+    auto bp = DocumentStore::Build(xml, bp_options);
+    ASSERT_TRUE(bp.ok()) << bp.status().ToString();
+
+    QueryEngine paged_engine(paged->get());
+    QueryEngine bp_engine(bp->get());
+    for (int q = 0; q < 20; ++q) {
+      const std::string query = testutil::RandomQuery(&rng, doc_options);
+      auto want = paged_engine.Evaluate(query);
+      auto got = bp_engine.Evaluate(query);
+      ASSERT_EQ(want.ok(), got.ok())
+          << query << ": " << want.status().ToString() << " vs "
+          << got.status().ToString();
+      if (!want.ok()) continue;
+      ASSERT_EQ(*want, *got) << query;
+    }
+    // The bp store navigated through the BP tier.
+    EXPECT_GT((*bp)->tree()->nav_stats().bp_steps, 0u);
+  }
+}
+
+TEST(BpIndexTest, SidecarPersistsAndGoesStale) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("nokxml_bpx_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  DocumentStore::Options options;
+  options.dir = dir;
+  options.nav_mode = NavMode::kBp;
+  {
+    auto store = DocumentStore::Build(
+        "<a><b><c/></b><b/><d>x</d></a>", options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->Flush().ok());
+    // Build materializes eagerly from the page chain, not the sidecar.
+    EXPECT_FALSE((*store)->bp_loaded_from_sidecar());
+  }
+  ASSERT_TRUE(std::filesystem::exists(dir + "/tree.bpx"));
+  {
+    auto store = DocumentStore::OpenDir(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_TRUE((*store)->bp_loaded_from_sidecar());
+    uint64_t nodes_before = 0;
+    {
+      auto bp = (*store)->bp_index();
+      ASSERT_TRUE(bp.ok());
+      EXPECT_EQ((*bp)->node_count(), (*store)->stats().node_count);
+      nodes_before = (*bp)->node_count();
+    }  // The insert below invalidates this pointer.
+
+    // A structural update invalidates the in-memory index; the rebuilt
+    // one reflects the new topology.
+    ASSERT_TRUE((*store)->InsertSubtree(DeweyId({0}), 0, "<e/>").ok());
+    auto bp2 = (*store)->bp_index();
+    ASSERT_TRUE(bp2.ok());
+    EXPECT_FALSE((*store)->bp_loaded_from_sidecar());
+    EXPECT_EQ((*bp2)->node_count(), nodes_before + 1);
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  {
+    // The Flush above re-persisted the sidecar for the new generation.
+    auto store = DocumentStore::OpenDir(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_TRUE((*store)->bp_loaded_from_sidecar());
+  }
+  {
+    // A flipped sidecar byte fails the CRC: the open silently rebuilds
+    // from the page chain instead of trusting the damaged file.
+    std::fstream f(dir + "/tree.bpx",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(40);
+    const char flipped = static_cast<char>(f.get() ^ 0xff);
+    f.seekp(40);
+    f.put(flipped);
+    f.close();
+    auto store = DocumentStore::OpenDir(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_FALSE((*store)->bp_loaded_from_sidecar());
+    auto bp = (*store)->bp_index();
+    ASSERT_TRUE(bp.ok());
+    EXPECT_EQ((*bp)->node_count(), (*store)->stats().node_count);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace nok

@@ -138,12 +138,26 @@ std::vector<Mismatch> CheckCase(const FuzzCase& fuzz_case,
   NavigationalEngine nav(&*dom);
   RegionEngine region(&*interval);
 
-  // Store matrix: {tag summaries off, on}; small pages so paging is real.
+  // Store matrix: {tag summaries off, on} x {paged, bp navigation};
+  // small pages so paging is real.  The bp configuration runs with tag
+  // summaries on (its candidate scans never touch pages anyway), so
+  // three stores cover all engine-visible combinations.
+  struct StoreConfig {
+    bool tag_summaries;
+    NavMode nav_mode;
+    const char* suffix;
+  };
+  const StoreConfig configs[] = {
+      {false, NavMode::kPaged, ""},
+      {true, NavMode::kPaged, " ts"},
+      {true, NavMode::kBp, " bp"},
+  };
   std::vector<std::unique_ptr<DocumentStore>> stores;
-  for (bool tag_summaries : {false, true}) {
+  for (const StoreConfig& config : configs) {
     DocumentStore::Options options;
     options.page_size = 512;
-    options.use_tag_summaries = tag_summaries;
+    options.use_tag_summaries = config.tag_summaries;
+    options.nav_mode = config.nav_mode;
     auto store = DocumentStore::Build(fuzz_case.xml, options);
     if (!store.ok()) {
       out.push_back(
@@ -220,7 +234,7 @@ std::vector<Mismatch> CheckCase(const FuzzCase& fuzz_case,
           auto r = engine.Evaluate(query, qo);
           const std::string name =
               std::string("nok ") + StrategyName(strategy) +
-              (s == 1 ? " ts" : "") + (cache ? " cache" : "");
+              configs[s].suffix + (cache ? " cache" : "");
           Judge(name, query, want, r.status(),
                 r.ok() ? CanonDewey(*r) : std::vector<std::string>{},
                 &out);

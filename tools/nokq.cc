@@ -3,9 +3,10 @@
 //   nokq build  <file.xml> <store-dir> [--checksum]   build a store
 //   nokq query  <store-dir> <xpath> [--values] [--strategy auto|scan|tag|
 //               value|path] [--explain] [--no-header-skip]
-//               [--no-tag-summaries]
+//               [--no-tag-summaries] [--nav-mode paged|bp]
 //   nokq explain <store-dir> <xpath> [--strategy ...] [--fixed-order]
-//               [--plan-cache]     print the query plan + operator trace
+//               [--plan-cache] [--nav-mode paged|bp]
+//                                  print the query plan + operator trace
 //   nokq stream <file.xml> <xpath>              single-pass evaluation
 //   nokq stats  <store-dir>                     Table-1 style statistics
 //   nokq insert <store-dir> <parent-dewey> <index> <fragment.xml> [--wal]
@@ -54,8 +55,9 @@ int Usage() {
           "  nokq query  <store-dir> <xpath> [--values] [--explain]\n"
           "              [--strategy auto|scan|tag|value|path]\n"
           "              [--no-header-skip] [--no-tag-summaries]\n"
+          "              [--nav-mode paged|bp]\n"
           "  nokq explain <store-dir> <xpath> [--fixed-order]\n"
-          "              [--plan-cache]\n"
+          "              [--plan-cache] [--nav-mode paged|bp]\n"
           "              [--strategy auto|scan|tag|value|path]\n"
           "  nokq stream <file.xml> <xpath>\n"
           "  nokq stats  <store-dir>\n"
@@ -70,7 +72,8 @@ int Usage() {
           "               parts)\n"
           "  nokq bench  <store-dir> [--threads N] [--repeat K]\n"
           "              [--queries file] [--json path]\n"
-          "              [--engine nok|di|twigstack|nav|region]\n");
+          "              [--engine nok|di|twigstack|nav|region]\n"
+          "              [--nav-mode paged|bp]\n");
   return 2;
 }
 
@@ -125,13 +128,23 @@ nok::Result<nok::DeweyId> ParseDewey(const std::string& text) {
 
 nok::Result<std::unique_ptr<nok::DocumentStore>> OpenStore(
     const std::string& dir, bool use_header_skip = true,
-    bool use_tag_summaries = true, bool wal = false) {
+    bool use_tag_summaries = true, bool wal = false,
+    nok::NavMode nav_mode = nok::NavMode::kPaged) {
   nok::DocumentStore::Options options;
   options.dir = dir;
   options.use_header_skip = use_header_skip;
   options.use_tag_summaries = use_tag_summaries;
   options.wal.enabled = wal;
+  options.nav_mode = nav_mode;
   return nok::DocumentStore::OpenDir(options);
+}
+
+bool ParseNavModeName(const char* name, nok::NavMode* out) {
+  const std::string s = name;
+  if (s == "paged") *out = nok::NavMode::kPaged;
+  else if (s == "bp") *out = nok::NavMode::kBp;
+  else return false;
+  return true;
 }
 
 int CmdBuild(const std::string& xml_path, const std::string& dir,
@@ -167,6 +180,7 @@ int CmdExplain(int argc, char** argv) {
   const std::string dir = argv[2];
   const std::string xpath = argv[3];
   nok::QueryOptions options;
+  nok::NavMode nav_mode = nok::NavMode::kPaged;
   for (int i = 4; i < argc; ++i) {
     if (strcmp(argv[i], "--fixed-order") == 0) {
       options.cost_based_join_order = false;
@@ -174,11 +188,13 @@ int CmdExplain(int argc, char** argv) {
       options.use_plan_cache = true;
     } else if (strcmp(argv[i], "--strategy") == 0 && i + 1 < argc) {
       if (!ParseStrategyName(argv[++i], &options.strategy)) return Usage();
+    } else if (strcmp(argv[i], "--nav-mode") == 0 && i + 1 < argc) {
+      if (!ParseNavModeName(argv[++i], &nav_mode)) return Usage();
     } else {
       return Usage();
     }
   }
-  auto store = OpenStore(dir);
+  auto store = OpenStore(dir, true, true, false, nav_mode);
   if (!store.ok()) return Fail(store.status());
   nok::QueryEngine engine(store->get());
   auto result = engine.Evaluate(xpath, options);
@@ -193,6 +209,7 @@ int CmdQuery(int argc, char** argv) {
   bool values = false, explain = false;
   bool header_skip = true, tag_summaries = true;
   nok::QueryOptions options;
+  nok::NavMode nav_mode = nok::NavMode::kPaged;
   for (int i = 4; i < argc; ++i) {
     if (strcmp(argv[i], "--values") == 0) {
       values = true;
@@ -204,12 +221,14 @@ int CmdQuery(int argc, char** argv) {
       tag_summaries = false;
     } else if (strcmp(argv[i], "--strategy") == 0 && i + 1 < argc) {
       if (!ParseStrategyName(argv[++i], &options.strategy)) return Usage();
+    } else if (strcmp(argv[i], "--nav-mode") == 0 && i + 1 < argc) {
+      if (!ParseNavModeName(argv[++i], &nav_mode)) return Usage();
     } else {
       return Usage();
     }
   }
 
-  auto store = OpenStore(dir, header_skip, tag_summaries);
+  auto store = OpenStore(dir, header_skip, tag_summaries, false, nav_mode);
   if (!store.ok()) return Fail(store.status());
   nok::QueryEngine engine(store->get());
   nok::Timer timer;
@@ -247,6 +266,12 @@ int CmdQuery(int argc, char** argv) {
             static_cast<unsigned long long>(nav.pages_skipped),
             static_cast<unsigned long long>(nav.pages_skipped_by_tag),
             static_cast<unsigned long long>(nav.decode_cache_hits));
+    if ((*store)->nav_mode() == nok::NavMode::kBp) {
+      fprintf(stderr,
+              "  bp: %llu tree steps, %llu tag blocks skipped\n",
+              static_cast<unsigned long long>(nav.bp_steps),
+              static_cast<unsigned long long>(nav.bp_tag_blocks_skipped));
+    }
   }
   return 0;
 }
@@ -567,6 +592,7 @@ int CmdBench(int argc, char** argv) {
   std::string queries_path = dir + "/queries.txt";
   std::string json_path = "BENCH_concurrency.json";
   std::string engine_name = "nok";
+  nok::NavMode nav_mode = nok::NavMode::kPaged;
   for (int i = 3; i < argc; ++i) {
     if (strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       char* end = nullptr;
@@ -582,6 +608,8 @@ int CmdBench(int argc, char** argv) {
       json_path = argv[++i];
     } else if (strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
       engine_name = argv[++i];
+    } else if (strcmp(argv[i], "--nav-mode") == 0 && i + 1 < argc) {
+      if (!ParseNavModeName(argv[++i], &nav_mode)) return Usage();
     } else {
       return Usage();
     }
@@ -653,6 +681,7 @@ int CmdBench(int argc, char** argv) {
   options.read_only = true;
   options.pool_shards = 16;
   options.index_pool_shards = 8;
+  options.nav_mode = nav_mode;
   std::unique_ptr<nok::DocumentStore> store;
   if (!baseline) {
     auto opened = nok::DocumentStore::OpenDir(options);
@@ -704,6 +733,7 @@ int CmdBench(int argc, char** argv) {
   char buf[512];
   snprintf(buf, sizeof(buf),
            "  \"store\": \"%s\",\n  \"engine\": \"%s\",\n"
+           "  \"nav_mode\": \"%s\",\n"
            "  \"threads\": %d,\n"
            "  \"repeat\": %d,\n  \"distinct_queries\": %zu,\n"
            "  \"wall_seconds\": %.6f,\n  \"aggregate\": {\n"
@@ -711,7 +741,8 @@ int CmdBench(int argc, char** argv) {
            "    \"throughput_qps\": %.2f,\n"
            "    \"mean_latency_us\": %.2f,\n"
            "    \"max_latency_us\": %.2f\n  },\n",
-           dir.c_str(), engine_name.c_str(), threads, repeat,
+           dir.c_str(), engine_name.c_str(),
+           baseline ? "n/a" : nok::NavModeName(nav_mode), threads, repeat,
            xpaths.size(), wall_seconds,
            static_cast<unsigned long long>(total_queries), throughput,
            mean_sum / static_cast<double>(threads), max_us);
@@ -735,6 +766,17 @@ int CmdBench(int argc, char** argv) {
     AppendPoolJson(&json, "path_index",
                    store->path_index()->buffer_pool()->stats());
     json += "\n  },\n";
+    const nok::StringStore::NavStats nav = store->tree()->nav_stats();
+    snprintf(buf, sizeof(buf),
+             "  \"nav\": {\"pages_scanned\": %llu, "
+             "\"pages_skipped\": %llu, \"pages_skipped_by_tag\": %llu, "
+             "\"bp_steps\": %llu, \"bp_tag_blocks_skipped\": %llu},\n",
+             static_cast<unsigned long long>(nav.pages_scanned),
+             static_cast<unsigned long long>(nav.pages_skipped),
+             static_cast<unsigned long long>(nav.pages_skipped_by_tag),
+             static_cast<unsigned long long>(nav.bp_steps),
+             static_cast<unsigned long long>(nav.bp_tag_blocks_skipped));
+    json += buf;
   }
   json += "  \"per_thread\": [\n";
   for (size_t t = 0; t < results.size(); ++t) {
