@@ -13,12 +13,20 @@
 // than the fixed order (beyond a small timing tolerance) on any query,
 // or fails to reach the target speedup on at least one branchy query.
 //
+// A second phase ablates the path synopsis (per-pattern-node estimates
+// vs flat tag counts): it compares per-NokMatch est-vs-actual error,
+// requires the synopsis to at least halve the median error on the bushy
+// workload, and requires a schema-impossible composition of present
+// tags to execute with zero pages read via the EmptyResult fast path.
+//
 // Usage: bench_planner [--dataset catalog] [--scale 0.05] [--seed 42]
 //                      [--page-size 512] [--runs 5]
 //                      [--target-speedup 1.2] [--tolerance 0.10]
 //                      [--json BENCH_planner.json]
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -56,6 +64,20 @@ struct Cell {
   uint64_t cache_hits = 0;
   std::vector<std::string> deweys;  ///< For the cross-mode identity check.
 };
+
+/// One query under one planner mode (synopsis on/off): per-NokMatch
+/// est-vs-actual errors plus the page count the schedule cost.
+struct SynopsisCell {
+  std::vector<double> errors;  ///< |est/max(actual,1) - 1| per NokMatch.
+  uint64_t pages_scanned = 0;
+  std::vector<std::string> deweys;
+};
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
 
 /// The branchy workload: the bushy half of the Table 2 categories plus
 /// two hand-built queries whose anchors are frequent but whose predicate
@@ -209,6 +231,135 @@ int Run(int argc, char** argv) {
             max_speedup, target);
   }
 
+  // ------------------------------------------------------------------
+  // Synopsis phase: estimation quality on the bushy workload, synopsis
+  // on vs off.  Per query and mode, collect the per-NokMatch estimation
+  // error |est / max(actual, 1) - 1| from the operator trace, the pages
+  // the chosen schedule cost, and the result set (the planner mode must
+  // never change answers).  The skewed compositions are exactly where
+  // flat tag counts are off by orders of magnitude.
+  printf("\nsynopsis ablation (est-vs-actual per NokMatch)\n");
+  printf("%-4s %12s %12s %10s %10s\n", "id", "err syn", "err flat",
+         "pages syn", "pages flat");
+  std::vector<double> errors_syn, errors_flat;
+  bool synopsis_identical = true;
+  bool schedule_never_worse = true;
+  std::vector<std::array<SynopsisCell, 2>> syn_grid;  // [query][on, off].
+  for (const CategoryQuery& q : queries) {
+    std::array<SynopsisCell, 2> cells;
+    for (int mode = 0; mode < 2; ++mode) {
+      SynopsisCell& cell = cells[static_cast<size_t>(mode)];
+      QueryEngine engine(store->get());
+      QueryOptions qo;
+      qo.use_synopsis = mode == 0;
+      Status s = (*store)->DropCaches();
+      if (!s.ok()) {
+        fprintf(stderr, "drop caches failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      (*store)->tree()->ResetNavStats();
+      auto result = engine.Evaluate(q.xpath, qo);
+      if (!result.ok()) {
+        fprintf(stderr, "%s [synopsis=%d] failed: %s\n", q.xpath.c_str(),
+                mode == 0 ? 1 : 0, result.status().ToString().c_str());
+        return 1;
+      }
+      cell.pages_scanned = (*store)->tree()->nav_stats().pages_scanned;
+      for (const DeweyId& id : *result) {
+        cell.deweys.push_back(id.ToString());
+      }
+      for (const OperatorStats& op : engine.last_trace().operators) {
+        if (op.op != "NokMatch" || !op.has_estimate) continue;
+        const double actual =
+            static_cast<double>(op.rows_out > 0 ? op.rows_out : 1);
+        cell.errors.push_back(
+            std::fabs(static_cast<double>(op.estimated) / actual - 1.0));
+      }
+      auto* pool = mode == 0 ? &errors_syn : &errors_flat;
+      pool->insert(pool->end(), cell.errors.begin(), cell.errors.end());
+    }
+    if (cells[0].deweys != cells[1].deweys) {
+      synopsis_identical = false;
+      fprintf(stderr, "RESULT MISMATCH: synopsis on/off disagree on %s\n",
+              q.xpath.c_str());
+    }
+    // Schedule-choice self-check: better estimates must not steer the
+    // selectivity schedule into touching more pages (small absolute
+    // slack for tie-break churn on tiny plans).
+    if (cells[0].pages_scanned > cells[1].pages_scanned + 2) {
+      schedule_never_worse = false;
+      fprintf(stderr,
+              "SCHEDULE REGRESSION: %s scans %llu pages with the synopsis "
+              "vs %llu without\n",
+              q.id.c_str(),
+              static_cast<unsigned long long>(cells[0].pages_scanned),
+              static_cast<unsigned long long>(cells[1].pages_scanned));
+    }
+    printf("%-4s %12.3f %12.3f %10llu %10llu\n", q.id.c_str(),
+           Median(cells[0].errors), Median(cells[1].errors),
+           static_cast<unsigned long long>(cells[0].pages_scanned),
+           static_cast<unsigned long long>(cells[1].pages_scanned));
+    syn_grid.push_back(std::move(cells));
+  }
+  const double median_err_syn = Median(errors_syn);
+  const double median_err_flat = Median(errors_flat);
+  // The acceptance bar: the synopsis halves the median estimation error
+  // on the bushy workload (in practice it collapses it to ~0).
+  const bool error_collapses = median_err_syn <= 0.5 * median_err_flat;
+  if (!error_collapses) {
+    fprintf(stderr,
+            "ESTIMATION ERROR NOT COLLAPSED: median %.3f with synopsis vs "
+            "%.3f without\n",
+            median_err_syn, median_err_flat);
+  }
+
+  // Impossible-path short circuit: a composition of tags that all exist
+  // but never nest this way (markers are leaves, so nothing lives below
+  // one).  With the synopsis the plan is EmptyResult and the run must
+  // touch zero pages; without it the engine still answers [] the hard
+  // way — and both must agree.
+  std::string entry_tag = ds.entry_path;
+  const size_t entry_slash = entry_tag.rfind('/');
+  if (entry_slash != std::string::npos) {
+    entry_tag = entry_tag.substr(entry_slash + 1);
+  }
+  const std::string impossible_query =
+      "//" + ds.marker_gem + "//" + entry_tag;
+  uint64_t impossible_pages = 0;
+  bool impossible_proved = false;
+  bool impossible_agrees = false;
+  {
+    QueryEngine engine(store->get());
+    Status s = (*store)->DropCaches();
+    if (!s.ok()) {
+      fprintf(stderr, "drop caches failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    (*store)->tree()->ResetNavStats();
+    QueryOptions qo;
+    auto on = engine.Evaluate(impossible_query, qo);
+    if (!on.ok()) {
+      fprintf(stderr, "impossible query failed: %s\n",
+              on.status().ToString().c_str());
+      return 1;
+    }
+    impossible_pages = (*store)->tree()->nav_stats().pages_scanned;
+    impossible_proved = engine.last_trace().empty_result;
+    QueryOptions off;
+    off.use_synopsis = false;
+    auto flat = engine.Evaluate(impossible_query, off);
+    impossible_agrees =
+        flat.ok() && flat->empty() && on->empty();
+  }
+  const bool impossible_zero_pages =
+      impossible_proved && impossible_pages == 0 && impossible_agrees;
+  printf("impossible path %s: %s, %llu pages\n", impossible_query.c_str(),
+         impossible_proved ? "proved empty" : "NOT PROVED",
+         static_cast<unsigned long long>(impossible_pages));
+  if (!impossible_zero_pages) {
+    fprintf(stderr, "IMPOSSIBLE-PATH CHECK FAILED\n");
+  }
+
   std::string json = "{\n";
   char buf[512];
   snprintf(buf, sizeof(buf),
@@ -242,12 +393,40 @@ int Run(int argc, char** argv) {
       json += buf;
     }
   }
+  json += "  ],\n  \"synopsis\": {\n    \"queries\": [\n";
+  for (size_t q = 0; q < syn_grid.size(); ++q) {
+    snprintf(buf, sizeof(buf),
+             "      {\"query\": \"%s\", \"median_abs_error_syn\": %.4f, "
+             "\"median_abs_error_flat\": %.4f, \"pages_syn\": %llu, "
+             "\"pages_flat\": %llu}%s\n",
+             queries[q].id.c_str(), Median(syn_grid[q][0].errors),
+             Median(syn_grid[q][1].errors),
+             static_cast<unsigned long long>(syn_grid[q][0].pages_scanned),
+             static_cast<unsigned long long>(syn_grid[q][1].pages_scanned),
+             q + 1 == syn_grid.size() ? "" : ",");
+    json += buf;
+  }
   snprintf(buf, sizeof(buf),
-           "  ],\n  \"checks\": {\"results_identical\": %s, "
+           "    ],\n    \"median_abs_error_syn\": %.4f,\n"
+           "    \"median_abs_error_flat\": %.4f,\n"
+           "    \"impossible_query\": \"%s\",\n"
+           "    \"impossible_pages\": %llu\n  },\n",
+           median_err_syn, median_err_flat, impossible_query.c_str(),
+           static_cast<unsigned long long>(impossible_pages));
+  json += buf;
+  snprintf(buf, sizeof(buf),
+           "  \"checks\": {\"results_identical\": %s, "
            "\"never_slower\": %s, \"speedup_target_met\": %s, "
-           "\"max_speedup\": %.3f}\n}\n",
+           "\"max_speedup\": %.3f, \"synopsis_identical\": %s, "
+           "\"synopsis_error_collapses\": %s, "
+           "\"synopsis_schedule_never_worse\": %s, "
+           "\"impossible_zero_pages\": %s}\n}\n",
            identical ? "true" : "false", never_slower ? "true" : "false",
-           target_met ? "true" : "false", max_speedup);
+           target_met ? "true" : "false", max_speedup,
+           synopsis_identical ? "true" : "false",
+           error_collapses ? "true" : "false",
+           schedule_never_worse ? "true" : "false",
+           impossible_zero_pages ? "true" : "false");
   json += buf;
 
   Status s = WriteStringToFile(json_path, Slice(json));
@@ -256,7 +435,9 @@ int Run(int argc, char** argv) {
             s.ToString().c_str());
     return 1;
   }
-  const bool ok = identical && never_slower && target_met;
+  const bool ok = identical && never_slower && target_met &&
+                  synopsis_identical && error_collapses &&
+                  schedule_never_worse && impossible_zero_pages;
   printf("\nbest speedup %.2fx; report: %s (%s)\n", max_speedup,
          json_path.c_str(), ok ? "checks passed" : "CHECKS FAILED");
   return ok ? 0 : 1;

@@ -187,7 +187,8 @@ with open(sys.argv[1]) as f:
     report = json.load(f)
 
 for key in ("dataset", "scale", "seed", "page_size", "runs",
-            "target_speedup", "tolerance", "measurements", "checks"):
+            "target_speedup", "tolerance", "measurements", "synopsis",
+            "checks"):
     assert key in report, f"missing key: {key}"
 assert report["measurements"], "no measurements"
 modes = set()
@@ -200,9 +201,24 @@ for m in report["measurements"]:
     if not m["plan_cache"]:
         assert m["plan_cache_hits"] == 0, f"cache hits without cache: {m}"
 assert modes == {"fixed", "cost", "cost+cache"}, f"bad mode set: {modes}"
-assert report["checks"]["results_identical"] is True
+syn = report["synopsis"]
+for key in ("queries", "median_abs_error_syn", "median_abs_error_flat",
+            "impossible_query", "impossible_pages"):
+    assert key in syn, f"synopsis missing key: {key}"
+assert syn["queries"], "no synopsis measurements"
+for q in syn["queries"]:
+    for key in ("query", "median_abs_error_syn", "median_abs_error_flat",
+                "pages_syn", "pages_flat"):
+        assert key in q, f"synopsis query missing key: {key}"
+assert syn["impossible_pages"] == 0, "impossible path read pages"
+checks = report["checks"]
+assert checks["results_identical"] is True
+for key in ("synopsis_identical", "synopsis_error_collapses",
+            "synopsis_schedule_never_worse", "impossible_zero_pages"):
+    assert checks[key] is True, f"check failed: {key}"
 print("BENCH_planner.json: schema ok,",
-      len(report["measurements"]), "measurements")
+      len(report["measurements"]), "measurements,",
+      len(syn["queries"]), "synopsis cells")
 EOF
 
   step "BP navigation-tier ablation bench (tiny dataset)"

@@ -92,6 +92,11 @@ struct Sampler {
   std::vector<std::string> values;  ///< Planted needle values.
 
   std::string Tag() {
+    // Short-circuit before consuming randomness: absent_bias == 0 must
+    // leave the sampled stream untouched.
+    if (opt->absent_bias > 0 && rng->Bernoulli(opt->absent_bias)) {
+      return rng->Bernoulli(0.5) ? "zzabsent" : "zzghost";
+    }
     if (rng->Bernoulli(0.08)) return "*";
     return pool[rng->Uniform(pool.size())];
   }

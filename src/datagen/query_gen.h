@@ -44,6 +44,11 @@ struct RandomQueryOptions {
   int max_branches = 2;          ///< Predicates allowed per step.
   double bushy_bias = 0.55;      ///< Chance a step grows predicates.
   double positional_bias = 0.1;  ///< Chance a predicate is [n].
+  /// Chance a sampled tag name is one that never occurs in any dataset
+  /// ("zzabsent"/"zzghost") — the shape the planner's schema-impossible
+  /// pruning answers without I/O.  0 draws no extra randomness, so the
+  /// default keeps every seeded query stream byte-identical.
+  double absent_bias = 0.0;
 };
 
 /// Samples `count` syntactically valid queries over the dataset's schema

@@ -24,8 +24,9 @@ constexpr uint64_t kLaneHigh = 0x8000800080008000ull;
 
 }  // namespace
 
-Result<std::unique_ptr<BpIndex>> BpIndex::Build(StringStore* tree,
-                                                uint64_t epoch) {
+Result<std::unique_ptr<BpIndex>> BpIndex::Build(
+    StringStore* tree, uint64_t epoch,
+    const std::function<void(bool, TagId)>& observer) {
   auto index = std::unique_ptr<BpIndex>(new BpIndex());
   index->epoch_ = epoch;
   index->node_count_ = tree->node_count();
@@ -40,6 +41,7 @@ Result<std::unique_ptr<BpIndex>> BpIndex::Build(StringStore* tree,
       }
       index->tags_.push_back(tag);
     }
+    if (observer) observer(is_open, tag);
     ++pos;
   }));
   if (pos != index->n_bits_ || index->tags_.size() != index->node_count_) {

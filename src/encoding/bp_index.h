@@ -47,6 +47,7 @@
 #define NOKXML_ENCODING_BP_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -72,9 +73,13 @@ class BpIndex {
 
   /// Builds the index in one sequential scan of the paged string
   /// (chain-order page decodes; the only time the BufferPool is touched).
-  /// `epoch` stamps the result for sidecar versioning.
-  static Result<std::unique_ptr<BpIndex>> Build(StringStore* tree,
-                                                uint64_t epoch);
+  /// `epoch` stamps the result for sidecar versioning.  `observer`, when
+  /// non-null, sees every (is_open, tag) symbol of the same scan —
+  /// DocumentStore rides it to rebuild the path synopsis without a
+  /// second pass over the page chain.
+  static Result<std::unique_ptr<BpIndex>> Build(
+      StringStore* tree, uint64_t epoch,
+      const std::function<void(bool, TagId)>& observer = nullptr);
 
   /// Builds from a parenthesis string like "(()())" — unit tests and
   /// golden fixtures.  `tags` gives the preorder TagIds and may be empty

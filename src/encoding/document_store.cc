@@ -78,6 +78,7 @@ constexpr const char* kIdIdxFile = store_files::kIdIdx;
 constexpr const char* kPathIdxFile = store_files::kPathIdx;
 constexpr const char* kStaleFile = store_files::kStale;
 constexpr const char* kBpFile = store_files::kBpIndex;
+constexpr const char* kSynopsisFile = store_files::kSynopsis;
 
 }  // namespace
 
@@ -186,6 +187,8 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Build(
   std::vector<TagId> tag_path;
   uint64_t leaf_count = 0;
   uint64_t leaf_depth_sum = 0;
+  // The path synopsis trie rides the same SAX pass — no extra scan.
+  PathSynopsis::Builder synopsis_builder;
 
   // Closes the top frame: files value/index entries, emits ')'.
   auto close_top = [&]() -> Status {
@@ -210,6 +213,7 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Build(
       leaf_depth_sum += dewey_path.size();
     }
     NOK_RETURN_IF_ERROR(builder.Close());
+    if (store->options_.use_synopsis) synopsis_builder.Close();
     frames.pop_back();
     dewey_path.pop_back();
     tag_path.pop_back();
@@ -228,6 +232,7 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Build(
     }
     uint64_t pos = 0;
     NOK_RETURN_IF_ERROR(builder.Open(tag, &pos));
+    if (store->options_.use_synopsis) synopsis_builder.Open(tag);
     tag_path.push_back(tag);
     const DeweyId dewey{std::vector<uint32_t>(dewey_path)};
     NOK_RETURN_IF_ERROR(store->tag_index_->Insert(
@@ -306,6 +311,12 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Build(
     // and persist the sidecar next to the freshly committed generation.
     NOK_RETURN_IF_ERROR(store->EnsureBpIndex());
     NOK_RETURN_IF_ERROR(store->PersistBpSidecar());
+  }
+  if (store->options_.use_synopsis) {
+    NOK_ASSIGN_OR_RETURN(store->synopsis_,
+                         synopsis_builder.Finish(store->epoch_));
+    store->synopsis_version_ = store->structure_version_;
+    NOK_RETURN_IF_ERROR(store->PersistSynopsisSidecar());
   }
   return store;
 }
@@ -468,6 +479,15 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::OpenDir(
       NOK_RETURN_IF_ERROR(store->PersistBpSidecar());
     }
   }
+  if (options.use_synopsis) {
+    // Eager for the same reason as the BP index; when EnsureBpIndex just
+    // rebuilt from the page chain, the synopsis rode that scan and this
+    // is a no-op.  A missing/stale/damaged sidecar is silently replaced.
+    NOK_RETURN_IF_ERROR(store->EnsureSynopsis());
+    if (!store->synopsis_from_sidecar_) {
+      NOK_RETURN_IF_ERROR(store->PersistSynopsisSidecar());
+    }
+  }
   return store;
 }
 
@@ -538,6 +558,14 @@ Status DocumentStore::Flush() {
     // Nothing captured, nothing to commit: keep the epoch stable so
     // snapshot readers and the plan cache see no phantom generation.
     if (!wal_writer_->in_transaction()) return Status::OK();
+    if (options_.wal.refresh_positions_on_commit && !positions_fresh_) {
+      // Fold the position refresh into this commit: the rebuilt index
+      // pages and the staleness-flag removal join the open transaction
+      // and ride the same single WAL fsync, instead of each commit
+      // leaving stale positions behind for a separate refresh
+      // transaction later (ROADMAP item 1 follow-up).
+      NOK_RETURN_IF_ERROR(RefreshPositionsImpl());
+    }
     // Run the legacy flush sequence against the TxnFile wrappers: every
     // page and meta write lands in the overlay (component Syncs are
     // deferred), then Commit makes the batch durable with one WAL fsync
@@ -559,6 +587,15 @@ Status DocumentStore::Flush() {
       return commit;
     }
     wal_ops_pending_ = 0;
+    if (options_.use_synopsis) {
+      // The structural updates of this batch dropped the in-memory
+      // synopsis; rebuild it against the committed generation so the
+      // planner keeps its cardinality estimates.  In-memory only — the
+      // sidecar write is not transaction-captured (PersistSynopsisSidecar
+      // no-ops on WAL handles).
+      NOK_RETURN_IF_ERROR(EnsureSynopsis());
+      synopsis_->set_epoch(epoch_);
+    }
     return Status::OK();
   }
   // One new generation.  Order: value file and indexes (data synced before
@@ -582,6 +619,12 @@ Status DocumentStore::Flush() {
     NOK_RETURN_IF_ERROR(EnsureBpIndex());
     bp_index_->set_epoch(epoch_);
     NOK_RETURN_IF_ERROR(PersistBpSidecar());
+  }
+  if (options_.use_synopsis) {
+    // Same lockstep for the synopsis sidecar.
+    NOK_RETURN_IF_ERROR(EnsureSynopsis());
+    synopsis_->set_epoch(epoch_);
+    NOK_RETURN_IF_ERROR(PersistSynopsisSidecar());
   }
   return Status::OK();
 }
@@ -747,6 +790,12 @@ Status DocumentStore::MarkPositionsStale() {
   // is rebuilt lazily on the next bp_index() call (or at Flush).
   bp_index_.reset();
   bp_from_sidecar_ = false;
+  // The synopsis too — an inserted subtree can create rooted paths the
+  // old trie never saw, and pruning on those would wrongly prove queries
+  // empty.  The planner falls back to flat tag counts until Flush
+  // rebuilds it.
+  synopsis_.reset();
+  synopsis_from_sidecar_ = false;
   if (!options_.dir.empty()) {
     if (wal_writer_ != nullptr && wal_writer_->in_transaction()) {
       wal_writer_->StageReplace(kStaleFile, "1");
@@ -788,9 +837,78 @@ Status DocumentStore::EnsureBpIndex() {
       // through to a rebuild; `nokq verify` reports the details.
     }
   }
-  NOK_ASSIGN_OR_RETURN(bp_index_, BpIndex::Build(tree_.get(), epoch_));
+  // Rebuild from the page chain.  When the synopsis is also out of date
+  // and its own sidecar cannot supply it, its trie rides the same
+  // VisitSymbols scan via the build observer — one pass, two indexes.
+  PathSynopsis::Builder synopsis_builder;
+  std::function<void(bool, TagId)> observer;
+  const bool feed_synopsis =
+      options_.use_synopsis &&
+      (synopsis_ == nullptr || synopsis_version_ != structure_version_) &&
+      !TrySynopsisSidecar();
+  if (feed_synopsis) {
+    observer = [&synopsis_builder](bool is_open, TagId tag) {
+      if (is_open) {
+        synopsis_builder.Open(tag);
+      } else {
+        synopsis_builder.Close();
+      }
+    };
+  }
+  NOK_ASSIGN_OR_RETURN(bp_index_,
+                       BpIndex::Build(tree_.get(), epoch_, observer));
   bp_version_ = structure_version_;
+  if (feed_synopsis) {
+    NOK_ASSIGN_OR_RETURN(synopsis_, synopsis_builder.Finish(epoch_));
+    synopsis_version_ = structure_version_;
+    synopsis_from_sidecar_ = false;
+  }
   return Status::OK();
+}
+
+bool DocumentStore::TrySynopsisSidecar() {
+  if (options_.dir.empty() || structure_version_ != 0 ||
+      !FileExists(options_.dir + "/" + kSynopsisFile)) {
+    return false;
+  }
+  auto file = OpenComponent(kSynopsisFile, /*create=*/false);
+  if (!file.ok()) return false;
+  auto loaded = PathSynopsis::LoadFrom(file.ValueOrDie().get());
+  if (loaded.ok() && loaded.ValueOrDie()->epoch() == epoch_ &&
+      loaded.ValueOrDie()->node_count() == tree_->node_count()) {
+    synopsis_ = std::move(loaded).ValueOrDie();
+    synopsis_version_ = structure_version_;
+    synopsis_from_sidecar_ = true;
+    return true;
+  }
+  // Stale or damaged sidecar (the CRC rejects torn writes): the caller
+  // rebuilds from the page chain; `nokq verify` pass 6 reports details.
+  return false;
+}
+
+Status DocumentStore::EnsureSynopsis() {
+  if (!options_.use_synopsis) return Status::OK();
+  if (synopsis_ != nullptr && synopsis_version_ == structure_version_) {
+    return Status::OK();
+  }
+  synopsis_.reset();
+  synopsis_from_sidecar_ = false;
+  if (TrySynopsisSidecar()) return Status::OK();
+  NOK_ASSIGN_OR_RETURN(synopsis_, PathSynopsis::Build(tree_.get(), epoch_));
+  synopsis_version_ = structure_version_;
+  return Status::OK();
+}
+
+Status DocumentStore::PersistSynopsisSidecar() {
+  if (options_.dir.empty() || options_.read_only ||
+      wal_writer_ != nullptr || synopsis_ == nullptr) {
+    // WAL handles keep the synopsis in-memory only: the sidecar write is
+    // not transaction-captured, so it must not join a WAL commit.
+    return Status::OK();
+  }
+  NOK_ASSIGN_OR_RETURN(auto file,
+                       OpenComponent(kSynopsisFile, /*create=*/true));
+  return synopsis_->SaveTo(file.get());
 }
 
 Status DocumentStore::PersistBpSidecar() {

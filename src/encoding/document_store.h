@@ -29,6 +29,7 @@
 #include "common/status.h"
 #include "encoding/bp_index.h"
 #include "encoding/dewey.h"
+#include "encoding/path_synopsis.h"
 #include "encoding/string_store.h"
 #include "encoding/tag_dictionary.h"
 #include "encoding/value_store.h"
@@ -49,6 +50,7 @@ inline constexpr const char* kIdIdx = "id.idx";
 inline constexpr const char* kPathIdx = "path.idx";
 inline constexpr const char* kStale = "positions.stale";
 inline constexpr const char* kBpIndex = "tree.bpx";
+inline constexpr const char* kSynopsis = "synopsis.pds";
 }  // namespace store_files
 
 /// How tree steps are answered at query time.
@@ -107,6 +109,13 @@ struct DocumentStoreOptions {
   /// and persist the sidecar on commit; the paged cursor remains
   /// available for verification and updates.
   NavMode nav_mode = NavMode::kPaged;
+  /// Maintain the DataGuide-style path synopsis (path_synopsis.h): built
+  /// in the same pass as the rest of the store (or loaded from the
+  /// synopsis.pds sidecar when its epoch matches) and fed to the Planner
+  /// for per-pattern-node cardinality estimates and schema-impossible
+  /// pruning.  Off = the planner falls back to flat tag counts (the
+  /// `--no-synopsis` ablation).
+  bool use_synopsis = true;
   /// Directory for the store files; empty = fully in-memory.
   std::string dir;
   /// Hook for wrapping component files (fault injection in tests).  When
@@ -127,6 +136,12 @@ struct DocumentStoreOptions {
     /// Auto-commit (Flush) after this many update operations;
     /// 0 = only an explicit Flush commits.
     uint64_t group_commit_ops = 0;
+    /// Fold a position refresh into each commit: when the batch left
+    /// positions stale, Flush runs RefreshPositions inside the same WAL
+    /// transaction, so the rebuilt index pages and the staleness-flag
+    /// removal ride the one commit fsync instead of needing a separate
+    /// post-commit transaction (ROADMAP item 1 follow-up).
+    bool refresh_positions_on_commit = false;
   };
   WalOptions wal;
 };
@@ -190,6 +205,17 @@ class DocumentStore {
   /// Whether the current in-memory BP index came from a matching
   /// tree.bpx sidecar (vs a rebuild scan of the page chain).
   bool bp_loaded_from_sidecar() const { return bp_from_sidecar_; }
+
+  /// The path synopsis for the current structure (path_synopsis.h), or
+  /// null when Options::use_synopsis is off.  Materialized eagerly by
+  /// Build/OpenDir and kept current across updates via
+  /// structure_version(), so read-only concurrent readers only ever see
+  /// the already-built immutable instance.
+  const PathSynopsis* path_synopsis() const { return synopsis_.get(); }
+
+  /// Whether the current in-memory synopsis came from a matching
+  /// synopsis.pds sidecar (vs a rebuild scan).
+  bool synopsis_loaded_from_sidecar() const { return synopsis_from_sidecar_; }
 
   // -- navigation helpers ----------------------------------------------
   /// Physical position of the node with the given Dewey ID: a B+i lookup
@@ -345,11 +371,27 @@ class DocumentStore {
 
   /// Makes bp_index_ match the current structure: loads the sidecar when
   /// its epoch and shape agree, else rebuilds by one sequential scan.
+  /// When the synopsis is also missing, its trie is accumulated from the
+  /// same scan (the BpIndex::Build observer) — one pass builds both.
   Status EnsureBpIndex();
 
   /// Writes the tree.bpx sidecar (dir-backed, non-WAL stores only; the
   /// CRC-32C payload checksum makes a torn write detectable).
   Status PersistBpSidecar();
+
+  /// Makes synopsis_ match the current structure: loads the synopsis.pds
+  /// sidecar when its epoch and shape agree, else rebuilds by one
+  /// sequential scan (unless EnsureBpIndex already piggy-backed the
+  /// build onto its own scan).  No-op when Options::use_synopsis is off.
+  Status EnsureSynopsis();
+
+  /// Loads the synopsis.pds sidecar when it is usable (no in-process
+  /// structural updates, epoch and node count match); returns whether it
+  /// was adopted.
+  bool TrySynopsisSidecar();
+
+  /// Writes the synopsis.pds sidecar (same guards as PersistBpSidecar).
+  Status PersistSynopsisSidecar();
 
   Options options_;
   /// Declared before the components: members destroy in reverse order,
@@ -379,6 +421,11 @@ class DocumentStore {
   std::unique_ptr<BpIndex> bp_index_;
   uint64_t bp_version_ = 0;
   bool bp_from_sidecar_ = false;
+  /// DataGuide-style path synopsis (path_synopsis.h).  Immutable once
+  /// built; valid while synopsis_version_ == structure_version_.
+  std::unique_ptr<PathSynopsis> synopsis_;
+  uint64_t synopsis_version_ = 0;
+  bool synopsis_from_sidecar_ = false;
 };
 
 /// Encoding helpers shared by the builder, the query engine and tests.

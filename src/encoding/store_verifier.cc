@@ -6,6 +6,7 @@
 #include "btree/btree.h"
 #include "encoding/bp_index.h"
 #include "encoding/dewey.h"
+#include "encoding/path_synopsis.h"
 #include "encoding/string_store.h"
 #include "storage/file.h"
 #include "storage/pager.h"
@@ -104,7 +105,11 @@ Result<VerifyReport> VerifyStoreDir(const std::string& dir,
   }
 
   // Pass 2: structural open (magics, versions, page chain, epochs).
+  // Read-only: a writable open self-heals damaged index sidecars
+  // (rebuild + re-persist), which would erase exactly the evidence the
+  // later passes exist to report.  A scrub must never mutate the store.
   options.dir = dir;
+  options.read_only = true;
   auto store_or = DocumentStore::OpenDir(options);
   if (!store_or.ok()) {
     AddIssue(&report, "store", store_or.status().ToString());
@@ -236,40 +241,94 @@ Result<VerifyReport> VerifyStoreDir(const std::string& dir,
       return report;
     }
     const BpIndex& side = *side_or.ValueOrDie();
-    if (side.epoch() != store->epoch()) {
-      AddIssue(&report, store_files::kBpIndex,
-               "sidecar epoch " + std::to_string(side.epoch()) +
-                   " does not match the store epoch " +
-                   std::to_string(store->epoch()) +
-                   " (stale; a Flush in bp mode rewrites it)");
+    // A mismatched-epoch sidecar is stale, not damaged: no open ever
+    // trusts it (it is rebuilt from the page chain, exactly as if the
+    // file were missing), and a crash between a WAL commit and the
+    // next writable open legitimately leaves one behind.  Diffing its
+    // content against a different generation would be noise, so the
+    // comparison only runs when the epochs agree.
+    if (side.epoch() == store->epoch()) {
+      auto fresh_or = BpIndex::Build(store->tree(), side.epoch());
+      if (!fresh_or.ok()) {
+        AddIssue(&report, store_files::kBpIndex,
+                 "cannot recompute the bitvector from the page chain: " +
+                     fresh_or.status().ToString());
+        return report;
+      }
+      const BpIndex& fresh = *fresh_or.ValueOrDie();
+      if (side.node_count() != fresh.node_count()) {
+        AddIssue(&report, store_files::kBpIndex,
+                 "sidecar holds " + std::to_string(side.node_count()) +
+                     " nodes but the tree string holds " +
+                     std::to_string(fresh.node_count()));
+      } else {
+        uint64_t bad_bits = 0;
+        for (uint64_t pos = 0; pos < fresh.bit_count(); ++pos) {
+          if (side.IsOpen(pos) != fresh.IsOpen(pos)) ++bad_bits;
+        }
+        uint64_t bad_tags = 0;
+        for (uint64_t rank = 0; rank < fresh.node_count(); ++rank) {
+          if (side.TagAtRank(rank) != fresh.TagAtRank(rank)) ++bad_tags;
+        }
+        if (bad_bits != 0 || bad_tags != 0) {
+          AddIssue(&report, store_files::kBpIndex,
+                   "sidecar disagrees with the tree string: " +
+                       std::to_string(bad_bits) + " parenthesis bit(s), " +
+                       std::to_string(bad_tags) + " preorder tag(s)");
+        }
+      }
     }
-    auto fresh_or = BpIndex::Build(store->tree(), side.epoch());
-    if (!fresh_or.ok()) {
-      AddIssue(&report, store_files::kBpIndex,
-               "cannot recompute the bitvector from the page chain: " +
-                   fresh_or.status().ToString());
+  }
+
+  // Pass 6: the path-synopsis sidecar, when one was persisted.  Same
+  // shape as pass 5: LoadFrom catches envelope damage (magic, version,
+  // CRC-32C over the trie records), and when the epochs agree a rebuild
+  // from the tree string catches a sidecar whose bytes are internally
+  // consistent but no longer describe this document.
+  const std::string pds_path = dir + "/" + store_files::kSynopsis;
+  if (FileExists(pds_path)) {
+    auto pds_file = OpenPosixFile(pds_path, /*create=*/false);
+    if (!pds_file.ok()) {
+      AddIssue(&report, store_files::kSynopsis,
+               pds_file.status().ToString());
       return report;
     }
-    const BpIndex& fresh = *fresh_or.ValueOrDie();
-    if (side.node_count() != fresh.node_count()) {
-      AddIssue(&report, store_files::kBpIndex,
-               "sidecar holds " + std::to_string(side.node_count()) +
-                   " nodes but the tree string holds " +
-                   std::to_string(fresh.node_count()));
-    } else {
-      uint64_t bad_bits = 0;
-      for (uint64_t pos = 0; pos < fresh.bit_count(); ++pos) {
-        if (side.IsOpen(pos) != fresh.IsOpen(pos)) ++bad_bits;
+    auto side_or = PathSynopsis::LoadFrom(pds_file.ValueOrDie().get());
+    if (!side_or.ok()) {
+      AddIssue(&report, store_files::kSynopsis,
+               side_or.status().ToString());
+      return report;
+    }
+    const PathSynopsis& side = *side_or.ValueOrDie();
+    // Stale-not-damaged: same policy as pass 5 above.
+    if (side.epoch() == store->epoch()) {
+      auto fresh_or = PathSynopsis::Build(store->tree(), side.epoch());
+      if (!fresh_or.ok()) {
+        AddIssue(&report, store_files::kSynopsis,
+                 "cannot recompute the path trie from the page chain: " +
+                     fresh_or.status().ToString());
+        return report;
       }
-      uint64_t bad_tags = 0;
-      for (uint64_t rank = 0; rank < fresh.node_count(); ++rank) {
-        if (side.TagAtRank(rank) != fresh.TagAtRank(rank)) ++bad_tags;
-      }
-      if (bad_bits != 0 || bad_tags != 0) {
-        AddIssue(&report, store_files::kBpIndex,
-                 "sidecar disagrees with the tree string: " +
-                     std::to_string(bad_bits) + " parenthesis bit(s), " +
-                     std::to_string(bad_tags) + " preorder tag(s)");
+      const PathSynopsis& fresh = *fresh_or.ValueOrDie();
+      if (side.path_count() != fresh.path_count()) {
+        AddIssue(&report, store_files::kSynopsis,
+                 "sidecar holds " + std::to_string(side.path_count()) +
+                     " distinct paths but the tree string holds " +
+                     std::to_string(fresh.path_count()));
+      } else {
+        uint64_t bad_paths = 0;
+        for (uint32_t i = 0; i < fresh.path_count(); ++i) {
+          if (side.node(i).tag != fresh.node(i).tag ||
+              side.node(i).count != fresh.node(i).count ||
+              side.node(i).parent != fresh.node(i).parent) {
+            ++bad_paths;
+          }
+        }
+        if (bad_paths != 0) {
+          AddIssue(&report, store_files::kSynopsis,
+                   "sidecar disagrees with the tree string on " +
+                       std::to_string(bad_paths) + " path record(s)");
+        }
       }
     }
   }

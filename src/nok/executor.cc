@@ -1098,7 +1098,7 @@ Result<std::vector<DeweyId>> RunImpl(DocumentStore* store, Nav* nav,
       probe.tree = tree_id;
       probe.detail = access.display;
       probe.has_estimate = true;
-      probe.estimated = access.estimated_candidates;
+      probe.estimated = access.cardinality.candidates;
       OpTimer probe_timer(store);
       NOK_ASSIGN_OR_RETURN(auto anchor_hits, FetchHits(store, access));
       probe.rows_out = anchor_hits.size();
@@ -1142,6 +1142,8 @@ Result<std::vector<DeweyId>> RunImpl(DocumentStore* store, Nav* nav,
       match.op = "NokMatch";
       match.tree = tree_id;
       match.detail = "anchored";
+      match.has_estimate = true;
+      match.estimated = access.cardinality.matches;
       match.rows_in = anchor_hits.size();
       OpTimer match_timer(store);
       AnchoredMatcherT<Nav> matcher(nav, &cursor, tree, designated,
@@ -1178,7 +1180,7 @@ Result<std::vector<DeweyId>> RunImpl(DocumentStore* store, Nav* nav,
         scan.tree = tree_id;
         scan.detail = access.display;
         scan.has_estimate = true;
-        scan.estimated = access.estimated_candidates;
+        scan.estimated = access.cardinality.candidates;
         OpTimer scan_timer(store);
         NOK_ASSIGN_OR_RETURN(
             candidates,
@@ -1212,7 +1214,7 @@ Result<std::vector<DeweyId>> RunImpl(DocumentStore* store, Nav* nav,
         probe.tree = tree_id;
         probe.detail = access.display;
         probe.has_estimate = true;
-        probe.estimated = access.estimated_candidates;
+        probe.estimated = access.cardinality.candidates;
         OpTimer probe_timer(store);
         NOK_ASSIGN_OR_RETURN(auto anchor_hits, FetchHits(store, access));
         probe.rows_out = anchor_hits.size();
@@ -1258,6 +1260,8 @@ Result<std::vector<DeweyId>> RunImpl(DocumentStore* store, Nav* nav,
       match.op = "NokMatch";
       match.tree = tree_id;
       match.detail = "whole-tree";
+      match.has_estimate = true;
+      match.estimated = access.cardinality.matches;
       match.rows_in = candidates.size();
       OpTimer match_timer(store);
       NokMatcher<CCursor> matcher(&tree, &cursor, designated);
@@ -1318,7 +1322,7 @@ Result<std::vector<DeweyId>> RunImpl(DocumentStore* store, Nav* nav,
                   std::string(AxisName(arc->axis)) + "-> tree " +
                   std::to_string(t);
     join.has_estimate = true;
-    join.estimated = plan.trees[t].access.estimated_candidates;
+    join.estimated = plan.trees[t].access.cardinality.matches;
     join.rows_in = bindings[t].size();
     OpTimer join_timer(store);
 
@@ -1386,6 +1390,26 @@ Result<std::vector<DeweyId>> Executor::Run(
     const QueryPlan& plan, const NokPartition& partition,
     const std::vector<TagId>& tag_table, const QueryOptions& options,
     QueryStats* stats, ExecutionTrace* trace) {
+  NOK_CHECK(stats != nullptr && trace != nullptr);
+  trace->synopsis_used = plan.synopsis_used;
+  trace->empty_result = plan.empty_result;
+  trace->empty_reason = plan.empty_reason;
+  if (plan.empty_result) {
+    // Schema-impossible plan: answer before any navigation backend is
+    // even constructed — zero subject-tree pages, zero index probes.
+    *stats = QueryStats{};
+    stats->trees.resize(partition.trees.size());
+    trace->operators.clear();
+    trace->nav_mode = store_->nav_mode();
+    trace->bp_steps = 0;
+    trace->bp_tag_blocks_skipped = 0;
+    OperatorStats op;
+    op.op = "EmptyResult";
+    op.detail = plan.empty_reason;
+    op.has_estimate = true;
+    trace->operators.push_back(std::move(op));
+    return std::vector<DeweyId>();
+  }
   if (store_->nav_mode() == NavMode::kBp) {
     NOK_ASSIGN_OR_RETURN(const BpIndex* bp, store_->bp_index());
     const StringStore::NavStats before = store_->tree()->nav_stats();

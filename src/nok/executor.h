@@ -74,6 +74,12 @@ struct ExecutionTrace {
   std::vector<OperatorStats> operators;
   bool plan_cache_hit = false;  ///< Filled by QueryEngine.
   double plan_seconds = 0;      ///< Planning wall time (0 on cache hit).
+  /// Whether the plan's estimates came from the path synopsis, and
+  /// whether the synopsis proved the query empty (EmptyResult plan —
+  /// the run then touches zero pages and runs zero probes).
+  bool synopsis_used = false;
+  bool empty_result = false;
+  std::string empty_reason;
   /// Navigation tier the run used, plus the BP-index work it did
   /// (NavStats deltas; both zero in paged mode).
   NavMode nav_mode = NavMode::kPaged;

@@ -46,6 +46,8 @@ std::string PlanCache::Key(const std::string& canonical_pattern,
   key += options.use_path_index ? "1" : "0";
   key += "|o=";
   key += options.cost_based_join_order ? "1" : "0";
+  key += "|y=";  // Planner mode: synopsis estimates on/off.
+  key += options.use_synopsis ? "1" : "0";
   key += "|n=";
   key += NavModeName(nav_mode);
   key += "|e=" + std::to_string(epoch);

@@ -8,6 +8,14 @@
 // tag index > scan, with the Section 8 path index as a fourth option) and
 // in which order the trees are evaluated (the semi-join schedule).
 //
+// When the store carries a path synopsis (path_synopsis.h) the flat
+// tag-count estimates are replaced by per-pattern-node cardinalities:
+// every child/descendant arc of the pattern is evaluated against the
+// trie of distinct rooted paths, so `//a//b` and `//a//c` no longer cost
+// the same when one composition never occurs.  A pattern node whose arc
+// matches no rooted path proves the whole query empty — the plan is
+// marked empty_result and the Executor returns without any I/O.
+//
 // Planning is pure: no index hits are fetched and no subject-tree pages
 // are touched beyond the estimate probes, so plans are cacheable (see
 // plan_cache.h) and inspectable (`nokq explain`).  The executor
@@ -57,6 +65,43 @@ struct QueryOptions {
   /// per-query I/O profile that diagnostics tests and benchmarks pin
   /// down.  Long-lived engines re-running the same workload turn it on.
   bool use_plan_cache = false;
+  /// Feed estimates from the store's path synopsis when it has one:
+  /// per-pattern-node cardinalities and schema-impossible-path pruning
+  /// (EmptyResult plans).  Off falls back to flat tag counts — the
+  /// `--no-synopsis` ablation.  Recorded in the plan-cache key.
+  bool use_synopsis = true;
+};
+
+/// Cardinality estimate for one NoK tree.  Flows from access-path
+/// selection through semi-join scheduling into executor operator traces
+/// (est-vs-actual rows) and explain formatting.
+struct Cardinality {
+  /// Expected candidates produced by the access-path probe (tag counts
+  /// exact; value/path counts capped at value_estimate_cap).
+  uint64_t candidates = 0;
+  /// Expected bindings produced by this tree's structural match.  With
+  /// the path synopsis this is the independence estimate of the node the
+  /// evaluator emits bindings for (the anchor under its trunk
+  /// constraints, or the tree root for whole-tree matching); without the
+  /// synopsis it falls back to `candidates`.
+  uint64_t matches = 0;
+  /// True when `matches` came from the path synopsis.
+  bool from_synopsis = false;
+};
+
+/// Per-pattern-node cardinalities derived from the path synopsis.  All
+/// vectors are indexed by PatternNode::id (gaps stay zero/empty when an
+/// id is unused).  `expected[i]` is the classic independence estimate of
+/// how many document nodes match pattern node i *and* its whole pattern
+/// subtree: the path-constrained occurrence count `total[i]` scaled by
+/// min(1, expected[child]/total[i]) per structural child — existence
+/// predicates shrink a node's count by the fraction of its occurrences
+/// that can supply a witness.  Order axes (following/preceding) are
+/// invisible to paths and contribute no factor.
+struct SynopsisCardinalities {
+  std::vector<double> expected;       ///< Subtree-pattern match estimate.
+  std::vector<double> total;          ///< Occurrences on surviving paths.
+  std::vector<std::vector<int>> kids; ///< Structural pattern children.
 };
 
 /// How one NoK tree's candidates are produced.  The operands (tag,
@@ -76,9 +121,9 @@ struct AccessPath {
   /// kPathIndex: the rooted tag path (root tag first; empty when some
   /// tag on the path is absent — again a correct empty probe).
   std::vector<TagId> tag_path;
-  /// Estimated candidate count for this access path (tag counts are
-  /// exact; value/path counts are capped at value_estimate_cap).
-  uint64_t estimated_candidates = 0;
+  /// Estimated probe candidates and refined tree matches (see
+  /// Cardinality).
+  Cardinality cardinality;
   /// Display label for plans ("tag=author", "value=\"x\"", ...).
   std::string display;
 };
@@ -109,6 +154,15 @@ struct QueryPlan {
   /// Dewey resolution run on the in-memory balanced-parentheses index —
   /// a zero-page access path — instead of the paged string.
   NavMode nav_mode = NavMode::kPaged;
+  /// Whether the path synopsis fed the estimates (QueryOptions::
+  /// use_synopsis AND the store had one; part of the plan-cache key).
+  bool synopsis_used = false;
+  /// Set when the synopsis proved some pattern arc matches no rooted
+  /// path in the document: the schedule is empty and the Executor emits
+  /// a single EmptyResult operator — zero pages read.
+  bool empty_result = false;
+  /// Names the pattern node with the empty match set.
+  std::string empty_reason;
 
   /// Serialized human-readable form (stable; `nokq explain` prints it).
   std::string ToString(const NokPartition& partition) const;
@@ -128,9 +182,12 @@ class Planner {
                          const QueryOptions& options);
 
  private:
+  /// `cards`, when non-null, carries the synopsis-refined per-pattern-
+  /// node cardinalities; null = flat tag-count estimates.
   Result<AccessPath> PlanTree(const NokTree& tree,
                               const std::vector<TagId>& tag_table,
-                              const QueryOptions& options);
+                              const QueryOptions& options,
+                              const SynopsisCardinalities* cards);
 
   DocumentStore* store_;
 };

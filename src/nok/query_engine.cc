@@ -92,6 +92,9 @@ std::string QueryEngine::ExplainLast() const {
                                            : "plan cache miss",
                 last_trace_.plan_seconds * 1e3);
   out += line;
+  if (last_trace_.empty_result) {
+    out += "  synopsis: proved empty (" + last_trace_.empty_reason + ")\n";
+  }
   if (last_trace_.nav_mode == NavMode::kBp) {
     std::snprintf(line, sizeof(line),
                   "  nav: bp bp_steps=%llu blocks_skipped=%llu\n",

@@ -52,6 +52,10 @@ class QueryEngine {
 
   const QueryStats& last_stats() const { return stats_; }
 
+  /// Raw operator trace of the last query (what ExplainLast renders).
+  /// Benchmarks read the per-operator est-vs-actual rows from here.
+  const ExecutionTrace& last_trace() const { return last_trace_; }
+
   /// Renders the last successful query's plan plus the per-operator
   /// runtime trace (estimated vs. actual cardinalities, pages touched,
   /// wall time).  `nokq explain` prints exactly this.

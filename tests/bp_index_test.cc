@@ -338,6 +338,7 @@ TEST(BpIndexTest, BpModeMatchesPagedOnRandomDocuments) {
 
     QueryEngine paged_engine(paged->get());
     QueryEngine bp_engine(bp->get());
+    bool saw_results = false;
     for (int q = 0; q < 20; ++q) {
       const std::string query = testutil::RandomQuery(&rng, doc_options);
       auto want = paged_engine.Evaluate(query);
@@ -347,9 +348,14 @@ TEST(BpIndexTest, BpModeMatchesPagedOnRandomDocuments) {
           << got.status().ToString();
       if (!want.ok()) continue;
       ASSERT_EQ(*want, *got) << query;
+      saw_results = saw_results || !want->empty();
     }
-    // The bp store navigated through the BP tier.
-    EXPECT_GT((*bp)->tree()->nav_stats().bp_steps, 0u);
+    // The bp store navigated through the BP tier (a doc whose random
+    // queries all came up empty may legitimately skip navigation: the
+    // path synopsis answers schema-impossible queries with no I/O).
+    if (saw_results) {
+      EXPECT_GT((*bp)->tree()->nav_stats().bp_steps, 0u);
+    }
   }
 }
 

@@ -317,16 +317,19 @@ void RunStrategySweep(Dataset dataset, uint64_t seed) {
 
     for (StartStrategy strategy : forced) {
       for (bool cost_based : {true, false}) {
-        QueryOptions qo;
-        qo.strategy = strategy;
-        qo.cost_based_join_order = cost_based;
-        auto result = engine.Evaluate(q.xpath, qo);
-        ASSERT_TRUE(result.ok())
-            << StrategyName(strategy) << ": "
-            << result.status().ToString();
-        EXPECT_EQ(CanonDewey(*result), want)
-            << "strategy " << StrategyName(strategy) << " cost_based "
-            << cost_based;
+        for (bool synopsis : {true, false}) {
+          QueryOptions qo;
+          qo.strategy = strategy;
+          qo.cost_based_join_order = cost_based;
+          qo.use_synopsis = synopsis;
+          auto result = engine.Evaluate(q.xpath, qo);
+          ASSERT_TRUE(result.ok())
+              << StrategyName(strategy) << ": "
+              << result.status().ToString();
+          EXPECT_EQ(CanonDewey(*result), want)
+              << "strategy " << StrategyName(strategy) << " cost_based "
+              << cost_based << " synopsis " << synopsis;
+        }
       }
     }
 

@@ -110,6 +110,10 @@ FuzzCase GenerateCase(uint64_t seed) {
   queries.count = 6 + rng.Uniform(5);
   queries.max_steps = 4;
   queries.max_branches = 2;
+  // Half the cases mix in tags absent from every dataset, exercising the
+  // planner's schema-impossible pruning (EmptyResult plans) against the
+  // oracle's genuinely empty answers.
+  if (rng.Bernoulli(0.5)) queries.absent_bias = 0.15;
   out.queries = RandomQueries(ds, queries);
   return out;
 }
@@ -138,19 +142,23 @@ std::vector<Mismatch> CheckCase(const FuzzCase& fuzz_case,
   NavigationalEngine nav(&*dom);
   RegionEngine region(&*interval);
 
-  // Store matrix: {tag summaries off, on} x {paged, bp navigation};
-  // small pages so paging is real.  The bp configuration runs with tag
-  // summaries on (its candidate scans never touch pages anyway), so
-  // three stores cover all engine-visible combinations.
+  // Store matrix: {tag summaries off, on} x {paged, bp navigation} plus
+  // a synopsis-less store; small pages so paging is real.  The bp
+  // configuration runs with tag summaries on (its candidate scans never
+  // touch pages anyway), and the synopsis-less store pins the planner's
+  // flat-estimate fallback: four stores cover all engine-visible
+  // combinations.
   struct StoreConfig {
     bool tag_summaries;
     NavMode nav_mode;
+    bool synopsis;
     const char* suffix;
   };
   const StoreConfig configs[] = {
-      {false, NavMode::kPaged, ""},
-      {true, NavMode::kPaged, " ts"},
-      {true, NavMode::kBp, " bp"},
+      {false, NavMode::kPaged, true, ""},
+      {true, NavMode::kPaged, true, " ts"},
+      {true, NavMode::kBp, true, " bp"},
+      {true, NavMode::kPaged, false, " nosyn"},
   };
   std::vector<std::unique_ptr<DocumentStore>> stores;
   for (const StoreConfig& config : configs) {
@@ -158,6 +166,7 @@ std::vector<Mismatch> CheckCase(const FuzzCase& fuzz_case,
     options.page_size = 512;
     options.use_tag_summaries = config.tag_summaries;
     options.nav_mode = config.nav_mode;
+    options.use_synopsis = config.synopsis;
     auto store = DocumentStore::Build(fuzz_case.xml, options);
     if (!store.ok()) {
       out.push_back(
@@ -231,6 +240,7 @@ std::vector<Mismatch> CheckCase(const FuzzCase& fuzz_case,
           QueryOptions qo;
           qo.strategy = strategy;
           qo.use_plan_cache = cache;
+          qo.use_synopsis = configs[s].synopsis;
           auto r = engine.Evaluate(query, qo);
           const std::string name =
               std::string("nok ") + StrategyName(strategy) +

@@ -1,0 +1,472 @@
+#include "encoding/path_synopsis.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "encoding/document_store.h"
+#include "encoding/store_verifier.h"
+#include "nok/query_engine.h"
+
+namespace nok {
+namespace {
+
+// ---------------------------------------------------------------------
+// Trie construction.  The golden document (tags as TagIds):
+//
+//   <1>            a
+//     <2><3/></2>    b / b/c
+//     <2/>           b   (second occurrence of path /a/b)
+//     <4/>           d
+//   </1>
+//
+// Distinct rooted paths: /a (1 node), /a/b (2), /a/b/c (1), /a/d (1).
+
+std::unique_ptr<PathSynopsis> Golden(uint64_t epoch = 7) {
+  PathSynopsis::Builder builder;
+  builder.Open(1);
+  builder.Open(2);
+  builder.Open(3);
+  builder.Close();
+  builder.Close();
+  builder.Open(2);
+  builder.Close();
+  builder.Open(4);
+  builder.Close();
+  builder.Close();
+  auto synopsis = builder.Finish(epoch);
+  EXPECT_TRUE(synopsis.ok()) << synopsis.status().ToString();
+  return std::move(synopsis).ValueOrDie();
+}
+
+TEST(PathSynopsisTest, BuilderGoldenTrie) {
+  auto syn = Golden();
+  ASSERT_EQ(syn->path_count(), 4u);
+  EXPECT_EQ(syn->node_count(), 5u);
+  EXPECT_EQ(syn->epoch(), 7u);
+  EXPECT_EQ(syn->min_level(), 1u);
+  EXPECT_EQ(syn->max_level(), 3u);
+
+  // Preorder: /a, /a/b, /a/b/c, /a/d.
+  const struct {
+    TagId tag;
+    uint64_t count;
+    uint32_t level;
+    int32_t parent;
+    uint32_t subtree_end;
+  } want[] = {
+      {1, 1, 1, -1, 4},
+      {2, 2, 2, 0, 3},
+      {3, 1, 3, 1, 3},
+      {4, 1, 2, 0, 4},
+  };
+  for (size_t i = 0; i < 4; ++i) {
+    const PathSynopsis::PathNode& node = syn->node(i);
+    EXPECT_EQ(node.tag, want[i].tag) << i;
+    EXPECT_EQ(node.count, want[i].count) << i;
+    EXPECT_EQ(node.level, want[i].level) << i;
+    EXPECT_EQ(node.parent, want[i].parent) << i;
+    EXPECT_EQ(node.subtree_end, want[i].subtree_end) << i;
+  }
+}
+
+TEST(PathSynopsisTest, BuilderRejectsUnbalancedEvents) {
+  {
+    PathSynopsis::Builder builder;
+    builder.Open(1);
+    EXPECT_FALSE(builder.Finish(1).ok());  // Never closed.
+  }
+  {
+    PathSynopsis::Builder builder;
+    builder.Open(1);
+    builder.Close();
+    builder.Close();  // Underflow.
+    EXPECT_FALSE(builder.Finish(1).ok());
+  }
+}
+
+TEST(PathSynopsisTest, MatchSetQueries) {
+  auto syn = Golden();
+  const uint32_t kRoot = PathSynopsis::kVirtualRoot;
+
+  std::vector<uint32_t> set;
+  syn->CollectChildren(kRoot, 1, false, &set);
+  EXPECT_EQ(set, (std::vector<uint32_t>{0}));  // /a is the only level-1.
+  set.clear();
+  syn->CollectChildren(kRoot, 2, false, &set);
+  EXPECT_TRUE(set.empty());  // No top-level b.
+  set.clear();
+  syn->CollectChildren(0, 2, false, &set);
+  EXPECT_EQ(set, (std::vector<uint32_t>{1}));  // /a/b.
+  set.clear();
+  syn->CollectChildren(0, kInvalidTag, true, &set);  // Wildcard.
+  EXPECT_EQ(set, (std::vector<uint32_t>{1, 3}));
+
+  set.clear();
+  syn->CollectDescendants(kRoot, 3, false, &set);
+  EXPECT_EQ(set, (std::vector<uint32_t>{2}));  // /a/b/c anywhere.
+  set.clear();
+  syn->CollectDescendants(0, kInvalidTag, true, &set);
+  EXPECT_EQ(set, (std::vector<uint32_t>{1, 2, 3}));  // Strict descendants.
+
+  EXPECT_TRUE(syn->IsDescendantOf(kRoot, 2));
+  EXPECT_TRUE(syn->IsDescendantOf(0, 2));
+  EXPECT_TRUE(syn->IsDescendantOf(1, 2));
+  EXPECT_FALSE(syn->IsDescendantOf(1, 3));
+  EXPECT_FALSE(syn->IsDescendantOf(2, 1));
+  EXPECT_EQ(syn->ParentOf(0), kRoot);
+  EXPECT_EQ(syn->ParentOf(2), 1u);
+
+  EXPECT_EQ(syn->TotalCount({0, 1, 2, 3}), 5u);
+  EXPECT_EQ(syn->TotalCount({1}), 2u);
+  EXPECT_EQ(syn->TotalCount({kRoot, 1}), 3u);  // Virtual root counts 1.
+}
+
+// ---------------------------------------------------------------------
+// Serialization.
+
+TEST(PathSynopsisTest, SerializeDeserializeRoundTrip) {
+  auto syn = Golden(41);
+  const std::string bytes = syn->Serialize();
+  auto back_or = PathSynopsis::Deserialize(bytes);
+  ASSERT_TRUE(back_or.ok()) << back_or.status().ToString();
+  const PathSynopsis& back = *back_or.ValueOrDie();
+  ASSERT_EQ(back.path_count(), syn->path_count());
+  EXPECT_EQ(back.node_count(), syn->node_count());
+  EXPECT_EQ(back.epoch(), 41u);
+  EXPECT_EQ(back.min_level(), syn->min_level());
+  EXPECT_EQ(back.max_level(), syn->max_level());
+  for (size_t i = 0; i < back.path_count(); ++i) {
+    EXPECT_EQ(back.node(i).tag, syn->node(i).tag) << i;
+    EXPECT_EQ(back.node(i).count, syn->node(i).count) << i;
+    EXPECT_EQ(back.node(i).level, syn->node(i).level) << i;
+    EXPECT_EQ(back.node(i).parent, syn->node(i).parent) << i;
+    EXPECT_EQ(back.node(i).subtree_end, syn->node(i).subtree_end) << i;
+  }
+  // Deterministic encode: a round-tripped trie re-serializes
+  // byte-identically.
+  EXPECT_EQ(back.Serialize(), bytes);
+}
+
+TEST(PathSynopsisTest, DeserializeRejectsCorruption) {
+  const std::string bytes = Golden()->Serialize();
+  // Any single flipped byte must be rejected: header bytes break the
+  // magic/version/shape checks, everything else breaks the CRC.
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string bad = bytes;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    EXPECT_FALSE(PathSynopsis::Deserialize(bad).ok()) << "byte " << i;
+  }
+  EXPECT_FALSE(PathSynopsis::Deserialize(bytes.substr(0, 16)).ok());
+  EXPECT_FALSE(PathSynopsis::Deserialize(bytes + "x").ok());
+}
+
+// ---------------------------------------------------------------------
+// Store-level sidecar lifecycle (mirrors the tree.bpx suite).
+
+std::string TestDir() {
+  return (std::filesystem::temp_directory_path() /
+          ("nokxml_pds_" + std::to_string(::getpid())))
+      .string();
+}
+
+TEST(PathSynopsisTest, SidecarPersistsAndGoesStale) {
+  const std::string dir = TestDir();
+  std::filesystem::remove_all(dir);
+  DocumentStore::Options options;
+  options.dir = dir;
+  {
+    auto store = DocumentStore::Build(
+        "<a><b><c/></b><b/><d>x</d></a>", options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->Flush().ok());
+    // Build accumulates the trie from its own SAX pass, not the sidecar.
+    EXPECT_FALSE((*store)->synopsis_loaded_from_sidecar());
+    ASSERT_NE((*store)->path_synopsis(), nullptr);
+    EXPECT_EQ((*store)->path_synopsis()->path_count(), 4u);
+  }
+  ASSERT_TRUE(std::filesystem::exists(dir + "/synopsis.pds"));
+  {
+    auto store = DocumentStore::OpenDir(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_TRUE((*store)->synopsis_loaded_from_sidecar());
+    ASSERT_NE((*store)->path_synopsis(), nullptr);
+    EXPECT_EQ((*store)->path_synopsis()->node_count(),
+              (*store)->stats().node_count);
+
+    // A structural update drops the synopsis (pruning on the old trie
+    // could wrongly prove queries empty); Flush rebuilds and re-persists
+    // it for the new generation.
+    ASSERT_TRUE((*store)->InsertSubtree(DeweyId({0}), 0, "<e/>").ok());
+    EXPECT_EQ((*store)->path_synopsis(), nullptr);
+    ASSERT_TRUE((*store)->Flush().ok());
+    EXPECT_FALSE((*store)->synopsis_loaded_from_sidecar());
+    ASSERT_NE((*store)->path_synopsis(), nullptr);
+    EXPECT_EQ((*store)->path_synopsis()->path_count(), 5u);  // New /a/e.
+  }
+  {
+    auto store = DocumentStore::OpenDir(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_TRUE((*store)->synopsis_loaded_from_sidecar());
+    EXPECT_EQ((*store)->path_synopsis()->path_count(), 5u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PathSynopsisTest, StaleEpochSidecarIsNeverTrusted) {
+  const std::string dir = TestDir() + "_stale";
+  std::filesystem::remove_all(dir);
+  DocumentStore::Options options;
+  options.dir = dir;
+  std::string old_sidecar;
+  {
+    auto store = DocumentStore::Build(
+        "<a><b><c/></b><b/><d>x</d></a>", options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->Flush().ok());
+    std::ifstream in(dir + "/synopsis.pds", std::ios::binary);
+    ASSERT_TRUE(in.is_open());
+    old_sidecar.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  {
+    // Advance the store a generation, then put the old sidecar back.
+    auto store = DocumentStore::OpenDir(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->InsertSubtree(DeweyId({0}), 0, "<e/>").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  {
+    std::ofstream out(dir + "/synopsis.pds",
+                      std::ios::binary | std::ios::trunc);
+    out << old_sidecar;
+  }
+  {
+    // The stale sidecar parses fine but its epoch diverges: the open
+    // must rebuild from the page chain instead of trusting it.
+    auto store = DocumentStore::OpenDir(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_FALSE((*store)->synopsis_loaded_from_sidecar());
+    ASSERT_NE((*store)->path_synopsis(), nullptr);
+    EXPECT_EQ((*store)->path_synopsis()->path_count(), 5u);
+    EXPECT_EQ((*store)->path_synopsis()->node_count(),
+              (*store)->stats().node_count);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PathSynopsisTest, CorruptSidecarIsRebuiltSilently) {
+  const std::string dir = TestDir() + "_crc";
+  std::filesystem::remove_all(dir);
+  DocumentStore::Options options;
+  options.dir = dir;
+  {
+    auto store = DocumentStore::Build(
+        "<a><b><c/></b><b/><d>x</d></a>", options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  {
+    // Flip one payload byte: the CRC check must reject the sidecar.
+    std::fstream f(dir + "/synopsis.pds",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(36);
+    const char flipped = static_cast<char>(f.get() ^ 0xff);
+    f.seekp(36);
+    f.put(flipped);
+  }
+  {
+    auto store = DocumentStore::OpenDir(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_FALSE((*store)->synopsis_loaded_from_sidecar());
+    ASSERT_NE((*store)->path_synopsis(), nullptr);
+    EXPECT_EQ((*store)->path_synopsis()->path_count(), 4u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PathSynopsisTest, VerifierReportsSidecarDamageButNotStaleness) {
+  const std::string dir = TestDir() + "_verify";
+  std::filesystem::remove_all(dir);
+  DocumentStore::Options options;
+  options.dir = dir;
+  std::string good_sidecar;
+  {
+    auto store = DocumentStore::Build(
+        "<a><b><c/></b><b/><d>x</d></a>", options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->Flush().ok());
+    std::ifstream in(dir + "/synopsis.pds", std::ios::binary);
+    good_sidecar.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  {
+    auto report = VerifyStoreDir(dir);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->ok()) << report->issues.front().detail;
+  }
+  {
+    // One flipped payload byte must surface as a synopsis.pds issue.
+    std::string bad = good_sidecar;
+    bad[36] = static_cast<char>(bad[36] ^ 0x01);
+    std::ofstream out(dir + "/synopsis.pds",
+                      std::ios::binary | std::ios::trunc);
+    out << bad;
+    out.close();
+    auto report = VerifyStoreDir(dir);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    bool found = false;
+    for (const VerifyIssue& issue : report->issues) {
+      found = found || issue.component == "synopsis.pds";
+    }
+    EXPECT_TRUE(found) << "flipped synopsis byte not detected";
+  }
+  {
+    // Restore the good bytes: the scrub must come back clean.  The
+    // verifier's own open is read-only, so the previous scrub cannot
+    // have "healed" the file — restoring the bytes must be sufficient.
+    std::ofstream out(dir + "/synopsis.pds",
+                      std::ios::binary | std::ios::trunc);
+    out << good_sidecar;
+    out.close();
+    auto report = VerifyStoreDir(dir);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->ok());
+  }
+  {
+    // A stale-epoch sidecar is not an integrity issue: no open ever
+    // trusts it (equivalent to a missing file), and a crash between a
+    // WAL commit and the next writable open leaves one behind
+    // legitimately.  Advance the store a generation, restore the old
+    // sidecar, and expect a clean scrub.
+    {
+      auto store = DocumentStore::OpenDir(options);
+      ASSERT_TRUE(store.ok()) << store.status().ToString();
+      ASSERT_TRUE(
+          (*store)->InsertSubtree(DeweyId({0}), 0, "<e/>").ok());
+      ASSERT_TRUE((*store)->Flush().ok());
+    }
+    std::ofstream out(dir + "/synopsis.pds",
+                      std::ios::binary | std::ios::trunc);
+    out << good_sidecar;
+    out.close();
+    auto report = VerifyStoreDir(dir);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->ok()) << report->issues.front().detail;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Planner integration: schema-impossible queries are answered with no
+// I/O, and the ablation returns the same (empty) answer the slow way.
+
+TEST(PathSynopsisTest, EmptyResultPlanReadsZeroPages) {
+  DocumentStore::Options options;
+  options.page_size = 512;
+  auto store = DocumentStore::Build(
+      "<a><b><c>x</c></b><b/><d>y</d></a>", options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  QueryEngine engine(store->get());
+
+  (*store)->tree()->ResetNavStats();
+  auto result = engine.Evaluate("//zzabsent");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->empty());
+  EXPECT_TRUE(engine.last_trace().empty_result);
+  EXPECT_EQ((*store)->tree()->nav_stats().pages_scanned, 0u);
+  ASSERT_EQ(engine.last_trace().operators.size(), 1u);
+  EXPECT_EQ(engine.last_trace().operators[0].op, "EmptyResult");
+  EXPECT_NE(engine.ExplainLast().find("proved empty"), std::string::npos);
+
+  // An impossible composition of present tags: c never nests under d.
+  (*store)->tree()->ResetNavStats();
+  result = engine.Evaluate("//d//c");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->empty());
+  EXPECT_TRUE(engine.last_trace().empty_result);
+  EXPECT_EQ((*store)->tree()->nav_stats().pages_scanned, 0u);
+
+  // The ablation must agree, the slow way.
+  QueryOptions flat;
+  flat.use_synopsis = false;
+  result = engine.Evaluate("//d//c", flat);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->empty());
+  EXPECT_FALSE(engine.last_trace().empty_result);
+  EXPECT_FALSE(engine.last_trace().synopsis_used);
+
+  // A possible query is unaffected.
+  result = engine.Evaluate("//b/c");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 1u);
+  EXPECT_FALSE(engine.last_trace().empty_result);
+  EXPECT_TRUE(engine.last_trace().synopsis_used);
+}
+
+// ---------------------------------------------------------------------
+// WAL: refresh_positions_on_commit folds the position refresh into the
+// update's own commit instead of leaving the store stale.
+
+TEST(PathSynopsisTest, WalRefreshPositionsOnCommit) {
+  const std::string dir = TestDir() + "_wal";
+  std::filesystem::remove_all(dir);
+  {
+    DocumentStore::Options build;
+    build.dir = dir;
+    auto store = DocumentStore::Build(
+        "<a><b><c>x</c></b><b/><d>y</d></a>", build);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  {
+    // Without the knob, a committed batch leaves positions stale.
+    DocumentStore::Options wal;
+    wal.dir = dir;
+    wal.wal.enabled = true;
+    auto store = DocumentStore::OpenDir(wal);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->InsertSubtree(DeweyId({0}), 0, "<e>z</e>").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    EXPECT_FALSE((*store)->positions_fresh());
+    ASSERT_TRUE((*store)->RefreshPositions().ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    EXPECT_TRUE((*store)->positions_fresh());
+  }
+  {
+    // With it, the refresh rides the same single WAL commit.
+    DocumentStore::Options wal;
+    wal.dir = dir;
+    wal.wal.enabled = true;
+    wal.wal.refresh_positions_on_commit = true;
+    auto store = DocumentStore::OpenDir(wal);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->InsertSubtree(DeweyId({0}), 0, "<f>w</f>").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    EXPECT_TRUE((*store)->positions_fresh());
+    EXPECT_EQ((*store)->wal_stats().commits, 1u);
+  }
+  {
+    // A plain reopen sees fresh positions and both inserted subtrees.
+    DocumentStore::Options plain;
+    plain.dir = dir;
+    auto store = DocumentStore::OpenDir(plain);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_TRUE((*store)->positions_fresh());
+    QueryEngine engine(store->get());
+    auto e = engine.Evaluate("/a/e");
+    ASSERT_TRUE(e.ok()) << e.status().ToString();
+    EXPECT_EQ(e->size(), 1u);
+    auto f = engine.Evaluate("/a/f");
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    EXPECT_EQ(f->size(), 1u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace nok

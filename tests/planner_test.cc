@@ -117,16 +117,16 @@ TEST(PlannerTest, SelectivityScheduleOrdersMostSelectiveReadyFirst) {
   partition.arcs.push_back({0, 0, 2, Axis::kDescendant});
   std::vector<TreeAccessPlan> trees(3);
   for (int t = 0; t < 3; ++t) trees[static_cast<size_t>(t)].tree = t;
-  trees[0].access.estimated_candidates = 50;
-  trees[1].access.estimated_candidates = 100;
-  trees[2].access.estimated_candidates = 5;
+  trees[0].access.cardinality.matches = 50;
+  trees[1].access.cardinality.matches = 100;
+  trees[2].access.cardinality.matches = 5;
 
   // Trees 1 and 2 are ready (no outgoing arcs); 2 is more selective.
   // Tree 0 only becomes ready once both children are done.
   EXPECT_EQ(SelectivitySchedule(partition, trees),
             (std::vector<int>{2, 1, 0}));
 
-  trees[1].access.estimated_candidates = 3;
+  trees[1].access.cardinality.matches = 3;
   EXPECT_EQ(SelectivitySchedule(partition, trees),
             (std::vector<int>{1, 2, 0}));
 
@@ -141,13 +141,13 @@ TEST(PlannerTest, AccessPathsFollowPaperHeuristic) {
   Planned rare = PlanFor(store.get(), "//affiliation");
   ASSERT_EQ(rare.plan.trees.size(), 2u);
   EXPECT_EQ(rare.plan.trees[1].access.strategy, StartStrategy::kTagIndex);
-  EXPECT_EQ(rare.plan.trees[1].access.estimated_candidates, 1u);
+  EXPECT_EQ(rare.plan.trees[1].access.cardinality.candidates, 1u);
 
   // A frequent tag (above index_fraction of the document) scans.
   Planned frequent = PlanFor(store.get(), "//book");
   ASSERT_EQ(frequent.plan.trees.size(), 2u);
   EXPECT_EQ(frequent.plan.trees[1].access.strategy, StartStrategy::kScan);
-  EXPECT_EQ(frequent.plan.trees[1].access.estimated_candidates, 4u);
+  EXPECT_EQ(frequent.plan.trees[1].access.cardinality.candidates, 4u);
 
   // An equality constraint always wins (the paper's Section 6.2 rule).
   Planned value = PlanFor(store.get(), "//book[author/last=\"Stevens\"]");
@@ -155,11 +155,11 @@ TEST(PlannerTest, AccessPathsFollowPaperHeuristic) {
   EXPECT_EQ(value.plan.trees[1].access.strategy,
             StartStrategy::kValueIndex);
   EXPECT_EQ(value.plan.trees[1].access.value_operand, "Stevens");
-  EXPECT_EQ(value.plan.trees[1].access.estimated_candidates, 2u);
+  EXPECT_EQ(value.plan.trees[1].access.cardinality.candidates, 2u);
 
   // The doc-root tree is a single virtual candidate.
   EXPECT_EQ(value.plan.trees[0].access.strategy, StartStrategy::kScan);
-  EXPECT_EQ(value.plan.trees[0].access.estimated_candidates, 1u);
+  EXPECT_EQ(value.plan.trees[0].access.cardinality.candidates, 1u);
 }
 
 TEST(PlannerTest, ForcedStrategiesDegradeToScanWhenInapplicable) {

@@ -66,6 +66,14 @@ NOK009  raw std synchronization (src/ only, src/common/ exempt):
         annotated wrappers are the only locking entry point (DESIGN.md
         section 12).  src/common/ is exempt because the wrappers
         themselves live there.
+NOK011  path-synopsis layering: inside src/nok/, only the planner may
+        include "encoding/path_synopsis.h".  The synopsis is a
+        planning-time cardinality structure; the executor and the
+        matchers consume the plan's estimates (PlanTree cardinality
+        fields, EmptyResult plans), and probing the trie from them would
+        fork the cost model.  Outside src/nok/ its only users are the
+        encoding layer's own document_store.cc and store_verifier.cc,
+        which NOK001 already governs.
 
 Format checks (advisory by default; --format-fatal makes them errors)
 ---------------------------------------------------------------------
@@ -300,6 +308,36 @@ def check_nok_sublayering(path, root, code_text, findings):
                 f'{parts[-1]} must not include B+ tree internals '
                 f'("{m.group(1)}"); only planner/executor may — use the '
                 f"plan IR or the DocumentStore facade instead"))
+
+
+# --- NOK011: path-synopsis layering ---------------------------------------
+
+# Basenames (sans extension) under src/nok/ allowed to include the path
+# synopsis trie directly: the planner alone (cardinality estimation and
+# schema-impossible pruning).  Everything downstream of it sees only the
+# plan's estimates.
+NOK_SYNOPSIS_ALLOWED = {"planner"}
+SYNOPSIS_HEADER = "encoding/path_synopsis.h"
+
+
+def check_synopsis_layering(path, root, raw_text, findings):
+    r = rel(path, root)
+    parts = r.split(os.sep)
+    if len(parts) < 3 or parts[0] != "src" or parts[1] != "nok":
+        return
+    stem = os.path.splitext(parts[-1])[0]
+    if stem in NOK_SYNOPSIS_ALLOWED:
+        return
+    for lineno, line in enumerate(raw_text.splitlines(), 1):
+        m = INCLUDE_RE.match(line)
+        if m and m.group(1) == SYNOPSIS_HEADER:
+            findings.append(Finding(
+                "NOK011", r, lineno,
+                f'{parts[-1]} must not include the path synopsis '
+                f'("{SYNOPSIS_HEADER}"); within src/nok/ only the planner '
+                f"probes the trie (elsewhere encoding's document_store.cc "
+                f"and store_verifier.cc are its only users) — consume the "
+                f"plan's cardinality fields instead"))
 
 
 # --- NOK002: banned APIs --------------------------------------------------
@@ -647,6 +685,7 @@ def lint_file(path, root, with_format):
     # quotes — run it on the raw text.
     check_layering(path, root, raw, findings)
     check_nok_sublayering(path, root, raw, findings)
+    check_synopsis_layering(path, root, raw, findings)
     check_test_includes(path, root, raw, findings)
     check_banned_apis(path, root, code, findings)
     check_include_guard(path, root, raw, findings)

@@ -1,0 +1,14 @@
+// NOK011 fixture: a nok/ file other than the planner probing the path
+// synopsis trie directly.  The executor must consume the plan's
+// cardinality fields (and EmptyResult plans); a second trie consumer
+// would fork the cost model.  The facade include is fine under both
+// NOK001 and NOK011.
+
+#include "encoding/document_store.h"
+#include "encoding/path_synopsis.h"  // EXPECT-LINT: NOK011
+
+namespace nok {
+
+int SynopsisLayeringFixture() { return 0; }
+
+}  // namespace nok

@@ -1,8 +1,10 @@
-// NOK006 fixture (negative): the planner is one of the two nok/ files
-// allowed to include B+ tree internals directly, so no finding fires.
+// NOK006/NOK011 fixture (negative): the planner is one of the two nok/
+// files allowed to include B+ tree internals directly, and the only
+// nok/ file allowed the path-synopsis trie, so no finding fires.
 
 #include "btree/btree.h"
 #include "encoding/document_store.h"
+#include "encoding/path_synopsis.h"
 
 namespace nok {
 

@@ -4,8 +4,9 @@
 //   nokq query  <store-dir> <xpath> [--values] [--strategy auto|scan|tag|
 //               value|path] [--explain] [--no-header-skip]
 //               [--no-tag-summaries] [--nav-mode paged|bp]
+//               [--no-synopsis]
 //   nokq explain <store-dir> <xpath> [--strategy ...] [--fixed-order]
-//               [--plan-cache] [--nav-mode paged|bp]
+//               [--plan-cache] [--nav-mode paged|bp] [--no-synopsis]
 //                                  print the query plan + operator trace
 //   nokq stream <file.xml> <xpath>              single-pass evaluation
 //   nokq stats  <store-dir>                     Table-1 style statistics
@@ -55,9 +56,10 @@ int Usage() {
           "  nokq query  <store-dir> <xpath> [--values] [--explain]\n"
           "              [--strategy auto|scan|tag|value|path]\n"
           "              [--no-header-skip] [--no-tag-summaries]\n"
-          "              [--nav-mode paged|bp]\n"
+          "              [--nav-mode paged|bp] [--no-synopsis]\n"
           "  nokq explain <store-dir> <xpath> [--fixed-order]\n"
           "              [--plan-cache] [--nav-mode paged|bp]\n"
+          "              [--no-synopsis]\n"
           "              [--strategy auto|scan|tag|value|path]\n"
           "  nokq stream <file.xml> <xpath>\n"
           "  nokq stats  <store-dir>\n"
@@ -129,13 +131,15 @@ nok::Result<nok::DeweyId> ParseDewey(const std::string& text) {
 nok::Result<std::unique_ptr<nok::DocumentStore>> OpenStore(
     const std::string& dir, bool use_header_skip = true,
     bool use_tag_summaries = true, bool wal = false,
-    nok::NavMode nav_mode = nok::NavMode::kPaged) {
+    nok::NavMode nav_mode = nok::NavMode::kPaged,
+    bool use_synopsis = true) {
   nok::DocumentStore::Options options;
   options.dir = dir;
   options.use_header_skip = use_header_skip;
   options.use_tag_summaries = use_tag_summaries;
   options.wal.enabled = wal;
   options.nav_mode = nav_mode;
+  options.use_synopsis = use_synopsis;
   return nok::DocumentStore::OpenDir(options);
 }
 
@@ -186,6 +190,8 @@ int CmdExplain(int argc, char** argv) {
       options.cost_based_join_order = false;
     } else if (strcmp(argv[i], "--plan-cache") == 0) {
       options.use_plan_cache = true;
+    } else if (strcmp(argv[i], "--no-synopsis") == 0) {
+      options.use_synopsis = false;
     } else if (strcmp(argv[i], "--strategy") == 0 && i + 1 < argc) {
       if (!ParseStrategyName(argv[++i], &options.strategy)) return Usage();
     } else if (strcmp(argv[i], "--nav-mode") == 0 && i + 1 < argc) {
@@ -194,7 +200,8 @@ int CmdExplain(int argc, char** argv) {
       return Usage();
     }
   }
-  auto store = OpenStore(dir, true, true, false, nav_mode);
+  auto store = OpenStore(dir, true, true, false, nav_mode,
+                         options.use_synopsis);
   if (!store.ok()) return Fail(store.status());
   nok::QueryEngine engine(store->get());
   auto result = engine.Evaluate(xpath, options);
@@ -219,6 +226,8 @@ int CmdQuery(int argc, char** argv) {
       header_skip = false;
     } else if (strcmp(argv[i], "--no-tag-summaries") == 0) {
       tag_summaries = false;
+    } else if (strcmp(argv[i], "--no-synopsis") == 0) {
+      options.use_synopsis = false;
     } else if (strcmp(argv[i], "--strategy") == 0 && i + 1 < argc) {
       if (!ParseStrategyName(argv[++i], &options.strategy)) return Usage();
     } else if (strcmp(argv[i], "--nav-mode") == 0 && i + 1 < argc) {
@@ -228,7 +237,8 @@ int CmdQuery(int argc, char** argv) {
     }
   }
 
-  auto store = OpenStore(dir, header_skip, tag_summaries, false, nav_mode);
+  auto store = OpenStore(dir, header_skip, tag_summaries, false, nav_mode,
+                         options.use_synopsis);
   if (!store.ok()) return Fail(store.status());
   nok::QueryEngine engine(store->get());
   nok::Timer timer;
